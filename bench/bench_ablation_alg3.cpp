@@ -1,0 +1,141 @@
+// Ablation: design choices inside Algorithm 3 (gradient-guided greedy).
+//   * N, the number of words replaced per iteration (paper fixes N=5);
+//   * the beam cap on the candidate product (DESIGN.md §4: the literal
+//     product is (1+k)^N and cannot match the paper's reported speed);
+//   * MC dropout at inference on/off (paper §6.4 argues multi-word moves
+//     survive dropout noise better than single-word moves).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/gradient_guided_greedy.h"
+#include "src/core/objective_greedy.h"
+#include "src/eval/report.h"
+
+namespace {
+using namespace advtext;
+using namespace advtext::bench;
+
+struct Outcome {
+  double sr = 0.0;
+  double seconds = 0.0;
+  double queries = 0.0;
+};
+
+template <typename AttackFn>
+Outcome sweep(const TextClassifier& model, const SynthTask& task,
+              const TaskAttackContext& context, std::size_t max_docs,
+              AttackFn&& attack) {
+  Outcome outcome;
+  std::size_t attacked = 0;
+  std::size_t flipped = 0;
+  for (const Document& doc : task.test.docs) {
+    if (attacked >= max_docs) break;
+    const TokenSeq tokens = doc.flatten();
+    const std::size_t label = static_cast<std::size_t>(doc.label);
+    if (tokens.empty() || model.predict(tokens) != label) continue;
+    ++attacked;
+    WordCandidates candidates;
+    candidates.per_position =
+        context.word_index().candidates_for(tokens, &context.lm());
+    const WordAttackResult result = attack(tokens, candidates, 1 - label);
+    if (model.predict(result.adv_tokens) != label) ++flipped;
+    outcome.seconds += result.seconds;
+    outcome.queries += static_cast<double>(result.queries);
+  }
+  if (attacked > 0) {
+    outcome.sr = static_cast<double>(flipped) / attacked;
+    outcome.seconds /= attacked;
+    outcome.queries /= attacked;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  print_banner("Ablation: Algorithm 3 design choices (Yelp, WCNN, lw=20%)");
+  const std::size_t docs = docs_per_config(30);
+  const SynthTask task = make_yelp();
+  const TaskAttackContext context(task);
+  auto model = make_wcnn(task);
+  train_classifier(*model, task.train, default_training());
+
+  {
+    print_banner("N = words replaced per iteration (beam cap 16)");
+    TablePrinter table({"N", "SR", "s/doc", "q/doc"}, {3, 6, 7, 8});
+    table.print_header();
+    for (std::size_t n : {1u, 3u, 5u, 8u}) {
+      const Outcome o = sweep(
+          *model, task, context, docs,
+          [&](const TokenSeq& tokens, const WordCandidates& candidates,
+              std::size_t target) {
+            GradientGuidedGreedyConfig config;
+            config.words_per_iteration = n;
+            return gradient_guided_greedy_attack(*model, tokens, candidates,
+                                                 target, config);
+          });
+      table.print_row({std::to_string(n), format_percent(o.sr),
+                       format_double(o.seconds, 4),
+                       format_double(o.queries, 0)});
+    }
+    table.print_rule();
+  }
+
+  {
+    print_banner("Beam cap on the candidate product (N=5)");
+    TablePrinter table({"beam", "SR", "s/doc", "q/doc"}, {5, 6, 7, 8});
+    table.print_header();
+    for (std::size_t beam : {4u, 16u, 64u, 256u}) {
+      const Outcome o = sweep(
+          *model, task, context, docs,
+          [&](const TokenSeq& tokens, const WordCandidates& candidates,
+              std::size_t target) {
+            GradientGuidedGreedyConfig config;
+            config.beam_cap = beam;
+            return gradient_guided_greedy_attack(*model, tokens, candidates,
+                                                 target, config);
+          });
+      table.print_row({std::to_string(beam), format_percent(o.sr),
+                       format_double(o.seconds, 4),
+                       format_double(o.queries, 0)});
+    }
+    table.print_rule();
+  }
+
+  {
+    print_banner("MC dropout at inference: Alg. 3 vs objective greedy");
+    TablePrinter table({"dropout", "method", "SR", "s/doc"}, {7, 12, 6, 7});
+    table.print_header();
+    for (float dropout : {0.0f, 0.05f}) {
+      model->set_mc_dropout(dropout);
+      const Outcome ggg = sweep(
+          *model, task, context, docs,
+          [&](const TokenSeq& tokens, const WordCandidates& candidates,
+              std::size_t target) {
+            return gradient_guided_greedy_attack(*model, tokens, candidates,
+                                                 target, {});
+          });
+      const Outcome og = sweep(
+          *model, task, context, docs,
+          [&](const TokenSeq& tokens, const WordCandidates& candidates,
+              std::size_t target) {
+            ObjectiveGreedyConfig config;
+            config.max_replace_fraction = 0.2;
+            return objective_greedy_attack(*model, tokens, candidates,
+                                           target, config);
+          });
+      table.print_row({format_percent(dropout, 0), "ours (Alg.3)",
+                       format_percent(ggg.sr), format_double(ggg.seconds, 4)});
+      table.print_row({format_percent(dropout, 0), "greedy[19]",
+                       format_percent(og.sr), format_double(og.seconds, 4)});
+    }
+    table.print_rule();
+    model->set_mc_dropout(0.0f);
+  }
+  std::printf(
+      "\nShape check: larger N trades queries for joint-effect capture;\n"
+      "a moderate beam preserves SR at a fraction of the uncapped cost;\n"
+      "dropout noise hurts the single-swap greedy more than Alg. 3's\n"
+      "multi-word moves (paper §6.4).\n");
+  return 0;
+}

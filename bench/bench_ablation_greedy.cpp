@@ -1,0 +1,117 @@
+// Ablation: submodular maximizers (Claim 1 in practice). Compares naive
+// greedy, lazy greedy, stochastic greedy and the random baseline against
+// brute force on (a) reference submodular families and (b) real attack set
+// functions built from a trained WCNN, reporting achieved value ratio and
+// oracle calls. This quantifies the (1-1/e) guarantee the paper leans on
+// and the evaluation savings of lazy greedy.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/attack_set_function.h"
+#include "src/eval/report.h"
+#include "src/optim/submodular.h"
+
+namespace {
+using namespace advtext;
+using namespace advtext::bench;
+
+void report_row(TablePrinter& table, const std::string& name,
+                const MaximizationResult& result, double optimum,
+                double base) {
+  const double denominator = optimum - base;
+  const double ratio =
+      denominator > 1e-12 ? (result.value - base) / denominator : 1.0;
+  table.print_row({name, format_double(result.value, 4),
+                   format_double(ratio, 3),
+                   std::to_string(result.evaluations)});
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Ablation: submodular maximizers vs brute force "
+      "(value ratio of optimum-gain, oracle calls)");
+
+  // (a) Weighted-coverage reference instances.
+  {
+    print_banner("Weighted coverage (n=14 elements, budget=5)");
+    Rng rng(1);
+    auto f = CoverageFunction::random(14, 40, 5, rng);
+    const auto exact = brute_force_maximize(f, 5);
+    TablePrinter table({"Method", "value", "gain ratio", "evals"},
+                       {18, 9, 10, 8});
+    table.print_header();
+    f.reset_evaluations();
+    report_row(table, "greedy", greedy_maximize(f, 5), exact.value, 0.0);
+    report_row(table, "lazy greedy", lazy_greedy_maximize(f, 5), exact.value,
+               0.0);
+    Rng sg_rng(2);
+    report_row(table, "stochastic greedy",
+               stochastic_greedy_maximize(f, 5, sg_rng), exact.value, 0.0);
+    Rng rand_rng(3);
+    report_row(table, "random subset",
+               random_subset_baseline(f, 5, rand_rng), exact.value, 0.0);
+    table.print_row({"brute force", format_double(exact.value, 4), "1.000",
+                     std::to_string(exact.evaluations)});
+    table.print_rule();
+    std::printf("greedy guarantee floor (1-1/e) = %.3f\n",
+                1.0 - 1.0 / std::exp(1.0));
+  }
+
+  // (b) Attack set function on a trained WCNN (inner max: coordinate
+  // ascent; ground set limited so brute force stays feasible).
+  {
+    print_banner("Attack set function on trained WCNN (Yelp, budget=4)");
+    const SynthTask task = make_yelp();
+    const TaskAttackContext context(task);
+    auto model = make_wcnn(task);
+    train_classifier(*model, task.train, default_training());
+
+    TablePrinter table({"Method", "value", "gain ratio", "evals"},
+                       {18, 9, 10, 8});
+    table.print_header();
+    std::size_t shown = 0;
+    for (const Document& doc : task.test.docs) {
+      TokenSeq tokens = doc.flatten();
+      const std::size_t label = static_cast<std::size_t>(doc.label);
+      if (tokens.empty() || model->predict(tokens) != label) continue;
+      if (tokens.size() > 24) tokens.resize(24);  // keep 2^n feasible
+      WordCandidates candidates;
+      candidates.per_position =
+          context.word_index().candidates_for(tokens, nullptr);
+      // Keep at most 12 attackable positions.
+      std::size_t attackable = 0;
+      for (auto& list : candidates.per_position) {
+        if (list.empty()) continue;
+        if (++attackable > 12) list.clear();
+      }
+      const std::size_t target = 1 - label;
+      AttackSetFunction f(
+          [&](const TokenSeq& t) {
+            return model->class_probability(t, target);
+          },
+          tokens, candidates,
+          AttackSetFunction::InnerMax::kCoordinateAscent);
+      if (f.ground_set_size() < 6) continue;
+      const double base = f.value({});
+      const auto exact = brute_force_maximize(f, 4);
+      f.reset_evaluations();
+      report_row(table, "greedy", greedy_maximize(f, 4), exact.value, base);
+      report_row(table, "lazy greedy", lazy_greedy_maximize(f, 4),
+                 exact.value, base);
+      Rng rand_rng(shown);
+      report_row(table, "random subset",
+                 random_subset_baseline(f, 4, rand_rng), exact.value, base);
+      table.print_rule();
+      if (++shown >= 4) break;
+    }
+  }
+  std::printf(
+      "\nShape check: greedy/lazy-greedy gain ratios sit at or near 1.0 on\n"
+      "real attack instances (far above the 0.632 worst-case floor), lazy\n"
+      "greedy matches greedy's value with fewer oracle calls, and random\n"
+      "selection trails — the empirical content of Claim 1.\n");
+  return 0;
+}

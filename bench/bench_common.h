@@ -1,0 +1,69 @@
+// Shared helpers for the bench binaries: model factories, trained-model
+// construction per task, and environment-variable scaling so the full
+// suite can be run quickly (ADVTEXT_BENCH_DOCS limits attacked documents).
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+#include "src/util/string_util.h"
+
+namespace advtext::bench {
+
+/// Number of test documents each attack configuration evaluates. Default
+/// keeps the full suite in the minutes range; override with
+/// ADVTEXT_BENCH_DOCS=<n> (0 = whole test set).
+inline std::size_t docs_per_config(std::size_t fallback = 30) {
+  if (const char* env = std::getenv("ADVTEXT_BENCH_DOCS")) {
+    return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+inline std::unique_ptr<WCnn> make_wcnn(const SynthTask& task,
+                                       float mc_dropout = 0.0f) {
+  WCnnConfig config;
+  config.embed_dim = task.config.embedding_dim;
+  config.num_filters = 96;
+  config.mc_dropout = mc_dropout;  // §6.4 (Table 3) passes 0.05 here
+  config.seed = task.config.seed + 1;
+  return std::make_unique<WCnn>(config, Matrix(task.paragram));
+}
+
+inline std::unique_ptr<LstmClassifier> make_lstm(const SynthTask& task) {
+  LstmConfig config;
+  config.embed_dim = task.config.embedding_dim;
+  config.hidden = 24;
+  config.seed = task.config.seed + 2;
+  return std::make_unique<LstmClassifier>(config, Matrix(task.paragram));
+}
+
+inline TrainConfig default_training(const std::string& kind = "WCNN") {
+  TrainConfig config;
+  config.epochs = 12;
+  // BPTT over long documents is only stable at a lower learning rate.
+  if (kind == "LSTM") config.learning_rate = 5e-3;
+  return config;
+}
+
+/// Trains a model of the given kind ("WCNN" or "LSTM") on the task.
+inline std::unique_ptr<TrainableClassifier> make_trained(
+    const std::string& kind, const SynthTask& task) {
+  std::unique_ptr<TrainableClassifier> model;
+  if (kind == "WCNN") {
+    model = make_wcnn(task);
+  } else {
+    model = make_lstm(task);
+  }
+  train_classifier(*model, task.train, default_training(kind));
+  return model;
+}
+
+}  // namespace advtext::bench

@@ -1,0 +1,115 @@
+// Extension bench: success rate as a function of query budget.
+//
+// Table 3 reports wall-clock time; the black-box-attack literature usually
+// reports *queries* (forward evaluations) instead. This bench sweeps the
+// word-level schemes — gradient [18], objective greedy [19], lazy greedy
+// (our Minoux-accelerated variant) and Alg. 3 — and reports SR and mean
+// queries per attacked document at matched word budgets, on WCNN and LSTM.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/core/gradient_attack.h"
+#include "src/core/gradient_guided_greedy.h"
+#include "src/core/lazy_greedy_attack.h"
+#include "src/core/objective_greedy.h"
+#include "src/eval/report.h"
+
+namespace {
+using namespace advtext;
+using namespace advtext::bench;
+
+struct Row {
+  double sr = 0.0;
+  double queries = 0.0;
+  double grads = 0.0;
+};
+
+template <typename Fn>
+Row run(const TextClassifier& model, const SynthTask& task,
+        const TaskAttackContext& context, std::size_t docs, Fn&& attack) {
+  Row row;
+  std::size_t attacked = 0;
+  std::size_t flipped = 0;
+  for (const Document& doc : task.test.docs) {
+    if (attacked >= docs) break;
+    const TokenSeq tokens = doc.flatten();
+    const std::size_t label = static_cast<std::size_t>(doc.label);
+    if (tokens.empty() || model.predict(tokens) != label) continue;
+    ++attacked;
+    WordCandidates candidates;
+    candidates.per_position =
+        context.word_index().candidates_for(tokens, &context.lm());
+    const WordAttackResult result = attack(tokens, candidates, 1 - label);
+    if (model.predict(result.adv_tokens) != label) ++flipped;
+    row.queries += static_cast<double>(result.queries);
+    row.grads += static_cast<double>(result.gradient_calls);
+  }
+  if (attacked > 0) {
+    row.sr = static_cast<double>(flipped) / attacked;
+    row.queries /= attacked;
+    row.grads /= attacked;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(
+      "Extension: query complexity of the word-level schemes (lw=20%)");
+  const std::size_t docs = docs_per_config(25);
+  const SynthTask task = make_yelp();
+  const TaskAttackContext context(task);
+
+  for (const char* kind : {"WCNN", "LSTM"}) {
+    auto model = make_trained(kind, task);
+    print_banner(std::string(kind) + " victim");
+    TablePrinter table({"Method", "SR", "queries/doc", "grad calls"},
+                       {16, 6, 11, 10});
+    table.print_header();
+    const auto gradient_row =
+        run(*model, task, context, docs,
+            [&](const TokenSeq& t, const WordCandidates& c, std::size_t y) {
+              GradientAttackConfig config;
+              config.max_replace_fraction = 0.2;
+              return gradient_attack(*model, t, c, y, config);
+            });
+    table.print_row({"gradient [18]", format_percent(gradient_row.sr),
+                     format_double(gradient_row.queries, 0),
+                     format_double(gradient_row.grads, 1)});
+    const auto greedy_row =
+        run(*model, task, context, docs,
+            [&](const TokenSeq& t, const WordCandidates& c, std::size_t y) {
+              ObjectiveGreedyConfig config;
+              config.max_replace_fraction = 0.2;
+              return objective_greedy_attack(*model, t, c, y, config);
+            });
+    table.print_row({"greedy [19]", format_percent(greedy_row.sr),
+                     format_double(greedy_row.queries, 0), "0.0"});
+    const auto lazy_row =
+        run(*model, task, context, docs,
+            [&](const TokenSeq& t, const WordCandidates& c, std::size_t y) {
+              LazyGreedyAttackConfig config;
+              config.max_replace_fraction = 0.2;
+              return lazy_greedy_attack(*model, t, c, y, config);
+            });
+    table.print_row({"lazy greedy", format_percent(lazy_row.sr),
+                     format_double(lazy_row.queries, 0), "0.0"});
+    const auto ggg_row =
+        run(*model, task, context, docs,
+            [&](const TokenSeq& t, const WordCandidates& c, std::size_t y) {
+              GradientGuidedGreedyConfig config;
+              config.max_replace_fraction = 0.2;
+              return gradient_guided_greedy_attack(*model, t, c, y, config);
+            });
+    table.print_row({"ours (Alg. 3)", format_percent(ggg_row.sr),
+                     format_double(ggg_row.queries, 0),
+                     format_double(ggg_row.grads, 1)});
+    table.print_rule();
+  }
+  std::printf(
+      "\nShape check: gradient needs almost no queries but flips little;\n"
+      "lazy greedy matches greedy [19] at a fraction of its queries;\n"
+      "Alg. 3 approaches greedy's SR at far lower query cost.\n");
+  return 0;
+}

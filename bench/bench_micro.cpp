@@ -1,0 +1,151 @@
+// Micro benchmarks (google-benchmark) for the hot paths of the attack
+// pipeline: gemm, WCNN/LSTM forward passes, incremental swap evaluation
+// (the thing that makes greedy attacks fast), input gradients, WMD solves
+// and LM scoring.
+#include <benchmark/benchmark.h>
+
+#include "src/data/synthetic.h"
+#include "src/nn/lstm.h"
+#include "src/nn/wcnn.h"
+#include "src/text/ngram_lm.h"
+#include "src/text/wmd.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace advtext;
+
+const SynthTask& task() {
+  static const SynthTask t = make_yelp();
+  return t;
+}
+
+TokenSeq sample_tokens(std::size_t length) {
+  Rng rng(9);
+  TokenSeq tokens;
+  const WordId vocab = task().vocab.size();
+  for (std::size_t i = 0; i < length; ++i) {
+    tokens.push_back(static_cast<WordId>(2 + rng.uniform_index(vocab - 2)));
+  }
+  return tokens;
+}
+
+void BM_Matmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Matrix a(n, n);
+  Matrix b(n, n);
+  a.fill_normal(rng, 1.0f);
+  b.fill_normal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_WCnnForward(benchmark::State& state) {
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 48;
+  WCnn model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_proba(tokens));
+  }
+}
+BENCHMARK(BM_WCnnForward)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_WCnnSwapEval(benchmark::State& state) {
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 48;
+  WCnn model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(static_cast<std::size_t>(
+      state.range(0)));
+  auto evaluator = model.make_swap_evaluator(tokens);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->eval_swap(pos, 5));
+    pos = (pos + 7) % tokens.size();
+  }
+}
+BENCHMARK(BM_WCnnSwapEval)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_LstmForward(benchmark::State& state) {
+  LstmConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.hidden = 24;
+  LstmClassifier model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(static_cast<std::size_t>(
+      state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_proba(tokens));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_LstmSwapEval(benchmark::State& state) {
+  LstmConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.hidden = 24;
+  LstmClassifier model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(static_cast<std::size_t>(
+      state.range(0)));
+  auto evaluator = model.make_swap_evaluator(tokens);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->eval_swap(pos, 5));
+    pos = (pos + 7) % tokens.size();
+  }
+}
+BENCHMARK(BM_LstmSwapEval)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_LstmInputGradient(benchmark::State& state) {
+  LstmConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.hidden = 24;
+  LstmClassifier model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(50);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.input_gradient(tokens, 1));
+  }
+}
+BENCHMARK(BM_LstmInputGradient);
+
+void BM_WmdExact(benchmark::State& state) {
+  const Wmd wmd(task().paragram, Wmd::Method::kExact);
+  const Sentence a = sample_tokens(static_cast<std::size_t>(state.range(0)));
+  const Sentence b = sample_tokens(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wmd.distance(a, b));
+  }
+}
+BENCHMARK(BM_WmdExact)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_WmdRelaxed(benchmark::State& state) {
+  const Wmd wmd(task().paragram, Wmd::Method::kRelaxed);
+  const Sentence a = sample_tokens(static_cast<std::size_t>(state.range(0)));
+  const Sentence b = sample_tokens(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wmd.distance(a, b));
+  }
+}
+BENCHMARK(BM_WmdRelaxed)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_LmReplacementDelta(benchmark::State& state) {
+  static const NGramLm lm(task().train,
+                          static_cast<std::size_t>(task().vocab.size()));
+  const TokenSeq tokens = sample_tokens(50);
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lm.replacement_delta(tokens, pos, 7));
+    pos = (pos + 3) % tokens.size();
+  }
+}
+BENCHMARK(BM_LmReplacementDelta);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,192 @@
+// advtext_cli — drive the whole pipeline from the command line.
+//
+//   advtext_cli gen-task --dataset yelp --seed 33 --out task.bin
+//   advtext_cli train    --task task.bin --model lstm --epochs 12
+//                        --out model.bin
+//   advtext_cli eval     --task task.bin --model lstm --params model.bin
+//   advtext_cli attack   --task task.bin --model lstm --params model.bin
+//                        --ls 0.2 --lw 0.2 --docs 25 --show 1
+//
+// Tasks and trained parameters are serialized with util/serialize, so a
+// model trained once can be attacked under many configurations without
+// retraining.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/joint_attack.h"
+#include "src/data/synthetic.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/bow_classifier.h"
+#include "src/nn/checkpoint.h"
+#include "src/nn/gru.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+#include "src/util/args.h"
+#include "src/util/serialize.h"
+
+namespace {
+
+using namespace advtext;
+
+int usage() {
+  std::printf(
+      "usage: advtext_cli <command> [flags]\n"
+      "  gen-task --dataset news|trec07p|yelp [--seed N] --out FILE\n"
+      "  train    --task FILE --model wcnn|lstm|gru|bow [--epochs N]\n"
+      "           [--lr X] [--hidden N] [--filters N] --out FILE\n"
+      "  eval     --task FILE --model KIND --params FILE\n"
+      "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
+      "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n");
+  return 2;
+}
+
+std::unique_ptr<TrainableClassifier> build_model(const std::string& kind,
+                                                 const SynthTask& task,
+                                                 const ArgParser& args) {
+  if (kind == "wcnn") {
+    WCnnConfig config;
+    config.embed_dim = task.config.embedding_dim;
+    config.num_filters =
+        static_cast<std::size_t>(args.get_int("filters", 96));
+    return std::make_unique<WCnn>(config, Matrix(task.paragram));
+  }
+  if (kind == "lstm") {
+    LstmConfig config;
+    config.embed_dim = task.config.embedding_dim;
+    config.hidden = static_cast<std::size_t>(args.get_int("hidden", 24));
+    return std::make_unique<LstmClassifier>(config, Matrix(task.paragram));
+  }
+  if (kind == "gru") {
+    GruConfig config;
+    config.embed_dim = task.config.embedding_dim;
+    config.hidden = static_cast<std::size_t>(args.get_int("hidden", 24));
+    return std::make_unique<GruClassifier>(config, Matrix(task.paragram));
+  }
+  if (kind == "bow") {
+    BowClassifierConfig config;
+    config.vocab_size = static_cast<std::size_t>(task.vocab.size());
+    return std::make_unique<BowClassifier>(config);
+  }
+  throw std::invalid_argument("unknown --model kind: " + kind);
+}
+
+int cmd_gen_task(const ArgParser& args) {
+  const std::string dataset = args.get_string("dataset", "yelp");
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 0));
+  SynthTask task;
+  if (dataset == "news") {
+    task = seed ? make_news(seed) : make_news();
+  } else if (dataset == "trec07p") {
+    task = seed ? make_trec07p(seed) : make_trec07p();
+  } else if (dataset == "yelp") {
+    task = seed ? make_yelp(seed) : make_yelp();
+  } else {
+    std::printf("unknown --dataset %s\n", dataset.c_str());
+    return 2;
+  }
+  const std::string out = args.get_string("out");
+  if (out.empty()) return usage();
+  io::save_task(task, out);
+  std::printf("wrote %s: %s, %zu train / %zu test docs, vocab %d\n",
+              out.c_str(), task.config.name.c_str(), task.train.size(),
+              task.test.size(), task.vocab.size());
+  return 0;
+}
+
+int cmd_train(const ArgParser& args) {
+  const SynthTask task = io::load_task(args.get_string("task"));
+  const std::string kind = args.get_string("model", "lstm");
+  auto model = build_model(kind, task, args);
+  TrainConfig train;
+  train.epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
+  train.learning_rate = args.get_double(
+      "lr", kind == "lstm" || kind == "gru" ? 5e-3 : 1e-2);
+  const TrainReport report = train_classifier(*model, task.train, train);
+  std::printf("trained %s for %zu epochs, final loss %.4f\n", kind.c_str(),
+              report.epochs_run, report.final_train_loss);
+  std::printf("train acc %.3f, test acc %.3f\n",
+              classification_accuracy(*model, task.train),
+              classification_accuracy(*model, task.test));
+  const std::string out = args.get_string("out");
+  if (!out.empty()) {
+    save_model(*model, out);
+    std::printf("wrote parameters to %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const ArgParser& args) {
+  const SynthTask task = io::load_task(args.get_string("task"));
+  const std::string kind = args.get_string("model", "lstm");
+  auto model = build_model(kind, task, args);
+  load_model(*model, args.get_string("params"));
+  std::printf("test accuracy: %.3f\n",
+              classification_accuracy(*model, task.test));
+  return 0;
+}
+
+int cmd_attack(const ArgParser& args) {
+  const SynthTask task = io::load_task(args.get_string("task"));
+  const std::string kind = args.get_string("model", "lstm");
+  auto model = build_model(kind, task, args);
+  load_model(*model, args.get_string("params"));
+  const TaskAttackContext context(task);
+
+  AttackEvalConfig config;
+  config.max_docs = static_cast<std::size_t>(args.get_int("docs", 25));
+  config.joint.sentence_fraction = args.get_double("ls", 0.2);
+  config.joint.word_fraction = args.get_double("lw", 0.2);
+  config.joint.use_lm_filter = task.config.name != "Trec07p";
+  const std::string method = args.get_string("method", "ggg");
+  if (method == "greedy") {
+    config.joint.word_method = WordAttackMethod::kObjectiveGreedy;
+  } else if (method == "gradient") {
+    config.joint.word_method = WordAttackMethod::kGradient;
+  } else {
+    config.joint.word_method = WordAttackMethod::kGradientGuidedGreedy;
+  }
+
+  const AttackEvalResult result =
+      evaluate_attack(*model, task, context, config);
+  std::printf(
+      "clean acc %.3f | adversarial acc %.3f | success rate %.3f\n"
+      "mean: %.1f words, %.1f sentences changed, %.0f queries, %.3fs/doc\n",
+      result.clean_accuracy, result.adversarial_accuracy,
+      result.success_rate, result.mean_words_changed,
+      result.mean_sentences_changed, result.mean_queries,
+      result.mean_seconds_per_doc);
+
+  const std::size_t show =
+      static_cast<std::size_t>(args.get_int("show", 0));
+  for (std::size_t i = 0; i < std::min(show, result.attacks.size()); ++i) {
+    const std::size_t idx = result.attacked_indices[i];
+    std::printf("\n--- example %zu (label %d) ---\noriginal:    %s\n"
+                "adversarial: %s\n",
+                i + 1, task.test.docs[idx].label,
+                task.test.docs[idx].to_string(task.vocab).c_str(),
+                result.adv_docs[idx].to_string(task.vocab).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.positional().empty()) return usage();
+    const std::string command = args.positional().front();
+    if (command == "gen-task") return cmd_gen_task(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "eval") return cmd_eval(args);
+    if (command == "attack") return cmd_attack(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

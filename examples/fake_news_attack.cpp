@@ -1,0 +1,52 @@
+// Fake-news-detection scenario with adversarial training (the paper's
+// News experiment + Table 5 on one task): train an LSTM detector, attack
+// it, harden it with adversarial training, and show the robustness gain.
+#include <cstdio>
+
+#include "src/data/synthetic.h"
+#include "src/eval/adversarial_training.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+
+int main() {
+  using namespace advtext;
+
+  const SynthTask task = make_news();
+  const TaskAttackContext context(task);
+
+  auto make_model = [&]() {
+    LstmConfig config;
+    config.embed_dim = task.config.embedding_dim;
+    config.hidden = 24;
+    return std::make_unique<LstmClassifier>(config, Matrix(task.paragram));
+  };
+
+  AdvTrainingConfig config;
+  config.train.epochs = 10;
+  config.attack.max_docs = 25;
+  config.attack.joint.sentence_fraction = 0.2;
+  config.attack.joint.word_fraction = 0.2;
+
+  std::printf("fake-news detector (LSTM): running the Table 5 protocol\n");
+  std::printf("  1. train on clean data, measure clean + adversarial acc\n");
+  std::printf("  2. generate adversarial examples from 20%% of train\n");
+  std::printf("  3. merge with corrected labels, retrain, re-measure\n\n");
+
+  const AdvTrainingReport report = adversarial_training_experiment(
+      make_model, task, context, config);
+
+  std::printf("                    before     after\n");
+  std::printf("  test accuracy     %5.1f%%    %5.1f%%\n",
+              100.0 * report.test_before, 100.0 * report.test_after);
+  std::printf("  adversarial acc   %5.1f%%    %5.1f%%\n",
+              100.0 * report.adv_before, 100.0 * report.adv_after);
+  std::printf("  (augmented with %zu adversarial training examples)\n",
+              report.augmented_examples);
+  std::printf(
+      "\nThe paper's finding (Table 5): adversarial training preserves or\n"
+      "slightly improves clean accuracy while making the model markedly\n"
+      "harder to attack.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Qualitative adversarial examples (the paper's Figure 1 / Appendix C):
+// for each task, attack one document per model and print the original and
+// adversarial text with the edits marked:
+//   [~word]  removed by a sentence-level paraphrase or word swap
+//   {+word}  inserted by the attack
+// plus the classifier's probabilities before and after, the oracle
+// (human-proxy) label, and the attack accounting.
+#include <cstdio>
+#include <string>
+
+#include "src/core/joint_attack.h"
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+
+namespace {
+
+using namespace advtext;
+
+// Word-level diff of two sentences (LCS-free, positional for equal-length;
+// marker-style otherwise).
+std::string render_diff(const Document& before, const Document& after,
+                        const Vocab& vocab) {
+  std::string out;
+  const std::size_t sentences =
+      std::min(before.sentences.size(), after.sentences.size());
+  for (std::size_t s = 0; s < sentences; ++s) {
+    const Sentence& a = before.sentences[s];
+    const Sentence& b = after.sentences[s];
+    if (a == b) {
+      for (WordId w : a) {
+        out += vocab.word(w);
+        out += ' ';
+      }
+    } else if (a.size() == b.size()) {
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] == b[i]) {
+          out += vocab.word(a[i]);
+        } else {
+          out += "[~" + vocab.word(a[i]) + "] {+" + vocab.word(b[i]) + "}";
+        }
+        out += ' ';
+      }
+    } else {
+      // Sentence-level rewrite with length change: show both versions.
+      out += "[~";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += vocab.word(a[i]);
+      }
+      out += "] {+";
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += vocab.word(b[i]);
+      }
+      out += "} ";
+    }
+    out += ". ";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace advtext;
+
+  for (const SynthTask& task : make_all_tasks()) {
+    const TaskAttackContext context(task);
+    for (const char* kind : {"WCNN", "LSTM"}) {
+      std::unique_ptr<TrainableClassifier> model;
+      if (std::string(kind) == "WCNN") {
+        WCnnConfig config;
+        config.embed_dim = task.config.embedding_dim;
+        config.num_filters = 48;
+        model = std::make_unique<WCnn>(config, Matrix(task.paragram));
+      } else {
+        LstmConfig config;
+        config.embed_dim = task.config.embedding_dim;
+        config.hidden = 24;
+        model =
+            std::make_unique<LstmClassifier>(config, Matrix(task.paragram));
+      }
+      TrainConfig train;
+      train.epochs = 10;
+      train_classifier(*model, task.train, train);
+
+      // Find a document the joint attack flips.
+      JointAttackConfig config;
+      config.use_lm_filter = task.config.name != "Trec07p";
+      config.sentence_fraction = task.config.name == "Trec07p" ? 0.6 : 0.2;
+      config.word_fraction = 0.2;
+      bool shown = false;
+      for (const Document& doc : task.test.docs) {
+        const TokenSeq tokens = doc.flatten();
+        const std::size_t label = static_cast<std::size_t>(doc.label);
+        if (tokens.empty() || model->predict(tokens) != label) continue;
+        const std::size_t target = 1 - label;
+        const JointAttackResult result =
+            joint_attack(*model, doc, target, context.resources(), config);
+        if (model->predict(result.adv_doc.flatten()) == label) continue;
+
+        std::printf(
+            "\n=== Task: %s. Classifier: %s. Original: %.0f%% class %zu. "
+            "ADV: %.0f%% class %zu ===\n",
+            task.config.name.c_str(), kind,
+            100.0 * model->class_probability(tokens, label), label,
+            100.0 * model->class_probability(result.adv_doc.flatten(),
+                                             target),
+            target);
+        std::printf("%s\n",
+                    render_diff(doc, result.adv_doc, task.vocab).c_str());
+        std::printf(
+            "(%zu sentence and %zu word paraphrases; human-proxy label "
+            "before=%d after=%d; true label=%zu)\n",
+            result.sentences_changed, result.words_changed,
+            task.oracle_label(doc), task.oracle_label(result.adv_doc),
+            label);
+        shown = true;
+        break;
+      }
+      if (!shown) {
+        std::printf("\n=== Task: %s. Classifier: %s — no flip found in the "
+                    "test slice ===\n",
+                    task.config.name.c_str(), kind);
+      }
+    }
+  }
+  return 0;
+}

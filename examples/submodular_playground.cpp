@@ -1,0 +1,182 @@
+// Submodularity playground: the theory of Section 4 made tangible.
+// Builds the attack set function f(S) for a SimpleWCnn (eq. 4) and a
+// ScalarRnn (eq. 5), verifies Definition 1 with the property checkers,
+// runs greedy vs brute force, and demonstrates a violation outside
+// Theorem 2's hypotheses (convex activation).
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/attack_set_function.h"
+#include "src/nn/scalar_rnn.h"
+#include "src/nn/simple_wcnn.h"
+#include "src/optim/submodular.h"
+#include "src/tensor/ops.h"
+
+namespace {
+
+using namespace advtext;
+
+// Virtual vocabulary: token i < n is the original word at position i;
+// token n + i*k + t is candidate t at position i.
+struct Instance {
+  std::size_t n, k;
+  Matrix table;
+  TokenSeq original;
+  WordCandidates candidates;
+
+  Matrix embed(const TokenSeq& tokens) const {
+    Matrix out(tokens.size(), table.cols());
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      for (std::size_t d = 0; d < table.cols(); ++d) {
+        out(i, d) = table(static_cast<std::size_t>(tokens[i]), d);
+      }
+    }
+    return out;
+  }
+};
+
+Instance make_instance(std::size_t n, std::size_t k, std::size_t dim,
+                       Rng& rng, const Vector& drive_direction) {
+  Instance inst;
+  inst.n = n;
+  inst.k = k;
+  inst.table = Matrix(n + n * k, dim);
+  inst.original.resize(n);
+  inst.candidates.per_position.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector orig(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      orig[d] = static_cast<float>(rng.normal(0.0, 0.8));
+    }
+    inst.table.set_row(i, orig);
+    inst.original[i] = static_cast<WordId>(i);
+    for (std::size_t t = 0; t < k; ++t) {
+      // Candidates move along the "output-increasing" direction, matching
+      // the theorems' hypotheses.
+      const double step = rng.uniform(0.2, 1.2);
+      Vector cand(dim);
+      for (std::size_t d = 0; d < dim; ++d) {
+        cand[d] = static_cast<float>(orig[d] + step * drive_direction[d]);
+      }
+      const std::size_t row = n + i * k + t;
+      inst.table.set_row(row, cand);
+      inst.candidates.per_position[i].push_back(static_cast<WordId>(row));
+    }
+  }
+  return inst;
+}
+
+void report(const char* name, const AttackSetFunction& f) {
+  Rng rng(1);
+  const auto mono = check_monotone(f, rng);
+  Rng rng2(2);
+  const auto sub = check_submodular(f, rng2);
+  std::printf("%-42s monotone: %-3s  submodular: %-3s (checks %zu, "
+              "violations %zu)\n",
+              name, mono.holds ? "yes" : "NO", sub.holds ? "yes" : "NO",
+              sub.checks, sub.violations);
+}
+
+}  // namespace
+
+int main() {
+  using namespace advtext;
+  std::printf("Section 4 playground: attack set functions as submodular "
+              "objects\n\n");
+
+  // Theorem 2 instance: scalar RNN, concave non-decreasing activation.
+  {
+    ScalarRnnConfig config;
+    config.embed_dim = 3;
+    config.activation = Activation::kLogSigmoid;
+    ScalarRnn model(config);
+    Rng rng(11);
+    // Candidates increase the input drive m·v (the theorem's WLOG).
+    Vector m = model.input_weights();
+    auto inst = make_instance(6, 2, 3, rng, m);
+    AttackSetFunction f(
+        [&](const TokenSeq& t) { return model.score(inst.embed(t)); },
+        inst.original, inst.candidates);
+    report("ScalarRnn + log-sigmoid (Theorem 2)", f);
+
+    // Greedy vs brute force on the same instance.
+    const double base = f.value({});
+    for (std::size_t budget : {1u, 2u, 3u}) {
+      const auto greedy = greedy_maximize(f, budget);
+      const auto exact = brute_force_maximize(f, budget);
+      std::printf("  budget %zu: greedy gain %.5f, optimal gain %.5f "
+                  "(ratio %.3f, floor %.3f)\n",
+                  budget, greedy.value - base, exact.value - base,
+                  exact.value - base > 1e-12
+                      ? (greedy.value - base) / (exact.value - base)
+                      : 1.0,
+                  1.0 - 1.0 / std::exp(1.0));
+    }
+  }
+
+  // Outside the hypotheses: convex activation, amplifying recurrence.
+  {
+    ScalarRnnConfig config;
+    config.embed_dim = 3;
+    config.activation = Activation::kRelu;
+    config.recurrent_weight = 1.6;
+    config.bias = -0.5;
+    config.seed = 4;
+    ScalarRnn model(config);
+    Rng rng(13);
+    Vector m = model.input_weights();
+    auto inst = make_instance(6, 2, 3, rng, m);
+    AttackSetFunction f(
+        [&](const TokenSeq& t) { return model.score(inst.embed(t)); },
+        inst.original, inst.candidates);
+    report("ScalarRnn + ReLU, w=1.6 (hypotheses broken)", f);
+  }
+
+  // Theorem 1 instance: simplified WCNN, unit windows.
+  {
+    SimpleWCnnConfig config;
+    config.embed_dim = 3;
+    config.num_filters = 3;
+    config.window = 1;
+    config.stride = 1;
+    config.activation = Activation::kRelu;
+    SimpleWCnn model(config);
+    Rng rng(17);
+    // Direction that raises every filter: rejection-sample candidates.
+    Instance inst;
+    inst.n = 6;
+    inst.k = 2;
+    inst.table = Matrix(inst.n + inst.n * inst.k, 3);
+    inst.original.resize(inst.n);
+    inst.candidates.per_position.resize(inst.n);
+    for (std::size_t i = 0; i < inst.n; ++i) {
+      Vector orig(3);
+      for (auto& v : orig) v = static_cast<float>(rng.normal(0.0, 0.8));
+      inst.table.set_row(i, orig);
+      inst.original[i] = static_cast<WordId>(i);
+      for (std::size_t t = 0; t < inst.k; ++t) {
+        Vector cand = orig;
+        for (int attempt = 0; attempt < 1000; ++attempt) {
+          for (std::size_t d = 0; d < 3; ++d) {
+            cand[d] = static_cast<float>(orig[d] + rng.normal(0.0, 0.7));
+          }
+          if (model.replacement_increases_filters(0, orig, cand)) break;
+        }
+        const std::size_t row = inst.n + i * inst.k + t;
+        inst.table.set_row(row, cand);
+        inst.candidates.per_position[i].push_back(
+            static_cast<WordId>(row));
+      }
+    }
+    AttackSetFunction f(
+        [&](const TokenSeq& t) { return model.score(inst.embed(t)); },
+        inst.original, inst.candidates);
+    report("SimpleWCnn, h=s=1 (Theorem 1)", f);
+  }
+
+  std::printf(
+      "\nTakeaway: under the theorems' hypotheses the attack set function\n"
+      "passes exhaustive submodularity checks and greedy is near-optimal;\n"
+      "break a hypothesis and violations appear.\n");
+  return 0;
+}

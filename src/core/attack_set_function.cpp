@@ -1,0 +1,126 @@
+#include "src/core/attack_set_function.h"
+
+#include <stdexcept>
+
+namespace advtext {
+
+AttackSetFunction::AttackSetFunction(SequenceScorer scorer, TokenSeq original,
+                                     WordCandidates candidates, InnerMax mode,
+                                     std::size_t exhaustive_limit)
+    : scorer_(std::move(scorer)),
+      original_(std::move(original)),
+      candidates_(std::move(candidates)),
+      attackable_(candidates_.attackable_positions()),
+      mode_(mode),
+      exhaustive_limit_(exhaustive_limit) {
+  if (candidates_.per_position.size() != original_.size()) {
+    throw std::invalid_argument("AttackSetFunction: size mismatch");
+  }
+}
+
+double AttackSetFunction::exhaustive_max(
+    const std::vector<std::size_t>& positions, TokenSeq* best) const {
+  // Check the product size before enumerating.
+  std::size_t combos = 1;
+  for (std::size_t pos : positions) {
+    const std::size_t options = candidates_.per_position[pos].size() + 1;
+    if (combos > exhaustive_limit_ / options) {
+      throw std::runtime_error(
+          "AttackSetFunction: exhaustive inner max too large; use "
+          "kCoordinateAscent");
+    }
+    combos *= options;
+  }
+  TokenSeq current = original_;
+  double best_score = scorer_(current);
+  TokenSeq best_tokens = current;
+  // Odometer enumeration over the selected positions.
+  std::vector<std::size_t> counter(positions.size(), 0);
+  for (;;) {
+    std::size_t d = 0;
+    while (d < positions.size()) {
+      const auto& options = candidates_.per_position[positions[d]];
+      if (++counter[d] <= options.size()) {
+        current[positions[d]] = options[counter[d] - 1];
+        break;
+      }
+      counter[d] = 0;
+      current[positions[d]] = original_[positions[d]];
+      ++d;
+    }
+    if (d == positions.size()) break;  // odometer wrapped: done
+    const double score = scorer_(current);
+    if (score > best_score) {
+      best_score = score;
+      best_tokens = current;
+    }
+  }
+  if (best != nullptr) *best = std::move(best_tokens);
+  return best_score;
+}
+
+double AttackSetFunction::coordinate_ascent_max(
+    const std::vector<std::size_t>& positions, TokenSeq* best) const {
+  TokenSeq current = original_;
+  double current_score = scorer_(current);
+  bool improved = true;
+  std::size_t rounds = 0;
+  while (improved && rounds < 8) {
+    improved = false;
+    ++rounds;
+    for (std::size_t pos : positions) {
+      // Best response over {original} ∪ candidates for this position.
+      const WordId incumbent = current[pos];
+      WordId best_word = incumbent;
+      double best_score = current_score;
+      std::vector<WordId> options = candidates_.per_position[pos];
+      options.push_back(original_[pos]);
+      for (WordId option : options) {
+        if (option == incumbent) continue;
+        current[pos] = option;
+        const double score = scorer_(current);
+        if (score > best_score + 1e-15) {
+          best_score = score;
+          best_word = option;
+        }
+      }
+      current[pos] = best_word;
+      if (best_word != incumbent) {
+        current_score = best_score;
+        improved = true;
+      }
+    }
+  }
+  if (best != nullptr) *best = std::move(current);
+  return current_score;
+}
+
+double AttackSetFunction::value_impl(
+    const std::vector<std::size_t>& set) const {
+  std::vector<std::size_t> positions;
+  positions.reserve(set.size());
+  for (std::size_t element : set) {
+    positions.push_back(position_of(element));
+  }
+  return mode_ == InnerMax::kExhaustive
+             ? exhaustive_max(positions, nullptr)
+             : coordinate_ascent_max(positions, nullptr);
+}
+
+TokenSeq AttackSetFunction::best_transformation(
+    const std::vector<std::size_t>& set) const {
+  std::vector<std::size_t> positions;
+  positions.reserve(set.size());
+  for (std::size_t element : set) {
+    positions.push_back(position_of(element));
+  }
+  TokenSeq best;
+  if (mode_ == InnerMax::kExhaustive) {
+    exhaustive_max(positions, &best);
+  } else {
+    coordinate_ascent_max(positions, &best);
+  }
+  return best;
+}
+
+}  // namespace advtext

@@ -1,0 +1,69 @@
+// The attack set function f(S) of Problem 1:
+//
+//   f(S) = max_{supp(l) ⊆ S} C_y(V(T_l(x)))
+//
+// realized as a SetFunction over the attackable positions of a document, so
+// the submodular toolkit (greedy/lazy-greedy maximizers and the Definition 1
+// property checkers) applies directly. This is the object the paper's
+// Theorems 1 and 2 make claims about; the property tests instantiate it on
+// SimpleWCnn / ScalarRnn scorers.
+//
+// The inner maximization over candidate assignments is itself combinatorial;
+// two modes are provided:
+//   * kExhaustive — exact product enumeration over (|W_i|+1) options per
+//     selected position. Used by the theory tests (small k, small |S|).
+//   * kCoordinateAscent — rounds of per-position best-response until a fixed
+//     point; exact when positions interact monotonically, cheap otherwise.
+#pragma once
+
+#include <functional>
+
+#include "src/core/transformation.h"
+#include "src/optim/submodular.h"
+
+namespace advtext {
+
+/// Scores a full token sequence; higher = better for the attacker
+/// (typically lambda wrapping C_y, or a SimpleWCnn / ScalarRnn score).
+using SequenceScorer = std::function<double(const TokenSeq&)>;
+
+class AttackSetFunction : public SetFunction {
+ public:
+  enum class InnerMax { kExhaustive, kCoordinateAscent };
+
+  /// Ground-set elements are indices into candidates.attackable_positions().
+  AttackSetFunction(SequenceScorer scorer, TokenSeq original,
+                    WordCandidates candidates,
+                    InnerMax mode = InnerMax::kExhaustive,
+                    std::size_t exhaustive_limit = 200000);
+
+  std::size_t ground_set_size() const override {
+    return attackable_.size();
+  }
+
+  /// Maps a ground-set element to its document position.
+  std::size_t position_of(std::size_t element) const {
+    return attackable_.at(element);
+  }
+
+  /// Best transformation found for the given element set (recomputed).
+  TokenSeq best_transformation(const std::vector<std::size_t>& set) const;
+
+ protected:
+  double value_impl(const std::vector<std::size_t>& set) const override;
+
+ private:
+  double exhaustive_max(const std::vector<std::size_t>& positions,
+                        TokenSeq* best) const;
+  double coordinate_ascent_max(const std::vector<std::size_t>& positions,
+                               TokenSeq* best) const;
+
+  SequenceScorer scorer_;
+  TokenSeq original_;
+  WordCandidates candidates_;
+  std::vector<std::size_t> attackable_;
+  InnerMax mode_;
+  std::size_t exhaustive_limit_;
+};
+
+}  // namespace advtext

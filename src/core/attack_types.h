@@ -1,0 +1,44 @@
+// Shared configuration and result types for the attack algorithms.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+/// Result of a word-level attack on a flat token sequence.
+struct WordAttackResult {
+  bool success = false;            ///< target probability reached threshold
+  double final_target_proba = 0.0;
+  std::size_t words_changed = 0;   ///< positions differing from original
+  std::size_t queries = 0;         ///< classifier forward evaluations
+  std::size_t gradient_calls = 0;  ///< input-gradient computations
+  std::size_t iterations = 0;
+  double seconds = 0.0;
+  TokenSeq adv_tokens;
+};
+
+/// Result of the sentence-level greedy attack (Alg. 2).
+struct SentenceAttackResult {
+  bool success = false;
+  double final_target_proba = 0.0;
+  std::size_t sentences_changed = 0;
+  std::size_t queries = 0;
+  double seconds = 0.0;
+  Document adv_doc;
+};
+
+/// Result of the joint attack (Alg. 1).
+struct JointAttackResult {
+  bool success = false;
+  double final_target_proba = 0.0;
+  std::size_t sentences_changed = 0;
+  std::size_t words_changed = 0;
+  std::size_t queries = 0;
+  double seconds = 0.0;
+  Document adv_doc;
+};
+
+}  // namespace advtext

@@ -1,0 +1,71 @@
+#include "src/core/char_flip.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/rng.h"
+
+namespace advtext {
+
+std::vector<std::string> char_corruptions(const std::string& word) {
+  std::set<std::string> out;
+  // Adjacent transpositions.
+  for (std::size_t i = 0; i + 1 < word.size(); ++i) {
+    if (word[i] == word[i + 1]) continue;
+    std::string cand = word;
+    std::swap(cand[i], cand[i + 1]);
+    out.insert(std::move(cand));
+  }
+  // Single deletions.
+  if (word.size() > 1) {
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      std::string cand = word;
+      cand.erase(i, 1);
+      out.insert(std::move(cand));
+    }
+  }
+  // Single doublings.
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    std::string cand = word;
+    cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(i), word[i]);
+    out.insert(std::move(cand));
+  }
+  out.erase(word);
+  return {out.begin(), out.end()};
+}
+
+WordCandidates char_flip_candidates(const TokenSeq& tokens,
+                                    const Vocab& vocab,
+                                    const CharFlipConfig& config) {
+  WordCandidates candidates;
+  candidates.per_position.resize(tokens.size());
+  Rng rng(config.seed);
+  for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+    const WordId token = tokens[pos];
+    if (token < 2 || token >= vocab.size()) continue;  // specials
+    const std::string& surface = vocab.word(token);
+    if (surface.size() < config.min_word_length) continue;
+
+    std::set<WordId> ids;
+    bool any_unk = false;
+    for (const std::string& corruption : char_corruptions(surface)) {
+      const WordId id = vocab.id(corruption);
+      if (id == Vocab::kUnk) {
+        any_unk = true;
+      } else if (id != token) {
+        ids.insert(id);
+      }
+    }
+    std::vector<WordId> list(ids.begin(), ids.end());
+    if (any_unk && config.allow_unk) list.push_back(Vocab::kUnk);
+    // Deterministic subsample when over the cap.
+    while (list.size() > config.max_candidates_per_word) {
+      list.erase(list.begin() +
+                 static_cast<std::ptrdiff_t>(rng.uniform_index(list.size())));
+    }
+    candidates.per_position[pos] = std::move(list);
+  }
+  return candidates;
+}
+
+}  // namespace advtext

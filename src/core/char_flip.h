@@ -1,0 +1,41 @@
+// Character-level transformation candidates (paper Remark 2).
+//
+// The framework of Problem 1 covers any discrete substitution, not just
+// word paraphrasing; the paper cites character flipping (HotFlip, [17]) as
+// one instance. This module generates candidates by corrupting the surface
+// form of each word — swapping adjacent characters, deleting a character,
+// or doubling one — and mapping the corrupted strings back through the
+// vocabulary. A corruption that happens to hit a real vocabulary entry
+// becomes that word; anything else becomes <unk> (exactly what a
+// deployed pipeline does with a typo). The resulting WordCandidates plug
+// into every attack in src/core unchanged — that is Remark 2's point.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/transformation.h"
+#include "src/text/vocab.h"
+
+namespace advtext {
+
+struct CharFlipConfig {
+  /// Maximum distinct corruptions offered per position.
+  std::size_t max_candidates_per_word = 4;
+  /// Skip words shorter than this (corrupting "a" is not a typo).
+  std::size_t min_word_length = 3;
+  /// Include the <unk> fallback when corruptions leave the vocabulary.
+  bool allow_unk = true;
+  std::uint64_t seed = 77;
+};
+
+/// All single-edit corruptions of `word` (adjacent swaps, deletions,
+/// doublings), deduplicated, excluding the original.
+std::vector<std::string> char_corruptions(const std::string& word);
+
+/// Per-position candidate lists for a token sequence under character
+/// flips. Deterministic for a given config.
+WordCandidates char_flip_candidates(const TokenSeq& tokens,
+                                    const Vocab& vocab,
+                                    const CharFlipConfig& config = {});
+
+}  // namespace advtext

@@ -1,0 +1,47 @@
+// Gradient baseline attack (paper Problem 2, the method of Gong et al.
+// [18]).
+//
+// Two modes:
+//   * kNearestNeighborStep (default, faithful to [18]): take a gradient
+//     step in embedding space, v'_i = v_i + η ∇_i/||∇_i||, and replace the
+//     word with the candidate whose embedding is *nearest to v' by
+//     distance*. Nearest-by-distance is biased toward candidates close to
+//     the original word (small, weak moves) — this is precisely why the
+//     method is fast but has a poor success rate in the paper's Table 3.
+//   * kModularRelaxation: solve Problem 2 exactly. Proposition 2 shows the
+//     linearized objective is modular — per-position gains
+//     w_i = max_t (V(x_i^{(t)}) - V(x_i)) · ∇_i C_y(v) — so the optimum
+//     takes the m largest positive gains. A strictly stronger variant;
+//     exact for linear victims (extension tests).
+#pragma once
+
+#include "src/core/attack_types.h"
+#include "src/core/transformation.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+enum class GradientAttackMode {
+  kNearestNeighborStep,  ///< [18]: gradient step + nearest-neighbour snap
+  kModularRelaxation,    ///< exact Problem 2 solve (Proposition 2)
+};
+
+struct GradientAttackConfig {
+  double max_replace_fraction = 0.2;  ///< λw: budget m = ceil(λw * n)
+  double success_threshold = 0.7;     ///< τ
+  GradientAttackMode mode = GradientAttackMode::kNearestNeighborStep;
+  /// Step length η for kNearestNeighborStep, in embedding units (synonym
+  /// clusters in the synthetic tasks have radius ~0.2-0.6).
+  double step_size = 0.5;
+  /// Optional refinement rounds: re-linearize at the perturbed point and
+  /// solve again ([18] iterates; 1 = single-shot solve).
+  std::size_t rounds = 1;
+};
+
+WordAttackResult gradient_attack(const TextClassifier& model,
+                                 const TokenSeq& tokens,
+                                 const WordCandidates& candidates,
+                                 std::size_t target,
+                                 const GradientAttackConfig& config = {});
+
+}  // namespace advtext

@@ -1,0 +1,56 @@
+// Gradient-Guided Greedy Word Paraphrasing — the paper's Algorithm 3.
+//
+// Each iteration:
+//   1. computes the gradient of the target probability w.r.t. every word's
+//      embedding and scores position i by p_i = ||∇_i C_y||_2 (the
+//      Gauss–Southwell rule from coordinate descent);
+//   2. selects the N highest-scoring attackable positions I = {i_1..i_N};
+//   3. builds a candidate set M over the product W_{i_1} x ... x W_{i_N}
+//      exactly as the paper's steps 7–15 (M starts at {x}; each selected
+//      position expands every member of M by its candidate list), with an
+//      optional beam cap keeping the best partial combinations — the
+//      literal product is (1+k)^N, which cannot be evaluated at the paper's
+//      reported speeds (DESIGN.md §4); beam_cap = 0 disables the cap;
+//   4. commits the best member of M.
+//
+// Replacing up to N words per iteration captures joint effects and, with
+// the cap, costs far fewer evaluations per replaced word than the
+// objective-guided greedy of [19] — the Table 3 comparison.
+#pragma once
+
+#include "src/core/attack_types.h"
+#include "src/core/transformation.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+/// How step 4 scores positions from the gradient.
+enum class GaussSouthwellRule {
+  /// p_i = ||∇_i C_y||_2 — the paper's literal rule. On recurrent models
+  /// the gradient norm is recency-biased and can rank low-leverage
+  /// positions first.
+  kGradientNorm,
+  /// p_i = max_t (V(x_i^{(t)}) - V(x_i)) · ∇_i — the Gauss-Southwell-
+  /// Lipschitz refinement: the first-order gain of the best candidate
+  /// (the same quantity Proposition 2 maximizes). Default; the Alg. 3
+  /// ablation bench compares both.
+  kDirectionalGain,
+};
+
+struct GradientGuidedGreedyConfig {
+  double max_replace_fraction = 0.2;  ///< λw
+  double success_threshold = 0.7;     ///< τ
+  std::size_t words_per_iteration = 5;  ///< N (paper: 5)
+  GaussSouthwellRule rule = GaussSouthwellRule::kDirectionalGain;
+  /// Beam cap on |M| during the product expansion; 0 = no cap (the literal
+  /// Alg. 3, exponential in N).
+  std::size_t beam_cap = 16;
+  std::size_t max_iterations = 64;    ///< safety guard
+};
+
+WordAttackResult gradient_guided_greedy_attack(
+    const TextClassifier& model, const TokenSeq& tokens,
+    const WordCandidates& candidates, std::size_t target,
+    const GradientGuidedGreedyConfig& config = {});
+
+}  // namespace advtext

@@ -1,0 +1,106 @@
+#include "src/core/joint_attack.h"
+
+#include <stdexcept>
+
+#include "src/util/stopwatch.h"
+
+namespace advtext {
+
+JointAttackResult joint_attack(const TextClassifier& model,
+                               const Document& doc, std::size_t target,
+                               const AttackResources& resources,
+                               const JointAttackConfig& config) {
+  Stopwatch watch;
+  JointAttackResult result;
+  result.adv_doc = doc;
+
+  // ---- Phase 1: sentence paraphrasing (Alg. 1 steps 2-5) ----
+  if (config.enable_sentence && config.sentence_fraction > 0.0) {
+    if (resources.paraphraser == nullptr || resources.wmd == nullptr) {
+      throw std::invalid_argument(
+          "joint_attack: sentence phase needs paraphraser + wmd");
+    }
+    const auto neighbor_sets =
+        resources.paraphraser->neighbor_sets(result.adv_doc, *resources.wmd);
+    SentenceAttackConfig sentence_config;
+    sentence_config.max_paraphrase_fraction = config.sentence_fraction;
+    sentence_config.success_threshold = config.success_threshold;
+    const SentenceAttackResult sentence_result = greedy_sentence_attack(
+        model, result.adv_doc, neighbor_sets, target, sentence_config);
+    result.adv_doc = sentence_result.adv_doc;
+    result.sentences_changed = sentence_result.sentences_changed;
+    result.queries += sentence_result.queries;
+    result.final_target_proba = sentence_result.final_target_proba;
+    if (sentence_result.success) {
+      result.success = true;
+      result.seconds = watch.elapsed_seconds();
+      return result;
+    }
+  }
+
+  // ---- Phase 2: word paraphrasing (Alg. 1 steps 6-9) ----
+  if (config.enable_word && config.word_fraction > 0.0) {
+    if (resources.word_index == nullptr) {
+      throw std::invalid_argument(
+          "joint_attack: word phase needs a paraphrase index");
+    }
+    const TokenSeq tokens = result.adv_doc.flatten();
+    if (!tokens.empty()) {
+      const NGramLm* lm = config.use_lm_filter ? resources.lm : nullptr;
+      WordCandidates candidates;
+      candidates.per_position =
+          resources.word_index->candidates_for(tokens, lm);
+
+      WordAttackResult word_result;
+      switch (config.word_method) {
+        case WordAttackMethod::kGradientGuidedGreedy: {
+          GradientGuidedGreedyConfig ggg = config.ggg;
+          ggg.max_replace_fraction = config.word_fraction;
+          ggg.success_threshold = config.success_threshold;
+          word_result = gradient_guided_greedy_attack(model, tokens,
+                                                      candidates, target, ggg);
+          break;
+        }
+        case WordAttackMethod::kObjectiveGreedy: {
+          ObjectiveGreedyConfig og;
+          og.max_replace_fraction = config.word_fraction;
+          og.success_threshold = config.success_threshold;
+          word_result =
+              objective_greedy_attack(model, tokens, candidates, target, og);
+          break;
+        }
+        case WordAttackMethod::kGradient: {
+          GradientAttackConfig ga;
+          ga.max_replace_fraction = config.word_fraction;
+          ga.success_threshold = config.success_threshold;
+          word_result =
+              gradient_attack(model, tokens, candidates, target, ga);
+          break;
+        }
+      }
+
+      // Write the flat adversarial tokens back into the sentence structure.
+      std::size_t flat = 0;
+      for (Sentence& sentence : result.adv_doc.sentences) {
+        for (WordId& word : sentence) word = word_result.adv_tokens[flat++];
+      }
+      result.words_changed = word_result.words_changed;
+      result.queries += word_result.queries;
+      result.final_target_proba = word_result.final_target_proba;
+      result.success = word_result.success;
+      result.seconds = watch.elapsed_seconds();
+      return result;
+    }
+  }
+
+  if (result.final_target_proba == 0.0) {
+    result.final_target_proba =
+        model.class_probability(result.adv_doc.flatten(), target);
+    ++result.queries;
+  }
+  result.success = result.final_target_proba >= config.success_threshold;
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace advtext

@@ -1,0 +1,62 @@
+#include "src/core/objective_greedy.h"
+
+#include <cmath>
+
+#include "src/util/stopwatch.h"
+
+namespace advtext {
+
+WordAttackResult objective_greedy_attack(const TextClassifier& model,
+                                         const TokenSeq& tokens,
+                                         const WordCandidates& candidates,
+                                         std::size_t target,
+                                         const ObjectiveGreedyConfig& config) {
+  Stopwatch watch;
+  WordAttackResult result;
+  result.adv_tokens = tokens;
+  const std::size_t n = tokens.size();
+  const std::size_t budget = static_cast<std::size_t>(
+      std::ceil(config.max_replace_fraction * static_cast<double>(n)));
+
+  auto evaluator = model.make_swap_evaluator(result.adv_tokens);
+  double current = model.class_probability(result.adv_tokens, target);
+  std::vector<bool> replaced(n, false);
+
+  while (current < config.success_threshold &&
+         count_changes(tokens, result.adv_tokens) < budget) {
+    ++result.iterations;
+    double best_gain = config.min_gain;
+    std::size_t best_pos = n;
+    WordId best_word = Vocab::kUnk;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (replaced[pos]) continue;  // one replacement per position
+      for (WordId cand : candidates.per_position[pos]) {
+        if (cand == result.adv_tokens[pos]) continue;
+        const double p = evaluator->eval_swap(pos, cand)[target];
+        const double gain = p - current;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_pos = pos;
+          best_word = cand;
+        }
+      }
+    }
+    if (best_pos == n) break;  // no improving swap
+    result.adv_tokens[best_pos] = best_word;
+    replaced[best_pos] = true;
+    evaluator->rebase(result.adv_tokens);
+    current += best_gain;
+    // Re-anchor against drift (and MC-dropout noise) with a fresh forward.
+    current = evaluator->eval_tokens(result.adv_tokens)[target];
+  }
+
+  result.queries = evaluator->queries();
+  result.final_target_proba =
+      model.class_probability(result.adv_tokens, target);
+  result.success = result.final_target_proba >= config.success_threshold;
+  result.words_changed = count_changes(tokens, result.adv_tokens);
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace advtext

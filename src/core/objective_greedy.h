@@ -1,0 +1,31 @@
+// Objective-guided greedy word attack (the method of Kuleshov et al. [19]).
+//
+// Classic greedy on Problem 1: every iteration evaluates *all* single-word
+// swaps from the current document (n positions x k candidates forward
+// passes), commits the one with the largest objective gain, and repeats
+// until the target probability clears τ or the replacement budget λw·n is
+// exhausted. Under the submodularity of Section 4 this enjoys the (1-1/e)
+// guarantee; its cost — one full candidate sweep per single replacement —
+// is what Alg. 3 improves on (Table 3).
+#pragma once
+
+#include "src/core/attack_types.h"
+#include "src/core/transformation.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+struct ObjectiveGreedyConfig {
+  double max_replace_fraction = 0.5;  ///< λw ([19] allows 50%)
+  double success_threshold = 0.7;     ///< τ
+  /// Minimum objective improvement to accept a swap; with MC-dropout
+  /// enabled, single-word gains can drown in sampling noise (§6.4).
+  double min_gain = 1e-6;
+};
+
+WordAttackResult objective_greedy_attack(
+    const TextClassifier& model, const TokenSeq& tokens,
+    const WordCandidates& candidates, std::size_t target,
+    const ObjectiveGreedyConfig& config = {});
+
+}  // namespace advtext

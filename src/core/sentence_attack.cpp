@@ -1,0 +1,63 @@
+#include "src/core/sentence_attack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/util/stopwatch.h"
+
+namespace advtext {
+
+SentenceAttackResult greedy_sentence_attack(
+    const TextClassifier& model, const Document& doc,
+    const std::vector<std::vector<Sentence>>& neighbor_sets,
+    std::size_t target, const SentenceAttackConfig& config) {
+  if (neighbor_sets.size() != doc.sentences.size()) {
+    throw std::invalid_argument(
+        "greedy_sentence_attack: neighbor set count mismatch");
+  }
+  Stopwatch watch;
+  SentenceAttackResult result;
+  result.adv_doc = doc;
+  const std::size_t l = doc.sentences.size();
+  const std::size_t budget = static_cast<std::size_t>(
+      std::ceil(config.max_paraphrase_fraction * static_cast<double>(l)));
+
+  auto evaluator = model.make_swap_evaluator(result.adv_doc.flatten());
+  double current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
+  std::vector<bool> paraphrased(l, false);
+
+  while (current < config.success_threshold &&
+         result.sentences_changed < budget) {
+    double best_gain = config.min_gain;
+    std::size_t best_sentence = l;
+    const Sentence* best_candidate = nullptr;
+    for (std::size_t j = 0; j < l; ++j) {
+      if (paraphrased[j]) continue;
+      for (const Sentence& candidate : neighbor_sets[j]) {
+        Document trial = result.adv_doc;
+        trial.sentences[j] = candidate;
+        const double p = evaluator->eval_tokens(trial.flatten())[target];
+        const double gain = p - current;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_sentence = j;
+          best_candidate = &candidate;
+        }
+      }
+    }
+    if (best_sentence == l) break;  // no improving paraphrase
+    result.adv_doc.sentences[best_sentence] = *best_candidate;
+    paraphrased[best_sentence] = true;
+    ++result.sentences_changed;
+    evaluator->rebase(result.adv_doc.flatten());
+    current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
+  }
+
+  result.queries = evaluator->queries();
+  result.final_target_proba = current;
+  result.success = current >= config.success_threshold;
+  result.seconds = watch.elapsed_seconds();
+  return result;
+}
+
+}  // namespace advtext

@@ -1,0 +1,31 @@
+// Greedy Sentence Paraphrasing — the paper's Algorithm 2.
+//
+// Sentence-level attacks use objective values only: sentence paraphrases
+// usually change the token count, so a pre-paraphrase gradient would not
+// even index the right positions (paper §5.2). Each iteration evaluates
+// every (sentence, paraphrase-candidate) whole-document swap from the
+// current document and commits the best one, until the target probability
+// clears τ or λs · l sentences have been paraphrased.
+#pragma once
+
+#include <vector>
+
+#include "src/core/attack_types.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+struct SentenceAttackConfig {
+  double max_paraphrase_fraction = 0.2;  ///< λs
+  double success_threshold = 0.7;        ///< τ
+  double min_gain = 1e-6;
+};
+
+/// `neighbor_sets[j]` lists the paraphrase candidates for sentence j
+/// (Alg. 1 step 3, e.g. from SentenceParaphraser::neighbor_sets).
+SentenceAttackResult greedy_sentence_attack(
+    const TextClassifier& model, const Document& doc,
+    const std::vector<std::vector<Sentence>>& neighbor_sets,
+    std::size_t target, const SentenceAttackConfig& config = {});
+
+}  // namespace advtext

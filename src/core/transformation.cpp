@@ -1,0 +1,67 @@
+#include "src/core/transformation.h"
+
+#include <stdexcept>
+
+namespace advtext {
+
+std::vector<std::size_t> WordCandidates::attackable_positions() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < per_position.size(); ++i) {
+    if (!per_position[i].empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t WordCandidates::total_candidates() const {
+  std::size_t total = 0;
+  for (const auto& list : per_position) total += list.size();
+  return total;
+}
+
+std::size_t TransformationIndex::support_size() const {
+  std::size_t count = 0;
+  for (int v : l) {
+    if (v != 0) ++count;
+  }
+  return count;
+}
+
+std::vector<std::size_t> TransformationIndex::support() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (l[i] != 0) out.push_back(i);
+  }
+  return out;
+}
+
+TokenSeq TransformationIndex::apply(const TokenSeq& original,
+                                    const WordCandidates& candidates) const {
+  if (l.size() != original.size() ||
+      candidates.per_position.size() != original.size()) {
+    throw std::invalid_argument("TransformationIndex::apply: size mismatch");
+  }
+  TokenSeq out = original;
+  for (std::size_t i = 0; i < l.size(); ++i) {
+    if (l[i] == 0) continue;
+    const auto& list = candidates.per_position[i];
+    const std::size_t j = static_cast<std::size_t>(l[i]) - 1;
+    if (l[i] < 0 || j >= list.size()) {
+      throw std::out_of_range("TransformationIndex::apply: bad index");
+    }
+    out[i] = list[j];
+  }
+  return out;
+}
+
+std::size_t count_changes(const TokenSeq& original, const TokenSeq& modified) {
+  if (original.size() != modified.size()) {
+    throw std::invalid_argument("count_changes: size mismatch");
+  }
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (original[i] != modified[i]) ++count;
+  }
+  return count;
+}
+
+}  // namespace advtext

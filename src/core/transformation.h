@@ -1,0 +1,55 @@
+// Transformation indexing for discrete attacks (paper Section 3).
+//
+// An input x = [x_1 ... x_n] has, per position i, a candidate replacement
+// list W_i of at most k-1 alternatives. A transformation T_l is indexed by
+// l ∈ {0, 1, ..., k-1}^n where l_i = 0 keeps the original word and l_i = j
+// substitutes the j-th candidate. The attack budget constrains the support
+// ||l||_0 <= m (Problem 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+/// Per-position replacement candidates. per_position[i] lists the allowed
+/// substitutes for position i (original excluded); an empty list means the
+/// position cannot be attacked.
+struct WordCandidates {
+  std::vector<std::vector<WordId>> per_position;
+
+  std::size_t num_positions() const { return per_position.size(); }
+
+  /// Positions with at least one candidate.
+  std::vector<std::size_t> attackable_positions() const;
+
+  /// Total candidate count over all positions.
+  std::size_t total_candidates() const;
+};
+
+/// A transformation index l (paper Figure 2).
+struct TransformationIndex {
+  /// l[i] = 0 keeps x_i; l[i] = j (1-based) picks per_position[i][j-1].
+  std::vector<int> l;
+
+  explicit TransformationIndex(std::size_t n) : l(n, 0) {}
+
+  /// ||l||_0: number of replaced positions.
+  std::size_t support_size() const;
+
+  /// Positions with l[i] != 0.
+  std::vector<std::size_t> support() const;
+
+  /// Applies T_l to the original sequence. Throws if any index is out of
+  /// the candidate range.
+  TokenSeq apply(const TokenSeq& original,
+                 const WordCandidates& candidates) const;
+};
+
+/// Number of positions differing from the original (the budget metric used
+/// throughout Section 6: "number of words paraphrased").
+std::size_t count_changes(const TokenSeq& original, const TokenSeq& modified);
+
+}  // namespace advtext

@@ -1,0 +1,424 @@
+#include "src/data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace advtext {
+
+namespace {
+
+// Hand-written clusters of interchangeable function words. Polarity-free;
+// the sentence paraphraser swaps within a cluster to vary surface form.
+const std::vector<std::vector<std::string>>& function_word_clusters() {
+  static const std::vector<std::vector<std::string>> kClusters = {
+      {"the", "a", "this", "that"},
+      {"is", "was", "seems", "appears"},
+      {"and", "plus", "also", "moreover"},
+      {"i", "we", "they", "you"},
+      {"to", "for", "with", "into"},
+      {"it", "he", "she", "one"},
+      {"very", "quite", "really", "rather"},
+      {"but", "yet", "though", "however"},
+      {"of", "in", "on", "at"},
+      {"so", "thus", "hence", "then"},
+  };
+  return kClusters;
+}
+
+// Deterministic pronounceable pseudo-word built from consonant-vowel
+// syllables; used for content concepts (we have no offline English lexicon).
+std::string make_pseudo_word(Rng& rng, std::set<std::string>& used) {
+  static const char* kConsonants = "bcdfgklmnprstvz";
+  static const char* kVowels = "aeiou";
+  for (;;) {
+    const std::size_t syllables = 2 + rng.uniform_index(2);  // 2 or 3
+    std::string word;
+    for (std::size_t s = 0; s < syllables; ++s) {
+      word.push_back(kConsonants[rng.uniform_index(15)]);
+      word.push_back(kVowels[rng.uniform_index(5)]);
+    }
+    if (rng.bernoulli(0.3)) word.push_back(kConsonants[rng.uniform_index(15)]);
+    if (used.insert(word).second) return word;
+  }
+}
+
+// Corrupted token: consonant-heavy string, TREC07p-style junk.
+std::string make_noise_word(Rng& rng, std::set<std::string>& used) {
+  static const char* kChars = "qwxzjkvbJKQ0123456789";
+  for (;;) {
+    std::string word = "nz";
+    const std::size_t len = 3 + rng.uniform_index(5);
+    for (std::size_t i = 0; i < len; ++i) {
+      word.push_back(kChars[rng.uniform_index(21)]);
+    }
+    if (used.insert(word).second) return word;
+  }
+}
+
+// Samples a variant index with weights rho^j (favour_strong) or
+// rho^(K-1-j) (favour weak), interpolated with uniform by `correlation`.
+std::size_t sample_variant(Rng& rng, std::size_t cluster_size,
+                           bool favour_strong, double correlation) {
+  constexpr double kRho = 0.45;
+  std::vector<double> weights(cluster_size);
+  for (std::size_t j = 0; j < cluster_size; ++j) {
+    const double skew =
+        favour_strong ? std::pow(kRho, static_cast<double>(j))
+                      : std::pow(kRho, static_cast<double>(cluster_size - 1 - j));
+    weights[j] = correlation * skew + (1.0 - correlation) / cluster_size;
+  }
+  return rng.categorical(weights);
+}
+
+}  // namespace
+
+double SynthTask::meaning_score(const Document& doc) const {
+  double score = 0.0;
+  for (const Sentence& s : doc.sentences) {
+    for (WordId w : s) {
+      if (w >= 0 && static_cast<std::size_t>(w) < word_meaning.size()) {
+        score += word_meaning[static_cast<std::size_t>(w)];
+      }
+    }
+  }
+  return score;
+}
+
+int SynthTask::oracle_label(const Document& doc) const {
+  return meaning_score(doc) >= 0.0 ? 1 : 0;
+}
+
+double SynthTask::oracle_margin(const Document& doc) const {
+  std::size_t content = 0;
+  for (const Sentence& s : doc.sentences) {
+    for (WordId w : s) {
+      if (w >= 0 && static_cast<std::size_t>(w) < concept_of_word.size() &&
+          concept_of_word[static_cast<std::size_t>(w)] >= 0) {
+        ++content;
+      }
+    }
+  }
+  if (content == 0) return 0.0;
+  return std::abs(meaning_score(doc)) / static_cast<double>(content);
+}
+
+SynthTask make_task(const SynthConfig& config) {
+  if (config.cluster_size < 2) {
+    throw std::invalid_argument("make_task: cluster_size must be >= 2");
+  }
+  SynthTask task;
+  task.config = config;
+  Rng rng(config.seed);
+  std::set<std::string> used_words;
+
+  const std::size_t dim = config.embedding_dim;
+
+  // --- Vocabulary & latent semantics -------------------------------------
+  auto init_word_meta = [&task](WordId id) {
+    const auto n = static_cast<std::size_t>(id) + 1;
+    task.concept_of_word.resize(n, -1);
+    task.variant_of_word.resize(n, -1);
+    task.word_polarity.resize(n, 0.0);
+    task.word_meaning.resize(n, 0.0);
+    task.is_function_word.resize(n, false);
+    task.is_noise_word.resize(n, false);
+  };
+  init_word_meta(Vocab::kUnk);
+
+  // Function words.
+  for (const auto& cluster : function_word_clusters()) {
+    std::vector<WordId> ids;
+    for (const std::string& w : cluster) {
+      const WordId id = task.vocab.add(w);
+      used_words.insert(w);
+      init_word_meta(id);
+      task.is_function_word[static_cast<std::size_t>(id)] = true;
+      ids.push_back(id);
+    }
+    task.function_clusters.push_back(std::move(ids));
+  }
+
+  // Content concepts. Polarity: neutral_fraction of concepts ~0, the rest
+  // split evenly between positive (class 1) and negative (class 0) with
+  // magnitude in [0.4, 1.0].
+  const std::size_t num_neutral = static_cast<std::size_t>(
+      std::llround(config.neutral_fraction *
+                   static_cast<double>(config.num_concepts)));
+  // Polarity magnitudes are skewed: a minority of "hot" concepts carry most
+  // of the evidence (like "great"/"terrible" in real sentiment data), the
+  // rest are mild. Classifiers then rely on a few salient words per
+  // document — the words the attacks find and replace.
+  std::vector<double> concept_polarity(config.num_concepts, 0.0);
+  for (std::size_t c = num_neutral; c < config.num_concepts; ++c) {
+    const double magnitude = rng.bernoulli(0.35) ? rng.uniform(0.8, 1.0)
+                                                 : rng.uniform(0.05, 0.2);
+    const double sign = (c % 2 == 0) ? 1.0 : -1.0;
+    concept_polarity[c] = sign * magnitude;
+  }
+
+  task.concept_members.resize(config.num_concepts);
+  for (std::size_t c = 0; c < config.num_concepts; ++c) {
+    for (std::size_t j = 0; j < config.cluster_size; ++j) {
+      const std::string word = make_pseudo_word(rng, used_words);
+      const WordId id = task.vocab.add(word);
+      init_word_meta(id);
+      const double frac =
+          static_cast<double>(j) /
+          static_cast<double>(config.cluster_size - 1);
+      // Surface strength decays steeply and flips sign at the tail
+      // (canonical 1.0 down to 1 - strength_decay); meaning decays toward
+      // a softened-but-same-sign residue (weak variants read like hedged
+      // versions of the canonical word).
+      const double s = 1.0 - config.strength_decay * frac;
+      const double m = 1.0 - 0.45 * frac;
+      task.concept_of_word[static_cast<std::size_t>(id)] =
+          static_cast<int>(c);
+      task.variant_of_word[static_cast<std::size_t>(id)] =
+          static_cast<int>(j);
+      task.word_polarity[static_cast<std::size_t>(id)] =
+          concept_polarity[c] * s;
+      task.word_meaning[static_cast<std::size_t>(id)] =
+          concept_polarity[c] * m;
+      task.concept_members[c].push_back(id);
+    }
+  }
+
+  // Noise words.
+  std::vector<WordId> noise_ids;
+  for (std::size_t i = 0; i < config.num_noise_words; ++i) {
+    const WordId id = task.vocab.add(make_noise_word(rng, used_words));
+    init_word_meta(id);
+    task.is_noise_word[static_cast<std::size_t>(id)] = true;
+    noise_ids.push_back(id);
+  }
+
+  // --- Paragram-style embeddings ------------------------------------------
+  // embedding(word) = cluster_center + surface_polarity * scale * u + noise,
+  // where u is one shared unit direction. Cluster siblings end up close;
+  // the classifier-exploitable evidence is linearly readable along u.
+  task.paragram = Matrix(static_cast<std::size_t>(task.vocab.size()), dim);
+  Vector pol_dir(dim);
+  {
+    double norm = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      pol_dir[d] = static_cast<float>(rng.normal());
+      norm += pol_dir[d] * pol_dir[d];
+    }
+    norm = std::sqrt(norm);
+    for (float& v : pol_dir) v = static_cast<float>(v / norm);
+  }
+  const double center_scale = 1.0 / std::sqrt(static_cast<double>(dim));
+  auto fill_embedding = [&](WordId id, const Vector& center) {
+    const auto widx = static_cast<std::size_t>(id);
+    // The evidence coordinate mixes the word's true surface evidence with
+    // an idiosyncratic per-word component (see embed_evidence_fidelity):
+    // pretrained embeddings are correlated with, but not equal to, what a
+    // downstream classifier learns about each word.
+    const double fidelity = config.embed_evidence_fidelity;
+    const double pol = task.word_polarity[widx];
+    const double magnitude =
+        task.concept_of_word[widx] >= 0
+            ? std::abs(task.word_meaning[widx])
+            : 0.0;
+    const double embed_pol =
+        fidelity * pol + (1.0 - fidelity) * magnitude * rng.normal(0.0, 1.0);
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double noise =
+          rng.normal(0.0, config.cluster_noise * center_scale);
+      task.paragram(widx, d) = static_cast<float>(
+          center[d] + embed_pol * config.polarity_embed_scale * pol_dir[d] +
+          noise);
+    }
+  };
+  auto random_center = [&]() {
+    Vector center(dim);
+    for (std::size_t d = 0; d < dim; ++d) {
+      center[d] = static_cast<float>(rng.normal(0.0, center_scale));
+    }
+    return center;
+  };
+  for (const auto& cluster : task.function_clusters) {
+    const Vector center = random_center();
+    for (WordId id : cluster) fill_embedding(id, center);
+  }
+  for (const auto& members : task.concept_members) {
+    const Vector center = random_center();
+    for (WordId id : members) fill_embedding(id, center);
+  }
+  for (WordId id : noise_ids) fill_embedding(id, random_center());
+  // <unk> stays at the origin; <pad> stays at zero as well.
+
+  // Aligned / misaligned / neutral concept pools, plus mild-only variants
+  // used by low-margin documents.
+  std::vector<std::size_t> pos_concepts;
+  std::vector<std::size_t> neg_concepts;
+  std::vector<std::size_t> neutral_concepts;
+  std::vector<std::size_t> pos_mild;
+  std::vector<std::size_t> neg_mild;
+  for (std::size_t c = 0; c < config.num_concepts; ++c) {
+    if (concept_polarity[c] > 0.05) {
+      pos_concepts.push_back(c);
+      if (concept_polarity[c] < 0.5) pos_mild.push_back(c);
+    } else if (concept_polarity[c] < -0.05) {
+      neg_concepts.push_back(c);
+      if (concept_polarity[c] > -0.5) neg_mild.push_back(c);
+    } else {
+      neutral_concepts.push_back(c);
+    }
+  }
+  if (pos_concepts.empty() || neg_concepts.empty()) {
+    throw std::invalid_argument("make_task: need polar concepts on each side");
+  }
+  if (pos_mild.empty()) pos_mild = pos_concepts;
+  if (neg_mild.empty()) neg_mild = neg_concepts;
+
+  // --- Document generation -------------------------------------------------
+  auto gen_document = [&](int label) {
+    Document doc;
+    doc.label = label;
+    const bool positive = label == 1;
+    // Low-margin documents draw only from mild concepts.
+    const bool mild_doc = rng.bernoulli(config.mild_doc_fraction);
+    const auto& pos_pool = mild_doc ? pos_mild : pos_concepts;
+    const auto& neg_pool = mild_doc ? neg_mild : neg_concepts;
+    const std::size_t num_sentences =
+        config.min_sentences +
+        rng.uniform_index(config.max_sentences - config.min_sentences + 1);
+    for (std::size_t si = 0; si < num_sentences; ++si) {
+      const std::size_t len =
+          config.min_words_per_sentence +
+          rng.uniform_index(config.max_words_per_sentence -
+                            config.min_words_per_sentence + 1);
+      Sentence sentence;
+      sentence.reserve(len);
+      for (std::size_t wi = 0; wi < len; ++wi) {
+        const double roll = rng.uniform();
+        // The first slot of each sentence is always a content word (keeps
+        // sentences contentful); its concept is drawn like any other so
+        // concept frequency stays label-neutral.
+        const bool force_content = wi == 0;
+        if (!force_content && roll < config.function_word_rate) {
+          const auto& cluster = task.function_clusters[rng.uniform_index(
+              task.function_clusters.size())];
+          // Function words skew to the canonical pair for LM naturalness.
+          const std::size_t v = rng.bernoulli(0.75)
+                                    ? rng.uniform_index(2)
+                                    : rng.uniform_index(cluster.size());
+          sentence.push_back(cluster[v]);
+          continue;
+        }
+        if (!force_content && !noise_ids.empty() &&
+            roll < config.function_word_rate + config.noise_token_rate) {
+          sentence.push_back(noise_ids[rng.uniform_index(noise_ids.size())]);
+          continue;
+        }
+        // Content word.
+        double pick = rng.uniform();
+        const std::vector<std::size_t>* pool = nullptr;
+        bool aligned = false;
+        if (pick < config.aligned_concept_rate) {
+          pool = positive ? &pos_pool : &neg_pool;
+          aligned = true;
+        } else if (pick < config.aligned_concept_rate +
+                              (1.0 - config.aligned_concept_rate) / 2.0 &&
+                   !neutral_concepts.empty()) {
+          pool = &neutral_concepts;
+        } else {
+          pool = positive ? &neg_pool : &pos_pool;
+        }
+        const std::size_t c = (*pool)[rng.uniform_index(pool->size())];
+        // Aligned concepts use strong variants; misaligned use weak ones.
+        // Neutral concepts have no label signal: uniform variant.
+        std::size_t v;
+        if (concept_polarity[c] == 0.0) {
+          v = rng.uniform_index(config.cluster_size);
+        } else {
+          const bool concept_supports_label =
+              (concept_polarity[c] > 0.0) == positive;
+          v = sample_variant(rng, config.cluster_size, concept_supports_label,
+                             config.variant_label_correlation);
+          (void)aligned;
+        }
+        sentence.push_back(task.concept_members[c][v]);
+      }
+      doc.sentences.push_back(std::move(sentence));
+    }
+    return doc;
+  };
+
+  auto gen_split = [&](std::size_t count) {
+    Dataset data;
+    data.num_classes = 2;
+    data.docs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const int label = rng.bernoulli(config.class1_fraction) ? 1 : 0;
+      data.docs.push_back(gen_document(label));
+    }
+    return data;
+  };
+  task.train = gen_split(config.num_train);
+  task.test = gen_split(config.num_test);
+  return task;
+}
+
+SynthTask make_news(std::uint64_t seed) {
+  SynthConfig config;
+  config.name = "News";
+  config.seed = seed;
+  config.num_train = 700;
+  config.num_test = 80;
+  config.class1_fraction = 0.5;  // paper: fake:real is 1:1
+  config.min_sentences = 6;
+  config.max_sentences = 10;
+  config.min_words_per_sentence = 7;
+  config.max_words_per_sentence = 13;
+  config.num_concepts = 48;
+  config.variant_label_correlation = 0.9;
+  return make_task(config);
+}
+
+SynthTask make_trec07p(std::uint64_t seed) {
+  SynthConfig config;
+  config.name = "Trec07p";
+  config.seed = seed;
+  config.num_train = 900;
+  config.num_test = 80;
+  config.class1_fraction = 2.0 / 3.0;  // paper: ham:spam is 1:2
+  config.min_sentences = 4;
+  config.max_sentences = 8;
+  config.min_words_per_sentence = 6;
+  config.max_words_per_sentence = 11;
+  config.noise_token_rate = 0.12;  // corrupted tokens; LM filter disabled
+  config.mild_doc_fraction = 0.25; // spam is rarely subtle
+  
+  config.variant_label_correlation = 0.92;
+  return make_task(config);
+}
+
+SynthTask make_yelp(std::uint64_t seed) {
+  SynthConfig config;
+  config.name = "Yelp";
+  config.seed = seed;
+  config.num_train = 1100;
+  config.num_test = 90;
+  config.class1_fraction = 0.5;
+  config.min_sentences = 3;
+  config.max_sentences = 6;
+  config.min_words_per_sentence = 5;
+  config.max_words_per_sentence = 10;
+  config.num_concepts = 40;
+  config.variant_label_correlation = 0.95;  // reviews rely on polar words
+  return make_task(config);
+}
+
+std::vector<SynthTask> make_all_tasks(std::uint64_t seed) {
+  std::vector<SynthTask> tasks;
+  tasks.push_back(make_news(seed * 101 + 11));
+  tasks.push_back(make_trec07p(seed * 101 + 22));
+  tasks.push_back(make_yelp(seed * 101 + 33));
+  return tasks;
+}
+
+}  // namespace advtext

@@ -1,0 +1,159 @@
+// Synthetic text-classification task generator.
+//
+// The paper evaluates on three real corpora (fake-news repo, TREC07p spam,
+// Yelp polarity) with pretrained word2vec / Paragram-SL999 embeddings and a
+// Para-NMT-50M sentence paraphraser. None of those artifacts is available
+// offline, so this module synthesizes tasks with the properties the attacks
+// actually exploit (see DESIGN.md §1):
+//
+//  * Words are organized into *synonym clusters* ("concepts"). Every concept
+//    carries a latent polarity (evidence toward class 1) and each cluster
+//    member j has a surface-strength multiplier s_j that decays across the
+//    cluster — the canonical variant (j=0) carries full evidence, later
+//    variants are weaker or mildly opposite.
+//  * During generation, the choice of variant correlates with the document
+//    label (strong variants co-occur with the label their concept supports).
+//    Trained classifiers therefore latch onto variant identity — a
+//    non-robust surface feature — while the *meaning* (concept polarity,
+//    what a human reads) is almost unchanged across a cluster. Swapping a
+//    canonical word for a weak cluster sibling is exactly the kind of
+//    label-preserving perturbation the paper's attacks perform.
+//  * Paragram-style embeddings place cluster siblings near each other and
+//    expose the surface evidence along a shared direction, so WMD-based
+//    neighbour sets recover the clusters and classifier gradients point at
+//    the influential words.
+//  * A deterministic "oracle" labels documents from concept meanings only;
+//    it is the stand-in for the human raters of Table 4.
+//
+// All generation is seeded and fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/text/corpus.h"
+#include "src/text/vocab.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+/// Knobs for one synthetic task. Defaults are a mid-size task; the
+/// make_news/make_trec07p/make_yelp factories override them to mirror the
+/// per-dataset shapes in the paper's Table 6 (scaled down).
+struct SynthConfig {
+  std::string name = "synth";
+  std::uint64_t seed = 1;
+
+  std::size_t num_train = 900;
+  std::size_t num_test = 80;
+  /// Fraction of documents with label 1 (paper: Trec07p spam ratio is 2/3).
+  double class1_fraction = 0.5;
+
+  std::size_t num_concepts = 48;    ///< content synonym clusters
+  std::size_t cluster_size = 10;    ///< words per cluster (paper: k=15 nbrs)
+  double neutral_fraction = 0.3;    ///< concepts with ~zero polarity
+  std::size_t num_noise_words = 24; ///< corrupted tokens (Trec07p-style)
+
+  std::size_t min_sentences = 4;
+  std::size_t max_sentences = 8;
+  std::size_t min_words_per_sentence = 6;
+  std::size_t max_words_per_sentence = 12;
+
+  double function_word_rate = 0.35;  ///< fraction of function-word slots
+  double noise_token_rate = 0.0;     ///< fraction of corrupted-token slots
+  /// P(concept sign matches doc label). Near 0.5 the *concept identity*
+  /// carries almost no label signal, so classifiers are forced onto the
+  /// variant-polarity direction — the brittle feature the attacks flip.
+  double aligned_concept_rate = 0.5;
+  /// 0 = variant chosen uniformly; 1 = strongly label-correlated variants.
+  double variant_label_correlation = 0.97;
+  /// Scales how steeply surface strength s_j decays across a cluster. The
+  /// weakest variant carries surface evidence (1 - strength_decay) times
+  /// the canonical one — with the default 1.5 it mildly *flips* sign,
+  /// which is what gives the attacks room to work while meaning decays
+  /// far more slowly (see word_meaning).
+  double strength_decay = 1.6;
+
+  std::size_t embedding_dim = 16;
+  /// Magnitude of the shared polarity direction in the paragram embeddings.
+  /// Kept small so WMD neighbourhoods span whole synonym clusters (the
+  /// Paragram property) while a linear probe can still read the evidence.
+  double polarity_embed_scale = 0.40;
+  /// Within-cluster embedding noise (controls neighbour-set tightness).
+  double cluster_noise = 0.08;
+  /// How faithfully the embedding's evidence coordinate tracks the word's
+  /// actual (learned) surface evidence: 1 = perfectly linear (first-order
+  /// attacks become near-exact, unlike on real embeddings), 0 = the
+  /// geometry says nothing about the evidence (gradient-based attacks
+  /// collapse entirely). Real pretrained embeddings sit in between; the
+  /// default keeps gradients *partially* informative, reproducing the
+  /// paper's ordering greedy > gradient.
+  double embed_evidence_fidelity = 0.55;
+  /// Fraction of documents built only from mild concepts: low-margin
+  /// documents, the ones real attacks flip first (real corpora mix
+  /// strongly and weakly opinionated texts).
+  double mild_doc_fraction = 0.4;
+};
+
+/// A fully materialized synthetic task: data, vocabulary, embeddings, and
+/// the latent semantics needed by the human-evaluation simulator.
+struct SynthTask {
+  SynthConfig config;
+  Vocab vocab;
+  Dataset train;
+  Dataset test;
+
+  /// word id -> concept id, or -1 for function/noise/special words.
+  std::vector<int> concept_of_word;
+  /// word id -> cluster-member index (0 = canonical), or -1.
+  std::vector<int> variant_of_word;
+  /// word id -> surface evidence toward class 1 (what classifiers learn).
+  std::vector<double> word_polarity;
+  /// word id -> meaning evidence toward class 1 (what the oracle reads);
+  /// nearly constant within a cluster.
+  std::vector<double> word_meaning;
+  /// true for hand-listed function words (usable in paraphrase rules).
+  std::vector<bool> is_function_word;
+  /// true for corrupted/noise tokens.
+  std::vector<bool> is_noise_word;
+
+  /// Paragram-style word embeddings, vocab.size() x embedding_dim.
+  /// Stands in for both pretrained word2vec (classifier input layer) and
+  /// Paragram-SL999 (paraphrase neighbourhood space).
+  Matrix paragram;
+
+  /// Cluster members (word ids) per concept, canonical first.
+  std::vector<std::vector<WordId>> concept_members;
+  /// Function-word clusters (interchangeable within a cluster).
+  std::vector<std::vector<WordId>> function_clusters;
+
+  /// Meaning score of a document: sum of word_meaning over its tokens.
+  double meaning_score(const Document& doc) const;
+
+  /// Deterministic human-proxy label: sign of meaning_score (>= 0 -> 1).
+  int oracle_label(const Document& doc) const;
+
+  /// |meaning_score| normalized by content-word count; low values mean even
+  /// a human would be unsure (used by the Table 4 simulator).
+  double oracle_margin(const Document& doc) const;
+};
+
+/// Builds a task from a config.
+SynthTask make_task(const SynthConfig& config);
+
+/// Fake-news-detection-shaped task: few, long documents.
+SynthTask make_news(std::uint64_t seed = 11);
+
+/// Spam-filtering-shaped task: 1:2 ham:spam ratio, corrupted tokens
+/// (the paper disables the LM filter on Trec07p for this reason).
+SynthTask make_trec07p(std::uint64_t seed = 22);
+
+/// Sentiment-analysis-shaped task: many short, strongly polar documents.
+SynthTask make_yelp(std::uint64_t seed = 33);
+
+/// All three, in paper order (News, Trec07p, Yelp).
+std::vector<SynthTask> make_all_tasks(std::uint64_t seed = 7);
+
+}  // namespace advtext

@@ -1,0 +1,55 @@
+#include "src/eval/adversarial_training.h"
+
+#include "src/eval/metrics.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+AdvTrainingReport adversarial_training_experiment(
+    const std::function<std::unique_ptr<TrainableClassifier>()>& make_model,
+    const SynthTask& task, const TaskAttackContext& context,
+    const AdvTrainingConfig& config) {
+  AdvTrainingReport report;
+
+  // ---- Before: clean training + attack ----
+  auto model = make_model();
+  train_classifier(*model, task.train, config.train);
+  report.test_before = classification_accuracy(*model, task.test);
+  const AttackEvalResult before =
+      evaluate_attack(*model, task, context, config.attack);
+  report.adv_before = before.adversarial_accuracy;
+
+  // ---- Generate adversarial training examples ----
+  Rng rng(config.seed);
+  const auto order = rng.permutation(task.train.docs.size());
+  const std::size_t num_augment = static_cast<std::size_t>(
+      config.augmentation_fraction *
+      static_cast<double>(task.train.docs.size()));
+  const AttackResources resources = context.resources();
+
+  Dataset augmented = task.train;
+  for (std::size_t i = 0; i < num_augment && i < order.size(); ++i) {
+    const Document& doc = task.train.docs[order[i]];
+    const TokenSeq tokens = doc.flatten();
+    if (tokens.empty()) continue;
+    const std::size_t true_label = static_cast<std::size_t>(doc.label);
+    if (model->predict(tokens) != true_label) continue;
+    const JointAttackResult attack = joint_attack(
+        *model, doc, 1 - true_label, resources, config.attack.joint);
+    Document adv = attack.adv_doc;
+    adv.label = doc.label;  // corrected label (paper §6.6)
+    augmented.docs.push_back(std::move(adv));
+    ++report.augmented_examples;
+  }
+
+  // ---- After: retrain from scratch on the merged set + attack ----
+  auto retrained = make_model();
+  train_classifier(*retrained, augmented, config.train);
+  report.test_after = classification_accuracy(*retrained, task.test);
+  const AttackEvalResult after =
+      evaluate_attack(*retrained, task, context, config.attack);
+  report.adv_after = after.adversarial_accuracy;
+  return report;
+}
+
+}  // namespace advtext

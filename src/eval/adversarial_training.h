@@ -1,0 +1,40 @@
+// Adversarial training experiment (paper Table 5).
+//
+// Generates adversarial examples from a random 20% of the training data
+// (Alg. 1 against the clean model), merges them — with their *correct*
+// labels — into the training set, retrains from scratch, and reports clean
+// test accuracy and adversarial accuracy before and after.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "src/eval/pipeline.h"
+#include "src/nn/trainer.h"
+
+namespace advtext {
+
+struct AdvTrainingConfig {
+  /// Fraction of training documents to generate adversarial examples from.
+  double augmentation_fraction = 0.2;
+  TrainConfig train;
+  AttackEvalConfig attack;
+  std::uint64_t seed = 99;
+};
+
+struct AdvTrainingReport {
+  double test_before = 0.0;
+  double test_after = 0.0;
+  double adv_before = 0.0;
+  double adv_after = 0.0;
+  std::size_t augmented_examples = 0;
+};
+
+/// `make_model` builds a fresh untrained classifier (called twice: before
+/// and after augmentation, so both models start from the same init).
+AdvTrainingReport adversarial_training_experiment(
+    const std::function<std::unique_ptr<TrainableClassifier>()>& make_model,
+    const SynthTask& task, const TaskAttackContext& context,
+    const AdvTrainingConfig& config);
+
+}  // namespace advtext

@@ -1,0 +1,115 @@
+#include "src/eval/defenses.h"
+
+#include <stdexcept>
+
+namespace advtext {
+
+SynonymSmoothing::SynonymSmoothing(
+    const TextClassifier& base, std::vector<std::vector<WordId>> neighbors,
+    const SynonymSmoothingConfig& config)
+    : base_(base),
+      neighbors_(std::move(neighbors)),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.samples == 0) {
+    throw std::invalid_argument("SynonymSmoothing: samples must be >= 1");
+  }
+}
+
+TokenSeq SynonymSmoothing::randomize(const TokenSeq& tokens) const {
+  TokenSeq out = tokens;
+  for (WordId& w : out) {
+    if (w < 0 || static_cast<std::size_t>(w) >= neighbors_.size()) continue;
+    const auto& options = neighbors_[static_cast<std::size_t>(w)];
+    if (options.empty() || !rng_.bernoulli(config_.substitution_rate)) {
+      continue;
+    }
+    w = options[rng_.uniform_index(options.size())];
+  }
+  return out;
+}
+
+Vector SynonymSmoothing::predict_proba(const TokenSeq& tokens) const {
+  Vector mean(num_classes(), 0.0f);
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    const Vector p = base_.predict_proba(randomize(tokens));
+    for (std::size_t c = 0; c < mean.size(); ++c) mean[c] += p[c];
+  }
+  for (float& v : mean) v /= static_cast<float>(config_.samples);
+  return mean;
+}
+
+Matrix SynonymSmoothing::input_gradient(const TokenSeq& tokens,
+                                        std::size_t target,
+                                        Vector* proba) const {
+  Matrix mean_grad(tokens.size(), embedding_dim());
+  Vector mean_proba(num_classes(), 0.0f);
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    Vector p;
+    const Matrix g =
+        base_.input_gradient(randomize(tokens), target, &p);
+    for (std::size_t i = 0; i < mean_grad.size(); ++i) {
+      mean_grad.data()[i] += g.data()[i];
+    }
+    for (std::size_t c = 0; c < p.size(); ++c) mean_proba[c] += p[c];
+  }
+  const float scale = 1.0f / static_cast<float>(config_.samples);
+  for (std::size_t i = 0; i < mean_grad.size(); ++i) {
+    mean_grad.data()[i] *= scale;
+  }
+  for (float& v : mean_proba) v *= scale;
+  if (proba != nullptr) *proba = mean_proba;
+  return mean_grad;
+}
+
+EnsembleClassifier::EnsembleClassifier(
+    std::vector<const TextClassifier*> members)
+    : members_(std::move(members)) {
+  if (members_.empty()) {
+    throw std::invalid_argument("EnsembleClassifier: no members");
+  }
+  for (const TextClassifier* member : members_) {
+    if (member->num_classes() != members_.front()->num_classes()) {
+      throw std::invalid_argument(
+          "EnsembleClassifier: num_classes mismatch");
+    }
+  }
+}
+
+Vector EnsembleClassifier::predict_proba(const TokenSeq& tokens) const {
+  Vector mean(num_classes(), 0.0f);
+  for (const TextClassifier* member : members_) {
+    const Vector p = member->predict_proba(tokens);
+    for (std::size_t c = 0; c < mean.size(); ++c) mean[c] += p[c];
+  }
+  for (float& v : mean) v /= static_cast<float>(members_.size());
+  return mean;
+}
+
+Matrix EnsembleClassifier::input_gradient(const TokenSeq& tokens,
+                                          std::size_t target,
+                                          Vector* proba) const {
+  // Members may differ in embedding dimension only if they share the same
+  // table; in practice the ensemble is built over one task's paragram.
+  Matrix mean_grad(tokens.size(), embedding_dim());
+  Vector mean_proba(num_classes(), 0.0f);
+  for (const TextClassifier* member : members_) {
+    Vector p;
+    const Matrix g = member->input_gradient(tokens, target, &p);
+    if (g.cols() == mean_grad.cols()) {
+      for (std::size_t i = 0; i < mean_grad.size(); ++i) {
+        mean_grad.data()[i] += g.data()[i];
+      }
+    }
+    for (std::size_t c = 0; c < p.size(); ++c) mean_proba[c] += p[c];
+  }
+  const float scale = 1.0f / static_cast<float>(members_.size());
+  for (std::size_t i = 0; i < mean_grad.size(); ++i) {
+    mean_grad.data()[i] *= scale;
+  }
+  for (float& v : mean_proba) v *= scale;
+  if (proba != nullptr) *proba = mean_proba;
+  return mean_grad;
+}
+
+}  // namespace advtext

@@ -1,0 +1,91 @@
+// Inference-time defenses (extensions beyond the paper's §6.6).
+//
+// The paper evaluates one defense: adversarial training. Two standard
+// inference-time defenses from the later literature complete the picture
+// and exercise the attack framework's black-box path (both wrap any
+// TextClassifier, and both are attackable through the same interface):
+//
+//   * SynonymSmoothing — randomized smoothing for discrete text: each
+//     forward pass averages the base model over `samples` randomized
+//     copies of the input in which every word is re-substituted by a
+//     random in-vocabulary synonym with probability `substitution_rate`.
+//     Word-substitution attacks must now move the *expected* prediction
+//     over the synonym neighbourhood, which blunts single-word leverage.
+//   * EnsembleClassifier — soft-voting over independently trained models;
+//     transfers of a single-model attack only partially fool the others.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/text_classifier.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct SynonymSmoothingConfig {
+  std::size_t samples = 8;          ///< randomized copies per forward
+  double substitution_rate = 0.25;  ///< P(word is re-substituted)
+  std::uint64_t seed = 31337;
+};
+
+/// Randomized-smoothing wrapper. `neighbors[w]` lists the words that may
+/// replace w (e.g. from ParaphraseIndex); empty list = w never changes.
+class SynonymSmoothing final : public TextClassifier {
+ public:
+  SynonymSmoothing(const TextClassifier& base,
+                   std::vector<std::vector<WordId>> neighbors,
+                   const SynonymSmoothingConfig& config = {});
+
+  std::size_t num_classes() const override { return base_.num_classes(); }
+  std::size_t embedding_dim() const override {
+    return base_.embedding_dim();
+  }
+  const Matrix& embedding_table() const override {
+    return base_.embedding_table();
+  }
+
+  /// Mean probability over randomized copies (stochastic).
+  Vector predict_proba(const TokenSeq& tokens) const override;
+
+  /// Gradient of the smoothed objective, estimated by averaging the base
+  /// model's gradient over randomized copies (gradients live at the
+  /// *original* positions; substituted positions contribute their copy's
+  /// gradient row, a standard straight-through estimate).
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override;
+
+ private:
+  TokenSeq randomize(const TokenSeq& tokens) const;
+
+  const TextClassifier& base_;
+  std::vector<std::vector<WordId>> neighbors_;
+  SynonymSmoothingConfig config_;
+  mutable Rng rng_;
+};
+
+/// Soft-voting ensemble over base classifiers (all must agree on
+/// num_classes / embedding table).
+class EnsembleClassifier final : public TextClassifier {
+ public:
+  explicit EnsembleClassifier(std::vector<const TextClassifier*> members);
+
+  std::size_t num_classes() const override {
+    return members_.front()->num_classes();
+  }
+  std::size_t embedding_dim() const override {
+    return members_.front()->embedding_dim();
+  }
+  const Matrix& embedding_table() const override {
+    return members_.front()->embedding_table();
+  }
+
+  Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override;
+
+ private:
+  std::vector<const TextClassifier*> members_;
+};
+
+}  // namespace advtext

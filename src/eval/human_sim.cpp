@@ -1,0 +1,86 @@
+#include "src/eval/human_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/eval/metrics.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+namespace {
+
+double clamp_scale(double v) { return std::clamp(v, 1.0, 5.0); }
+
+}  // namespace
+
+HumanEvalResult simulate_human_eval(const SynthTask& task, const NGramLm& lm,
+                                    const std::vector<Document>& originals,
+                                    const std::vector<Document>& adversarials,
+                                    const HumanSimConfig& config) {
+  if (originals.size() != adversarials.size()) {
+    throw std::invalid_argument("simulate_human_eval: size mismatch");
+  }
+  HumanEvalResult result;
+  result.examples = originals.size();
+  if (originals.empty()) return result;
+  Rng rng(config.seed);
+
+  // Calibrate the naturalness scale on the original documents.
+  std::vector<double> log_ppls;
+  for (const Document& doc : originals) {
+    log_ppls.push_back(std::log(std::max(lm.perplexity(doc), 1.0)));
+  }
+  const double center = mean(log_ppls);
+  const double spread = std::max(sample_stddev(log_ppls), 1e-3);
+
+  auto evaluate_side = [&](const std::vector<Document>& docs,
+                           const std::vector<int>& true_labels) {
+    HumanEvalSide side;
+    std::size_t correct = 0;
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      const Document& doc = docs[i];
+      // Task I: majority vote over raters.
+      std::size_t votes_for_one = 0;
+      const int oracle = task.oracle_label(doc);
+      const double margin = task.oracle_margin(doc);
+      for (std::size_t r = 0; r < config.num_raters; ++r) {
+        int vote = oracle;
+        if (margin < config.uncertainty_margin) {
+          vote = rng.bernoulli(0.5) ? 1 : 0;
+        }
+        votes_for_one += static_cast<std::size_t>(vote);
+      }
+      const int majority =
+          votes_for_one * 2 >= config.num_raters ? 1 : 0;
+      if (majority == true_labels[i]) ++correct;
+
+      // Task II: average naturalness over raters.
+      const double z =
+          (std::log(std::max(lm.perplexity(doc), 1.0)) - center) / spread;
+      double total = 0.0;
+      for (std::size_t r = 0; r < config.num_raters; ++r) {
+        total += clamp_scale(config.naturalness_center -
+                             config.naturalness_slope * z +
+                             rng.normal(0.0, config.naturalness_noise));
+      }
+      scores.push_back(total / static_cast<double>(config.num_raters));
+    }
+    side.label_accuracy =
+        static_cast<double>(correct) / static_cast<double>(docs.size());
+    side.naturalness_mean = mean(scores);
+    side.naturalness_stddev = sample_stddev(scores);
+    return side;
+  };
+
+  std::vector<int> labels;
+  labels.reserve(originals.size());
+  for (const Document& doc : originals) labels.push_back(doc.label);
+  result.original = evaluate_side(originals, labels);
+  result.adversarial = evaluate_side(adversarials, labels);
+  return result;
+}
+
+}  // namespace advtext

@@ -1,0 +1,51 @@
+#include "src/eval/metrics.h"
+
+#include <cmath>
+
+namespace advtext {
+
+namespace {
+double accuracy_impl(const TextClassifier& model,
+                     const std::vector<Document>& docs) {
+  if (docs.empty()) return 0.0;
+  std::size_t correct = 0;
+  std::size_t counted = 0;
+  for (const Document& doc : docs) {
+    const TokenSeq tokens = doc.flatten();
+    if (tokens.empty()) continue;
+    ++counted;
+    if (model.predict(tokens) == static_cast<std::size_t>(doc.label)) {
+      ++correct;
+    }
+  }
+  if (counted == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(counted);
+}
+}  // namespace
+
+double classification_accuracy(const TextClassifier& model,
+                               const Dataset& data) {
+  return accuracy_impl(model, data.docs);
+}
+
+double classification_accuracy(const TextClassifier& model,
+                               const std::vector<Document>& docs) {
+  return accuracy_impl(model, docs);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double sample_stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+}  // namespace advtext

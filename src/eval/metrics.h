@@ -1,0 +1,27 @@
+// Evaluation metrics shared by the benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/nn/text_classifier.h"
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+/// Fraction of documents whose argmax prediction matches the label.
+double classification_accuracy(const TextClassifier& model,
+                               const Dataset& data);
+
+/// Accuracy over an explicit document list with ground-truth labels taken
+/// from each document.
+double classification_accuracy(const TextClassifier& model,
+                               const std::vector<Document>& docs);
+
+/// Mean of a vector (0 for empty).
+double mean(const std::vector<double>& values);
+
+/// Sample standard deviation (0 for fewer than two values).
+double sample_stddev(const std::vector<double>& values);
+
+}  // namespace advtext

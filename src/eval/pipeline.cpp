@@ -1,0 +1,106 @@
+#include "src/eval/pipeline.h"
+
+#include "src/eval/metrics.h"
+
+namespace advtext {
+
+TaskAttackContext::TaskAttackContext(
+    const SynthTask& task, const WordNeighborConfig& word_config,
+    const SentenceParaphraserConfig& sentence_config) {
+  word_index_ = std::make_unique<ParaphraseIndex>(task.paragram, word_config);
+
+  // Sentence paraphraser shares the word-neighbour lists with the index.
+  std::vector<std::vector<WordId>> neighbors(
+      static_cast<std::size_t>(task.vocab.size()));
+  for (WordId w = 2; w < task.vocab.size(); ++w) {
+    neighbors[static_cast<std::size_t>(w)] = word_index_->neighbors(w);
+  }
+  paraphraser_ = std::make_unique<SentenceParaphraser>(
+      std::move(neighbors), task.is_function_word, sentence_config);
+  wmd_ = std::make_unique<Wmd>(task.paragram);
+  lm_ = std::make_unique<NGramLm>(task.train,
+                                  static_cast<std::size_t>(task.vocab.size()));
+}
+
+AttackResources TaskAttackContext::resources() const {
+  AttackResources resources;
+  resources.word_index = word_index_.get();
+  resources.paraphraser = paraphraser_.get();
+  resources.wmd = wmd_.get();
+  resources.lm = lm_.get();
+  return resources;
+}
+
+AttackEvalResult evaluate_attack(const TextClassifier& model,
+                                 const SynthTask& task,
+                                 const TaskAttackContext& context,
+                                 const AttackEvalConfig& config) {
+  AttackEvalResult result;
+  result.clean_accuracy = classification_accuracy(model, task.test);
+
+  const AttackResources resources = context.resources();
+  std::vector<double> seconds;
+  std::vector<double> words_changed;
+  std::vector<double> sentences_changed;
+  std::vector<double> queries;
+  std::size_t flipped = 0;
+  std::size_t correct_after = 0;
+  std::size_t attack_budget =
+      config.max_docs == 0 ? task.test.docs.size() : config.max_docs;
+
+  for (const Document& doc : task.test.docs) {
+    if (result.docs_evaluated >= attack_budget) break;
+    const TokenSeq tokens = doc.flatten();
+    if (tokens.empty()) continue;
+    ++result.docs_evaluated;
+
+    const std::size_t true_label = static_cast<std::size_t>(doc.label);
+    const std::size_t predicted = model.predict(tokens);
+    if (predicted != true_label) {
+      // Already misclassified: nothing to attack, counts as incorrect.
+      result.adv_docs.push_back(doc);
+      continue;
+    }
+    // Targeted attack at the other class (binary tasks).
+    const std::size_t target = 1 - true_label;
+    const JointAttackResult attack =
+        joint_attack(model, doc, target, resources, config.joint);
+    ++result.docs_attacked;
+    seconds.push_back(attack.seconds);
+    words_changed.push_back(static_cast<double>(attack.words_changed));
+    sentences_changed.push_back(
+        static_cast<double>(attack.sentences_changed));
+    queries.push_back(static_cast<double>(attack.queries));
+
+    Document adv = attack.adv_doc;
+    adv.label = doc.label;  // ground truth is unchanged by the attack
+    const bool still_correct =
+        model.predict(adv.flatten()) == true_label;
+    if (!still_correct) {
+      ++flipped;
+    } else {
+      ++correct_after;
+    }
+    result.attacked_indices.push_back(result.adv_docs.size());
+    result.adv_docs.push_back(std::move(adv));
+    result.attacks.push_back(attack);
+  }
+
+  result.adversarial_accuracy =
+      result.docs_evaluated == 0
+          ? 0.0
+          : static_cast<double>(correct_after) /
+                static_cast<double>(result.docs_evaluated);
+  result.success_rate =
+      result.docs_attacked == 0
+          ? 0.0
+          : static_cast<double>(flipped) /
+                static_cast<double>(result.docs_attacked);
+  result.mean_seconds_per_doc = mean(seconds);
+  result.mean_words_changed = mean(words_changed);
+  result.mean_sentences_changed = mean(sentences_changed);
+  result.mean_queries = mean(queries);
+  return result;
+}
+
+}  // namespace advtext

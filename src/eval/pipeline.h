@@ -1,0 +1,75 @@
+// End-to-end attack evaluation pipeline: build attack resources for a task,
+// attack a trained classifier over its test set, and aggregate the metrics
+// the paper's tables report (clean vs adversarial accuracy, success rate,
+// per-document time, replacement counts).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/joint_attack.h"
+#include "src/data/synthetic.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+/// Owns the per-task attack resources (paraphrase index, sentence
+/// paraphraser, WMD, language model). Build once per task; the referenced
+/// SynthTask must outlive this object (the WMD holds a view of its
+/// paragram embeddings).
+class TaskAttackContext {
+ public:
+  TaskAttackContext(const SynthTask& task,
+                    const WordNeighborConfig& word_config = {},
+                    const SentenceParaphraserConfig& sentence_config = {});
+
+  AttackResources resources() const;
+
+  const ParaphraseIndex& word_index() const { return *word_index_; }
+  const SentenceParaphraser& paraphraser() const { return *paraphraser_; }
+  const Wmd& wmd() const { return *wmd_; }
+  const NGramLm& lm() const { return *lm_; }
+
+ private:
+  std::unique_ptr<ParaphraseIndex> word_index_;
+  std::unique_ptr<SentenceParaphraser> paraphraser_;
+  std::unique_ptr<Wmd> wmd_;
+  std::unique_ptr<NGramLm> lm_;
+};
+
+struct AttackEvalConfig {
+  JointAttackConfig joint;
+  /// Attack at most this many test documents (0 = all). Documents the
+  /// clean model already misclassifies are not attacked (they already
+  /// count against adversarial accuracy).
+  std::size_t max_docs = 0;
+};
+
+struct AttackEvalResult {
+  double clean_accuracy = 0.0;
+  double adversarial_accuracy = 0.0;
+  /// Fraction of attacked (originally correct) documents that flipped.
+  double success_rate = 0.0;
+  double mean_seconds_per_doc = 0.0;
+  double mean_words_changed = 0.0;
+  double mean_sentences_changed = 0.0;
+  double mean_queries = 0.0;
+  std::size_t docs_attacked = 0;
+  std::size_t docs_evaluated = 0;
+  /// Adversarial version of every evaluated test document (unattacked or
+  /// failed attacks keep the original text). Labels are the true labels.
+  std::vector<Document> adv_docs;
+  /// Indices (into adv_docs) of documents that were attacked.
+  std::vector<std::size_t> attacked_indices;
+  /// Per-attacked-document results, aligned with attacked_indices.
+  std::vector<JointAttackResult> attacks;
+};
+
+/// Attacks the model over task.test. For binary tasks the target label is
+/// the complement of the true label (untargeted flip as targeted attack).
+AttackEvalResult evaluate_attack(const TextClassifier& model,
+                                 const SynthTask& task,
+                                 const TaskAttackContext& context,
+                                 const AttackEvalConfig& config);
+
+}  // namespace advtext

@@ -1,0 +1,42 @@
+#include "src/eval/report.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace advtext {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths)
+    : headers_(std::move(headers)), widths_(std::move(widths)) {
+  if (headers_.size() != widths_.size()) {
+    throw std::invalid_argument("TablePrinter: header/width count mismatch");
+  }
+}
+
+void TablePrinter::print_rule() const {
+  for (int width : widths_) {
+    std::printf("+");
+    for (int i = 0; i < width + 2; ++i) std::printf("-");
+  }
+  std::printf("+\n");
+}
+
+void TablePrinter::print_header() const {
+  print_rule();
+  print_row(headers_);
+  print_rule();
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const {
+  for (std::size_t c = 0; c < widths_.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    std::printf("| %-*s ", widths_[c], cell.c_str());
+  }
+  std::printf("|\n");
+}
+
+void print_banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace advtext

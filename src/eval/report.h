@@ -1,0 +1,35 @@
+// Fixed-width table printing for the bench binaries. Every bench prints the
+// paper's rows next to our measured values so EXPERIMENTS.md can be filled
+// by reading the output.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace advtext {
+
+class TablePrinter {
+ public:
+  /// Column headers and widths; headers are printed with a separator rule.
+  TablePrinter(std::vector<std::string> headers, std::vector<int> widths);
+
+  /// Prints the header block to stdout.
+  void print_header() const;
+
+  /// Prints one row (cells beyond the column count are ignored, missing
+  /// cells print empty).
+  void print_row(const std::vector<std::string>& cells) const;
+
+  /// Prints a horizontal rule.
+  void print_rule() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+/// Prints a section banner ("== Table 2: ... ==").
+void print_banner(const std::string& title);
+
+}  // namespace advtext

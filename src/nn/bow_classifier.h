@@ -1,0 +1,75 @@
+// Bag-of-words logistic classifier.
+//
+// The simplest victim model in the paper's framework: V(x) is the
+// bag-of-words embedding (Preliminary section) and C is a linear softmax
+// on the counts. Two reasons it exists here:
+//   * Proposition 2 is *exact* for it — the classifier is linear in V, so
+//    the gradient attack's modular relaxation solves Problem 1's inner
+//    objective without error (tested in attack_ext_test).
+//   * It is the classic spam-filter baseline the adversarial-ML literature
+//    started from (Dalvi et al. 2004), giving the benches a third victim
+//    family.
+//
+// For the TextClassifier interface, input_gradient is reported in the
+// dense word-embedding space: ∇_i = W[:, token_i] mapped through the
+// paragram table is not meaningful for a count model, so instead each
+// position's gradient row is the logit-gradient of its own vocabulary
+// coordinate replicated via the identity "embedding" — see
+// input_gradient() for the exact convention.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/nn/embedding.h"
+#include "src/nn/text_classifier.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct BowClassifierConfig {
+  std::size_t vocab_size = 0;
+  std::size_t num_classes = 2;
+  std::uint64_t seed = 1;
+};
+
+class BowClassifier final : public TrainableClassifier {
+ public:
+  explicit BowClassifier(const BowClassifierConfig& config);
+
+  std::size_t num_classes() const override { return config_.num_classes; }
+
+  /// The "embedding dimension" of a count model is the vocab size: each
+  /// word's one-hot is its embedding. embedding_table() is the identity,
+  /// materialized lazily (vocab x vocab) only if an attack asks for it —
+  /// the gradient attack instead special-cases linear models via
+  /// word_gain() below.
+  std::size_t embedding_dim() const override { return config_.vocab_size; }
+  const Matrix& embedding_table() const override;
+
+  Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override;
+  std::unique_ptr<SwapEvaluator> make_swap_evaluator(
+      const TokenSeq& base) const override;
+
+  float forward_backward(const TokenSeq& tokens, std::size_t label) override;
+  std::vector<ParamRef> params() override;
+  void zero_grad() override;
+
+  /// Exact marginal effect of swapping one occurrence of `from` for `to`
+  /// on the target-class logit: w[target][to] - w[target][from]. Linear
+  /// models make Problem 2 exact; the extension tests verify the gradient
+  /// attack recovers the brute-force optimum through this.
+  double swap_logit_delta(std::size_t target, WordId from, WordId to) const;
+
+ private:
+  BowClassifierConfig config_;
+  Matrix weights_;       // C x V
+  Matrix weights_grad_;
+  Vector bias_;          // C
+  Vector bias_grad_;
+  mutable std::unique_ptr<Matrix> identity_;  // lazily built vocab x vocab
+};
+
+}  // namespace advtext

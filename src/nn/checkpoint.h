@@ -1,0 +1,33 @@
+// Model checkpointing on top of util/serialize: saves / restores every
+// trainable tensor a classifier exposes through params(). Frozen tensors
+// (e.g. pretrained embeddings) are not stored — reconstruct the model from
+// the same task/embedding table before loading.
+#pragma once
+
+#include <string>
+
+#include "src/nn/text_classifier.h"
+#include "src/util/serialize.h"
+
+namespace advtext {
+
+/// Writes all trainable parameter tensors of `model` to `path`.
+inline void save_model(TrainableClassifier& model, const std::string& path) {
+  std::vector<std::pair<const float*, std::size_t>> tensors;
+  for (const ParamRef& ref : model.params()) {
+    tensors.emplace_back(ref.value, ref.size);
+  }
+  io::save_parameters(tensors, path);
+}
+
+/// Restores parameters saved by save_model into an identically-shaped
+/// model. Throws on any shape mismatch.
+inline void load_model(TrainableClassifier& model, const std::string& path) {
+  std::vector<std::pair<float*, std::size_t>> tensors;
+  for (const ParamRef& ref : model.params()) {
+    tensors.emplace_back(ref.value, ref.size);
+  }
+  io::load_parameters(tensors, path);
+}
+
+}  // namespace advtext

@@ -1,0 +1,57 @@
+#include "src/nn/embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace advtext {
+
+EmbeddingLayer::EmbeddingLayer(std::size_t vocab_size, std::size_t dim,
+                               Rng& rng)
+    : table_(vocab_size, dim), grad_(vocab_size, dim) {
+  table_.fill_normal(rng,
+                     static_cast<float>(1.0 / std::sqrt(
+                                            static_cast<double>(dim))));
+}
+
+EmbeddingLayer::EmbeddingLayer(Matrix pretrained)
+    : table_(std::move(pretrained)),
+      grad_(table_.rows(), table_.cols()) {}
+
+const float* EmbeddingLayer::vector(WordId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= table_.rows()) {
+    throw std::out_of_range("EmbeddingLayer::vector: id out of range");
+  }
+  return table_.row(static_cast<std::size_t>(id));
+}
+
+Matrix EmbeddingLayer::lookup(const TokenSeq& tokens) const {
+  Matrix out(tokens.size(), dim());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const float* row = vector(tokens[i]);
+    for (std::size_t d = 0; d < dim(); ++d) out(i, d) = row[d];
+  }
+  return out;
+}
+
+void EmbeddingLayer::accumulate_grad(WordId token, const float* g) {
+  if (token < 0 || static_cast<std::size_t>(token) >= grad_.rows()) {
+    throw std::out_of_range("EmbeddingLayer::accumulate_grad: id out of range");
+  }
+  float* row = grad_.row(static_cast<std::size_t>(token));
+  for (std::size_t d = 0; d < dim(); ++d) row[d] += g[d];
+}
+
+void EmbeddingLayer::zero_grad() { grad_.fill(0.0f); }
+
+Vector bag_of_words(const TokenSeq& tokens, std::size_t vocab_size) {
+  Vector counts(vocab_size, 0.0f);
+  for (WordId w : tokens) {
+    if (w < 0 || static_cast<std::size_t>(w) >= vocab_size) {
+      throw std::out_of_range("bag_of_words: id out of range");
+    }
+    counts[static_cast<std::size_t>(w)] += 1.0f;
+  }
+  return counts;
+}
+
+}  // namespace advtext

@@ -1,0 +1,63 @@
+// Embedding layers: dense word-to-vector lookup and bag-of-words counts.
+//
+// The paper's Preliminary section defines two embeddings V:
+//   * word2vec-style: V(x) ∈ R^{n x D}, one dense row per token (used by
+//     both classifiers; we initialize from the task's paragram matrix,
+//     standing in for pretrained word2vec), and
+//   * bag-of-words: V(x) ∈ R^{|vocab|}, summed one-hot counts (used by the
+//     Proposition 2 closed form and its tests).
+#pragma once
+
+#include <cstddef>
+
+#include "src/tensor/tensor.h"
+#include "src/text/corpus.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+/// Dense word-embedding table with an optional gradient buffer.
+class EmbeddingLayer {
+ public:
+  EmbeddingLayer() = default;
+
+  /// Random N(0, 1/sqrt(dim)) initialization.
+  EmbeddingLayer(std::size_t vocab_size, std::size_t dim, Rng& rng);
+
+  /// Initialization from a pretrained table (e.g. SynthTask::paragram).
+  explicit EmbeddingLayer(Matrix pretrained);
+
+  std::size_t vocab_size() const { return table_.rows(); }
+  std::size_t dim() const { return table_.cols(); }
+
+  const Matrix& table() const { return table_; }
+  Matrix& mutable_table() { return table_; }
+  Matrix& grad() { return grad_; }
+
+  /// Row view for one word id (bounds-checked).
+  const float* vector(WordId id) const;
+
+  /// Stacks token embeddings into an n x dim matrix.
+  Matrix lookup(const TokenSeq& tokens) const;
+
+  /// Accumulates gradient for one token row: grad_[token] += g.
+  void accumulate_grad(WordId token, const float* g);
+
+  void zero_grad();
+
+  /// Frozen embeddings are excluded from training (the attack benches use
+  /// frozen pretrained embeddings, mirroring the paper's pretrained
+  /// word2vec first layer).
+  bool frozen() const { return frozen_; }
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+
+ private:
+  Matrix table_;
+  Matrix grad_;
+  bool frozen_ = false;
+};
+
+/// Bag-of-words embedding: V(x)[w] = count of word w in x.
+Vector bag_of_words(const TokenSeq& tokens, std::size_t vocab_size);
+
+}  // namespace advtext

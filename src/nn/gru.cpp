@@ -1,0 +1,366 @@
+#include "src/nn/gru.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace advtext {
+
+GruClassifier::GruClassifier(const GruConfig& config,
+                             Matrix pretrained_embeddings,
+                             bool freeze_embedding)
+    : config_(config),
+      embedding_(std::move(pretrained_embeddings)),
+      wx_(3 * config.hidden, config.embed_dim),
+      wx_grad_(3 * config.hidden, config.embed_dim),
+      uh_(3 * config.hidden, config.hidden),
+      uh_grad_(3 * config.hidden, config.hidden),
+      b_(3 * config.hidden, 0.0f),
+      b_grad_(3 * config.hidden, 0.0f),
+      out_w_(config.num_classes, config.hidden),
+      out_w_grad_(config.num_classes, config.hidden),
+      out_b_(config.num_classes, 0.0f),
+      out_b_grad_(config.num_classes, 0.0f),
+      rng_(config.seed) {
+  detail::check(embedding_.dim() == config_.embed_dim,
+                "GruClassifier: embedding dim mismatch");
+  embedding_.set_frozen(freeze_embedding);
+  const float bx = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(config.embed_dim + config.hidden)));
+  wx_.fill_uniform(rng_, bx);
+  const float bh = static_cast<float>(
+      std::sqrt(3.0 / static_cast<double>(config.hidden)));
+  uh_.fill_uniform(rng_, bh);
+  const float bo = static_cast<float>(std::sqrt(
+      6.0 / static_cast<double>(config.hidden + config.num_classes)));
+  out_w_.fill_uniform(rng_, bo);
+}
+
+void GruClassifier::step(const float* x, Vector& h) const {
+  const std::size_t hidden = config_.hidden;
+  Vector z(hidden);
+  Vector r(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) {
+    z[j] = sigmoid(dot(wx_.row(j), x, config_.embed_dim) +
+                   dot(uh_.row(j), h.data(), hidden) + b_[j]);
+    r[j] = sigmoid(dot(wx_.row(hidden + j), x, config_.embed_dim) +
+                   dot(uh_.row(hidden + j), h.data(), hidden) +
+                   b_[hidden + j]);
+  }
+  Vector rn(hidden);
+  for (std::size_t j = 0; j < hidden; ++j) rn[j] = r[j] * h[j];
+  for (std::size_t j = 0; j < hidden; ++j) {
+    const float cand =
+        std::tanh(dot(wx_.row(2 * hidden + j), x, config_.embed_dim) +
+                  dot(uh_.row(2 * hidden + j), rn.data(), hidden) +
+                  b_[2 * hidden + j]);
+    h[j] = (1.0f - z[j]) * h[j] + z[j] * cand;
+  }
+}
+
+Vector GruClassifier::proba_from_hidden(const Vector& h) const {
+  Vector logits = matvec(out_w_, h);
+  for (std::size_t c = 0; c < logits.size(); ++c) logits[c] += out_b_[c];
+  return softmax(logits);
+}
+
+Vector GruClassifier::forward_traced(const TokenSeq& tokens,
+                                     std::vector<StepTrace>* traces,
+                                     Matrix* embedded) const {
+  detail::check(!tokens.empty(), "GruClassifier: empty input");
+  const std::size_t hidden = config_.hidden;
+  Matrix emb = embedding_.lookup(tokens);
+  Vector h(hidden, 0.0f);
+  if (traces != nullptr) traces->resize(tokens.size());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const float* x = emb.row(t);
+    StepTrace trace;
+    trace.z.resize(hidden);
+    trace.r.resize(hidden);
+    trace.htilde.resize(hidden);
+    trace.h.resize(hidden);
+    Vector rn(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      trace.z[j] = sigmoid(dot(wx_.row(j), x, config_.embed_dim) +
+                           dot(uh_.row(j), h.data(), hidden) + b_[j]);
+      trace.r[j] =
+          sigmoid(dot(wx_.row(hidden + j), x, config_.embed_dim) +
+                  dot(uh_.row(hidden + j), h.data(), hidden) +
+                  b_[hidden + j]);
+      rn[j] = trace.r[j] * h[j];
+    }
+    for (std::size_t j = 0; j < hidden; ++j) {
+      trace.htilde[j] =
+          std::tanh(dot(wx_.row(2 * hidden + j), x, config_.embed_dim) +
+                    dot(uh_.row(2 * hidden + j), rn.data(), hidden) +
+                    b_[2 * hidden + j]);
+      trace.h[j] =
+          (1.0f - trace.z[j]) * h[j] + trace.z[j] * trace.htilde[j];
+    }
+    h = trace.h;
+    if (traces != nullptr) (*traces)[t] = std::move(trace);
+  }
+  if (embedded != nullptr) *embedded = std::move(emb);
+  return proba_from_hidden(h);
+}
+
+Vector GruClassifier::predict_proba(const TokenSeq& tokens) const {
+  detail::check(!tokens.empty(), "GruClassifier: empty input");
+  const Matrix emb = embedding_.lookup(tokens);
+  Vector h(config_.hidden, 0.0f);
+  for (std::size_t t = 0; t < tokens.size(); ++t) step(emb.row(t), h);
+  return proba_from_hidden(h);
+}
+
+template <typename OnGrads>
+void GruClassifier::bptt(const Matrix& embedded,
+                         const std::vector<StepTrace>& traces,
+                         Vector dh_final, OnGrads&& on_grads,
+                         Matrix* input_grad) const {
+  const std::size_t hidden = config_.hidden;
+  Vector dh = std::move(dh_final);
+  Vector daz(hidden);
+  Vector dar(hidden);
+  Vector dah(hidden);
+  for (std::size_t t = traces.size(); t-- > 0;) {
+    const StepTrace& tr = traces[t];
+    // n = h_{t-1} (zero vector at t = 0).
+    static const Vector kZero;
+    const Vector* n_ptr = t > 0 ? &traces[t - 1].h : nullptr;
+    Vector dn(hidden, 0.0f);
+    Vector drn(hidden, 0.0f);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float n = n_ptr != nullptr ? (*n_ptr)[j] : 0.0f;
+      const float dhj = dh[j];
+      const float dhtilde = dhj * tr.z[j];
+      const float dz = dhj * (tr.htilde[j] - n);
+      dn[j] += dhj * (1.0f - tr.z[j]);
+      dah[j] = dhtilde * (1.0f - tr.htilde[j] * tr.htilde[j]);
+      daz[j] = dz * tr.z[j] * (1.0f - tr.z[j]);
+    }
+    // d(r∘n) = Uh^T dah; then dr and dn contributions.
+    for (std::size_t j = 0; j < hidden; ++j) drn[j] = 0.0f;
+    for (std::size_t row = 0; row < hidden; ++row) {
+      const float da = dah[row];
+      if (da == 0.0f) continue;
+      const float* u = uh_.row(2 * hidden + row);
+      for (std::size_t j = 0; j < hidden; ++j) drn[j] += da * u[j];
+    }
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float n = n_ptr != nullptr ? (*n_ptr)[j] : 0.0f;
+      const float dr = drn[j] * n;
+      dar[j] = dr * tr.r[j] * (1.0f - tr.r[j]);
+      dn[j] += drn[j] * tr.r[j];
+    }
+    on_grads(t, daz, dar, dah, n_ptr);
+    // dn += Uz^T daz + Ur^T dar.
+    for (std::size_t row = 0; row < hidden; ++row) {
+      const float dz = daz[row];
+      const float dr = dar[row];
+      const float* uz = uh_.row(row);
+      const float* ur = uh_.row(hidden + row);
+      for (std::size_t j = 0; j < hidden; ++j) {
+        dn[j] += dz * uz[j] + dr * ur[j];
+      }
+    }
+    if (input_grad != nullptr) {
+      float* gx = input_grad->row(t);
+      for (std::size_t row = 0; row < hidden; ++row) {
+        const float dz = daz[row];
+        const float dr = dar[row];
+        const float da = dah[row];
+        const float* wz = wx_.row(row);
+        const float* wr = wx_.row(hidden + row);
+        const float* wh = wx_.row(2 * hidden + row);
+        for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+          gx[d] += dz * wz[d] + dr * wr[d] + da * wh[d];
+        }
+      }
+    }
+    dh = std::move(dn);
+    (void)kZero;
+  }
+  (void)embedded;
+}
+
+Matrix GruClassifier::input_gradient(const TokenSeq& tokens,
+                                     std::size_t target,
+                                     Vector* proba) const {
+  detail::check(target < config_.num_classes,
+                "GruClassifier::input_gradient: target out of range");
+  std::vector<StepTrace> traces;
+  Matrix embedded;
+  const Vector p = forward_traced(tokens, &traces, &embedded);
+  if (proba != nullptr) *proba = p;
+  Vector dlogits(p.size());
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    dlogits[c] = p[target] * ((c == target ? 1.0f : 0.0f) - p[c]);
+  }
+  Vector dh = matvec_transposed(out_w_, dlogits);
+  Matrix grad(tokens.size(), config_.embed_dim);
+  bptt(embedded, traces, std::move(dh),
+       [](std::size_t, const Vector&, const Vector&, const Vector&,
+          const Vector*) {},
+       &grad);
+  return grad;
+}
+
+float GruClassifier::forward_backward(const TokenSeq& tokens,
+                                      std::size_t label) {
+  detail::check(label < config_.num_classes,
+                "GruClassifier::forward_backward: label out of range");
+  std::vector<StepTrace> traces;
+  Matrix embedded;
+  forward_traced(tokens, &traces, &embedded);
+
+  Vector h_final = traces.back().h;
+  std::vector<float> mask(config_.hidden, 1.0f);
+  const float p = config_.train_dropout;
+  if (p > 0.0f) {
+    const float scale = 1.0f / (1.0f - p);
+    for (std::size_t j = 0; j < config_.hidden; ++j) {
+      mask[j] = rng_.bernoulli(p) ? 0.0f : scale;
+      h_final[j] *= mask[j];
+    }
+  }
+  Vector logits = matvec(out_w_, h_final);
+  for (std::size_t c = 0; c < logits.size(); ++c) logits[c] += out_b_[c];
+  const float loss = cross_entropy(logits, label);
+  const Vector dlogits = cross_entropy_grad(logits, label);
+
+  add_outer(out_w_grad_, 1.0f, dlogits, h_final);
+  for (std::size_t c = 0; c < dlogits.size(); ++c) {
+    out_b_grad_[c] += dlogits[c];
+  }
+  Vector dh = matvec_transposed(out_w_, dlogits);
+  for (std::size_t j = 0; j < config_.hidden; ++j) dh[j] *= mask[j];
+
+  const bool train_embedding = !embedding_.frozen();
+  Matrix input_grad(tokens.size(), config_.embed_dim);
+  const std::size_t hidden = config_.hidden;
+  bptt(
+      embedded, traces, std::move(dh),
+      [&](std::size_t t, const Vector& daz, const Vector& dar,
+          const Vector& dah, const Vector* n_ptr) {
+        const float* x = embedded.row(t);
+        // Candidate-gate U gradient uses r∘n; gate gradients use n.
+        const StepTrace& tr = traces[t];
+        for (std::size_t row = 0; row < hidden; ++row) {
+          const float gates[3] = {daz[row], dar[row], dah[row]};
+          for (std::size_t g = 0; g < 3; ++g) {
+            const float dv = gates[g];
+            if (dv == 0.0f) continue;
+            const std::size_t stacked = g * hidden + row;
+            float* wxg = wx_grad_.row(stacked);
+            for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+              wxg[d] += dv * x[d];
+            }
+            b_grad_[stacked] += dv;
+            if (n_ptr != nullptr) {
+              float* uhg = uh_grad_.row(stacked);
+              for (std::size_t j = 0; j < hidden; ++j) {
+                const float basis =
+                    g == 2 ? tr.r[j] * (*n_ptr)[j] : (*n_ptr)[j];
+                uhg[j] += dv * basis;
+              }
+            }
+          }
+        }
+      },
+      train_embedding ? &input_grad : nullptr);
+  if (train_embedding) {
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      embedding_.accumulate_grad(tokens[t], input_grad.row(t));
+    }
+  }
+  return loss;
+}
+
+std::vector<ParamRef> GruClassifier::params() {
+  std::vector<ParamRef> refs = {
+      {wx_.data(), wx_grad_.data(), wx_.size()},
+      {uh_.data(), uh_grad_.data(), uh_.size()},
+      {b_.data(), b_grad_.data(), b_.size()},
+      {out_w_.data(), out_w_grad_.data(), out_w_.size()},
+      {out_b_.data(), out_b_grad_.data(), out_b_.size()},
+  };
+  if (!embedding_.frozen()) {
+    refs.push_back({embedding_.mutable_table().data(),
+                    embedding_.grad().data(),
+                    embedding_.mutable_table().size()});
+  }
+  return refs;
+}
+
+void GruClassifier::zero_grad() {
+  wx_grad_.fill(0.0f);
+  uh_grad_.fill(0.0f);
+  std::fill(b_grad_.begin(), b_grad_.end(), 0.0f);
+  out_w_grad_.fill(0.0f);
+  std::fill(out_b_grad_.begin(), out_b_grad_.end(), 0.0f);
+  embedding_.zero_grad();
+}
+
+namespace {
+
+class GruSwapEvaluator : public SwapEvaluator {
+ public:
+  GruSwapEvaluator(const GruClassifier& model, const TokenSeq& base)
+      : model_(model) {
+    rebase(base);
+  }
+
+  void rebase(const TokenSeq& tokens) override {
+    detail::check(!tokens.empty(), "GruSwapEvaluator: empty base");
+    base_ = tokens;
+    const std::size_t hidden = model_.config().hidden;
+    states_.assign(tokens.size() + 1, Vector(hidden, 0.0f));
+    const Matrix emb = model_.embedding().lookup(tokens);
+    Vector h(hidden, 0.0f);
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      model_.step(emb.row(t), h);
+      states_[t + 1] = h;
+    }
+  }
+
+  Vector eval_swap(std::size_t pos, WordId candidate) override {
+    ++queries_;
+    detail::check(pos < base_.size(), "eval_swap: position out of range");
+    Vector h = states_[pos];
+    model_.step(model_.embedding().vector(candidate), h);
+    for (std::size_t t = pos + 1; t < base_.size(); ++t) {
+      model_.step(model_.embedding().vector(base_[t]), h);
+    }
+    return model_.proba_from_hidden(h);
+  }
+
+  Vector eval_tokens(const TokenSeq& tokens) override {
+    ++queries_;
+    if (tokens.size() != base_.size()) return model_.predict_proba(tokens);
+    std::size_t first = 0;
+    while (first < tokens.size() && tokens[first] == base_[first]) ++first;
+    if (first == tokens.size()) {
+      return model_.proba_from_hidden(states_.back());
+    }
+    Vector h = states_[first];
+    for (std::size_t t = first; t < tokens.size(); ++t) {
+      model_.step(model_.embedding().vector(tokens[t]), h);
+    }
+    return model_.proba_from_hidden(h);
+  }
+
+ private:
+  const GruClassifier& model_;
+  TokenSeq base_;
+  std::vector<Vector> states_;
+};
+
+}  // namespace
+
+std::unique_ptr<SwapEvaluator> GruClassifier::make_swap_evaluator(
+    const TokenSeq& base) const {
+  return std::make_unique<GruSwapEvaluator>(*this, base);
+}
+
+}  // namespace advtext

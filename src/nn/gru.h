@@ -1,0 +1,95 @@
+// One-layer GRU text classifier (Cho et al. 2014).
+//
+// A second recurrent victim family beyond the paper's LSTM: the attacks
+// only touch the TextClassifier interface, so the GRU drops in anywhere
+// the benches use the LSTM. Full manual BPTT (training + per-word input
+// gradients) and a prefix-cached SwapEvaluator, like the LSTM.
+//
+// Gate equations (n = h_{t-1}):
+//   z = σ(Wz x + Uz n + bz)            update gate
+//   r = σ(Wr x + Ur n + br)            reset gate
+//   h~ = tanh(Wh x + Uh (r∘n) + bh)    candidate state
+//   h = (1-z)∘n + z∘h~
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/nn/embedding.h"
+#include "src/nn/text_classifier.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct GruConfig {
+  std::size_t embed_dim = 16;
+  std::size_t hidden = 24;
+  std::size_t num_classes = 2;
+  float train_dropout = 0.05f;
+  std::uint64_t seed = 1;
+};
+
+class GruClassifier final : public TrainableClassifier {
+ public:
+  GruClassifier(const GruConfig& config, Matrix pretrained_embeddings,
+                bool freeze_embedding = true);
+
+  std::size_t num_classes() const override { return config_.num_classes; }
+  std::size_t embedding_dim() const override { return config_.embed_dim; }
+  const Matrix& embedding_table() const override {
+    return embedding_.table();
+  }
+
+  Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override;
+  std::unique_ptr<SwapEvaluator> make_swap_evaluator(
+      const TokenSeq& base) const override;
+
+  float forward_backward(const TokenSeq& tokens, std::size_t label) override;
+  std::vector<ParamRef> params() override;
+  void zero_grad() override;
+
+  const GruConfig& config() const { return config_; }
+  const EmbeddingLayer& embedding() const { return embedding_; }
+
+  /// One GRU step: consumes embedding row x; updates h in place.
+  void step(const float* x, Vector& h) const;
+
+  /// Probabilities from a final hidden state.
+  Vector proba_from_hidden(const Vector& h) const;
+
+ private:
+  struct StepTrace {
+    Vector z, r, htilde, h;
+  };
+
+  Vector forward_traced(const TokenSeq& tokens, std::vector<StepTrace>* traces,
+                        Matrix* embedded) const;
+
+  /// Backward pass from dh at the final step. `on_grads` receives, per
+  /// step t, the gate pre-activation gradients (daz, dar, dah) and n =
+  /// h_{t-1}; input gradients go to input_grad when non-null.
+  template <typename OnGrads>
+  void bptt(const Matrix& embedded, const std::vector<StepTrace>& traces,
+            Vector dh_final, OnGrads&& on_grads, Matrix* input_grad) const;
+
+  GruConfig config_;
+  EmbeddingLayer embedding_;
+
+  // Gate weight rows are stacked: [z; r; h~], each hidden x {D or H}.
+  Matrix wx_;        // 3H x D
+  Matrix wx_grad_;
+  Matrix uh_;        // 3H x H
+  Matrix uh_grad_;
+  Vector b_;         // 3H
+  Vector b_grad_;
+  Matrix out_w_;     // C x H
+  Matrix out_w_grad_;
+  Vector out_b_;     // C
+  Vector out_b_grad_;
+
+  mutable Rng rng_;
+};
+
+}  // namespace advtext

@@ -1,0 +1,355 @@
+#include "src/nn/lstm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+
+namespace advtext {
+
+LstmClassifier::LstmClassifier(const LstmConfig& config,
+                               Matrix pretrained_embeddings,
+                               bool freeze_embedding)
+    : config_(config),
+      embedding_(std::move(pretrained_embeddings)),
+      wx_(4 * config.hidden, config.embed_dim),
+      wx_grad_(4 * config.hidden, config.embed_dim),
+      wh_(4 * config.hidden, config.hidden),
+      wh_grad_(4 * config.hidden, config.hidden),
+      b_(4 * config.hidden, 0.0f),
+      b_grad_(4 * config.hidden, 0.0f),
+      out_w_(config.num_classes, config.hidden),
+      out_w_grad_(config.num_classes, config.hidden),
+      out_b_(config.num_classes, 0.0f),
+      out_b_grad_(config.num_classes, 0.0f),
+      rng_(config.seed) {
+  detail::check(embedding_.dim() == config_.embed_dim,
+                "LstmClassifier: embedding dim mismatch");
+  embedding_.set_frozen(freeze_embedding);
+  const float bx = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(config.embed_dim + config.hidden)));
+  wx_.fill_uniform(rng_, bx);
+  const float bh = static_cast<float>(
+      std::sqrt(3.0 / static_cast<double>(config.hidden)));
+  wh_.fill_uniform(rng_, bh);
+  // Standard trick: forget-gate bias starts at 1 so gradients flow early.
+  for (std::size_t j = 0; j < config.hidden; ++j) {
+    b_[config.hidden + j] = 1.0f;
+  }
+  const float bo = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(config.hidden +
+                                          config.num_classes)));
+  out_w_.fill_uniform(rng_, bo);
+}
+
+void LstmClassifier::step(const float* x, Vector& h, Vector& c) const {
+  const std::size_t hidden = config_.hidden;
+  Vector z(4 * hidden);
+  for (std::size_t r = 0; r < 4 * hidden; ++r) {
+    z[r] = dot(wx_.row(r), x, config_.embed_dim) +
+           dot(wh_.row(r), h.data(), hidden) + b_[r];
+  }
+  for (std::size_t j = 0; j < hidden; ++j) {
+    const float ig = sigmoid(z[j]);
+    const float fg = sigmoid(z[hidden + j]);
+    const float gg = std::tanh(z[2 * hidden + j]);
+    const float og = sigmoid(z[3 * hidden + j]);
+    c[j] = fg * c[j] + ig * gg;
+    h[j] = og * std::tanh(c[j]);
+  }
+}
+
+Vector LstmClassifier::proba_from_hidden(const Vector& h) const {
+  Vector logits = matvec(out_w_, h);
+  for (std::size_t cls = 0; cls < logits.size(); ++cls) {
+    logits[cls] += out_b_[cls];
+  }
+  return softmax(logits);
+}
+
+Vector LstmClassifier::forward_traced(const TokenSeq& tokens,
+                                      std::vector<StepTrace>* traces,
+                                      Matrix* embedded) const {
+  detail::check(!tokens.empty(), "LstmClassifier: empty input");
+  const std::size_t hidden = config_.hidden;
+  Matrix emb = embedding_.lookup(tokens);
+  Vector h(hidden, 0.0f);
+  Vector c(hidden, 0.0f);
+  if (traces != nullptr) traces->resize(tokens.size());
+  for (std::size_t t = 0; t < tokens.size(); ++t) {
+    const float* x = emb.row(t);
+    Vector z(4 * hidden);
+    for (std::size_t r = 0; r < 4 * hidden; ++r) {
+      z[r] = dot(wx_.row(r), x, config_.embed_dim) +
+             dot(wh_.row(r), h.data(), hidden) + b_[r];
+    }
+    StepTrace trace;
+    trace.i.resize(hidden);
+    trace.f.resize(hidden);
+    trace.g.resize(hidden);
+    trace.o.resize(hidden);
+    trace.c.resize(hidden);
+    trace.tanh_c.resize(hidden);
+    trace.h.resize(hidden);
+    for (std::size_t j = 0; j < hidden; ++j) {
+      trace.i[j] = sigmoid(z[j]);
+      trace.f[j] = sigmoid(z[hidden + j]);
+      trace.g[j] = std::tanh(z[2 * hidden + j]);
+      trace.o[j] = sigmoid(z[3 * hidden + j]);
+      trace.c[j] = trace.f[j] * c[j] + trace.i[j] * trace.g[j];
+      trace.tanh_c[j] = std::tanh(trace.c[j]);
+      trace.h[j] = trace.o[j] * trace.tanh_c[j];
+    }
+    h = trace.h;
+    c = trace.c;
+    if (traces != nullptr) (*traces)[t] = std::move(trace);
+  }
+  if (embedded != nullptr) *embedded = std::move(emb);
+  return proba_from_hidden(h);
+}
+
+Vector LstmClassifier::predict_proba(const TokenSeq& tokens) const {
+  detail::check(!tokens.empty(), "LstmClassifier: empty input");
+  const Matrix emb = embedding_.lookup(tokens);
+  Vector h(config_.hidden, 0.0f);
+  Vector c(config_.hidden, 0.0f);
+  for (std::size_t t = 0; t < tokens.size(); ++t) step(emb.row(t), h, c);
+  return proba_from_hidden(h);
+}
+
+template <typename OnStep>
+void LstmClassifier::bptt(const Matrix& embedded,
+                          const std::vector<StepTrace>& traces,
+                          Vector dh_final, OnStep&& on_step,
+                          Matrix* input_grad) const {
+  const std::size_t hidden = config_.hidden;
+  const std::size_t steps = traces.size();
+  Vector dh = std::move(dh_final);
+  Vector dc(hidden, 0.0f);
+  Vector dz(4 * hidden);
+  for (std::size_t t = steps; t-- > 0;) {
+    const StepTrace& tr = traces[t];
+    const Vector* c_prev = t > 0 ? &traces[t - 1].c : nullptr;
+    const Vector* h_prev = t > 0 ? &traces[t - 1].h : nullptr;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const float do_ = dh[j] * tr.tanh_c[j];
+      const float dct = dc[j] + dh[j] * tr.o[j] * (1.0f - tr.tanh_c[j] *
+                                                              tr.tanh_c[j]);
+      const float di = dct * tr.g[j];
+      const float dg = dct * tr.i[j];
+      const float cp = c_prev != nullptr ? (*c_prev)[j] : 0.0f;
+      const float df = dct * cp;
+      dc[j] = dct * tr.f[j];
+      dz[j] = di * tr.i[j] * (1.0f - tr.i[j]);
+      dz[hidden + j] = df * tr.f[j] * (1.0f - tr.f[j]);
+      dz[2 * hidden + j] = dg * (1.0f - tr.g[j] * tr.g[j]);
+      dz[3 * hidden + j] = do_ * tr.o[j] * (1.0f - tr.o[j]);
+    }
+    on_step(t, dz, h_prev);
+    // dh_prev = Wh^T dz; dx_t = Wx^T dz.
+    Vector dh_prev(hidden, 0.0f);
+    for (std::size_t r = 0; r < 4 * hidden; ++r) {
+      const float dzr = dz[r];
+      if (dzr == 0.0f) continue;
+      const float* whr = wh_.row(r);
+      for (std::size_t j = 0; j < hidden; ++j) dh_prev[j] += dzr * whr[j];
+    }
+    if (input_grad != nullptr) {
+      float* gx = input_grad->row(t);
+      for (std::size_t r = 0; r < 4 * hidden; ++r) {
+        const float dzr = dz[r];
+        if (dzr == 0.0f) continue;
+        const float* wxr = wx_.row(r);
+        for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+          gx[d] += dzr * wxr[d];
+        }
+      }
+    }
+    dh = std::move(dh_prev);
+  }
+  (void)embedded;
+}
+
+Matrix LstmClassifier::input_gradient(const TokenSeq& tokens,
+                                      std::size_t target,
+                                      Vector* proba) const {
+  detail::check(target < config_.num_classes,
+                "LstmClassifier::input_gradient: target out of range");
+  std::vector<StepTrace> traces;
+  Matrix embedded;
+  const Vector p = forward_traced(tokens, &traces, &embedded);
+  if (proba != nullptr) *proba = p;
+
+  Vector dlogits(p.size());
+  for (std::size_t cls = 0; cls < p.size(); ++cls) {
+    dlogits[cls] = p[target] * ((cls == target ? 1.0f : 0.0f) - p[cls]);
+  }
+  Vector dh = matvec_transposed(out_w_, dlogits);
+
+  Matrix grad(tokens.size(), config_.embed_dim);
+  bptt(embedded, traces, std::move(dh),
+       [](std::size_t, const Vector&, const Vector*) {}, &grad);
+  return grad;
+}
+
+float LstmClassifier::forward_backward(const TokenSeq& tokens,
+                                       std::size_t label) {
+  detail::check(label < config_.num_classes,
+                "LstmClassifier::forward_backward: label out of range");
+  std::vector<StepTrace> traces;
+  Matrix embedded;
+  forward_traced(tokens, &traces, &embedded);
+
+  Vector h_final = traces.back().h;
+  std::vector<float> mask(config_.hidden, 1.0f);
+  const float p = config_.train_dropout;
+  if (p > 0.0f) {
+    const float scale = 1.0f / (1.0f - p);
+    for (std::size_t j = 0; j < config_.hidden; ++j) {
+      mask[j] = rng_.bernoulli(p) ? 0.0f : scale;
+      h_final[j] *= mask[j];
+    }
+  }
+  Vector logits = matvec(out_w_, h_final);
+  for (std::size_t cls = 0; cls < logits.size(); ++cls) {
+    logits[cls] += out_b_[cls];
+  }
+  const float loss = cross_entropy(logits, label);
+  const Vector dlogits = cross_entropy_grad(logits, label);
+
+  add_outer(out_w_grad_, 1.0f, dlogits, h_final);
+  for (std::size_t cls = 0; cls < dlogits.size(); ++cls) {
+    out_b_grad_[cls] += dlogits[cls];
+  }
+  Vector dh = matvec_transposed(out_w_, dlogits);
+  for (std::size_t j = 0; j < config_.hidden; ++j) dh[j] *= mask[j];
+
+  const bool train_embedding = !embedding_.frozen();
+  Matrix input_grad(tokens.size(), config_.embed_dim);
+  bptt(
+      embedded, traces, std::move(dh),
+      [&](std::size_t t, const Vector& dz, const Vector* h_prev) {
+        const float* x = embedded.row(t);
+        for (std::size_t r = 0; r < 4 * config_.hidden; ++r) {
+          const float dzr = dz[r];
+          if (dzr == 0.0f) continue;
+          float* wxg = wx_grad_.row(r);
+          for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+            wxg[d] += dzr * x[d];
+          }
+          if (h_prev != nullptr) {
+            float* whg = wh_grad_.row(r);
+            for (std::size_t j = 0; j < config_.hidden; ++j) {
+              whg[j] += dzr * (*h_prev)[j];
+            }
+          }
+          b_grad_[r] += dzr;
+        }
+      },
+      train_embedding ? &input_grad : nullptr);
+  if (train_embedding) {
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      embedding_.accumulate_grad(tokens[t], input_grad.row(t));
+    }
+  }
+  return loss;
+}
+
+std::vector<ParamRef> LstmClassifier::params() {
+  std::vector<ParamRef> refs = {
+      {wx_.data(), wx_grad_.data(), wx_.size()},
+      {wh_.data(), wh_grad_.data(), wh_.size()},
+      {b_.data(), b_grad_.data(), b_.size()},
+      {out_w_.data(), out_w_grad_.data(), out_w_.size()},
+      {out_b_.data(), out_b_grad_.data(), out_b_.size()},
+  };
+  if (!embedding_.frozen()) {
+    refs.push_back({embedding_.mutable_table().data(),
+                    embedding_.grad().data(),
+                    embedding_.mutable_table().size()});
+  }
+  return refs;
+}
+
+void LstmClassifier::zero_grad() {
+  wx_grad_.fill(0.0f);
+  wh_grad_.fill(0.0f);
+  std::fill(b_grad_.begin(), b_grad_.end(), 0.0f);
+  out_w_grad_.fill(0.0f);
+  std::fill(out_b_grad_.begin(), out_b_grad_.end(), 0.0f);
+  embedding_.zero_grad();
+}
+
+// ---- Prefix-cached swap evaluator ------------------------------------------
+
+namespace {
+
+class LstmSwapEvaluatorImpl : public SwapEvaluator {
+ public:
+  LstmSwapEvaluatorImpl(const LstmClassifier& model, const TokenSeq& base)
+      : model_(model) {
+    rebase(base);
+  }
+
+  void rebase(const TokenSeq& tokens) override {
+    detail::check(!tokens.empty(), "LstmSwapEvaluator: empty base");
+    base_ = tokens;
+    const std::size_t hidden = model_.config().hidden;
+    // states_[t] = (h, c) after consuming tokens[0..t-1].
+    h_states_.assign(tokens.size() + 1, Vector(hidden, 0.0f));
+    c_states_.assign(tokens.size() + 1, Vector(hidden, 0.0f));
+    const Matrix emb = model_.embedding().lookup(tokens);
+    Vector h(hidden, 0.0f);
+    Vector c(hidden, 0.0f);
+    for (std::size_t t = 0; t < tokens.size(); ++t) {
+      model_.step(emb.row(t), h, c);
+      h_states_[t + 1] = h;
+      c_states_[t + 1] = c;
+    }
+  }
+
+  Vector eval_swap(std::size_t pos, WordId candidate) override {
+    ++queries_;
+    detail::check(pos < base_.size(), "eval_swap: position out of range");
+    Vector h = h_states_[pos];
+    Vector c = c_states_[pos];
+    model_.step(model_.embedding().vector(candidate), h, c);
+    for (std::size_t t = pos + 1; t < base_.size(); ++t) {
+      model_.step(model_.embedding().vector(base_[t]), h, c);
+    }
+    return model_.proba_from_hidden(h);
+  }
+
+  Vector eval_tokens(const TokenSeq& tokens) override {
+    ++queries_;
+    if (tokens.size() != base_.size()) {
+      return model_.predict_proba(tokens);
+    }
+    std::size_t first = 0;
+    while (first < tokens.size() && tokens[first] == base_[first]) ++first;
+    if (first == tokens.size()) {
+      return model_.proba_from_hidden(h_states_.back());
+    }
+    Vector h = h_states_[first];
+    Vector c = c_states_[first];
+    for (std::size_t t = first; t < tokens.size(); ++t) {
+      model_.step(model_.embedding().vector(tokens[t]), h, c);
+    }
+    return model_.proba_from_hidden(h);
+  }
+
+ private:
+  const LstmClassifier& model_;
+  TokenSeq base_;
+  std::vector<Vector> h_states_;
+  std::vector<Vector> c_states_;
+};
+
+}  // namespace
+
+std::unique_ptr<SwapEvaluator> LstmClassifier::make_swap_evaluator(
+    const TokenSeq& base) const {
+  return std::make_unique<LstmSwapEvaluatorImpl>(*this, base);
+}
+
+}  // namespace advtext

@@ -1,0 +1,42 @@
+#include "src/nn/scalar_rnn.h"
+
+namespace advtext {
+
+ScalarRnn::ScalarRnn(const ScalarRnnConfig& config)
+    : config_(config),
+      w_(config.recurrent_weight),
+      y_(config.output_weight),
+      b_(config.bias),
+      m_(config.embed_dim, 0.0f) {
+  Rng rng(config.seed);
+  for (float& v : m_) v = static_cast<float>(rng.normal(0.0, 0.8));
+}
+
+double ScalarRnn::input_drive(const Vector& v) const {
+  detail::check(v.size() == config_.embed_dim,
+                "ScalarRnn::input_drive: dim mismatch");
+  double acc = b_;
+  for (std::size_t d = 0; d < v.size(); ++d) acc += m_[d] * v[d];
+  return acc;
+}
+
+double ScalarRnn::final_hidden(const Matrix& embedded) const {
+  detail::check(embedded.cols() == config_.embed_dim,
+                "ScalarRnn: dim mismatch");
+  double h = config_.h_init;
+  for (std::size_t t = 0; t < embedded.rows(); ++t) {
+    double drive = b_ + w_ * h;
+    const float* row = embedded.row(t);
+    for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+      drive += m_[d] * row[d];
+    }
+    h = activate(config_.activation, static_cast<float>(drive));
+  }
+  return h;
+}
+
+double ScalarRnn::score(const Matrix& embedded) const {
+  return y_ * final_hidden(embedded);
+}
+
+}  // namespace advtext

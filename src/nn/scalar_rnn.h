@@ -1,0 +1,60 @@
+// Recurrent network with one-dimensional hidden units of Theorem 2
+// (paper eq. 5):
+//
+//   h_0 = h_init (constant),   h_t = φ(w h_{t-1} + m·v_{t-1} + b),
+//   C(v_{1:T}) = y · h_T.
+//
+// Theorem 2: if w > 0 and y > 0 and φ is non-decreasing and concave, the
+// attack set function is submodular. The property tests instantiate this
+// model with kLogSigmoid (globally concave) to confirm the theorem, and
+// with convex/sign-violating settings for negative tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct ScalarRnnConfig {
+  std::size_t embed_dim = 4;
+  Activation activation = Activation::kLogSigmoid;
+  double recurrent_weight = 0.8;  ///< w; theorem requires > 0
+  double output_weight = 1.0;     ///< y; theorem requires > 0
+  double bias = 0.1;
+  double h_init = 0.0;            ///< the constant C in the proof
+  std::uint64_t seed = 1;
+};
+
+class ScalarRnn {
+ public:
+  explicit ScalarRnn(const ScalarRnnConfig& config);
+
+  const ScalarRnnConfig& config() const { return config_; }
+
+  /// Classifier output y * h_T for a T x D embedded document.
+  double score(const Matrix& embedded) const;
+
+  /// Hidden state after consuming all rows (exposed for proofs-as-tests:
+  /// Lemma 1's diminishing-effect statement is checked directly).
+  double final_hidden(const Matrix& embedded) const;
+
+  /// Input projection m·v + b for one embedding row (the proof's v^{(j)}_i).
+  double input_drive(const Vector& v) const;
+
+  Vector& input_weights() { return m_; }
+  double& recurrent_weight() { return w_; }
+  double& output_weight() { return y_; }
+
+ private:
+  ScalarRnnConfig config_;
+  double w_;
+  double y_;
+  double b_;
+  Vector m_;  // D
+};
+
+}  // namespace advtext

@@ -1,0 +1,81 @@
+#include "src/nn/simple_wcnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace advtext {
+
+SimpleWCnn::SimpleWCnn(const SimpleWCnnConfig& config)
+    : config_(config),
+      filters_(config.num_filters, config.window * config.embed_dim),
+      filter_bias_(config.num_filters, 0.0f),
+      out_w_(config.num_filters, 0.0f) {
+  if (config.stride < config.window) {
+    throw std::invalid_argument(
+        "SimpleWCnn: Theorem 1 requires stride >= window (no overlap)");
+  }
+  Rng rng(config.seed);
+  filters_.fill_normal(rng, 0.7f);
+  for (float& b : filter_bias_) b = static_cast<float>(rng.normal(0.0, 0.3));
+  for (float& w : out_w_) {
+    const double raw = rng.normal(0.5, 0.4);
+    w = static_cast<float>(config.nonnegative_output_weights ? std::abs(raw)
+                                                             : raw);
+  }
+  out_b_ = rng.normal(0.0, 0.2);
+}
+
+std::size_t SimpleWCnn::num_windows(std::size_t num_words) const {
+  if (num_words < config_.window) return 0;
+  return (num_words - config_.window) / config_.stride + 1;
+}
+
+double SimpleWCnn::filter_preact(const Matrix& embedded, std::size_t f,
+                                 std::size_t start) const {
+  const std::size_t span = config_.window * config_.embed_dim;
+  // Rows are contiguous, so the window is one flat segment.
+  return dot(filters_.row(f), embedded.row(start), span) + filter_bias_[f];
+}
+
+double SimpleWCnn::score(const Matrix& embedded) const {
+  const std::size_t windows = num_windows(embedded.rows());
+  if (windows == 0) return out_b_;
+  double total = out_b_;
+  for (std::size_t f = 0; f < config_.num_filters; ++f) {
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t w = 0; w < windows; ++w) {
+      best = std::max(
+          best, static_cast<double>(activate(
+                    config_.activation,
+                    static_cast<float>(
+                        filter_preact(embedded, f, w * config_.stride)))));
+    }
+    total += out_w_[f] * best;
+  }
+  return total;
+}
+
+bool SimpleWCnn::replacement_increases_filters(std::size_t offset_in_window,
+                                               const Vector& original,
+                                               const Vector& candidate) const {
+  detail::check(offset_in_window < config_.window,
+                "replacement_increases_filters: offset out of range");
+  detail::check(original.size() == config_.embed_dim &&
+                    candidate.size() == config_.embed_dim,
+                "replacement_increases_filters: dim mismatch");
+  for (std::size_t f = 0; f < config_.num_filters; ++f) {
+    const float* segment =
+        filters_.row(f) + offset_in_window * config_.embed_dim;
+    double delta = 0.0;
+    for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+      delta += static_cast<double>(segment[d]) *
+               (candidate[d] - original[d]);
+    }
+    if (delta < 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace advtext

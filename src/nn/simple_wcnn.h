@@ -1,0 +1,71 @@
+// Simplified word-level CNN of Theorem 1 (paper eq. 4).
+//
+// Compared to the trainable WCnn this model drops dropout and softmax and
+// outputs the scalar  C(v_{1:n}) = w' · ĉ + b'  where ĉ is the per-filter
+// max-over-time of φ(w_j · v_window + b_j). Theorem 1 states that when
+//   (i)  windows do not overlap (stride s >= window h),
+//   (ii) the output weights w' are all non-negative, and
+//   (iii) every allowed replacement increases each filter's pre-activation,
+// the attack set function f(S) is submodular. This class exists to let the
+// property tests instantiate the theorem's exact hypotheses (and violate
+// them one at a time for negative tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct SimpleWCnnConfig {
+  std::size_t embed_dim = 4;
+  std::size_t num_filters = 3;
+  std::size_t window = 2;   ///< h, the n-gram size
+  std::size_t stride = 2;   ///< s; theorem requires s >= h
+  Activation activation = Activation::kRelu;  ///< non-decreasing φ
+  std::uint64_t seed = 1;
+  bool nonnegative_output_weights = true;     ///< theorem hypothesis (ii)
+};
+
+class SimpleWCnn {
+ public:
+  explicit SimpleWCnn(const SimpleWCnnConfig& config);
+
+  const SimpleWCnnConfig& config() const { return config_; }
+
+  /// Scalar classifier output for an n x D embedded document. Windows are
+  /// taken at offsets 0, s, 2s, ... while a full window fits.
+  double score(const Matrix& embedded) const;
+
+  /// Number of (complete) windows for an n-word document.
+  std::size_t num_windows(std::size_t num_words) const;
+
+  /// Pre-activation of filter f on the window starting at word `start`.
+  double filter_preact(const Matrix& embedded, std::size_t f,
+                       std::size_t start) const;
+
+  /// Theorem hypothesis (iii): true iff replacing the word at offset
+  /// `offset_in_window` from `original` to `candidate` does not decrease
+  /// any filter's pre-activation (checked on the relevant filter segment).
+  bool replacement_increases_filters(std::size_t offset_in_window,
+                                     const Vector& original,
+                                     const Vector& candidate) const;
+
+  /// Direct access for tests that want to break a hypothesis.
+  Matrix& filters() { return filters_; }
+  Vector& filter_bias() { return filter_bias_; }
+  Vector& output_weights() { return out_w_; }
+  double& output_bias() { return out_b_; }
+
+ private:
+  SimpleWCnnConfig config_;
+  Matrix filters_;     // F x (h * D)
+  Vector filter_bias_; // F
+  Vector out_w_;       // F, non-negative under the theorem hypothesis
+  double out_b_ = 0.0;
+};
+
+}  // namespace advtext

@@ -1,0 +1,47 @@
+#include "src/nn/text_classifier.h"
+
+#include <algorithm>
+
+namespace advtext {
+
+namespace {
+
+/// Fallback evaluator: one full forward pass per candidate.
+class FullForwardEvaluator : public SwapEvaluator {
+ public:
+  FullForwardEvaluator(const TextClassifier& model, TokenSeq base)
+      : model_(model), base_(std::move(base)) {}
+
+  void rebase(const TokenSeq& tokens) override { base_ = tokens; }
+
+  Vector eval_swap(std::size_t pos, WordId candidate) override {
+    ++queries_;
+    TokenSeq tokens = base_;
+    tokens.at(pos) = candidate;
+    return model_.predict_proba(tokens);
+  }
+
+  Vector eval_tokens(const TokenSeq& tokens) override {
+    ++queries_;
+    return model_.predict_proba(tokens);
+  }
+
+ private:
+  const TextClassifier& model_;
+  TokenSeq base_;
+};
+
+}  // namespace
+
+std::size_t TextClassifier::predict(const TokenSeq& tokens) const {
+  const Vector proba = predict_proba(tokens);
+  return static_cast<std::size_t>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::unique_ptr<SwapEvaluator> TextClassifier::make_swap_evaluator(
+    const TokenSeq& base) const {
+  return std::make_unique<FullForwardEvaluator>(*this, base);
+}
+
+}  // namespace advtext

@@ -1,0 +1,109 @@
+// Abstract classifier interface consumed by the attack algorithms.
+//
+// Every attack in the paper needs exactly two oracles from the victim model:
+//   * Cy(V(x))           — predicted probability of the target class, and
+//   * ∇Cy w.r.t. V(x)    — the gradient of that probability with respect to
+//                          each input word's embedding vector (used by the
+//                          gradient baseline [18] and the Gauss–Southwell
+//                          word selection of Alg. 3).
+//
+// The SwapEvaluator extension exposes the structure greedy attacks exploit:
+// consecutive candidate evaluations differ from a base document in a single
+// position, so models can cache per-document state (conv feature maps for
+// the WCNN, hidden-state prefixes for the LSTM) instead of running a full
+// forward per candidate. A default (no caching) implementation is provided.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "src/tensor/tensor.h"
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+/// Incremental evaluator for single-position word swaps against a cached
+/// base document. Obtain via TextClassifier::make_swap_evaluator.
+class SwapEvaluator {
+ public:
+  virtual ~SwapEvaluator() = default;
+
+  /// Re-caches state for a new base document (call after committing a swap).
+  virtual void rebase(const TokenSeq& tokens) = 0;
+
+  /// Class-probability vector for the base document with position `pos`
+  /// replaced by word `candidate`. Does not modify the base.
+  virtual Vector eval_swap(std::size_t pos, WordId candidate) = 0;
+
+  /// Class-probability vector for an arbitrary token sequence (used for
+  /// multi-position candidates in Alg. 3). Default: full forward.
+  virtual Vector eval_tokens(const TokenSeq& tokens) = 0;
+
+  /// Number of candidate evaluations performed (query-count metric).
+  std::size_t queries() const { return queries_; }
+
+ protected:
+  std::size_t queries_ = 0;
+};
+
+/// Text classifier over token-id sequences.
+class TextClassifier {
+ public:
+  virtual ~TextClassifier() = default;
+
+  virtual std::size_t num_classes() const = 0;
+  virtual std::size_t embedding_dim() const = 0;
+
+  /// The word-embedding table (vocab x embedding_dim). The gradient attack
+  /// needs it to score candidate replacements against ∇C_y.
+  virtual const Matrix& embedding_table() const = 0;
+
+  /// Class-probability vector. Non-const models (MC dropout) use an
+  /// internal mutable RNG, so repeated calls may differ when enabled.
+  virtual Vector predict_proba(const TokenSeq& tokens) const = 0;
+
+  /// Probability of a single class.
+  double class_probability(const TokenSeq& tokens, std::size_t label) const {
+    return predict_proba(tokens)[label];
+  }
+
+  /// argmax class.
+  std::size_t predict(const TokenSeq& tokens) const;
+
+  /// Gradient of the target-class probability with respect to each word's
+  /// embedding: an n x embedding_dim matrix (row i = ∇_i Cy). If `proba`
+  /// is non-null it receives the forward probabilities.
+  virtual Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                                Vector* proba = nullptr) const = 0;
+
+  /// Creates a swap evaluator seeded with the given base document. The
+  /// default implementation performs a full forward per evaluation;
+  /// concrete models override with cached incremental versions.
+  virtual std::unique_ptr<SwapEvaluator> make_swap_evaluator(
+      const TokenSeq& base) const;
+};
+
+/// Raw parameter view used by the optimizer: a contiguous value buffer and
+/// its gradient accumulator of equal length.
+struct ParamRef {
+  float* value = nullptr;
+  float* grad = nullptr;
+  std::size_t size = 0;
+};
+
+/// Classifier that supports gradient training via backprop.
+class TrainableClassifier : public TextClassifier {
+ public:
+  /// Runs forward + backward for one example, accumulating parameter
+  /// gradients; returns the cross-entropy loss.
+  virtual float forward_backward(const TokenSeq& tokens,
+                                 std::size_t label) = 0;
+
+  /// All trainable parameters (frozen tensors are excluded).
+  virtual std::vector<ParamRef> params() = 0;
+
+  /// Clears accumulated gradients.
+  virtual void zero_grad() = 0;
+};
+
+}  // namespace advtext

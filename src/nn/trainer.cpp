@@ -1,0 +1,135 @@
+#include "src/nn/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/rng.h"
+
+namespace advtext {
+
+void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
+  // Global-norm gradient clipping (on the batch-averaged gradients).
+  if (config_.clip_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const ParamRef& ref : params) {
+      for (std::size_t i = 0; i < ref.size; ++i) {
+        const double g = ref.grad[i] * batch_scale;
+        norm_sq += g * g;
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > config_.clip_norm) {
+      batch_scale *= config_.clip_norm / norm;
+    }
+  }
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t p = 0; p < params.size(); ++p) {
+      m_[p].assign(params[p].size, 0.0f);
+      v_[p].assign(params[p].size, 0.0f);
+    }
+  }
+  ++t_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+  const double lr = config_.learning_rate;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const ParamRef& ref = params[p];
+    for (std::size_t i = 0; i < ref.size; ++i) {
+      const double g = static_cast<double>(ref.grad[i]) * batch_scale +
+                       config_.weight_decay * ref.value[i];
+      m_[p][i] = static_cast<float>(b1 * m_[p][i] + (1.0 - b1) * g);
+      v_[p][i] = static_cast<float>(b2 * v_[p][i] + (1.0 - b2) * g * g);
+      const double mhat = m_[p][i] / correction1;
+      const double vhat = v_[p][i] / correction2;
+      ref.value[i] -=
+          static_cast<float>(lr * mhat / (std::sqrt(vhat) + config_.epsilon));
+    }
+  }
+}
+
+namespace {
+
+double dataset_accuracy(const TextClassifier& model,
+                        const std::vector<const Document*>& docs) {
+  if (docs.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const Document* doc : docs) {
+    const TokenSeq tokens = doc->flatten();
+    if (tokens.empty()) continue;
+    if (model.predict(tokens) == static_cast<std::size_t>(doc->label)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(docs.size());
+}
+
+}  // namespace
+
+TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
+                             const TrainConfig& config) {
+  TrainReport report;
+  Rng rng(config.seed);
+  Adam optimizer(config);
+
+  // Validation split (deterministic tail slice of a fixed permutation).
+  std::vector<const Document*> train_docs;
+  std::vector<const Document*> val_docs;
+  const auto order = rng.permutation(data.docs.size());
+  const std::size_t num_val = static_cast<std::size_t>(
+      config.validation_fraction * static_cast<double>(data.docs.size()));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const Document& doc = data.docs[order[i]];
+    if (doc.num_words() == 0) continue;
+    if (i < num_val) {
+      val_docs.push_back(&doc);
+    } else {
+      train_docs.push_back(&doc);
+    }
+  }
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    const auto perm = rng.permutation(train_docs.size());
+    double epoch_loss = 0.0;
+    std::size_t processed = 0;
+    for (std::size_t start = 0; start < perm.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(start + config.batch_size, perm.size());
+      model.zero_grad();
+      double batch_loss = 0.0;
+      for (std::size_t i = start; i < end; ++i) {
+        const Document* doc = train_docs[perm[i]];
+        batch_loss += model.forward_backward(
+            doc->flatten(), static_cast<std::size_t>(doc->label));
+      }
+      const std::size_t batch = end - start;
+      optimizer.step(model.params(), 1.0 / static_cast<double>(batch));
+      epoch_loss += batch_loss;
+      processed += batch;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, processed));
+    report.epoch_losses.push_back(epoch_loss);
+    report.final_train_loss = epoch_loss;
+    ++report.epochs_run;
+    if (!val_docs.empty()) {
+      const double val_acc = dataset_accuracy(model, val_docs);
+      report.best_validation_accuracy =
+          std::max(report.best_validation_accuracy, val_acc);
+      if (config.verbose) {
+        std::printf("epoch %zu: loss=%.4f val_acc=%.3f\n", epoch + 1,
+                    epoch_loss, val_acc);
+      }
+      // Early stop once validation is saturated and loss is small.
+      if (val_acc >= 0.999 && epoch_loss < 0.05) break;
+    } else if (config.verbose) {
+      std::printf("epoch %zu: loss=%.4f\n", epoch + 1, epoch_loss);
+    }
+  }
+  return report;
+}
+
+}  // namespace advtext

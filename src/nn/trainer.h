@@ -1,0 +1,62 @@
+// Mini-batch Adam trainer for TrainableClassifier models.
+//
+// Mirrors the paper's training recipe at laptop scale: mini-batches of 16,
+// a held-out validation slice used to pick the stopping epoch, and frozen
+// pretrained embeddings as the first layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/text_classifier.h"
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+struct TrainConfig {
+  std::size_t epochs = 12;
+  std::size_t batch_size = 16;   ///< paper: constant mini-batch of 16
+  double learning_rate = 1e-2;
+  double weight_decay = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Global gradient-norm clip applied per batch (0 disables). Standard
+  /// stabilizer for BPTT on longer documents.
+  double clip_norm = 5.0;
+  /// Fraction of the training set held out to pick the stopping epoch
+  /// (paper: 10%). 0 disables validation-based selection.
+  double validation_fraction = 0.1;
+  std::uint64_t seed = 17;
+  bool verbose = false;
+};
+
+struct TrainReport {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_validation_accuracy = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+/// Adam optimizer over raw parameter views. State is indexed by parameter
+/// order, so the same ParamRef layout must be passed to every step.
+class Adam {
+ public:
+  explicit Adam(const TrainConfig& config) : config_(config) {}
+
+  /// Applies one update given accumulated gradients (scaled by 1/batch).
+  void step(const std::vector<ParamRef>& params, double batch_scale);
+
+ private:
+  TrainConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  std::size_t t_ = 0;
+};
+
+/// Trains the model on `data` with the given config. Documents are
+/// flattened to token sequences; empty documents are skipped.
+TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
+                             const TrainConfig& config = {});
+
+}  // namespace advtext

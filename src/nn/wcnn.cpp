@@ -1,0 +1,369 @@
+#include "src/nn/wcnn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/tensor/ops.h"
+
+namespace advtext {
+
+WCnn::WCnn(const WCnnConfig& config, Matrix pretrained_embeddings,
+           bool freeze_embedding)
+    : config_(config),
+      embedding_(std::move(pretrained_embeddings)),
+      conv_w_(config.num_filters, config.kernel * config.embed_dim),
+      conv_w_grad_(config.num_filters, config.kernel * config.embed_dim),
+      conv_b_(config.num_filters, 0.0f),
+      conv_b_grad_(config.num_filters, 0.0f),
+      out_w_(config.num_classes, config.num_filters),
+      out_w_grad_(config.num_classes, config.num_filters),
+      out_b_(config.num_classes, 0.0f),
+      out_b_grad_(config.num_classes, 0.0f),
+      rng_(config.seed) {
+  detail::check(embedding_.dim() == config_.embed_dim,
+                "WCnn: embedding dim mismatch");
+  embedding_.set_frozen(freeze_embedding);
+  const float conv_bound = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(config.kernel * config.embed_dim +
+                                          config.num_filters)));
+  conv_w_.fill_uniform(rng_, conv_bound);
+  const float out_bound = static_cast<float>(
+      std::sqrt(6.0 / static_cast<double>(config.num_filters +
+                                          config.num_classes)));
+  out_w_.fill_uniform(rng_, out_bound);
+}
+
+TokenSeq WCnn::padded(const TokenSeq& tokens) const {
+  TokenSeq out = tokens;
+  while (out.size() < config_.kernel) out.push_back(Vocab::kPad);
+  return out;
+}
+
+void WCnn::window_preact(const Matrix& embedded, std::size_t win,
+                         float* out) const {
+  const std::size_t span = config_.kernel * config_.embed_dim;
+  const float* window = embedded.row(win);  // rows are contiguous
+  for (std::size_t f = 0; f < config_.num_filters; ++f) {
+    out[f] = dot(conv_w_.row(f), window, span) + conv_b_[f];
+  }
+}
+
+Matrix WCnn::conv_preact(const Matrix& embedded) const {
+  const std::size_t num_windows = embedded.rows() - config_.kernel + 1;
+  Matrix preact(num_windows, config_.num_filters);
+  for (std::size_t i = 0; i < num_windows; ++i) {
+    window_preact(embedded, i, preact.row(i));
+  }
+  return preact;
+}
+
+Vector WCnn::max_pool(const Matrix& preact,
+                      std::vector<std::size_t>* argmax) const {
+  Vector pooled(config_.num_filters,
+                -std::numeric_limits<float>::infinity());
+  if (argmax != nullptr) argmax->assign(config_.num_filters, 0);
+  for (std::size_t i = 0; i < preact.rows(); ++i) {
+    const float* row = preact.row(i);
+    for (std::size_t f = 0; f < config_.num_filters; ++f) {
+      const float a = std::max(0.0f, row[f]);  // ReLU
+      if (a > pooled[f]) {
+        pooled[f] = a;
+        if (argmax != nullptr) (*argmax)[f] = i;
+      }
+    }
+  }
+  return pooled;
+}
+
+Vector WCnn::output_logits(const Vector& pooled) const {
+  Vector logits = matvec(out_w_, pooled);
+  for (std::size_t c = 0; c < logits.size(); ++c) logits[c] += out_b_[c];
+  return logits;
+}
+
+void WCnn::apply_mc_dropout(Vector& pooled) const {
+  const float p = config_.mc_dropout;
+  if (p <= 0.0f) return;
+  const float scale = 1.0f / (1.0f - p);
+  for (float& v : pooled) {
+    v = rng_.bernoulli(p) ? 0.0f : v * scale;
+  }
+}
+
+Vector WCnn::predict_proba(const TokenSeq& tokens) const {
+  const Matrix embedded = embedding_.lookup(padded(tokens));
+  const Matrix preact = conv_preact(embedded);
+  Vector pooled = max_pool(preact);
+  apply_mc_dropout(pooled);
+  return softmax(output_logits(pooled));
+}
+
+Matrix WCnn::input_gradient(const TokenSeq& tokens, std::size_t target,
+                            Vector* proba) const {
+  detail::check(target < config_.num_classes,
+                "WCnn::input_gradient: target out of range");
+  const TokenSeq pad_tokens = padded(tokens);
+  const Matrix embedded = embedding_.lookup(pad_tokens);
+  const Matrix preact = conv_preact(embedded);
+  std::vector<std::size_t> argmax;
+  Vector pooled = max_pool(preact, &argmax);
+  // Inference MC dropout applies to gradient queries too: the attacker
+  // differentiates the same stochastic model it evaluates (§6.4), so the
+  // mask gates both the forward value and the backward path.
+  std::vector<float> mc_mask(pooled.size(), 1.0f);
+  if (config_.mc_dropout > 0.0f) {
+    const float scale = 1.0f / (1.0f - config_.mc_dropout);
+    for (std::size_t f = 0; f < pooled.size(); ++f) {
+      mc_mask[f] = rng_.bernoulli(config_.mc_dropout) ? 0.0f : scale;
+      pooled[f] *= mc_mask[f];
+    }
+  }
+  const Vector logits = output_logits(pooled);
+  const Vector p = softmax(logits);
+  if (proba != nullptr) *proba = p;
+
+  // d p_target / d logits = p_t * (onehot(t) - p)
+  Vector dlogits(p.size());
+  for (std::size_t c = 0; c < p.size(); ++c) {
+    dlogits[c] = p[target] * ((c == target ? 1.0f : 0.0f) - p[c]);
+  }
+  // d pooled = out_w^T dlogits (through the dropout mask)
+  Vector dpooled = matvec_transposed(out_w_, dlogits);
+  for (std::size_t f = 0; f < dpooled.size(); ++f) dpooled[f] *= mc_mask[f];
+
+  Matrix grad(tokens.size(), config_.embed_dim);
+  for (std::size_t f = 0; f < config_.num_filters; ++f) {
+    const std::size_t win = argmax[f];
+    const float pre = preact(win, f);
+    if (pre <= 0.0f) continue;  // ReLU gate (pooled value was 0)
+    const float dpre = dpooled[f];
+    if (dpre == 0.0f) continue;
+    const float* wf = conv_w_.row(f);
+    for (std::size_t j = 0; j < config_.kernel; ++j) {
+      const std::size_t word = win + j;
+      if (word >= tokens.size()) continue;  // padding rows
+      float* grow = grad.row(word);
+      const float* wseg = wf + j * config_.embed_dim;
+      for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+        grow[d] += dpre * wseg[d];
+      }
+    }
+  }
+  return grad;
+}
+
+float WCnn::forward_backward(const TokenSeq& tokens, std::size_t label) {
+  detail::check(label < config_.num_classes,
+                "WCnn::forward_backward: label out of range");
+  const TokenSeq pad_tokens = padded(tokens);
+  const Matrix embedded = embedding_.lookup(pad_tokens);
+  const Matrix preact = conv_preact(embedded);
+  std::vector<std::size_t> argmax;
+  Vector pooled = max_pool(preact, &argmax);
+
+  // Training dropout on the pooled layer (inverted scaling).
+  std::vector<float> mask(pooled.size(), 1.0f);
+  const float p = config_.train_dropout;
+  if (p > 0.0f) {
+    const float scale = 1.0f / (1.0f - p);
+    for (std::size_t f = 0; f < pooled.size(); ++f) {
+      mask[f] = rng_.bernoulli(p) ? 0.0f : scale;
+      pooled[f] *= mask[f];
+    }
+  }
+
+  const Vector logits = output_logits(pooled);
+  const float loss = cross_entropy(logits, label);
+  const Vector dlogits = cross_entropy_grad(logits, label);
+
+  // Output layer grads.
+  add_outer(out_w_grad_, 1.0f, dlogits, pooled);
+  for (std::size_t c = 0; c < dlogits.size(); ++c) {
+    out_b_grad_[c] += dlogits[c];
+  }
+  Vector dpooled = matvec_transposed(out_w_, dlogits);
+  for (std::size_t f = 0; f < dpooled.size(); ++f) dpooled[f] *= mask[f];
+
+  // Conv grads through the max-pool winners.
+  for (std::size_t f = 0; f < config_.num_filters; ++f) {
+    const std::size_t win = argmax[f];
+    const float pre = preact(win, f);
+    if (pre <= 0.0f) continue;
+    const float dpre = dpooled[f];
+    if (dpre == 0.0f) continue;
+    const float* window = embedded.row(win);
+    float* wg = conv_w_grad_.row(f);
+    const std::size_t span = config_.kernel * config_.embed_dim;
+    for (std::size_t i = 0; i < span; ++i) wg[i] += dpre * window[i];
+    conv_b_grad_[f] += dpre;
+    if (!embedding_.frozen()) {
+      const float* wf = conv_w_.row(f);
+      for (std::size_t j = 0; j < config_.kernel; ++j) {
+        const std::size_t word = win + j;
+        Vector g(config_.embed_dim);
+        const float* wseg = wf + j * config_.embed_dim;
+        for (std::size_t d = 0; d < config_.embed_dim; ++d) {
+          g[d] = dpre * wseg[d];
+        }
+        embedding_.accumulate_grad(pad_tokens[word], g.data());
+      }
+    }
+  }
+  return loss;
+}
+
+std::vector<ParamRef> WCnn::params() {
+  std::vector<ParamRef> refs = {
+      {conv_w_.data(), conv_w_grad_.data(), conv_w_.size()},
+      {conv_b_.data(), conv_b_grad_.data(), conv_b_.size()},
+      {out_w_.data(), out_w_grad_.data(), out_w_.size()},
+      {out_b_.data(), out_b_grad_.data(), out_b_.size()},
+  };
+  if (!embedding_.frozen()) {
+    refs.push_back({embedding_.mutable_table().data(),
+                    embedding_.grad().data(),
+                    embedding_.mutable_table().size()});
+  }
+  return refs;
+}
+
+void WCnn::zero_grad() {
+  conv_w_grad_.fill(0.0f);
+  std::fill(conv_b_grad_.begin(), conv_b_grad_.end(), 0.0f);
+  out_w_grad_.fill(0.0f);
+  std::fill(out_b_grad_.begin(), out_b_grad_.end(), 0.0f);
+  embedding_.zero_grad();
+}
+
+// ---- Incremental swap evaluator --------------------------------------------
+
+namespace {
+
+/// Caches the padded embedding matrix, conv pre-activations and per-filter
+/// prefix/suffix running maxima of the (ReLU'd) feature maps. A swap at
+/// position p touches only windows [p-kernel+1, p], a contiguous range, so
+/// the new pooled vector is max(prefix-before, new windows, suffix-after).
+class WCnnSwapEvaluatorImpl : public SwapEvaluator {
+ public:
+  WCnnSwapEvaluatorImpl(const WCnn& model, const TokenSeq& base)
+      : model_(model) {
+    rebase(base);
+  }
+
+  void rebase(const TokenSeq& tokens) override {
+    base_len_ = tokens.size();
+    padded_ = model_.padded(tokens);
+    embedded_ = model_.embedding().lookup(padded_);
+    preact_ = model_.conv_preact(embedded_);
+    const std::size_t nw = preact_.rows();
+    const std::size_t nf = model_.config().num_filters;
+    // prefix_[i] = max over windows < i; suffix_[i] = max over windows >= i.
+    prefix_ = Matrix(nw + 1, nf);
+    suffix_ = Matrix(nw + 1, nf);
+    for (std::size_t f = 0; f < nf; ++f) {
+      prefix_(0, f) = 0.0f;  // ReLU output lower bound; empty max = 0
+      suffix_(nw, f) = 0.0f;
+    }
+    for (std::size_t i = 0; i < nw; ++i) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        prefix_(i + 1, f) =
+            std::max(prefix_(i, f), std::max(0.0f, preact_(i, f)));
+      }
+    }
+    for (std::size_t i = nw; i > 0; --i) {
+      for (std::size_t f = 0; f < nf; ++f) {
+        suffix_(i - 1, f) =
+            std::max(suffix_(i, f), std::max(0.0f, preact_(i - 1, f)));
+      }
+    }
+  }
+
+  Vector eval_swap(std::size_t pos, WordId candidate) override {
+    ++queries_;
+    detail::check(pos < base_len_, "eval_swap: position out of range");
+    const auto& cfg = model_.config();
+    const std::size_t nw = preact_.rows();
+    const std::size_t lo =
+        pos >= cfg.kernel - 1 ? pos - (cfg.kernel - 1) : 0;
+    const std::size_t hi = std::min(pos, nw - 1);
+
+    // Temporarily patch the embedding row, recompute affected windows.
+    const Vector saved = embedded_.row_copy(pos);
+    const float* cand_vec = model_.embedding().vector(candidate);
+    for (std::size_t d = 0; d < cfg.embed_dim; ++d) {
+      embedded_(pos, d) = cand_vec[d];
+    }
+    Vector pooled(cfg.num_filters);
+    std::vector<float> scratch(cfg.num_filters);
+    for (std::size_t f = 0; f < cfg.num_filters; ++f) {
+      pooled[f] = std::max(prefix_(lo, f), suffix_(hi + 1, f));
+    }
+    for (std::size_t i = lo; i <= hi; ++i) {
+      model_.window_preact(embedded_, i, scratch.data());
+      for (std::size_t f = 0; f < cfg.num_filters; ++f) {
+        pooled[f] = std::max(pooled[f], std::max(0.0f, scratch[f]));
+      }
+    }
+    embedded_.set_row(pos, saved);
+
+    model_.apply_mc_dropout(pooled);
+    return softmax(model_.output_logits(pooled));
+  }
+
+  Vector eval_tokens(const TokenSeq& tokens) override {
+    ++queries_;
+    // Multi-position candidate: recompute only windows covering changed
+    // positions, take the column max with cached unaffected windows.
+    if (tokens.size() != base_len_) return model_.predict_proba(tokens);
+    const auto& cfg = model_.config();
+    const std::size_t nw = preact_.rows();
+    std::vector<bool> dirty(nw, false);
+    std::vector<std::pair<std::size_t, Vector>> patched;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i] == padded_[i]) continue;
+      patched.emplace_back(i, embedded_.row_copy(i));
+      const float* cand = model_.embedding().vector(tokens[i]);
+      for (std::size_t d = 0; d < cfg.embed_dim; ++d) {
+        embedded_(i, d) = cand[d];
+      }
+      const std::size_t lo = i >= cfg.kernel - 1 ? i - (cfg.kernel - 1) : 0;
+      const std::size_t hi = std::min(i, nw - 1);
+      for (std::size_t w = lo; w <= hi; ++w) dirty[w] = true;
+    }
+    Vector pooled(cfg.num_filters, 0.0f);
+    std::vector<float> scratch(cfg.num_filters);
+    for (std::size_t w = 0; w < nw; ++w) {
+      const float* row = preact_.row(w);
+      if (dirty[w]) {
+        model_.window_preact(embedded_, w, scratch.data());
+        row = scratch.data();
+      }
+      for (std::size_t f = 0; f < cfg.num_filters; ++f) {
+        pooled[f] = std::max(pooled[f], std::max(0.0f, row[f]));
+      }
+    }
+    for (auto& [i, saved] : patched) embedded_.set_row(i, saved);
+
+    model_.apply_mc_dropout(pooled);
+    return softmax(model_.output_logits(pooled));
+  }
+
+ private:
+  const WCnn& model_;
+  std::size_t base_len_ = 0;
+  TokenSeq padded_;
+  Matrix embedded_;  // padded
+  Matrix preact_;    // windows x filters
+  Matrix prefix_;    // (windows+1) x filters running max of ReLU'd maps
+  Matrix suffix_;
+};
+
+}  // namespace
+
+std::unique_ptr<SwapEvaluator> WCnn::make_swap_evaluator(
+    const TokenSeq& base) const {
+  return std::make_unique<WCnnSwapEvaluatorImpl>(*this, base);
+}
+
+}  // namespace advtext

@@ -1,0 +1,100 @@
+// Word-level convolutional text classifier (Kim 2014), as attacked in the
+// paper: embedding -> temporal convolution (kernel 3) -> ReLU ->
+// max-over-time pooling -> dropout -> fully connected softmax output.
+//
+// Implements full manual backprop (for training and for the input-embedding
+// gradients the attacks need) and an O(kernel * F * D) incremental
+// SwapEvaluator: a single-word swap only touches the `kernel` windows
+// covering it, and the pooled layer is re-assembled from cached prefix /
+// suffix maxima, which is what makes the greedy attacks of Section 6 fast.
+//
+// The paper runs the WCNN with 5% dropout *at inference* (§6.4, MC-dropout
+// as a Bayesian approximation); `mc_dropout` reproduces that.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/nn/embedding.h"
+#include "src/nn/text_classifier.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+struct WCnnConfig {
+  std::size_t embed_dim = 16;
+  std::size_t num_filters = 64;
+  std::size_t kernel = 3;        ///< window size h (paper: 3)
+  std::size_t num_classes = 2;
+  float train_dropout = 0.05f;   ///< dropout on the pooled layer (training)
+  float mc_dropout = 0.0f;       ///< dropout at inference (paper: 0.05)
+  std::uint64_t seed = 1;
+};
+
+class WCnn final : public TrainableClassifier {
+ public:
+  /// Builds with a pretrained (frozen by default) embedding table.
+  WCnn(const WCnnConfig& config, Matrix pretrained_embeddings,
+       bool freeze_embedding = true);
+
+  std::size_t num_classes() const override { return config_.num_classes; }
+  std::size_t embedding_dim() const override { return config_.embed_dim; }
+  const Matrix& embedding_table() const override {
+    return embedding_.table();
+  }
+
+  Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override;
+  std::unique_ptr<SwapEvaluator> make_swap_evaluator(
+      const TokenSeq& base) const override;
+
+  float forward_backward(const TokenSeq& tokens, std::size_t label) override;
+  std::vector<ParamRef> params() override;
+  void zero_grad() override;
+
+  const WCnnConfig& config() const { return config_; }
+  const EmbeddingLayer& embedding() const { return embedding_; }
+
+  /// Toggles inference-time MC dropout (ablation bench).
+  void set_mc_dropout(float rate) { config_.mc_dropout = rate; }
+
+  // -- Internal forward pieces, exposed for the incremental SwapEvaluator --
+
+  /// Pads a sequence to at least `kernel` tokens with Vocab::kPad.
+  TokenSeq padded(const TokenSeq& tokens) const;
+
+  /// Convolution pre-activations: one row per window, one column per filter.
+  Matrix conv_preact(const Matrix& embedded) const;
+
+  /// Pre-activation of one window starting at row `win` for all filters.
+  void window_preact(const Matrix& embedded, std::size_t win,
+                     float* out) const;
+
+  /// pooled[f] = max over windows of relu(preact). argmax optionally kept.
+  Vector max_pool(const Matrix& preact,
+                  std::vector<std::size_t>* argmax = nullptr) const;
+
+  /// logits from pooled features (after optional dropout mask).
+  Vector output_logits(const Vector& pooled) const;
+
+  /// Applies inference MC dropout (inverted scaling) if configured.
+  void apply_mc_dropout(Vector& pooled) const;
+
+ private:
+  WCnnConfig config_;
+  EmbeddingLayer embedding_;
+
+  Matrix conv_w_;       // F x (kernel * D)
+  Matrix conv_w_grad_;
+  Vector conv_b_;       // F
+  Vector conv_b_grad_;
+  Matrix out_w_;        // C x F
+  Matrix out_w_grad_;
+  Vector out_b_;        // C
+  Vector out_b_grad_;
+
+  mutable Rng rng_;     // dropout sampling (training + MC inference)
+};
+
+}  // namespace advtext

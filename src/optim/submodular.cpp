@@ -1,0 +1,347 @@
+#include "src/optim/submodular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace advtext {
+
+double SetFunction::value(const std::vector<std::size_t>& set) const {
+  ++evaluations_;
+  return value_impl(set);
+}
+
+namespace {
+
+/// Inserts an element keeping the list sorted (sets are tiny).
+std::vector<std::size_t> with_element(const std::vector<std::size_t>& set,
+                                      std::size_t element) {
+  std::vector<std::size_t> out = set;
+  out.insert(std::upper_bound(out.begin(), out.end(), element), element);
+  return out;
+}
+
+}  // namespace
+
+MaximizationResult greedy_maximize(const SetFunction& f, std::size_t budget) {
+  const std::size_t before = f.evaluations();
+  const std::size_t n = f.ground_set_size();
+  MaximizationResult result;
+  std::vector<std::size_t> sorted_set;
+  std::vector<bool> chosen(n, false);
+  double current = f.value({});
+  for (std::size_t round = 0; round < std::min(budget, n); ++round) {
+    double best_gain = 0.0;
+    std::size_t best_element = n;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (chosen[e]) continue;
+      const double gain = f.value(with_element(sorted_set, e)) - current;
+      if (best_element == n || gain > best_gain) {
+        best_gain = gain;
+        best_element = e;
+      }
+    }
+    if (best_element == n || best_gain <= 0.0) break;  // monotone: no gain
+    chosen[best_element] = true;
+    sorted_set = with_element(sorted_set, best_element);
+    result.set.push_back(best_element);
+    current += best_gain;
+  }
+  result.value = current;
+  result.evaluations = f.evaluations() - before;
+  return result;
+}
+
+MaximizationResult lazy_greedy_maximize(const SetFunction& f,
+                                        std::size_t budget) {
+  const std::size_t before = f.evaluations();
+  const std::size_t n = f.ground_set_size();
+  MaximizationResult result;
+  std::vector<std::size_t> sorted_set;
+  double current = f.value({});
+
+  // Max-heap of (stale upper bound, element, round when computed).
+  struct Entry {
+    double bound;
+    std::size_t element;
+    std::size_t round;
+    bool operator<(const Entry& other) const { return bound < other.bound; }
+  };
+  std::priority_queue<Entry> heap;
+  for (std::size_t e = 0; e < n; ++e) {
+    heap.push({f.value({e}) - current, e, 0});
+  }
+  for (std::size_t round = 1; round <= std::min(budget, n); ++round) {
+    std::size_t chosen = n;
+    double gain = 0.0;
+    while (!heap.empty()) {
+      Entry top = heap.top();
+      heap.pop();
+      if (top.round == round) {  // fresh for this round: exact marginal
+        chosen = top.element;
+        gain = top.bound;
+        break;
+      }
+      const double fresh =
+          f.value(with_element(sorted_set, top.element)) - current;
+      top.bound = fresh;
+      top.round = round;
+      // Submodularity: fresh bound can only have decreased; if it still
+      // tops the heap it is the argmax.
+      if (heap.empty() || fresh >= heap.top().bound) {
+        chosen = top.element;
+        gain = fresh;
+        break;
+      }
+      heap.push(top);
+    }
+    if (chosen == n || gain <= 0.0) break;
+    sorted_set = with_element(sorted_set, chosen);
+    result.set.push_back(chosen);
+    current += gain;
+  }
+  result.value = current;
+  result.evaluations = f.evaluations() - before;
+  return result;
+}
+
+MaximizationResult stochastic_greedy_maximize(const SetFunction& f,
+                                              std::size_t budget, Rng& rng,
+                                              double epsilon) {
+  const std::size_t before = f.evaluations();
+  const std::size_t n = f.ground_set_size();
+  MaximizationResult result;
+  if (budget == 0 || n == 0) {
+    result.value = f.value({});
+    result.evaluations = f.evaluations() - before;
+    return result;
+  }
+  const std::size_t sample_size = std::min<std::size_t>(
+      n, static_cast<std::size_t>(std::ceil(
+             static_cast<double>(n) / static_cast<double>(budget) *
+             std::log(1.0 / std::max(epsilon, 1e-6)))) +
+             1);
+  std::vector<std::size_t> sorted_set;
+  std::vector<bool> chosen(n, false);
+  double current = f.value({});
+  for (std::size_t round = 0; round < std::min(budget, n); ++round) {
+    const auto perm = rng.permutation(n);
+    double best_gain = 0.0;
+    std::size_t best_element = n;
+    std::size_t inspected = 0;
+    for (std::size_t idx = 0; idx < n && inspected < sample_size; ++idx) {
+      const std::size_t e = perm[idx];
+      if (chosen[e]) continue;
+      ++inspected;
+      const double gain = f.value(with_element(sorted_set, e)) - current;
+      if (best_element == n || gain > best_gain) {
+        best_gain = gain;
+        best_element = e;
+      }
+    }
+    if (best_element == n || best_gain <= 0.0) continue;
+    chosen[best_element] = true;
+    sorted_set = with_element(sorted_set, best_element);
+    result.set.push_back(best_element);
+    current += best_gain;
+  }
+  result.value = current;
+  result.evaluations = f.evaluations() - before;
+  return result;
+}
+
+MaximizationResult random_subset_baseline(const SetFunction& f,
+                                          std::size_t budget, Rng& rng) {
+  const std::size_t before = f.evaluations();
+  const std::size_t n = f.ground_set_size();
+  const auto perm = rng.permutation(n);
+  MaximizationResult result;
+  std::vector<std::size_t> sorted_set;
+  for (std::size_t i = 0; i < std::min(budget, n); ++i) {
+    result.set.push_back(perm[i]);
+    sorted_set = with_element(sorted_set, perm[i]);
+  }
+  result.value = f.value(sorted_set);
+  result.evaluations = f.evaluations() - before;
+  return result;
+}
+
+MaximizationResult brute_force_maximize(const SetFunction& f,
+                                        std::size_t budget) {
+  const std::size_t before = f.evaluations();
+  const std::size_t n = f.ground_set_size();
+  if (n > 24) {
+    throw std::invalid_argument("brute_force_maximize: ground set too large");
+  }
+  MaximizationResult result;
+  result.value = f.value({});
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcountll(mask)) > budget) {
+      continue;
+    }
+    std::vector<std::size_t> set;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (mask & (1ULL << e)) set.push_back(e);
+    }
+    const double v = f.value(set);
+    if (v > result.value) {
+      result.value = v;
+      result.set = set;
+    }
+  }
+  result.evaluations = f.evaluations() - before;
+  return result;
+}
+
+// ---- Property checkers ------------------------------------------------------
+
+namespace {
+
+std::vector<std::size_t> set_from_mask(std::uint64_t mask, std::size_t n) {
+  std::vector<std::size_t> out;
+  for (std::size_t e = 0; e < n; ++e) {
+    if (mask & (1ULL << e)) out.push_back(e);
+  }
+  return out;
+}
+
+void record(PropertyCheck& check, double margin, double tolerance) {
+  ++check.checks;
+  if (margin < -tolerance) {
+    check.holds = false;
+    ++check.violations;
+    check.worst_violation = std::min(check.worst_violation, margin);
+  }
+}
+
+}  // namespace
+
+PropertyCheck check_monotone(const SetFunction& f, Rng& rng,
+                             std::size_t samples, double tolerance,
+                             std::size_t max_exhaustive) {
+  PropertyCheck check;
+  const std::size_t n = f.ground_set_size();
+  if (n <= 20 && (1ULL << n) <= max_exhaustive) {
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      const auto s = set_from_mask(mask, n);
+      const double fs = f.value(s);
+      for (std::size_t e = 0; e < n; ++e) {
+        if (mask & (1ULL << e)) continue;
+        record(check, f.value(with_element(s, e)) - fs, tolerance);
+      }
+    }
+    return check;
+  }
+  for (std::size_t trial = 0; trial < samples; ++trial) {
+    std::vector<std::size_t> s;
+    for (std::size_t e = 0; e < n; ++e) {
+      if (rng.bernoulli(0.3)) s.push_back(e);
+    }
+    std::size_t x = rng.uniform_index(n);
+    while (std::binary_search(s.begin(), s.end(), x)) {
+      x = rng.uniform_index(n);
+    }
+    record(check, f.value(with_element(s, x)) - f.value(s), tolerance);
+  }
+  return check;
+}
+
+PropertyCheck check_submodular(const SetFunction& f, Rng& rng,
+                               std::size_t samples, double tolerance,
+                               std::size_t max_exhaustive) {
+  PropertyCheck check;
+  const std::size_t n = f.ground_set_size();
+  if (n <= 16 && (1ULL << n) <= max_exhaustive) {
+    // Exhaustive over condition 3 of Definition 1 (equivalent to 1 and 2):
+    // f(X + x1) + f(X + x2) >= f(X + x1 + x2) + f(X) for x1, x2 ∉ X.
+    for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+      const auto x = set_from_mask(mask, n);
+      const double fx = f.value(x);
+      for (std::size_t e1 = 0; e1 < n; ++e1) {
+        if (mask & (1ULL << e1)) continue;
+        const auto x1 = with_element(x, e1);
+        const double f1 = f.value(x1);
+        for (std::size_t e2 = e1 + 1; e2 < n; ++e2) {
+          if (mask & (1ULL << e2)) continue;
+          const double f2 = f.value(with_element(x, e2));
+          const double f12 = f.value(with_element(x1, e2));
+          record(check, f1 + f2 - f12 - fx, tolerance);
+        }
+      }
+    }
+    return check;
+  }
+  // Sampled condition 1: S ⊆ T, x ∉ T.
+  for (std::size_t trial = 0; trial < samples; ++trial) {
+    std::vector<std::size_t> s;
+    std::vector<std::size_t> t;
+    std::size_t x = rng.uniform_index(n);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (e == x) continue;
+      const double roll = rng.uniform();
+      if (roll < 0.25) {
+        s.push_back(e);
+        t.push_back(e);
+      } else if (roll < 0.5) {
+        t.push_back(e);
+      }
+    }
+    const double gain_s = f.value(with_element(s, x)) - f.value(s);
+    const double gain_t = f.value(with_element(t, x)) - f.value(t);
+    record(check, gain_s - gain_t, tolerance);
+  }
+  return check;
+}
+
+// ---- Reference families -----------------------------------------------------
+
+double ModularFunction::value_impl(
+    const std::vector<std::size_t>& set) const {
+  double total = 0.0;
+  for (std::size_t e : set) total += weights_.at(e);
+  return total;
+}
+
+CoverageFunction CoverageFunction::random(std::size_t n, std::size_t items,
+                                          std::size_t coverage, Rng& rng) {
+  std::vector<std::vector<std::size_t>> covers(n);
+  for (auto& c : covers) {
+    std::set<std::size_t> picked;
+    while (picked.size() < std::min(coverage, items)) {
+      picked.insert(rng.uniform_index(items));
+    }
+    c.assign(picked.begin(), picked.end());
+  }
+  std::vector<double> weights(items);
+  for (double& w : weights) w = rng.uniform(0.1, 1.0);
+  return CoverageFunction(std::move(covers), std::move(weights));
+}
+
+double CoverageFunction::value_impl(
+    const std::vector<std::size_t>& set) const {
+  std::set<std::size_t> covered;
+  for (std::size_t e : set) {
+    covered.insert(covers_.at(e).begin(), covers_.at(e).end());
+  }
+  double total = 0.0;
+  for (std::size_t item : covered) total += item_weights_.at(item);
+  return total;
+}
+
+double FacilityLocationFunction::value_impl(
+    const std::vector<std::size_t>& set) const {
+  if (set.empty()) return 0.0;
+  double total = 0.0;
+  for (std::size_t j = 0; j < similarity_.cols(); ++j) {
+    double best = 0.0;
+    for (std::size_t e : set) {
+      best = std::max(best, static_cast<double>(similarity_(e, j)));
+    }
+    total += best;
+  }
+  return total;
+}
+
+}  // namespace advtext

@@ -1,0 +1,242 @@
+#include "src/optim/transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace advtext {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+void normalize(std::vector<double>& v, const char* name) {
+  double total = 0.0;
+  for (double x : v) {
+    if (x < 0.0) throw std::invalid_argument("transport: negative mass");
+    total += x;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(std::string("transport: ") + name +
+                                " has zero mass");
+  }
+  for (double& x : v) x /= total;
+}
+
+}  // namespace
+
+double solve_transport_exact(const Matrix& cost, std::vector<double> a,
+                             std::vector<double> b, Matrix* plan) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  detail::check(cost.rows() == n && cost.cols() == m,
+                "transport: cost shape mismatch");
+  normalize(a, "a");
+  normalize(b, "b");
+
+  // Successive shortest paths on the bipartite transportation graph with
+  // node potentials. Nodes: 0..n-1 rows, n..n+m-1 columns. Because the
+  // graph is dense bipartite we run Dijkstra over rows/columns directly.
+  Matrix flow(n, m);
+  std::vector<double> row_remaining = a;
+  std::vector<double> col_remaining = b;
+  std::vector<double> row_potential(n, 0.0);
+  std::vector<double> col_potential(m, 0.0);
+
+  const double inf = std::numeric_limits<double>::infinity();
+  double objective = 0.0;
+  double shipped = 0.0;
+
+  while (shipped < 1.0 - 1e-9) {
+    // Pick any row with remaining supply as the source set; run a
+    // multi-source Dijkstra to the nearest column with remaining demand,
+    // over the residual graph (forward arcs row->col always exist; reverse
+    // arcs col->row exist where flow > 0).
+    std::vector<double> dist_row(n, inf);
+    std::vector<double> dist_col(m, inf);
+    std::vector<int> parent_col(m, -1);  // row used to reach this column
+    std::vector<int> parent_row(n, -1);  // column used to reach this row
+    using Item = std::pair<double, std::size_t>;  // (dist, node); node<n row
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row_remaining[i] > kEps) {
+        dist_row[i] = 0.0;
+        pq.emplace(0.0, i);
+      }
+    }
+    std::vector<bool> done_row(n, false);
+    std::vector<bool> done_col(m, false);
+    while (!pq.empty()) {
+      const auto [d, node] = pq.top();
+      pq.pop();
+      if (node < n) {
+        if (done_row[node] || d > dist_row[node] + kEps) continue;
+        done_row[node] = true;
+        for (std::size_t j = 0; j < m; ++j) {
+          const double reduced = cost(node, j) + row_potential[node] -
+                                 col_potential[j];
+          const double nd = d + std::max(reduced, 0.0);
+          if (nd + kEps < dist_col[j]) {
+            dist_col[j] = nd;
+            parent_col[j] = static_cast<int>(node);
+            pq.emplace(nd, n + j);
+          }
+        }
+      } else {
+        const std::size_t j = node - n;
+        if (done_col[j] || d > dist_col[j] + kEps) continue;
+        done_col[j] = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (flow(i, j) <= kEps) continue;  // reverse arc needs flow
+          const double reduced = -(cost(i, j) + row_potential[i] -
+                                   col_potential[j]);
+          const double nd = d + std::max(reduced, 0.0);
+          if (nd + kEps < dist_row[i]) {
+            dist_row[i] = nd;
+            parent_row[i] = static_cast<int>(j);
+            pq.emplace(nd, i);
+          }
+        }
+      }
+    }
+
+    // Nearest column with remaining demand.
+    std::size_t best_col = m;
+    double best_dist = inf;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (col_remaining[j] > kEps && dist_col[j] < best_dist) {
+        best_dist = dist_col[j];
+        best_col = j;
+      }
+    }
+    if (best_col == m) {
+      throw std::runtime_error("transport: no augmenting path (degenerate)");
+    }
+
+    // Update potentials.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dist_row[i] < inf) row_potential[i] += dist_row[i];
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (dist_col[j] < inf) col_potential[j] += dist_col[j];
+    }
+
+    // Trace the augmenting path back and find its bottleneck.
+    std::vector<std::pair<std::size_t, std::size_t>> forward_arcs;
+    std::vector<std::pair<std::size_t, std::size_t>> reverse_arcs;
+    double bottleneck = col_remaining[best_col];
+    std::size_t col = best_col;
+    std::size_t guard = 0;
+    for (;;) {
+      if (++guard > 4 * (n + m) * (n + m)) {
+        throw std::runtime_error("transport: path trace failed");
+      }
+      const std::size_t row = static_cast<std::size_t>(parent_col[col]);
+      forward_arcs.emplace_back(row, col);
+      if (parent_row[row] < 0) {
+        bottleneck = std::min(bottleneck, row_remaining[row]);
+        break;
+      }
+      const std::size_t prev_col = static_cast<std::size_t>(parent_row[row]);
+      reverse_arcs.emplace_back(row, prev_col);
+      bottleneck =
+          std::min(bottleneck, static_cast<double>(flow(row, prev_col)));
+      col = prev_col;
+    }
+    bottleneck = std::min(bottleneck, 1.0 - shipped);
+    if (bottleneck <= kEps) {
+      throw std::runtime_error("transport: zero bottleneck");
+    }
+    for (const auto& [i, j] : forward_arcs) {
+      flow(i, j) += static_cast<float>(bottleneck);
+      objective += bottleneck * cost(i, j);
+    }
+    for (const auto& [i, j] : reverse_arcs) {
+      flow(i, j) -= static_cast<float>(bottleneck);
+      objective -= bottleneck * cost(i, j);
+    }
+    const std::size_t src_row = forward_arcs.back().first;
+    row_remaining[src_row] -= bottleneck;
+    col_remaining[best_col] -= bottleneck;
+    shipped += bottleneck;
+  }
+
+  if (plan != nullptr) *plan = flow;
+  return objective;
+}
+
+double solve_transport_sinkhorn(const Matrix& cost, std::vector<double> a,
+                                std::vector<double> b, double reg,
+                                std::size_t iterations, Matrix* plan) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  detail::check(cost.rows() == n && cost.cols() == m,
+                "transport: cost shape mismatch");
+  detail::check(reg > 0.0, "sinkhorn: reg must be positive");
+  normalize(a, "a");
+  normalize(b, "b");
+
+  // K = exp(-C / reg), scaled by the max cost for stability.
+  Matrix kernel(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      kernel(i, j) = static_cast<float>(std::exp(-cost(i, j) / reg));
+    }
+  }
+  std::vector<double> u(n, 1.0);
+  std::vector<double> v(m, 1.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < m; ++j) s += kernel(i, j) * v[j];
+      u[i] = a[i] / std::max(s, kEps);
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += kernel(i, j) * u[i];
+      v[j] = b[j] / std::max(s, kEps);
+    }
+  }
+  double objective = 0.0;
+  if (plan != nullptr) *plan = Matrix(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double p = u[i] * kernel(i, j) * v[j];
+      objective += p * cost(i, j);
+      if (plan != nullptr) (*plan)(i, j) = static_cast<float>(p);
+    }
+  }
+  return objective;
+}
+
+double transport_relaxed_lower_bound(const Matrix& cost,
+                                     std::vector<double> a,
+                                     std::vector<double> b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  detail::check(cost.rows() == n && cost.cols() == m,
+                "transport: cost shape mismatch");
+  normalize(a, "a");
+  normalize(b, "b");
+  double lb_rows = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < m; ++j) {
+      best = std::min(best, static_cast<double>(cost(i, j)));
+    }
+    lb_rows += a[i] * best;
+  }
+  double lb_cols = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      best = std::min(best, static_cast<double>(cost(i, j)));
+    }
+    lb_cols += b[j] * best;
+  }
+  return std::max(lb_rows, lb_cols);
+}
+
+}  // namespace advtext

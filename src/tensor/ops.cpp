@@ -1,0 +1,121 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace advtext {
+
+Activation parse_activation(const std::string& name) {
+  if (name == "identity") return Activation::kIdentity;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "sigmoid") return Activation::kSigmoid;
+  if (name == "log_sigmoid") return Activation::kLogSigmoid;
+  throw std::invalid_argument("parse_activation: unknown activation " + name);
+}
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kLogSigmoid: return "log_sigmoid";
+  }
+  return "?";
+}
+
+float sigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float activate(Activation a, float x) {
+  switch (a) {
+    case Activation::kIdentity: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kTanh: return std::tanh(x);
+    case Activation::kSigmoid: return sigmoid(x);
+    case Activation::kLogSigmoid:
+      // -log(1 + e^{-x}), computed stably from log_sigmoid identities.
+      return x >= 0.0f ? -std::log1p(std::exp(-x))
+                       : x - std::log1p(std::exp(x));
+  }
+  return x;
+}
+
+float activate_grad(Activation a, float x) {
+  switch (a) {
+    case Activation::kIdentity: return 1.0f;
+    case Activation::kRelu: return x > 0.0f ? 1.0f : 0.0f;
+    case Activation::kTanh: {
+      const float t = std::tanh(x);
+      return 1.0f - t * t;
+    }
+    case Activation::kSigmoid: {
+      const float s = sigmoid(x);
+      return s * (1.0f - s);
+    }
+    case Activation::kLogSigmoid: return sigmoid(-x);
+  }
+  return 1.0f;
+}
+
+bool is_globally_concave(Activation a) {
+  switch (a) {
+    case Activation::kIdentity: return true;   // linear is (weakly) concave
+    case Activation::kRelu: return false;      // convex, not concave
+    case Activation::kTanh: return false;      // concave only on [0, inf)
+    case Activation::kSigmoid: return false;   // concave only on [0, inf)
+    case Activation::kLogSigmoid: return true;
+  }
+  return false;
+}
+
+void activate_inplace(Activation a, Vector& x) {
+  for (float& v : x) v = activate(a, v);
+}
+
+Vector softmax(const Vector& logits) {
+  detail::check(!logits.empty(), "softmax: empty input");
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  Vector out(logits.size());
+  float total = 0.0f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - mx);
+    total += out[i];
+  }
+  for (float& v : out) v /= total;
+  return out;
+}
+
+Vector log_softmax(const Vector& logits) {
+  detail::check(!logits.empty(), "log_softmax: empty input");
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float total = 0.0f;
+  for (float v : logits) total += std::exp(v - mx);
+  const float log_z = mx + std::log(total);
+  Vector out(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) out[i] = logits[i] - log_z;
+  return out;
+}
+
+float cross_entropy(const Vector& logits, std::size_t label) {
+  detail::check(label < logits.size(), "cross_entropy: label out of range");
+  return -log_softmax(logits)[label];
+}
+
+Vector cross_entropy_grad(const Vector& logits, std::size_t label) {
+  detail::check(label < logits.size(),
+                "cross_entropy_grad: label out of range");
+  Vector g = softmax(logits);
+  g[label] -= 1.0f;
+  return g;
+}
+
+}  // namespace advtext

@@ -1,0 +1,56 @@
+// Scalar activations, their derivatives, and classification losses.
+//
+// Activations are exposed both as an enum (so model configs can select one
+// at runtime — the submodularity theorems care about concavity, which we
+// probe by switching activations in the property tests) and as plain
+// functions for hot loops.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace advtext {
+
+/// Supported pointwise nonlinearities. kLogSigmoid = -log(1 + e^{-x}) is
+/// the canonical globally concave, non-decreasing activation used to
+/// exercise Theorem 2's hypothesis in the property tests.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid, kLogSigmoid };
+
+/// Parses "identity" | "relu" | "tanh" | "sigmoid"; throws on anything else.
+Activation parse_activation(const std::string& name);
+
+/// Human-readable name.
+const char* activation_name(Activation a);
+
+/// Applies the activation to a scalar.
+float activate(Activation a, float x);
+
+/// Derivative of the activation at pre-activation value x.
+float activate_grad(Activation a, float x);
+
+/// True iff the activation is concave on its whole domain (hypothesis of
+/// Theorem 2). ReLU is concave; sigmoid/tanh are not globally concave but
+/// are concave on [0, inf); we report global concavity here.
+bool is_globally_concave(Activation a);
+
+/// In-place vector activation.
+void activate_inplace(Activation a, Vector& x);
+
+/// Numerically stable softmax (subtracts the max).
+Vector softmax(const Vector& logits);
+
+/// Numerically stable log-softmax.
+Vector log_softmax(const Vector& logits);
+
+/// Cross-entropy loss for a single example: -log softmax(logits)[label].
+float cross_entropy(const Vector& logits, std::size_t label);
+
+/// Gradient of cross_entropy w.r.t. logits: softmax(logits) - onehot(label).
+Vector cross_entropy_grad(const Vector& logits, std::size_t label);
+
+/// Numerically stable sigmoid.
+float sigmoid(float x);
+
+}  // namespace advtext

@@ -1,0 +1,138 @@
+#include "src/tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace advtext {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> values) {
+  rows_ = values.size();
+  cols_ = rows_ == 0 ? 0 : values.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : values) {
+    detail::check(row.size() == cols_, "Matrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Vector Matrix::row_copy(std::size_t r) const {
+  detail::check(r < rows_, "row_copy: row out of range");
+  return Vector(row(r), row(r) + cols_);
+}
+
+void Matrix::set_row(std::size_t r, const Vector& v) {
+  detail::check(r < rows_, "set_row: row out of range");
+  detail::check(v.size() == cols_, "set_row: size mismatch");
+  std::copy(v.begin(), v.end(), row(r));
+}
+
+void Matrix::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::fill_normal(Rng& rng, float stddev) {
+  for (float& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Matrix::fill_uniform(Rng& rng, float bound) {
+  for (float& v : data_) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+float dot(const Vector& a, const Vector& b) {
+  detail::check(a.size() == b.size(), "dot: size mismatch");
+  return dot(a.data(), b.data(), a.size());
+}
+
+float dot(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(float alpha, const Vector& x, Vector& y) {
+  detail::check(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  detail::check(a.size() == b.size(), "add: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  detail::check(a.size() == b.size(), "sub: size mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector scale(const Vector& a, float alpha) {
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = alpha * a[i];
+  return out;
+}
+
+float norm2(const Vector& a) { return norm2(a.data(), a.size()); }
+
+float norm2(const float* a, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * a[i];
+  return std::sqrt(acc);
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  detail::check(a.cols() == x.size(), "matvec: shape mismatch");
+  Vector y(a.rows(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    y[r] = dot(a.row(r), x.data(), a.cols());
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  detail::check(a.rows() == x.size(), "matvec_transposed: shape mismatch");
+  Vector y(a.cols(), 0.0f);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const float xr = x[r];
+    const float* row = a.row(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) y[c] += xr * row[c];
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  detail::check(a.cols() == b.rows(), "matmul: shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t i0 = 0; i0 < a.rows(); i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, a.rows());
+    for (std::size_t k0 = 0; k0 < a.cols(); k0 += kBlock) {
+      const std::size_t k1 = std::min(k0 + kBlock, a.cols());
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float aik = a(i, k);
+          const float* brow = b.row(k);
+          float* crow = c.row(i);
+          for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y) {
+  detail::check(c.rows() == x.size() && c.cols() == y.size(),
+                "add_outer: shape mismatch");
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    const float ax = alpha * x[r];
+    float* row = c.row(r);
+    for (std::size_t j = 0; j < c.cols(); ++j) row[j] += ax * y[j];
+  }
+}
+
+float frobenius_norm(const Matrix& a) { return norm2(a.data(), a.size()); }
+
+}  // namespace advtext

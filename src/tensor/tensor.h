@@ -1,0 +1,120 @@
+// Minimal dense linear algebra used by the neural-network substrate.
+//
+// advtext deliberately does not depend on BLAS: the models in this repo are
+// laptop-scale and a simple row-major Matrix with a blocked gemm is both
+// fast enough and fully deterministic across platforms.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace advtext {
+
+using Vector = std::vector<float>;
+
+/// Row-major dense float matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+
+  /// Builds from nested initializer lists (used heavily in tests).
+  Matrix(std::initializer_list<std::initializer_list<float>> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a Vector.
+  Vector row_copy(std::size_t r) const;
+
+  /// Overwrites row r with v (v.size() must equal cols()).
+  void set_row(std::size_t r, const Vector& v);
+
+  /// Sets every element to value.
+  void fill(float value);
+
+  /// Fills with N(0, stddev) values.
+  void fill_normal(Rng& rng, float stddev);
+
+  /// Fills with U(-bound, bound) values.
+  void fill_uniform(Rng& rng, float bound);
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- Vector ops -----------------------------------------------------------
+
+/// Dot product; sizes must match.
+float dot(const Vector& a, const Vector& b);
+
+/// Dot product over raw pointers of length n.
+float dot(const float* a, const float* b, std::size_t n);
+
+/// y += alpha * x.
+void axpy(float alpha, const Vector& x, Vector& y);
+
+/// Elementwise y = a + b.
+Vector add(const Vector& a, const Vector& b);
+
+/// Elementwise y = a - b.
+Vector sub(const Vector& a, const Vector& b);
+
+/// Elementwise scale.
+Vector scale(const Vector& a, float alpha);
+
+/// Euclidean norm.
+float norm2(const Vector& a);
+
+/// Euclidean norm over a raw pointer of length n.
+float norm2(const float* a, std::size_t n);
+
+// ---- Matrix ops -----------------------------------------------------------
+
+/// y = A * x (A is rows x cols, x has cols entries).
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// y = A^T * x (x has rows entries, result has cols entries).
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+/// C = A * B. Blocked triple loop; throws on shape mismatch.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// C += alpha * x * y^T (rank-1 update; x has rows entries, y cols).
+void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y);
+
+/// Frobenius norm.
+float frobenius_norm(const Matrix& a);
+
+namespace detail {
+inline void check(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+}  // namespace detail
+
+}  // namespace advtext

@@ -1,0 +1,101 @@
+#include "src/text/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/text/tokenizer.h"
+
+namespace advtext {
+
+std::size_t Document::num_words() const {
+  std::size_t n = 0;
+  for (const Sentence& s : sentences) n += s.size();
+  return n;
+}
+
+TokenSeq Document::flatten() const {
+  TokenSeq out;
+  out.reserve(num_words());
+  for (const Sentence& s : sentences) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> Document::locate(std::size_t pos) const {
+  std::size_t offset = pos;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    if (offset < sentences[i].size()) return {i, offset};
+    offset -= sentences[i].size();
+  }
+  throw std::out_of_range("Document::locate: position out of range");
+}
+
+std::string Document::to_string(const Vocab& vocab) const {
+  std::string out;
+  for (std::size_t i = 0; i < sentences.size(); ++i) {
+    if (i > 0) out += ' ';
+    for (std::size_t j = 0; j < sentences[i].size(); ++j) {
+      if (j > 0) out += ' ';
+      out += vocab.word(sentences[i][j]);
+    }
+    out += '.';
+  }
+  return out;
+}
+
+std::pair<Dataset, Dataset> split_dataset(const Dataset& data,
+                                          double test_fraction) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("split_dataset: fraction must be in (0,1)");
+  }
+  const std::size_t k = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(1.0 / test_fraction)));
+  Dataset train;
+  Dataset test;
+  train.num_classes = test.num_classes = data.num_classes;
+  for (std::size_t i = 0; i < data.docs.size(); ++i) {
+    if (i % k == k - 1) {
+      test.docs.push_back(data.docs[i]);
+    } else {
+      train.docs.push_back(data.docs[i]);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Document document_from_text(const std::string& text, const Vocab& vocab,
+                            int label) {
+  Document doc;
+  doc.label = label;
+  for (const auto& sentence_tokens : Tokenizer::sentence_words(text)) {
+    Sentence s;
+    s.reserve(sentence_tokens.size());
+    for (const std::string& w : sentence_tokens) s.push_back(vocab.id(w));
+    doc.sentences.push_back(std::move(s));
+  }
+  return doc;
+}
+
+CorpusStats compute_stats(const Dataset& data) {
+  CorpusStats stats;
+  stats.num_docs = data.docs.size();
+  stats.class_counts.assign(static_cast<std::size_t>(data.num_classes), 0);
+  if (data.docs.empty()) return stats;
+  std::size_t words = 0;
+  std::size_t sents = 0;
+  for (const Document& doc : data.docs) {
+    words += doc.num_words();
+    sents += doc.sentences.size();
+    if (doc.label >= 0 &&
+        static_cast<std::size_t>(doc.label) < stats.class_counts.size()) {
+      ++stats.class_counts[static_cast<std::size_t>(doc.label)];
+    }
+  }
+  stats.mean_words_per_doc =
+      static_cast<double>(words) / static_cast<double>(stats.num_docs);
+  stats.mean_sentences_per_doc =
+      static_cast<double>(sents) / static_cast<double>(stats.num_docs);
+  return stats;
+}
+
+}  // namespace advtext

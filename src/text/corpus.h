@@ -1,0 +1,71 @@
+// Corpus containers: documents as sentence-segmented word-id sequences.
+//
+// Documents keep their sentence structure because the paper's joint attack
+// (Alg. 1) operates at both granularities: Alg. 2 swaps whole sentences,
+// Alg. 3 swaps individual words. Classifiers consume the flattened id
+// sequence.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/text/vocab.h"
+
+namespace advtext {
+
+/// One sentence as a list of word ids.
+using Sentence = std::vector<WordId>;
+
+/// Flattened token sequence (classifier input).
+using TokenSeq = std::vector<WordId>;
+
+/// A labelled document.
+struct Document {
+  std::vector<Sentence> sentences;
+  int label = 0;
+
+  /// Total number of word tokens.
+  std::size_t num_words() const;
+
+  /// Concatenation of all sentences.
+  TokenSeq flatten() const;
+
+  /// Maps a flat word position to (sentence index, offset in sentence).
+  /// Throws if pos >= num_words().
+  std::pair<std::size_t, std::size_t> locate(std::size_t pos) const;
+
+  /// Renders the document as text using the vocabulary.
+  std::string to_string(const Vocab& vocab) const;
+};
+
+/// A labelled dataset plus its vocabulary-independent metadata.
+struct Dataset {
+  std::vector<Document> docs;
+  int num_classes = 2;
+
+  std::size_t size() const { return docs.size(); }
+};
+
+/// Splits a dataset into train/test by a deterministic interleaving:
+/// every k-th document (k = round(1/test_fraction)) goes to test.
+std::pair<Dataset, Dataset> split_dataset(const Dataset& data,
+                                          double test_fraction);
+
+/// Parses raw text into a Document using the tokenizer and vocabulary
+/// (unknown words map to Vocab::kUnk). Used by the examples.
+Document document_from_text(const std::string& text, const Vocab& vocab,
+                            int label);
+
+/// Aggregate statistics used by the Table 6 reproduction.
+struct CorpusStats {
+  std::size_t num_docs = 0;
+  double mean_words_per_doc = 0.0;
+  double mean_sentences_per_doc = 0.0;
+  std::vector<std::size_t> class_counts;
+};
+
+/// Computes corpus statistics.
+CorpusStats compute_stats(const Dataset& data);
+
+}  // namespace advtext

@@ -1,0 +1,109 @@
+#include "src/text/ngram_lm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace advtext {
+
+NGramLm::NGramLm(const Dataset& data, std::size_t vocab_size,
+                 const NGramLmConfig& config)
+    : config_(config), vocab_size_(vocab_size) {
+  std::unordered_map<long long, bool> seen_bigram;
+  for (const Document& doc : data.docs) {
+    for (const Sentence& sentence : doc.sentences) {
+      WordId prev = kBos;
+      for (WordId w : sentence) {
+        if (w < 0 || static_cast<std::size_t>(w) >= vocab_size_) continue;
+        const long long k = key(prev, w);
+        const bool is_new = bigram_counts_.find(k) == bigram_counts_.end();
+        bigram_counts_[k] += 1.0;
+        context_totals_[prev] += 1.0;
+        if (is_new) {
+          context_types_[prev] += 1.0;
+          continuation_types_[w] += 1.0;
+          total_bigram_types_ += 1.0;
+        }
+        prev = w;
+      }
+    }
+  }
+}
+
+double NGramLm::continuation(WordId word) const {
+  if (total_bigram_types_ <= 0.0) {
+    return 1.0 / static_cast<double>(vocab_size_);
+  }
+  auto it = continuation_types_.find(word);
+  const double types = it == continuation_types_.end() ? 0.0 : it->second;
+  // Small add-k so unseen words retain mass before the uniform mixture.
+  return (types + 0.1) /
+         (total_bigram_types_ + 0.1 * static_cast<double>(vocab_size_));
+}
+
+double NGramLm::conditional(WordId prev, WordId word) const {
+  if (word < 0 || static_cast<std::size_t>(word) >= vocab_size_) {
+    throw std::out_of_range("NGramLm::conditional: word out of range");
+  }
+  const double uniform = 1.0 / static_cast<double>(vocab_size_);
+  double kn;
+  auto total_it = context_totals_.find(prev);
+  if (total_it == context_totals_.end() || total_it->second <= 0.0) {
+    kn = continuation(word);
+  } else {
+    const double total = total_it->second;
+    auto big_it = bigram_counts_.find(key(prev, word));
+    const double count = big_it == bigram_counts_.end() ? 0.0 : big_it->second;
+    const double types = context_types_.at(prev);
+    const double discounted =
+        std::max(count - config_.discount, 0.0) / total;
+    const double backoff_weight = config_.discount * types / total;
+    kn = discounted + backoff_weight * continuation(word);
+  }
+  return (1.0 - config_.uniform_mix) * kn + config_.uniform_mix * uniform;
+}
+
+double NGramLm::sentence_log_prob(const Sentence& sentence) const {
+  double lp = 0.0;
+  WordId prev = kBos;
+  for (WordId w : sentence) {
+    if (w < 0 || static_cast<std::size_t>(w) >= vocab_size_) continue;
+    lp += std::log(conditional(prev, w));
+    prev = w;
+  }
+  return lp;
+}
+
+double NGramLm::document_log_prob(const Document& doc) const {
+  double lp = 0.0;
+  for (const Sentence& s : doc.sentences) lp += sentence_log_prob(s);
+  return lp;
+}
+
+double NGramLm::sequence_log_prob(const TokenSeq& tokens) const {
+  return sentence_log_prob(tokens);
+}
+
+double NGramLm::replacement_delta(const TokenSeq& tokens, std::size_t pos,
+                                  WordId candidate) const {
+  if (pos >= tokens.size()) {
+    throw std::out_of_range("NGramLm::replacement_delta: pos out of range");
+  }
+  const WordId prev = pos > 0 ? tokens[pos - 1] : kBos;
+  const WordId old_word = tokens[pos];
+  double delta = std::log(conditional(prev, candidate)) -
+                 std::log(conditional(prev, old_word));
+  if (pos + 1 < tokens.size()) {
+    const WordId next = tokens[pos + 1];
+    delta += std::log(conditional(candidate, next)) -
+             std::log(conditional(old_word, next));
+  }
+  return delta;
+}
+
+double NGramLm::perplexity(const Document& doc) const {
+  const std::size_t n = doc.num_words();
+  if (n == 0) return 0.0;
+  return std::exp(-document_log_prob(doc) / static_cast<double>(n));
+}
+
+}  // namespace advtext

@@ -1,0 +1,76 @@
+// Interpolated Kneser-Ney bigram language model.
+//
+// Alg. 1 (step 7) filters word-paraphrase candidates by the syntactic
+// constraint |ln P(x) - ln P(x')| <= δ, where P is a language model trained
+// on the training split. A bigram KN model is the standard lightweight
+// choice and — being bigram — lets the filter evaluate a single-word swap
+// from the two affected conditional probabilities only, which the
+// paraphrase index exploits.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+struct NGramLmConfig {
+  double discount = 0.75;       ///< absolute discount d in KN smoothing
+  double uniform_mix = 0.02;    ///< floor mixture so probabilities never hit 0
+};
+
+class NGramLm {
+ public:
+  /// Trains on the sentences of every document in `data`. Each sentence is
+  /// padded with a begin-of-sentence context.
+  NGramLm(const Dataset& data, std::size_t vocab_size,
+          const NGramLmConfig& config = {});
+
+  std::size_t vocab_size() const { return vocab_size_; }
+
+  /// P(word | prev) with interpolated KN smoothing; prev < 0 means
+  /// beginning of sentence.
+  double conditional(WordId prev, WordId word) const;
+
+  /// Sum of ln P over a sentence (BOS-padded).
+  double sentence_log_prob(const Sentence& sentence) const;
+
+  /// Sum over all sentences.
+  double document_log_prob(const Document& doc) const;
+
+  /// ln P of a flat token stream treated as one BOS-padded sentence.
+  double sequence_log_prob(const TokenSeq& tokens) const;
+
+  /// Change in sequence_log_prob when tokens[pos] is replaced by
+  /// `candidate` — computed from the two affected bigrams only.
+  double replacement_delta(const TokenSeq& tokens, std::size_t pos,
+                           WordId candidate) const;
+
+  /// Per-word perplexity of a document: exp(-log_prob / num_words).
+  double perplexity(const Document& doc) const;
+
+ private:
+  /// Continuation probability P_cont(w) = N1+(·,w) / N1+(··).
+  double continuation(WordId word) const;
+
+  NGramLmConfig config_;
+  std::size_t vocab_size_;
+  // kBos is used as the context index for sentence starts.
+  static constexpr WordId kBos = -1;
+
+  std::unordered_map<long long, double> bigram_counts_;  // key = ctx*V + w
+  std::unordered_map<WordId, double> context_totals_;    // c(u, ·)
+  std::unordered_map<WordId, double> context_types_;     // N1+(u, ·)
+  std::unordered_map<WordId, double> continuation_types_;  // N1+(·, w)
+  double total_bigram_types_ = 0.0;
+
+  long long key(WordId prev, WordId word) const {
+    return (static_cast<long long>(prev) + 1) *
+               static_cast<long long>(vocab_size_ + 1) +
+           static_cast<long long>(word);
+  }
+};
+
+}  // namespace advtext

@@ -1,0 +1,60 @@
+#include "src/text/paraphrase_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace advtext {
+
+ParaphraseIndex::ParaphraseIndex(const Matrix& paragram_embeddings,
+                                 const WordNeighborConfig& config,
+                                 WordId first_valid_id)
+    : config_(config) {
+  const WordId vocab = static_cast<WordId>(paragram_embeddings.rows());
+  neighbors_.resize(static_cast<std::size_t>(vocab));
+  const Wmd wmd(paragram_embeddings);
+  for (WordId w = first_valid_id; w < vocab; ++w) {
+    std::vector<std::pair<double, WordId>> scored;
+    for (WordId other = first_valid_id; other < vocab; ++other) {
+      if (other == w) continue;
+      const double sim = wmd.word_similarity(w, other);
+      if (sim >= config.min_similarity) scored.emplace_back(sim, other);
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    if (scored.size() > config.max_neighbors) {
+      scored.resize(config.max_neighbors);
+    }
+    auto& list = neighbors_[static_cast<std::size_t>(w)];
+    list.reserve(scored.size());
+    for (const auto& [sim, other] : scored) list.push_back(other);
+  }
+}
+
+const std::vector<WordId>& ParaphraseIndex::neighbors(WordId word) const {
+  static const std::vector<WordId> kEmpty;
+  if (word < 0 || static_cast<std::size_t>(word) >= neighbors_.size()) {
+    return kEmpty;
+  }
+  return neighbors_[static_cast<std::size_t>(word)];
+}
+
+std::vector<std::vector<WordId>> ParaphraseIndex::candidates_for(
+    const TokenSeq& tokens, const NGramLm* lm) const {
+  std::vector<std::vector<WordId>> out(tokens.size());
+  for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+    for (WordId candidate : neighbors(tokens[pos])) {
+      if (lm != nullptr &&
+          config_.lm_delta < std::numeric_limits<double>::infinity()) {
+        const double delta =
+            std::abs(lm->replacement_delta(tokens, pos, candidate));
+        if (delta > config_.lm_delta) continue;
+      }
+      out[pos].push_back(candidate);
+    }
+  }
+  return out;
+}
+
+}  // namespace advtext

@@ -1,0 +1,60 @@
+// Word-level paraphrase candidate sets (Alg. 1, step 7).
+//
+// For every vocabulary word this index precomputes the k nearest
+// neighbours in the paragram embedding space whose WMD similarity clears
+// δw. At attack time, candidates_for() instantiates per-position candidate
+// lists for a document and applies the syntactic language-model filter
+// |ln P(x) - ln P(x')| <= δ (δ = inf disables it, as the paper does for
+// the corrupted Trec07p emails).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "src/text/corpus.h"
+#include "src/text/ngram_lm.h"
+#include "src/text/wmd.h"
+
+namespace advtext {
+
+struct WordNeighborConfig {
+  std::size_t max_neighbors = 15;   ///< paper: k = 15
+  /// Similarity floor. The paper uses spaCy's WMD similarity with
+  /// δw = 0.75; our similarity is exp(-distance) on a different embedding
+  /// scale, so the equivalent operating point (admit a synonym cluster,
+  /// reject across clusters) sits at 0.5 here.
+  double min_similarity = 0.5;
+  /// Syntactic bound δ on |Δ ln P|; infinity disables the LM filter.
+  /// Calibrated to our bigram LM: synonym swaps measure |Δ ln P| ≈ 1-3,
+  /// corrupted-token swaps ≈ 3-6, so 3.0 keeps ~90% of synonyms while
+  /// pruning junk (the paper's δ² = 2 is on a different LM's scale).
+  double lm_delta = 3.0;
+};
+
+class ParaphraseIndex {
+ public:
+  /// Precomputes neighbour lists for all words. Ids below
+  /// `first_valid_id` (the <pad>/<unk> specials) get empty lists and are
+  /// never offered as candidates.
+  ParaphraseIndex(const Matrix& paragram_embeddings,
+                  const WordNeighborConfig& config,
+                  WordId first_valid_id = 2);
+
+  const WordNeighborConfig& config() const { return config_; }
+
+  /// Precomputed semantic neighbours of a word (similarity-sorted).
+  const std::vector<WordId>& neighbors(WordId word) const;
+
+  /// Per-position candidate lists for a token sequence. When `lm` is
+  /// non-null, candidates failing the |Δ ln P| <= lm_delta filter are
+  /// dropped (evaluated locally from the bigram model).
+  std::vector<std::vector<WordId>> candidates_for(const TokenSeq& tokens,
+                                                  const NGramLm* lm) const;
+
+ private:
+  WordNeighborConfig config_;
+  std::vector<std::vector<WordId>> neighbors_;
+};
+
+}  // namespace advtext

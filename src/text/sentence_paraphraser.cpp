@@ -1,0 +1,193 @@
+#include "src/text/sentence_paraphraser.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/rng.h"
+
+namespace advtext {
+
+namespace {
+
+/// Content hash so rule choices are deterministic per sentence.
+std::uint64_t sentence_hash(const Sentence& s, std::uint64_t seed) {
+  std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+  for (WordId w : s) {
+    h ^= static_cast<std::uint64_t>(w) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+         (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+SentenceParaphraser::SentenceParaphraser(
+    std::vector<std::vector<WordId>> word_neighbors,
+    std::vector<bool> is_function_word,
+    const SentenceParaphraserConfig& config)
+    : word_neighbors_(std::move(word_neighbors)),
+      is_function_word_(std::move(is_function_word)),
+      config_(config) {}
+
+std::vector<Sentence> SentenceParaphraser::generate_raw(
+    const Sentence& sentence) const {
+  std::vector<Sentence> out;
+  if (sentence.empty()) return out;
+  const auto neighbors_of = [&](WordId w) -> const std::vector<WordId>& {
+    static const std::vector<WordId> kEmpty;
+    if (w < 0 || static_cast<std::size_t>(w) >= word_neighbors_.size()) {
+      return kEmpty;
+    }
+    return word_neighbors_[static_cast<std::size_t>(w)];
+  };
+  const auto is_function = [&](WordId w) {
+    return w >= 0 && static_cast<std::size_t>(w) < is_function_word_.size() &&
+           is_function_word_[static_cast<std::size_t>(w)];
+  };
+
+  // Rule 0: full rewrites — substitute every substitutable word with one
+  // of its near-synonyms in a single candidate. This is the move a neural
+  // sentence paraphraser (Para-NMT style) makes: the whole surface changes
+  // at once while the bag of meanings stays put. Variant index is
+  // deterministic per (sentence, rewrite, position).
+  {
+    Rng rewrite_rng(sentence_hash(sentence, config_.seed ^ 0xabcdef));
+    for (std::size_t variant = 0; variant < 8; ++variant) {
+      // Alternate between light rewrites (most words kept) and deep
+      // rewrites (every substitutable word replaced) — neural
+      // paraphrasers produce both registers.
+      const double keep_prob = variant % 2 == 0 ? 0.35 : 0.0;
+      Sentence cand = sentence;
+      bool changed = false;
+      for (std::size_t p = 0; p < cand.size(); ++p) {
+        const auto& nbrs = neighbors_of(sentence[p]);
+        if (nbrs.empty()) continue;
+        // Rewrites draw from the whole neighbour list — a neural
+        // paraphraser is not restricted to the closest synonym.
+        if (keep_prob > 0.0 && rewrite_rng.bernoulli(keep_prob)) continue;
+        cand[p] = nbrs[rewrite_rng.uniform_index(nbrs.size())];
+        changed = changed || cand[p] != sentence[p];
+      }
+      if (changed) out.push_back(std::move(cand));
+    }
+  }
+
+  // Rule 1: single-word synonym substitutions.
+  for (std::size_t p = 0; p < sentence.size(); ++p) {
+    const auto& nbrs = neighbors_of(sentence[p]);
+    const std::size_t take = std::min(config_.synonyms_per_word, nbrs.size());
+    for (std::size_t t = 0; t < take; ++t) {
+      Sentence cand = sentence;
+      cand[p] = nbrs[t];
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // Rule 2: two-word joint substitutions on deterministic position pairs.
+  Rng rng(sentence_hash(sentence, config_.seed));
+  std::vector<std::size_t> substitutable;
+  for (std::size_t p = 0; p < sentence.size(); ++p) {
+    if (!neighbors_of(sentence[p]).empty()) substitutable.push_back(p);
+  }
+  if (substitutable.size() >= 2) {
+    const std::size_t num_pairs =
+        std::min<std::size_t>(6, substitutable.size());
+    for (std::size_t trial = 0; trial < num_pairs; ++trial) {
+      const std::size_t p =
+          substitutable[rng.uniform_index(substitutable.size())];
+      std::size_t q = substitutable[rng.uniform_index(substitutable.size())];
+      if (p == q) continue;
+      const auto& np = neighbors_of(sentence[p]);
+      const auto& nq = neighbors_of(sentence[q]);
+      Sentence cand = sentence;
+      cand[p] = np[rng.uniform_index(
+          std::min(config_.synonyms_per_word, np.size()))];
+      cand[q] = nq[rng.uniform_index(
+          std::min(config_.synonyms_per_word, nq.size()))];
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // Rule 3: swap adjacent function words.
+  for (std::size_t p = 0; p + 1 < sentence.size(); ++p) {
+    if (is_function(sentence[p]) && is_function(sentence[p + 1]) &&
+        sentence[p] != sentence[p + 1]) {
+      Sentence cand = sentence;
+      std::swap(cand[p], cand[p + 1]);
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // Rule 4: drop one function word (keep the sentence non-trivial).
+  if (sentence.size() > 3) {
+    for (std::size_t p = 0; p < sentence.size(); ++p) {
+      if (!is_function(sentence[p])) continue;
+      Sentence cand;
+      cand.reserve(sentence.size() - 1);
+      for (std::size_t q = 0; q < sentence.size(); ++q) {
+        if (q != p) cand.push_back(sentence[q]);
+      }
+      out.push_back(std::move(cand));
+    }
+  }
+
+  // Rule 5: a leading function word may move to the end (discourse-marker
+  // style rewrite).
+  if (sentence.size() > 2 && is_function(sentence.front())) {
+    Sentence cand(sentence.begin() + 1, sentence.end());
+    cand.push_back(sentence.front());
+    out.push_back(std::move(cand));
+  }
+
+  return out;
+}
+
+std::vector<Sentence> SentenceParaphraser::paraphrases(
+    const Sentence& sentence, const Wmd& wmd) const {
+  std::vector<std::pair<double, Sentence>> scored;
+  std::set<Sentence> seen;
+  seen.insert(sentence);
+  for (Sentence& cand : generate_raw(sentence)) {
+    if (!seen.insert(cand).second) continue;
+    const double sim = wmd.similarity(sentence, cand);
+    if (sim >= config_.min_similarity) {
+      scored.emplace_back(sim, std::move(cand));
+    }
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  // Keep the set DIVERSE when capping: taking only the most-similar
+  // candidates would keep the lightest rewrites and drop the deep ones,
+  // collapsing the attack surface. Interleave from both ends of the
+  // similarity ranking (all entries already clear the threshold).
+  std::vector<Sentence> out;
+  if (scored.size() <= config_.max_paraphrases) {
+    out.reserve(scored.size());
+    for (auto& [sim, cand] : scored) out.push_back(std::move(cand));
+    return out;
+  }
+  out.reserve(config_.max_paraphrases);
+  std::size_t lo = 0;
+  std::size_t hi = scored.size();
+  while (out.size() < config_.max_paraphrases) {
+    out.push_back(std::move(scored[lo++].second));
+    if (out.size() < config_.max_paraphrases) {
+      out.push_back(std::move(scored[--hi].second));
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<Sentence>> SentenceParaphraser::neighbor_sets(
+    const Document& doc, const Wmd& wmd) const {
+  std::vector<std::vector<Sentence>> out;
+  out.reserve(doc.sentences.size());
+  for (const Sentence& s : doc.sentences) {
+    out.push_back(paraphrases(s, wmd));
+  }
+  return out;
+}
+
+}  // namespace advtext

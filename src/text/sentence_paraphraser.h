@@ -1,0 +1,62 @@
+// Rule-based sentence paraphrase generation (the Para-NMT-50M stand-in).
+//
+// Alg. 1 (step 3) needs, for every sentence s_i, a neighbouring set S_i of
+// at most k paraphrases with WMD(s_i, s) <= δs. The pretrained neural
+// paraphraser the paper uses is unavailable offline, so this engine
+// composes deterministic rewrite rules that produce the same *kind* of
+// candidates (DESIGN.md §1): near-synonym substitutions, function-word
+// rewrites, and light reorderings — semantically close under WMD, but with
+// different surface statistics, which is what gives the sentence-level
+// attack its leverage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/text/corpus.h"
+#include "src/text/wmd.h"
+
+namespace advtext {
+
+struct SentenceParaphraserConfig {
+  std::size_t max_paraphrases = 15;  ///< paper: k = 15
+  /// Similarity floor; see WordNeighborConfig::min_similarity for why
+  /// this is 0.65 rather than the paper's 0.75 (different distance scale).
+  double min_similarity = 0.65;
+  /// How many synonym alternatives per word the rules may reach for.
+  std::size_t synonyms_per_word = 4;
+  std::uint64_t seed = 5;
+};
+
+class SentenceParaphraser {
+ public:
+  /// `word_neighbors[w]` lists near-synonyms of word w (similarity-sorted,
+  /// e.g. from ParaphraseIndex); `is_function_word[w]` marks words the
+  /// reordering rules may move or drop. Both indexed by word id.
+  SentenceParaphraser(std::vector<std::vector<WordId>> word_neighbors,
+                      std::vector<bool> is_function_word,
+                      const SentenceParaphraserConfig& config = {});
+
+  const SentenceParaphraserConfig& config() const { return config_; }
+
+  /// Up to max_paraphrases candidates for `sentence`, each distinct from
+  /// the original and passing similarity(s, s') >= min_similarity under
+  /// the given WMD. Deterministic for a given sentence.
+  std::vector<Sentence> paraphrases(const Sentence& sentence,
+                                    const Wmd& wmd) const;
+
+  /// Neighbouring sets for every sentence of a document (Alg. 1, step 3).
+  std::vector<std::vector<Sentence>> neighbor_sets(const Document& doc,
+                                                   const Wmd& wmd) const;
+
+ private:
+  /// All rule applications, before WMD filtering and truncation.
+  std::vector<Sentence> generate_raw(const Sentence& sentence) const;
+
+  std::vector<std::vector<WordId>> word_neighbors_;
+  std::vector<bool> is_function_word_;
+  SentenceParaphraserConfig config_;
+};
+
+}  // namespace advtext

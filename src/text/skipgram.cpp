@@ -1,0 +1,130 @@
+#include "src/text/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+Matrix train_skipgram(const Dataset& data, std::size_t vocab_size,
+                      const SkipGramConfig& config) {
+  Rng rng(config.seed);
+  const std::size_t dim = config.dim;
+
+  // Flatten corpus and count unigrams.
+  std::vector<TokenSeq> streams;
+  std::vector<double> counts(vocab_size, 0.0);
+  std::size_t total_tokens = 0;
+  for (const Document& doc : data.docs) {
+    TokenSeq tokens = doc.flatten();
+    for (WordId w : tokens) {
+      if (w >= 0 && static_cast<std::size_t>(w) < vocab_size) {
+        counts[static_cast<std::size_t>(w)] += 1.0;
+        ++total_tokens;
+      }
+    }
+    if (!tokens.empty()) streams.push_back(std::move(tokens));
+  }
+
+  // Unigram^(3/4) negative-sampling table.
+  std::vector<double> neg_weights(vocab_size, 0.0);
+  for (std::size_t w = 2; w < vocab_size; ++w) {  // skip <pad>, <unk>
+    neg_weights[w] = std::pow(counts[w], 0.75);
+  }
+
+  Matrix in_vec(vocab_size, dim);
+  Matrix out_vec(vocab_size, dim);
+  in_vec.fill_uniform(rng, static_cast<float>(0.5 / dim));
+  // out vectors start at zero (word2vec convention).
+
+  const std::size_t total_pairs_estimate =
+      std::max<std::size_t>(1, total_tokens * config.epochs);
+  std::size_t seen_pairs = 0;
+
+  Vector grad_in(dim);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    for (const TokenSeq& tokens : streams) {
+      for (std::size_t center = 0; center < tokens.size(); ++center) {
+        const WordId cw = tokens[center];
+        if (cw < 2) continue;
+        if (config.subsample_threshold > 0.0) {
+          const double freq = counts[static_cast<std::size_t>(cw)] /
+                              static_cast<double>(total_tokens);
+          const double keep =
+              std::sqrt(config.subsample_threshold / freq);
+          if (keep < 1.0 && !rng.bernoulli(keep)) continue;
+        }
+        const std::size_t reach = 1 + rng.uniform_index(config.window);
+        const std::size_t lo = center >= reach ? center - reach : 0;
+        const std::size_t hi =
+            std::min(tokens.size() - 1, center + reach);
+        for (std::size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == center) continue;
+          const WordId ow = tokens[ctx];
+          if (ow < 2) continue;
+          ++seen_pairs;
+          const double progress = static_cast<double>(seen_pairs) /
+                                  static_cast<double>(total_pairs_estimate);
+          const double lr = std::max(config.learning_rate * (1.0 - progress),
+                                     config.learning_rate / 20.0);
+          float* vin = in_vec.row(static_cast<std::size_t>(cw));
+          std::fill(grad_in.begin(), grad_in.end(), 0.0f);
+          // One positive + `negatives` sampled negatives.
+          for (std::size_t s = 0; s <= config.negatives; ++s) {
+            WordId target = ow;
+            float label = 1.0f;
+            if (s > 0) {
+              target =
+                  static_cast<WordId>(rng.categorical(neg_weights));
+              if (target == ow) continue;
+              label = 0.0f;
+            }
+            float* vout = out_vec.row(static_cast<std::size_t>(target));
+            const float score = dot(vin, vout, dim);
+            const float g =
+                static_cast<float>(lr) * (label - sigmoid(score));
+            for (std::size_t d = 0; d < dim; ++d) {
+              grad_in[d] += g * vout[d];
+              vout[d] += g * vin[d];
+            }
+          }
+          for (std::size_t d = 0; d < dim; ++d) vin[d] += grad_in[d];
+        }
+      }
+    }
+  }
+  return in_vec;
+}
+
+double cosine_similarity(const Matrix& embeddings, WordId a, WordId b) {
+  const float* va = embeddings.row(static_cast<std::size_t>(a));
+  const float* vb = embeddings.row(static_cast<std::size_t>(b));
+  const std::size_t dim = embeddings.cols();
+  const float na = norm2(va, dim);
+  const float nb = norm2(vb, dim);
+  if (na == 0.0f || nb == 0.0f) return 0.0;
+  return static_cast<double>(dot(va, vb, dim)) / (na * nb);
+}
+
+std::vector<std::pair<WordId, double>> nearest_neighbors(
+    const Matrix& embeddings, WordId word, std::size_t k,
+    WordId first_valid_id) {
+  std::vector<std::pair<WordId, double>> scored;
+  const WordId vocab = static_cast<WordId>(embeddings.rows());
+  for (WordId other = first_valid_id; other < vocab; ++other) {
+    if (other == word) continue;
+    scored.emplace_back(other, cosine_similarity(embeddings, word, other));
+  }
+  const std::size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& x, const auto& y) {
+                      if (x.second != y.second) return x.second > y.second;
+                      return x.first < y.first;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace advtext

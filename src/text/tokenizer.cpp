@@ -1,0 +1,73 @@
+#include "src/text/tokenizer.h"
+
+#include <cctype>
+
+#include "src/util/string_util.h"
+
+namespace advtext {
+
+namespace {
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'';
+}
+}  // namespace
+
+std::vector<std::string> Tokenizer::words(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char c : text) {
+    if (is_word_char(c)) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      // Strip leading/trailing apostrophes so "'tis'" -> "tis".
+      while (!current.empty() && current.front() == '\'') {
+        current.erase(current.begin());
+      }
+      while (!current.empty() && current.back() == '\'') current.pop_back();
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) {
+    while (!current.empty() && current.front() == '\'') {
+      current.erase(current.begin());
+    }
+    while (!current.empty() && current.back() == '\'') current.pop_back();
+    if (!current.empty()) out.push_back(std::move(current));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenizer::sentences(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const bool terminator = c == '.' || c == '!' || c == '?';
+    const bool boundary =
+        terminator &&
+        (i + 1 == text.size() ||
+         std::isspace(static_cast<unsigned char>(text[i + 1])) != 0);
+    if (boundary) {
+      const std::string_view piece = trim(text.substr(start, i - start + 1));
+      if (!piece.empty()) out.emplace_back(piece);
+      start = i + 1;
+    }
+  }
+  const std::string_view tail = trim(text.substr(start));
+  if (!tail.empty()) out.emplace_back(tail);
+  return out;
+}
+
+std::vector<std::vector<std::string>> Tokenizer::sentence_words(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> out;
+  for (const std::string& sentence : sentences(text)) {
+    auto toks = words(sentence);
+    if (!toks.empty()) out.push_back(std::move(toks));
+  }
+  return out;
+}
+
+}  // namespace advtext

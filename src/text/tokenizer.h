@@ -1,0 +1,29 @@
+// Word and sentence tokenization.
+//
+// The paper's pipeline (Alg. 1) first splits a document into sentences
+// (sentence-level paraphrasing), then into words (word-level paraphrasing).
+// This tokenizer implements both splits with simple deterministic rules:
+// sentences end at . ! ? followed by whitespace; words are maximal runs of
+// alphanumerics plus intra-word apostrophes, lowercased.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace advtext {
+
+class Tokenizer {
+ public:
+  /// Lowercased word tokens of the text.
+  static std::vector<std::string> words(std::string_view text);
+
+  /// Sentence strings (trimmed, terminator retained).
+  static std::vector<std::string> sentences(std::string_view text);
+
+  /// Convenience: sentence split, then word split per sentence.
+  static std::vector<std::vector<std::string>> sentence_words(
+      std::string_view text);
+};
+
+}  // namespace advtext

@@ -1,0 +1,55 @@
+#include "src/text/vocab.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace advtext {
+
+Vocab::Vocab() {
+  add("<pad>");
+  add("<unk>");
+}
+
+WordId Vocab::add(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const WordId id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocab::id(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnk : it->second;
+}
+
+bool Vocab::contains(std::string_view word) const {
+  return index_.count(std::string(word)) > 0;
+}
+
+const std::string& Vocab::word(WordId id) const {
+  if (id < 0 || id >= size()) {
+    throw std::out_of_range("Vocab::word: id out of range");
+  }
+  return words_[static_cast<std::size_t>(id)];
+}
+
+Vocab Vocab::from_counts(
+    const std::unordered_map<std::string, std::uint64_t>& counts,
+    std::size_t max_words) {
+  std::vector<std::pair<std::string, std::uint64_t>> sorted(counts.begin(),
+                                                            counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Vocab vocab;
+  for (const auto& [word, count] : sorted) {
+    if (static_cast<std::size_t>(vocab.size()) >= max_words + 2) break;
+    vocab.add(word);
+  }
+  return vocab;
+}
+
+}  // namespace advtext

@@ -1,0 +1,55 @@
+// Vocabulary: bidirectional word <-> integer-id mapping.
+//
+// Id 0 is reserved for padding and id 1 for out-of-vocabulary tokens,
+// matching the paper's setup of a fixed top-K vocabulary with everything
+// else mapped to <unk>.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace advtext {
+
+/// Integer word id; kPad / kUnk are always present.
+using WordId = int;
+
+class Vocab {
+ public:
+  static constexpr WordId kPad = 0;
+  static constexpr WordId kUnk = 1;
+
+  /// Constructs a vocabulary containing only <pad> and <unk>.
+  Vocab();
+
+  /// Adds a word if absent; returns its id either way.
+  WordId add(std::string_view word);
+
+  /// Returns the id of a word, or kUnk if not present.
+  WordId id(std::string_view word) const;
+
+  /// True if the word (or id) is known.
+  bool contains(std::string_view word) const;
+  bool contains(WordId id) const { return id >= 0 && id < size(); }
+
+  /// Surface form for an id; throws if out of range.
+  const std::string& word(WordId id) const;
+
+  /// Number of entries including the two specials.
+  WordId size() const { return static_cast<WordId>(words_.size()); }
+
+  /// Builds a vocabulary from word-frequency counts, keeping at most
+  /// max_words most frequent words (ties broken lexicographically so the
+  /// result is deterministic).
+  static Vocab from_counts(
+      const std::unordered_map<std::string, std::uint64_t>& counts,
+      std::size_t max_words);
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, WordId> index_;
+};
+
+}  // namespace advtext

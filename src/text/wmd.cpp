@@ -1,0 +1,100 @@
+#include "src/text/wmd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace advtext {
+
+Wmd::Wmd(const Matrix& embeddings, Method method)
+    : embeddings_(embeddings), method_(method) {}
+
+double Wmd::word_distance(WordId a, WordId b) const {
+  if (a == b) return 0.0;
+  const std::size_t dim = embeddings_.cols();
+  const float* va = embeddings_.row(static_cast<std::size_t>(a));
+  const float* vb = embeddings_.row(static_cast<std::size_t>(b));
+  double acc = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = static_cast<double>(va[d]) - vb[d];
+    acc += diff * diff;
+  }
+  return std::sqrt(acc);
+}
+
+double Wmd::word_similarity(WordId a, WordId b) const {
+  return std::exp(-word_distance(a, b));
+}
+
+void Wmd::nbow(const Sentence& s, std::vector<WordId>* words,
+               std::vector<double>* weights) {
+  std::unordered_map<WordId, double> counts;
+  for (WordId w : s) counts[w] += 1.0;
+  words->clear();
+  weights->clear();
+  for (const auto& [w, c] : counts) {
+    words->push_back(w);
+    weights->push_back(c);
+  }
+  // Deterministic order (hash maps are not).
+  std::vector<std::size_t> idx(words->size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](std::size_t x, std::size_t y) {
+    return (*words)[x] < (*words)[y];
+  });
+  std::vector<WordId> sorted_words(words->size());
+  std::vector<double> sorted_weights(words->size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    sorted_words[i] = (*words)[idx[i]];
+    sorted_weights[i] = (*weights)[idx[i]];
+  }
+  *words = std::move(sorted_words);
+  *weights = std::move(sorted_weights);
+}
+
+double Wmd::distance(const Sentence& a, const Sentence& b) const {
+  if (a.empty() && b.empty()) return 0.0;
+  if (a.empty() || b.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  std::vector<WordId> wa;
+  std::vector<WordId> wb;
+  std::vector<double> pa;
+  std::vector<double> pb;
+  nbow(a, &wa, &pa);
+  nbow(b, &wb, &pb);
+  if (wa == wb) {
+    // Same multiset support; if the weights also match the distance is 0.
+    bool same = pa.size() == pb.size();
+    double ta = 0.0;
+    double tb = 0.0;
+    for (double x : pa) ta += x;
+    for (double x : pb) tb += x;
+    for (std::size_t i = 0; same && i < pa.size(); ++i) {
+      same = std::abs(pa[i] / ta - pb[i] / tb) < 1e-12;
+    }
+    if (same) return 0.0;
+  }
+  Matrix cost(wa.size(), wb.size());
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    for (std::size_t j = 0; j < wb.size(); ++j) {
+      cost(i, j) = static_cast<float>(word_distance(wa[i], wb[j]));
+    }
+  }
+  switch (method_) {
+    case Method::kExact:
+      return solve_transport_exact(cost, pa, pb);
+    case Method::kRelaxed:
+      return transport_relaxed_lower_bound(cost, pa, pb);
+    case Method::kSinkhorn:
+      return solve_transport_sinkhorn(cost, pa, pb);
+  }
+  return solve_transport_exact(cost, pa, pb);
+}
+
+double Wmd::similarity(const Sentence& a, const Sentence& b) const {
+  return std::exp(-distance(a, b));
+}
+
+}  // namespace advtext

@@ -1,0 +1,50 @@
+// Word Mover's Distance (Kusner et al. 2015) over sentence pairs, plus the
+// word-level special case the paper uses for word-paraphrase filtering.
+//
+// The paper uses WMD twice (Alg. 1):
+//   * sentence neighbour sets: WMD(s_i, s) <= δs, and
+//   * word neighbour sets:     WMD(w_i, w) <= δw (embedding distance).
+// Similarities are reported in [0, 1] with 1 = identical (matching the
+// spaCy convention cited in the paper); we map distance d to exp(-d).
+#pragma once
+
+#include <vector>
+
+#include "src/optim/transport.h"
+#include "src/tensor/tensor.h"
+#include "src/text/corpus.h"
+
+namespace advtext {
+
+class Wmd {
+ public:
+  enum class Method { kExact, kRelaxed, kSinkhorn };
+
+  /// `embeddings` must outlive this object (vocab_size x dim).
+  explicit Wmd(const Matrix& embeddings, Method method = Method::kExact);
+
+  Method method() const { return method_; }
+
+  /// Euclidean distance between two word embeddings.
+  double word_distance(WordId a, WordId b) const;
+
+  /// exp(-word_distance); 1 for identical words.
+  double word_similarity(WordId a, WordId b) const;
+
+  /// WMD between two sentences (normalized bag-of-words mover distance).
+  /// Returns 0 if both are empty, +inf if exactly one is empty.
+  double distance(const Sentence& a, const Sentence& b) const;
+
+  /// exp(-distance); in [0, 1], 1 for identical sentences.
+  double similarity(const Sentence& a, const Sentence& b) const;
+
+ private:
+  /// Collapses a sentence into (distinct word ids, normalized weights).
+  static void nbow(const Sentence& s, std::vector<WordId>* words,
+                   std::vector<double>* weights);
+
+  const Matrix& embeddings_;
+  Method method_;
+};
+
+}  // namespace advtext

@@ -1,0 +1,45 @@
+// Tiny command-line flag parser for the CLI tool and examples.
+//
+// Syntax: positional arguments plus --key=value / --key value / --flag.
+// Typed getters with defaults; unknown-flag detection; auto-generated
+// usage text.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace advtext {
+
+class ArgParser {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (e.g. "--" with no name).
+  ArgParser(int argc, const char* const* argv);
+
+  /// Positional arguments in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters returning the default when the flag is absent; throw
+  /// std::invalid_argument when the value does not parse.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = "") const;
+  long get_int(const std::string& name, long fallback = 0) const;
+  double get_double(const std::string& name, double fallback = 0.0) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Names of all flags that were provided.
+  std::vector<std::string> flag_names() const;
+
+  /// Returns the flags that are not in `known` (for unknown-flag errors).
+  std::vector<std::string> unknown_flags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;  // value "" = bare flag
+};
+
+}  // namespace advtext

@@ -1,0 +1,350 @@
+#include "src/util/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "src/data/synthetic.h"
+
+namespace advtext::io {
+
+namespace {
+
+void fail(const char* what) {
+  throw std::runtime_error(std::string("serialize: ") + what);
+}
+
+void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) fail("write failed");
+}
+
+void read_raw(std::istream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in) fail("read failed (truncated file?)");
+}
+
+void write_document(std::ostream& out, const Document& doc) {
+  write_u64(out, static_cast<std::uint64_t>(doc.label));
+  write_u64(out, doc.sentences.size());
+  for (const Sentence& s : doc.sentences) {
+    write_u64(out, s.size());
+    for (WordId w : s) write_u64(out, static_cast<std::uint64_t>(w));
+  }
+}
+
+Document read_document(std::istream& in) {
+  Document doc;
+  doc.label = static_cast<int>(read_u64(in));
+  const std::uint64_t sentences = read_u64(in);
+  doc.sentences.resize(sentences);
+  for (auto& s : doc.sentences) {
+    const std::uint64_t words = read_u64(in);
+    s.resize(words);
+    for (auto& w : s) w = static_cast<WordId>(read_u64(in));
+  }
+  return doc;
+}
+
+void write_dataset(std::ostream& out, const Dataset& data) {
+  write_u64(out, static_cast<std::uint64_t>(data.num_classes));
+  write_u64(out, data.docs.size());
+  for (const Document& doc : data.docs) write_document(out, doc);
+}
+
+Dataset read_dataset(std::istream& in) {
+  Dataset data;
+  data.num_classes = static_cast<int>(read_u64(in));
+  const std::uint64_t docs = read_u64(in);
+  data.docs.reserve(docs);
+  for (std::uint64_t i = 0; i < docs; ++i) {
+    data.docs.push_back(read_document(in));
+  }
+  return data;
+}
+
+}  // namespace
+
+void write_magic(std::ostream& out) { write_raw(out, kMagic, sizeof(kMagic)); }
+
+void read_magic(std::istream& in) {
+  char buffer[sizeof(kMagic)];
+  read_raw(in, buffer, sizeof(buffer));
+  if (std::memcmp(buffer, kMagic, sizeof(kMagic)) != 0) {
+    fail("bad magic (not an advtext file)");
+  }
+}
+
+void write_u64(std::ostream& out, std::uint64_t value) {
+  write_raw(out, &value, sizeof(value));
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t value = 0;
+  read_raw(in, &value, sizeof(value));
+  return value;
+}
+
+void write_double(std::ostream& out, double value) {
+  write_raw(out, &value, sizeof(value));
+}
+
+double read_double(std::istream& in) {
+  double value = 0.0;
+  read_raw(in, &value, sizeof(value));
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& value) {
+  write_u64(out, value.size());
+  write_raw(out, value.data(), value.size());
+}
+
+std::string read_string(std::istream& in) {
+  const std::uint64_t size = read_u64(in);
+  if (size > (1ULL << 30)) fail("string too large");
+  std::string value(size, '\0');
+  read_raw(in, value.data(), size);
+  return value;
+}
+
+void write_floats(std::ostream& out, const float* data, std::size_t count) {
+  write_raw(out, data, count * sizeof(float));
+}
+
+void read_floats(std::istream& in, float* data, std::size_t count) {
+  read_raw(in, data, count * sizeof(float));
+}
+
+void write_matrix(std::ostream& out, const Matrix& matrix) {
+  write_u64(out, matrix.rows());
+  write_u64(out, matrix.cols());
+  write_floats(out, matrix.data(), matrix.size());
+}
+
+Matrix read_matrix(std::istream& in) {
+  const std::uint64_t rows = read_u64(in);
+  const std::uint64_t cols = read_u64(in);
+  if (rows * cols > (1ULL << 30)) fail("matrix too large");
+  Matrix matrix(rows, cols);
+  read_floats(in, matrix.data(), matrix.size());
+  return matrix;
+}
+
+void write_vector(std::ostream& out, const Vector& vector) {
+  write_u64(out, vector.size());
+  write_floats(out, vector.data(), vector.size());
+}
+
+Vector read_vector(std::istream& in) {
+  const std::uint64_t size = read_u64(in);
+  if (size > (1ULL << 30)) fail("vector too large");
+  Vector vector(size);
+  read_floats(in, vector.data(), vector.size());
+  return vector;
+}
+
+void write_doubles(std::ostream& out, const std::vector<double>& values) {
+  write_u64(out, values.size());
+  write_raw(out, values.data(), values.size() * sizeof(double));
+}
+
+std::vector<double> read_doubles(std::istream& in) {
+  const std::uint64_t size = read_u64(in);
+  if (size > (1ULL << 30)) fail("doubles too large");
+  std::vector<double> values(size);
+  read_raw(in, values.data(), size * sizeof(double));
+  return values;
+}
+
+void write_ints(std::ostream& out, const std::vector<int>& values) {
+  write_u64(out, values.size());
+  write_raw(out, values.data(), values.size() * sizeof(int));
+}
+
+std::vector<int> read_ints(std::istream& in) {
+  const std::uint64_t size = read_u64(in);
+  if (size > (1ULL << 30)) fail("ints too large");
+  std::vector<int> values(size);
+  read_raw(in, values.data(), size * sizeof(int));
+  return values;
+}
+
+void write_bools(std::ostream& out, const std::vector<bool>& values) {
+  write_u64(out, values.size());
+  for (bool v : values) {
+    const char byte = v ? 1 : 0;
+    write_raw(out, &byte, 1);
+  }
+}
+
+std::vector<bool> read_bools(std::istream& in) {
+  const std::uint64_t size = read_u64(in);
+  if (size > (1ULL << 33)) fail("bools too large");
+  std::vector<bool> values(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    char byte = 0;
+    read_raw(in, &byte, 1);
+    values[i] = byte != 0;
+  }
+  return values;
+}
+
+void write_vocab(std::ostream& out, const Vocab& vocab) {
+  // Specials (<pad>, <unk>) are rebuilt by the constructor; store the rest.
+  write_u64(out, static_cast<std::uint64_t>(vocab.size()) - 2);
+  for (WordId id = 2; id < vocab.size(); ++id) {
+    write_string(out, vocab.word(id));
+  }
+}
+
+Vocab read_vocab(std::istream& in) {
+  Vocab vocab;
+  const std::uint64_t words = read_u64(in);
+  for (std::uint64_t i = 0; i < words; ++i) {
+    vocab.add(read_string(in));
+  }
+  return vocab;
+}
+
+void save_task(const SynthTask& task, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open file for writing");
+  write_magic(out);
+  write_string(out, "task");
+  // Config (field by field; keep order in sync with load_task).
+  const SynthConfig& c = task.config;
+  write_string(out, c.name);
+  write_u64(out, c.seed);
+  write_u64(out, c.num_train);
+  write_u64(out, c.num_test);
+  write_double(out, c.class1_fraction);
+  write_u64(out, c.num_concepts);
+  write_u64(out, c.cluster_size);
+  write_double(out, c.neutral_fraction);
+  write_u64(out, c.num_noise_words);
+  write_u64(out, c.min_sentences);
+  write_u64(out, c.max_sentences);
+  write_u64(out, c.min_words_per_sentence);
+  write_u64(out, c.max_words_per_sentence);
+  write_double(out, c.function_word_rate);
+  write_double(out, c.noise_token_rate);
+  write_double(out, c.aligned_concept_rate);
+  write_double(out, c.variant_label_correlation);
+  write_double(out, c.strength_decay);
+  write_u64(out, c.embedding_dim);
+  write_double(out, c.polarity_embed_scale);
+  write_double(out, c.cluster_noise);
+  write_double(out, c.mild_doc_fraction);
+  write_double(out, c.embed_evidence_fidelity);
+
+  write_vocab(out, task.vocab);
+  write_dataset(out, task.train);
+  write_dataset(out, task.test);
+  write_ints(out, task.concept_of_word);
+  write_ints(out, task.variant_of_word);
+  write_doubles(out, task.word_polarity);
+  write_doubles(out, task.word_meaning);
+  write_bools(out, task.is_function_word);
+  write_bools(out, task.is_noise_word);
+  write_matrix(out, task.paragram);
+  write_u64(out, task.concept_members.size());
+  for (const auto& members : task.concept_members) {
+    write_ints(out, std::vector<int>(members.begin(), members.end()));
+  }
+  write_u64(out, task.function_clusters.size());
+  for (const auto& cluster : task.function_clusters) {
+    write_ints(out, std::vector<int>(cluster.begin(), cluster.end()));
+  }
+  if (!out) fail("write failed");
+}
+
+SynthTask load_task(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open file for reading");
+  read_magic(in);
+  if (read_string(in) != "task") fail("not a task file");
+  SynthTask task;
+  SynthConfig& c = task.config;
+  c.name = read_string(in);
+  c.seed = read_u64(in);
+  c.num_train = read_u64(in);
+  c.num_test = read_u64(in);
+  c.class1_fraction = read_double(in);
+  c.num_concepts = read_u64(in);
+  c.cluster_size = read_u64(in);
+  c.neutral_fraction = read_double(in);
+  c.num_noise_words = read_u64(in);
+  c.min_sentences = read_u64(in);
+  c.max_sentences = read_u64(in);
+  c.min_words_per_sentence = read_u64(in);
+  c.max_words_per_sentence = read_u64(in);
+  c.function_word_rate = read_double(in);
+  c.noise_token_rate = read_double(in);
+  c.aligned_concept_rate = read_double(in);
+  c.variant_label_correlation = read_double(in);
+  c.strength_decay = read_double(in);
+  c.embedding_dim = read_u64(in);
+  c.polarity_embed_scale = read_double(in);
+  c.cluster_noise = read_double(in);
+  c.mild_doc_fraction = read_double(in);
+  c.embed_evidence_fidelity = read_double(in);
+
+  task.vocab = read_vocab(in);
+  task.train = read_dataset(in);
+  task.test = read_dataset(in);
+  task.concept_of_word = read_ints(in);
+  task.variant_of_word = read_ints(in);
+  task.word_polarity = read_doubles(in);
+  task.word_meaning = read_doubles(in);
+  task.is_function_word = read_bools(in);
+  task.is_noise_word = read_bools(in);
+  task.paragram = read_matrix(in);
+  const std::uint64_t concepts = read_u64(in);
+  task.concept_members.resize(concepts);
+  for (auto& members : task.concept_members) {
+    const auto ints = read_ints(in);
+    members.assign(ints.begin(), ints.end());
+  }
+  const std::uint64_t clusters = read_u64(in);
+  task.function_clusters.resize(clusters);
+  for (auto& cluster : task.function_clusters) {
+    const auto ints = read_ints(in);
+    cluster.assign(ints.begin(), ints.end());
+  }
+  return task;
+}
+
+void save_parameters(
+    const std::vector<std::pair<const float*, std::size_t>>& tensors,
+    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail("cannot open file for writing");
+  write_magic(out);
+  write_string(out, "params");
+  write_u64(out, tensors.size());
+  for (const auto& [data, size] : tensors) {
+    write_u64(out, size);
+    write_floats(out, data, size);
+  }
+  if (!out) fail("write failed");
+}
+
+void load_parameters(
+    const std::vector<std::pair<float*, std::size_t>>& tensors,
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open file for reading");
+  read_magic(in);
+  if (read_string(in) != "params") fail("not a parameter file");
+  const std::uint64_t count = read_u64(in);
+  if (count != tensors.size()) fail("parameter tensor count mismatch");
+  for (const auto& [data, size] : tensors) {
+    const std::uint64_t stored = read_u64(in);
+    if (stored != size) fail("parameter tensor size mismatch");
+    read_floats(in, data, size);
+  }
+}
+
+}  // namespace advtext::io

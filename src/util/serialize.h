@@ -1,0 +1,86 @@
+// Binary serialization for experiment artifacts.
+//
+// A reproduction repo lives and dies by reproducibility: this module
+// persists matrices, vocabularies, synthetic tasks and trained model
+// parameters to a simple tagged little-endian binary format so that a
+// trained classifier (or a generated task) can be saved once and attacked
+// many times — the workflow the CLI tool (examples/advtext_cli) exposes.
+//
+// Format: every file starts with a 8-byte magic ("ADVTEXT1"), then a
+// sequence of tagged fields written by the functions below. No attempt is
+// made at cross-endian portability (the experiments are single-machine).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/text/vocab.h"
+
+namespace advtext {
+
+struct SynthTask;  // data/synthetic.h
+
+namespace io {
+
+/// File-level magic / version tag.
+inline constexpr char kMagic[8] = {'A', 'D', 'V', 'T', 'E', 'X', 'T', '1'};
+
+// ---- Primitive writers/readers (throw std::runtime_error on failure) ----
+
+void write_magic(std::ostream& out);
+void read_magic(std::istream& in);
+
+void write_u64(std::ostream& out, std::uint64_t value);
+std::uint64_t read_u64(std::istream& in);
+
+void write_double(std::ostream& out, double value);
+double read_double(std::istream& in);
+
+void write_string(std::ostream& out, const std::string& value);
+std::string read_string(std::istream& in);
+
+void write_floats(std::ostream& out, const float* data, std::size_t count);
+void read_floats(std::istream& in, float* data, std::size_t count);
+
+// ---- Composite types -----------------------------------------------------
+
+void write_matrix(std::ostream& out, const Matrix& matrix);
+Matrix read_matrix(std::istream& in);
+
+void write_vector(std::ostream& out, const Vector& vector);
+Vector read_vector(std::istream& in);
+
+void write_doubles(std::ostream& out, const std::vector<double>& values);
+std::vector<double> read_doubles(std::istream& in);
+
+void write_ints(std::ostream& out, const std::vector<int>& values);
+std::vector<int> read_ints(std::istream& in);
+
+void write_bools(std::ostream& out, const std::vector<bool>& values);
+std::vector<bool> read_bools(std::istream& in);
+
+void write_vocab(std::ostream& out, const Vocab& vocab);
+Vocab read_vocab(std::istream& in);
+
+// ---- Task & parameter checkpoints ------------------------------------------
+
+/// Saves / loads a complete synthetic task (config, data, semantics,
+/// embeddings) so every attack run can start from the identical corpus.
+void save_task(const SynthTask& task, const std::string& path);
+SynthTask load_task(const std::string& path);
+
+/// Saves / loads raw parameter buffers (any TrainableClassifier exposes
+/// them through params()). The caller is responsible for constructing the
+/// model with matching architecture before loading.
+void save_parameters(const std::vector<std::pair<const float*, std::size_t>>&
+                         tensors,
+                     const std::string& path);
+void load_parameters(
+    const std::vector<std::pair<float*, std::size_t>>& tensors,
+    const std::string& path);
+
+}  // namespace io
+}  // namespace advtext

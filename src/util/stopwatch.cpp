@@ -1,0 +1,17 @@
+#include "src/util/stopwatch.h"
+
+namespace advtext {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::reset() { start_ = std::chrono::steady_clock::now(); }
+
+double Stopwatch::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+double Stopwatch::elapsed_ms() const { return elapsed_seconds() * 1000.0; }
+
+}  // namespace advtext

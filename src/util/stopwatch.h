@@ -1,0 +1,27 @@
+// Wall-clock timing used by the attack benchmarks (Table 3 reports seconds
+// per attacked document).
+#pragma once
+
+#include <chrono>
+
+namespace advtext {
+
+/// Monotonic stopwatch. Starts on construction; restart with reset().
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Restarts the clock.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  double elapsed_seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double elapsed_ms() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace advtext

@@ -1,0 +1,72 @@
+#include "src/util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace advtext {
+
+std::vector<std::string> split(std::string_view text,
+                               std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    const bool at_end = i == text.size();
+    if (at_end || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool is_alnum(std::string_view text) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int precision) {
+  return format_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace advtext

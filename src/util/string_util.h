@@ -1,0 +1,33 @@
+// Small string helpers shared by the tokenizer, report printers and dataset
+// generators. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace advtext {
+
+/// Splits on any of the given delimiter characters; empty pieces dropped.
+std::vector<std::string> split(std::string_view text, std::string_view delims);
+
+/// Joins pieces with the given separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view text);
+
+/// True if the string consists only of ASCII alphanumerics (non-empty).
+bool is_alnum(std::string_view text);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// printf-style float formatting helper: fixed precision, no locale.
+std::string format_double(double value, int precision);
+
+/// Formats a fraction as a percentage string, e.g. 0.354 -> "35.4%".
+std::string format_percent(double fraction, int precision = 1);
+
+}  // namespace advtext

@@ -1,0 +1,301 @@
+// Tests for the attack algorithms: transformation indexing, the gradient
+// baseline, objective-guided greedy, Algorithm 3, Algorithm 2 and the
+// joint Algorithm 1 — budgets respected, results consistent, and the
+// attacks actually reduce accuracy on trained models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/gradient_attack.h"
+#include "src/core/gradient_guided_greedy.h"
+#include "src/core/joint_attack.h"
+#include "src/core/objective_greedy.h"
+#include "src/core/sentence_attack.h"
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+
+namespace advtext {
+namespace {
+
+TEST(Transformation, ApplyAndSupport) {
+  WordCandidates candidates;
+  candidates.per_position = {{10, 11}, {}, {12}};
+  TransformationIndex idx(3);
+  idx.l = {2, 0, 1};
+  const TokenSeq out = idx.apply({1, 2, 3}, candidates);
+  EXPECT_EQ(out, (TokenSeq{11, 2, 12}));
+  EXPECT_EQ(idx.support_size(), 2u);
+  EXPECT_EQ(idx.support(), (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Transformation, ApplyRejectsBadIndex) {
+  WordCandidates candidates;
+  candidates.per_position = {{10}};
+  TransformationIndex idx(1);
+  idx.l = {2};  // only one candidate
+  EXPECT_THROW(idx.apply({1}, candidates), std::out_of_range);
+}
+
+TEST(Transformation, CandidateHelpers) {
+  WordCandidates candidates;
+  candidates.per_position = {{10, 11}, {}, {12}};
+  EXPECT_EQ(candidates.attackable_positions(),
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(candidates.total_candidates(), 3u);
+  EXPECT_EQ(count_changes({1, 2, 3}, {1, 9, 3}), 1u);
+  EXPECT_THROW(count_changes({1}, {1, 2}), std::invalid_argument);
+}
+
+// Shared fixture: a trained WCNN + LSTM on a small yelp-like task with
+// word candidates from the paraphrase index.
+class AttackFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new SynthTask(make_yelp(31));
+    context_ = new TaskAttackContext(*task_);
+    WCnnConfig wconfig;
+    wconfig.embed_dim = task_->config.embedding_dim;
+    wconfig.num_filters = 32;
+    wcnn_ = new WCnn(wconfig, Matrix(task_->paragram));
+    TrainConfig train;
+    train.epochs = 8;
+    train_classifier(*wcnn_, task_->train, train);
+    LstmConfig lconfig;
+    lconfig.embed_dim = task_->config.embedding_dim;
+    lconfig.hidden = 16;
+    lstm_ = new LstmClassifier(lconfig, Matrix(task_->paragram));
+    train_classifier(*lstm_, task_->train, train);
+  }
+
+  static void TearDownTestSuite() {
+    delete wcnn_;
+    delete lstm_;
+    delete context_;
+    delete task_;
+    wcnn_ = nullptr;
+    lstm_ = nullptr;
+    context_ = nullptr;
+    task_ = nullptr;
+  }
+
+  // First test document the model classifies correctly with confidence.
+  static const Document* confident_doc(const TextClassifier& model) {
+    for (const Document& doc : task_->test.docs) {
+      const TokenSeq tokens = doc.flatten();
+      const Vector p = model.predict_proba(tokens);
+      const std::size_t label = static_cast<std::size_t>(doc.label);
+      if (p[label] > 0.8) return &doc;
+    }
+    return nullptr;
+  }
+
+  static WordCandidates candidates_for(const TokenSeq& tokens) {
+    WordCandidates candidates;
+    candidates.per_position =
+        context_->word_index().candidates_for(tokens, &context_->lm());
+    return candidates;
+  }
+
+  static SynthTask* task_;
+  static TaskAttackContext* context_;
+  static WCnn* wcnn_;
+  static LstmClassifier* lstm_;
+};
+
+SynthTask* AttackFixture::task_ = nullptr;
+TaskAttackContext* AttackFixture::context_ = nullptr;
+WCnn* AttackFixture::wcnn_ = nullptr;
+LstmClassifier* AttackFixture::lstm_ = nullptr;
+
+TEST_F(AttackFixture, GradientAttackRespectsBudget) {
+  const Document* doc = confident_doc(*wcnn_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  GradientAttackConfig config;
+  config.max_replace_fraction = 0.1;
+  const WordAttackResult result =
+      gradient_attack(*wcnn_, tokens, candidates_for(tokens), target, config);
+  const std::size_t budget = static_cast<std::size_t>(
+      std::ceil(0.1 * static_cast<double>(tokens.size())));
+  EXPECT_LE(result.words_changed, budget);
+  EXPECT_EQ(result.adv_tokens.size(), tokens.size());
+  EXPECT_EQ(result.words_changed,
+            count_changes(tokens, result.adv_tokens));
+}
+
+TEST_F(AttackFixture, GradientAttackIncreasesTargetProbability) {
+  const Document* doc = confident_doc(*wcnn_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  const double before = wcnn_->class_probability(tokens, target);
+  GradientAttackConfig config;
+  config.max_replace_fraction = 0.3;
+  const WordAttackResult result =
+      gradient_attack(*wcnn_, tokens, candidates_for(tokens), target, config);
+  EXPECT_GE(result.final_target_proba, before - 0.05);
+}
+
+TEST_F(AttackFixture, ObjectiveGreedyMonotonicallyImproves) {
+  const Document* doc = confident_doc(*wcnn_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  const double before = wcnn_->class_probability(tokens, target);
+  ObjectiveGreedyConfig config;
+  config.max_replace_fraction = 0.3;
+  const WordAttackResult result = objective_greedy_attack(
+      *wcnn_, tokens, candidates_for(tokens), target, config);
+  // Greedy only commits improving swaps, so the final probability can
+  // never be below the starting point.
+  EXPECT_GE(result.final_target_proba, before - 1e-6);
+  EXPECT_GT(result.queries, 0u);
+}
+
+TEST_F(AttackFixture, ObjectiveGreedyStopsAtThreshold) {
+  const Document* doc = confident_doc(*wcnn_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  ObjectiveGreedyConfig config;
+  config.max_replace_fraction = 1.0;
+  config.success_threshold = 0.55;
+  const WordAttackResult result = objective_greedy_attack(
+      *wcnn_, tokens, candidates_for(tokens), target, config);
+  if (result.success) {
+    EXPECT_GE(result.final_target_proba, 0.55);
+  }
+}
+
+TEST_F(AttackFixture, GradientGuidedGreedyRespectsBudgetAndImproves) {
+  const Document* doc = confident_doc(*lstm_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  const double before = lstm_->class_probability(tokens, target);
+  GradientGuidedGreedyConfig config;
+  config.max_replace_fraction = 0.2;
+  const WordAttackResult result = gradient_guided_greedy_attack(
+      *lstm_, tokens, candidates_for(tokens), target, config);
+  const std::size_t budget = static_cast<std::size_t>(
+      std::ceil(0.2 * static_cast<double>(tokens.size())));
+  EXPECT_LE(result.words_changed, budget);
+  EXPECT_GE(result.final_target_proba, before - 1e-6);
+  EXPECT_GT(result.gradient_calls, 0u);
+}
+
+TEST_F(AttackFixture, GradientGuidedGreedyUsesFewerQueriesThanObjective) {
+  const Document* doc = confident_doc(*wcnn_);
+  ASSERT_NE(doc, nullptr);
+  const TokenSeq tokens = doc->flatten();
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  ObjectiveGreedyConfig og;
+  og.max_replace_fraction = 0.2;
+  og.success_threshold = 2.0;  // force full budget for both
+  GradientGuidedGreedyConfig ggg;
+  ggg.max_replace_fraction = 0.2;
+  ggg.success_threshold = 2.0;
+  const WordAttackResult og_result = objective_greedy_attack(
+      *wcnn_, tokens, candidates_for(tokens), target, og);
+  const WordAttackResult ggg_result = gradient_guided_greedy_attack(
+      *wcnn_, tokens, candidates_for(tokens), target, ggg);
+  if (ggg_result.words_changed > 0 && og_result.words_changed > 0) {
+    const double og_per_word =
+        static_cast<double>(og_result.queries) / og_result.words_changed;
+    const double ggg_per_word =
+        static_cast<double>(ggg_result.queries) / ggg_result.words_changed;
+    EXPECT_LT(ggg_per_word, og_per_word);
+  }
+}
+
+TEST_F(AttackFixture, SentenceAttackRespectsFraction) {
+  const Document* doc = confident_doc(*lstm_);
+  ASSERT_NE(doc, nullptr);
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  const auto neighbor_sets =
+      context_->paraphraser().neighbor_sets(*doc, context_->wmd());
+  SentenceAttackConfig config;
+  config.max_paraphrase_fraction = 0.4;
+  const SentenceAttackResult result = greedy_sentence_attack(
+      *lstm_, *doc, neighbor_sets, target, config);
+  const std::size_t budget = static_cast<std::size_t>(std::ceil(
+      0.4 * static_cast<double>(doc->sentences.size())));
+  EXPECT_LE(result.sentences_changed, budget);
+  EXPECT_EQ(result.adv_doc.sentences.size(), doc->sentences.size());
+}
+
+TEST_F(AttackFixture, SentenceAttackNeighborSetMismatchThrows) {
+  const Document& doc = task_->test.docs.front();
+  EXPECT_THROW(greedy_sentence_attack(*lstm_, doc, {}, 0, {}),
+               std::invalid_argument);
+}
+
+TEST_F(AttackFixture, JointAttackProducesConsistentResult) {
+  const Document* doc = confident_doc(*lstm_);
+  ASSERT_NE(doc, nullptr);
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  JointAttackConfig config;
+  config.sentence_fraction = 0.2;
+  config.word_fraction = 0.2;
+  const JointAttackResult result =
+      joint_attack(*lstm_, *doc, target, context_->resources(), config);
+  // The document structure is preserved (same sentence count).
+  EXPECT_EQ(result.adv_doc.sentences.size(), doc->sentences.size());
+  // Reported probability matches a fresh forward pass.
+  const double fresh =
+      lstm_->class_probability(result.adv_doc.flatten(), target);
+  EXPECT_NEAR(result.final_target_proba, fresh, 1e-5);
+  EXPECT_EQ(result.success, fresh >= config.success_threshold);
+}
+
+TEST_F(AttackFixture, JointAttackWordOnlyMatchesWordBudget) {
+  const Document* doc = confident_doc(*lstm_);
+  ASSERT_NE(doc, nullptr);
+  const std::size_t target = 1 - static_cast<std::size_t>(doc->label);
+  JointAttackConfig config;
+  config.enable_sentence = false;
+  config.word_fraction = 0.15;
+  const JointAttackResult result =
+      joint_attack(*lstm_, *doc, target, context_->resources(), config);
+  EXPECT_EQ(result.sentences_changed, 0u);
+  const std::size_t n = doc->num_words();
+  EXPECT_LE(result.words_changed,
+            static_cast<std::size_t>(std::ceil(0.15 * n)));
+  // Word-only attack preserves every sentence length.
+  for (std::size_t s = 0; s < doc->sentences.size(); ++s) {
+    EXPECT_EQ(result.adv_doc.sentences[s].size(),
+              doc->sentences[s].size());
+  }
+}
+
+TEST_F(AttackFixture, JointAttackMissingResourcesThrows) {
+  const Document& doc = task_->test.docs.front();
+  AttackResources empty;
+  JointAttackConfig config;
+  EXPECT_THROW(joint_attack(*lstm_, doc, 0, empty, config),
+               std::invalid_argument);
+  config.enable_sentence = false;
+  EXPECT_THROW(joint_attack(*lstm_, doc, 0, empty, config),
+               std::invalid_argument);
+}
+
+TEST_F(AttackFixture, AttacksFlipSomeDocuments) {
+  // Across the test set, the joint attack must flip a nontrivial fraction
+  // of correctly-classified documents (the paper's headline effect).
+  AttackEvalConfig config;
+  config.joint.sentence_fraction = 0.6;
+  config.joint.word_fraction = 0.2;
+  config.max_docs = 30;
+  const AttackEvalResult result =
+      evaluate_attack(*lstm_, *task_, *context_, config);
+  EXPECT_GT(result.docs_attacked, 0u);
+  EXPECT_GT(result.success_rate, 0.1);
+  EXPECT_LT(result.adversarial_accuracy, result.clean_accuracy);
+}
+
+}  // namespace
+}  // namespace advtext

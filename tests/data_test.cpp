@@ -1,0 +1,214 @@
+// Tests for the synthetic task generator: determinism, Table-6-shaped
+// statistics, latent-semantics invariants, and the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/data/synthetic.h"
+
+namespace advtext {
+namespace {
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const SynthTask a = make_yelp(42);
+  const SynthTask b = make_yelp(42);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (std::size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train.docs[i].label, b.train.docs[i].label);
+    EXPECT_EQ(a.train.docs[i].flatten(), b.train.docs[i].flatten());
+  }
+  EXPECT_EQ(a.paragram, b.paragram);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const SynthTask a = make_yelp(1);
+  const SynthTask b = make_yelp(2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < std::min(a.train.size(), b.train.size());
+       ++i) {
+    if (a.train.docs[i].flatten() != b.train.docs[i].flatten()) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, SplitSizesMatchConfig) {
+  const SynthTask task = make_news(3);
+  EXPECT_EQ(task.train.size(), task.config.num_train);
+  EXPECT_EQ(task.test.size(), task.config.num_test);
+}
+
+TEST(Synthetic, DocumentShapeWithinConfiguredBounds) {
+  const SynthTask task = make_trec07p(4);
+  for (const Document& doc : task.train.docs) {
+    EXPECT_GE(doc.sentences.size(), task.config.min_sentences);
+    EXPECT_LE(doc.sentences.size(), task.config.max_sentences);
+    for (const Sentence& s : doc.sentences) {
+      EXPECT_GE(s.size(), task.config.min_words_per_sentence);
+      EXPECT_LE(s.size(), task.config.max_words_per_sentence);
+    }
+  }
+}
+
+TEST(Synthetic, TrecClassRatioIsRoughlyOneToTwo) {
+  const SynthTask task = make_trec07p(5);
+  const CorpusStats stats = compute_stats(task.train);
+  const double spam_fraction =
+      static_cast<double>(stats.class_counts[1]) /
+      static_cast<double>(stats.num_docs);
+  EXPECT_NEAR(spam_fraction, 2.0 / 3.0, 0.12);
+}
+
+TEST(Synthetic, WordMetadataIsConsistent) {
+  const SynthTask task = make_yelp(6);
+  const std::size_t vocab = static_cast<std::size_t>(task.vocab.size());
+  ASSERT_EQ(task.concept_of_word.size(), vocab);
+  ASSERT_EQ(task.word_polarity.size(), vocab);
+  ASSERT_EQ(task.word_meaning.size(), vocab);
+  for (std::size_t w = 0; w < vocab; ++w) {
+    const int c = task.concept_of_word[w];
+    if (c >= 0) {
+      EXPECT_FALSE(task.is_function_word[w]);
+      EXPECT_FALSE(task.is_noise_word[w]);
+      // Word must be a member of its concept cluster.
+      const auto& members = task.concept_members[static_cast<std::size_t>(c)];
+      EXPECT_NE(std::find(members.begin(), members.end(),
+                          static_cast<WordId>(w)),
+                members.end());
+    } else {
+      EXPECT_DOUBLE_EQ(task.word_polarity[w], 0.0);
+    }
+  }
+}
+
+TEST(Synthetic, CanonicalVariantCarriesStrongestSurfaceEvidence) {
+  const SynthTask task = make_yelp(7);
+  for (const auto& members : task.concept_members) {
+    const double canonical = std::abs(
+        task.word_polarity[static_cast<std::size_t>(members.front())]);
+    for (WordId w : members) {
+      EXPECT_LE(std::abs(task.word_polarity[static_cast<std::size_t>(w)]),
+                canonical + 1e-12);
+    }
+  }
+}
+
+TEST(Synthetic, MeaningDecaysSlowerThanSurfacePolarity) {
+  // The attack exploits exactly this gap: the weakest variant loses most
+  // of its surface evidence but keeps most of its meaning.
+  const SynthTask task = make_news(8);
+  for (const auto& members : task.concept_members) {
+    const std::size_t first = static_cast<std::size_t>(members.front());
+    const std::size_t last = static_cast<std::size_t>(members.back());
+    if (std::abs(task.word_polarity[first]) < 1e-9) continue;  // neutral
+    const double surface_ratio =
+        task.word_polarity[last] / task.word_polarity[first];
+    const double meaning_ratio =
+        task.word_meaning[last] / task.word_meaning[first];
+    // Surface evidence flips sign at the tail; meaning never does.
+    EXPECT_LT(surface_ratio, 0.0);
+    EXPECT_GT(meaning_ratio, 0.1);
+  }
+}
+
+TEST(Synthetic, OracleAgreesWithLabelsOnMostDocuments) {
+  for (const SynthTask& task : make_all_tasks(9)) {
+    std::size_t agree = 0;
+    for (const Document& doc : task.train.docs) {
+      if (task.oracle_label(doc) == doc.label) ++agree;
+    }
+    const double rate =
+        static_cast<double>(agree) / static_cast<double>(task.train.size());
+    EXPECT_GT(rate, 0.9) << task.config.name;
+  }
+}
+
+TEST(Synthetic, OracleMarginNonNegative) {
+  const SynthTask task = make_yelp(10);
+  for (const Document& doc : task.test.docs) {
+    EXPECT_GE(task.oracle_margin(doc), 0.0);
+  }
+}
+
+TEST(Synthetic, NoiseTokensAppearOnlyWhenConfigured) {
+  const SynthTask trec = make_trec07p(11);
+  const SynthTask yelp = make_yelp(11);
+  auto count_noise = [](const SynthTask& task) {
+    std::size_t noise = 0;
+    std::size_t total = 0;
+    for (const Document& doc : task.train.docs) {
+      for (WordId w : doc.flatten()) {
+        ++total;
+        if (task.is_noise_word[static_cast<std::size_t>(w)]) ++noise;
+      }
+    }
+    return static_cast<double>(noise) / static_cast<double>(total);
+  };
+  EXPECT_GT(count_noise(trec), 0.05);
+  EXPECT_DOUBLE_EQ(count_noise(yelp), 0.0);
+}
+
+TEST(Synthetic, ParagramShapeMatchesVocab) {
+  const SynthTask task = make_news(12);
+  EXPECT_EQ(task.paragram.rows(),
+            static_cast<std::size_t>(task.vocab.size()));
+  EXPECT_EQ(task.paragram.cols(), task.config.embedding_dim);
+  // <pad> embedding must be zero (used as CNN padding).
+  for (std::size_t d = 0; d < task.paragram.cols(); ++d) {
+    EXPECT_FLOAT_EQ(task.paragram(Vocab::kPad, d), 0.0f);
+  }
+}
+
+TEST(Synthetic, VariantChoiceCorrelatesWithLabel) {
+  // In label-1 documents, positive concepts should mostly appear as strong
+  // (low-index) variants; in label-0 documents as weak ones. This is the
+  // non-robust feature the classifiers latch on to.
+  const SynthTask task = make_yelp(13);
+  double sum_pos = 0.0;
+  std::size_t n_pos = 0;
+  double sum_neg = 0.0;
+  std::size_t n_neg = 0;
+  for (const Document& doc : task.train.docs) {
+    for (WordId w : doc.flatten()) {
+      const std::size_t idx = static_cast<std::size_t>(w);
+      const int c = task.concept_of_word[idx];
+      if (c < 0) continue;
+      if (task.word_meaning[idx] == 0.0) continue;
+      const bool concept_positive = task.word_meaning[idx] > 0.0;
+      if (concept_positive != (doc.label == 1)) continue;
+      const double variant = task.variant_of_word[idx];
+      if (doc.label == 1) {
+        sum_pos += variant;
+        ++n_pos;
+      } else {
+        sum_neg += variant;
+        ++n_neg;
+      }
+    }
+  }
+  ASSERT_GT(n_pos, 100u);
+  ASSERT_GT(n_neg, 100u);
+  // Aligned concepts use strong variants in both classes.
+  EXPECT_LT(sum_pos / n_pos, 2.0);
+  EXPECT_LT(sum_neg / n_neg, 2.0);
+}
+
+TEST(Synthetic, InvalidConfigRejected) {
+  SynthConfig config;
+  config.cluster_size = 1;
+  EXPECT_THROW(make_task(config), std::invalid_argument);
+}
+
+TEST(Synthetic, MakeAllTasksOrderedAsPaper) {
+  const auto tasks = make_all_tasks(1);
+  ASSERT_EQ(tasks.size(), 3u);
+  EXPECT_EQ(tasks[0].config.name, "News");
+  EXPECT_EQ(tasks[1].config.name, "Trec07p");
+  EXPECT_EQ(tasks[2].config.name, "Yelp");
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,180 @@
+// Tests for the inference-time defenses: smoothing preserves the
+// probability simplex and clean accuracy, blunts single-word leverage;
+// ensembles average members and validate their inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/eval/defenses.h"
+#include "src/eval/metrics.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+
+namespace advtext {
+namespace {
+
+class DefenseFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthConfig config = make_yelp(131).config;
+    config.num_train = 400;
+    config.num_test = 50;
+    config.seed = 131;
+    task_ = new SynthTask(make_task(config));
+    context_ = new TaskAttackContext(*task_);
+    WCnnConfig wconfig;
+    wconfig.embed_dim = task_->config.embedding_dim;
+    wconfig.num_filters = 32;
+    model_ = new WCnn(wconfig, Matrix(task_->paragram));
+    TrainConfig train;
+    train.epochs = 8;
+    train_classifier(*model_, task_->train, train);
+    neighbors_ = new std::vector<std::vector<WordId>>(
+        static_cast<std::size_t>(task_->vocab.size()));
+    for (WordId w = 2; w < task_->vocab.size(); ++w) {
+      (*neighbors_)[static_cast<std::size_t>(w)] =
+          context_->word_index().neighbors(w);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete neighbors_;
+    delete model_;
+    delete context_;
+    delete task_;
+    neighbors_ = nullptr;
+    model_ = nullptr;
+    context_ = nullptr;
+    task_ = nullptr;
+  }
+  static SynthTask* task_;
+  static TaskAttackContext* context_;
+  static WCnn* model_;
+  static std::vector<std::vector<WordId>>* neighbors_;
+};
+
+SynthTask* DefenseFixture::task_ = nullptr;
+TaskAttackContext* DefenseFixture::context_ = nullptr;
+WCnn* DefenseFixture::model_ = nullptr;
+std::vector<std::vector<WordId>>* DefenseFixture::neighbors_ = nullptr;
+
+TEST_F(DefenseFixture, SmoothingOutputsValidDistribution) {
+  const SynonymSmoothing smoothed(*model_, *neighbors_);
+  const TokenSeq tokens = task_->test.docs.front().flatten();
+  const Vector p = smoothed.predict_proba(tokens);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-4);
+  EXPECT_GE(p[0], 0.0f);
+  EXPECT_GE(p[1], 0.0f);
+}
+
+TEST_F(DefenseFixture, SmoothingWithZeroRateMatchesBase) {
+  SynonymSmoothingConfig config;
+  config.substitution_rate = 0.0;
+  config.samples = 3;
+  const SynonymSmoothing smoothed(*model_, *neighbors_, config);
+  const TokenSeq tokens = task_->test.docs.front().flatten();
+  const Vector base = model_->predict_proba(tokens);
+  const Vector wrapped = smoothed.predict_proba(tokens);
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    EXPECT_NEAR(wrapped[c], base[c], 1e-5);
+  }
+}
+
+TEST_F(DefenseFixture, SmoothingKeepsCleanAccuracyReasonable) {
+  const SynonymSmoothing smoothed(*model_, *neighbors_);
+  const double base_acc = classification_accuracy(*model_, task_->test);
+  const double smoothed_acc = classification_accuracy(smoothed, task_->test);
+  EXPECT_GT(smoothed_acc, base_acc - 0.2);
+}
+
+TEST_F(DefenseFixture, SmoothingReducesSingleSwapLeverage) {
+  // The largest single-word swing in target probability should shrink
+  // under smoothing (averaged over the neighbourhood, one word matters
+  // less). Compare the best single swap on a few documents.
+  SynonymSmoothingConfig config;
+  config.samples = 16;
+  const SynonymSmoothing smoothed(*model_, *neighbors_, config);
+  double base_total = 0.0;
+  double smoothed_total = 0.0;
+  std::size_t docs = 0;
+  for (const Document& doc : task_->test.docs) {
+    const TokenSeq tokens = doc.flatten();
+    const std::size_t label = static_cast<std::size_t>(doc.label);
+    if (model_->predict(tokens) != label) continue;
+    const std::size_t target = 1 - label;
+    const double base_p = model_->class_probability(tokens, target);
+    const double smooth_p = smoothed.class_probability(tokens, target);
+    double base_best = 0.0;
+    double smooth_best = 0.0;
+    for (std::size_t pos = 0; pos < tokens.size(); pos += 3) {
+      const auto& options =
+          (*neighbors_)[static_cast<std::size_t>(tokens[pos])];
+      for (std::size_t t = 0; t < std::min<std::size_t>(2, options.size());
+           ++t) {
+        TokenSeq swapped = tokens;
+        swapped[pos] = options[t];
+        base_best = std::max(
+            base_best,
+            model_->class_probability(swapped, target) - base_p);
+        smooth_best = std::max(
+            smooth_best,
+            smoothed.class_probability(swapped, target) - smooth_p);
+      }
+    }
+    base_total += base_best;
+    smoothed_total += smooth_best;
+    if (++docs >= 5) break;
+  }
+  EXPECT_LT(smoothed_total, base_total + 0.05);
+}
+
+TEST_F(DefenseFixture, SmoothingGradientShapesMatch) {
+  const SynonymSmoothing smoothed(*model_, *neighbors_);
+  const TokenSeq tokens = task_->test.docs.front().flatten();
+  Vector proba;
+  const Matrix grad = smoothed.input_gradient(tokens, 1, &proba);
+  EXPECT_EQ(grad.rows(), tokens.size());
+  EXPECT_EQ(grad.cols(), smoothed.embedding_dim());
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-4);
+}
+
+TEST_F(DefenseFixture, SmoothingRejectsZeroSamples) {
+  SynonymSmoothingConfig config;
+  config.samples = 0;
+  EXPECT_THROW(SynonymSmoothing(*model_, *neighbors_, config),
+               std::invalid_argument);
+}
+
+TEST_F(DefenseFixture, EnsembleAveragesMembers) {
+  const EnsembleClassifier solo({model_});
+  const TokenSeq tokens = task_->test.docs.front().flatten();
+  const Vector base = model_->predict_proba(tokens);
+  const Vector wrapped = solo.predict_proba(tokens);
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    EXPECT_NEAR(wrapped[c], base[c], 1e-6);
+  }
+  const EnsembleClassifier duo({model_, model_});
+  const Vector duo_p = duo.predict_proba(tokens);
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    EXPECT_NEAR(duo_p[c], base[c], 1e-6);
+  }
+}
+
+TEST_F(DefenseFixture, EnsembleRejectsEmpty) {
+  EXPECT_THROW(EnsembleClassifier({}), std::invalid_argument);
+}
+
+TEST_F(DefenseFixture, EnsembleAttacksStillRunThroughPipeline) {
+  const EnsembleClassifier ensemble({model_});
+  AttackEvalConfig config;
+  config.max_docs = 5;
+  config.joint.sentence_fraction = 0.2;
+  config.joint.word_fraction = 0.2;
+  const AttackEvalResult result =
+      evaluate_attack(ensemble, *task_, *context_, config);
+  EXPECT_EQ(result.docs_evaluated, 5u);
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,150 @@
+// Finite-difference gradient checks: the attacks are driven by
+// input-embedding gradients, and training by parameter gradients — both
+// must match numerical derivatives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/lstm.h"
+#include "src/nn/wcnn.h"
+#include "src/tensor/ops.h"
+
+namespace advtext {
+namespace {
+
+Matrix dense_embeddings(std::size_t vocab, std::size_t dim,
+                        std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(vocab, dim);
+  m.fill_normal(rng, 0.6f);
+  return m;
+}
+
+// Numerically differentiates p_target w.r.t. one embedding coordinate by
+// perturbing the (shared) embedding table entry of a token that occurs
+// exactly once in the sequence.
+template <typename Model>
+double fd_input_grad(Model& model, Matrix& table, const TokenSeq& tokens,
+                     std::size_t target, WordId word, std::size_t dim_index,
+                     double eps) {
+  const std::size_t row = static_cast<std::size_t>(word);
+  const float saved = table(row, dim_index);
+  table(row, dim_index) = static_cast<float>(saved + eps);
+  const double plus = model.predict_proba(tokens)[target];
+  table(row, dim_index) = static_cast<float>(saved - eps);
+  const double minus = model.predict_proba(tokens)[target];
+  table(row, dim_index) = saved;
+  return (plus - minus) / (2.0 * eps);
+}
+
+TEST(GradientCheck, WCnnInputGradient) {
+  WCnnConfig config;
+  config.embed_dim = 5;
+  config.num_filters = 7;
+  config.train_dropout = 0.0f;
+  WCnn model(config, dense_embeddings(24, 5, 31));
+  // All tokens distinct so each table row maps to one position.
+  const TokenSeq tokens = {2, 5, 8, 11, 14, 17, 20};
+  for (std::size_t target : {0u, 1u}) {
+    const Matrix grad = model.input_gradient(tokens, target);
+    auto& table = const_cast<Matrix&>(model.embedding().table());
+    for (std::size_t pos = 0; pos < tokens.size(); pos += 2) {
+      for (std::size_t d = 0; d < config.embed_dim; d += 2) {
+        const double fd = fd_input_grad(model, table, tokens, target,
+                                        tokens[pos], d, 1e-3);
+        EXPECT_NEAR(grad(pos, d), fd, 5e-3)
+            << "target " << target << " pos " << pos << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(GradientCheck, LstmInputGradient) {
+  LstmConfig config;
+  config.embed_dim = 4;
+  config.hidden = 6;
+  config.train_dropout = 0.0f;
+  LstmClassifier model(config, dense_embeddings(24, 4, 37));
+  const TokenSeq tokens = {2, 5, 8, 11, 14, 17};
+  for (std::size_t target : {0u, 1u}) {
+    const Matrix grad = model.input_gradient(tokens, target);
+    auto& table = const_cast<Matrix&>(model.embedding().table());
+    for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+      for (std::size_t d = 0; d < config.embed_dim; d += 2) {
+        const double fd = fd_input_grad(model, table, tokens, target,
+                                        tokens[pos], d, 1e-3);
+        EXPECT_NEAR(grad(pos, d), fd, 5e-3)
+            << "target " << target << " pos " << pos << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(GradientCheck, InputGradientRowsSumToProbGradient) {
+  // Probabilities sum to 1, so the gradients of the two class
+  // probabilities must be opposite.
+  LstmConfig config;
+  config.embed_dim = 4;
+  config.hidden = 5;
+  LstmClassifier model(config, dense_embeddings(16, 4, 41));
+  const TokenSeq tokens = {2, 4, 6, 8};
+  const Matrix g0 = model.input_gradient(tokens, 0);
+  const Matrix g1 = model.input_gradient(tokens, 1);
+  for (std::size_t i = 0; i < g0.rows(); ++i) {
+    for (std::size_t d = 0; d < g0.cols(); ++d) {
+      EXPECT_NEAR(g0(i, d), -g1(i, d), 1e-5);
+    }
+  }
+}
+
+// Parameter-gradient check via loss finite differences on every parameter
+// tensor of both models.
+template <typename Model>
+void check_param_gradients(Model& model, const TokenSeq& tokens,
+                           std::size_t label, double tol) {
+  model.zero_grad();
+  model.forward_backward(tokens, label);
+  const auto params = model.params();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    const ParamRef& ref = params[p];
+    const std::size_t stride = std::max<std::size_t>(1, ref.size / 7);
+    for (std::size_t i = 0; i < ref.size; i += stride) {
+      const float saved = ref.value[i];
+      const double eps = 1e-3;
+      ref.value[i] = static_cast<float>(saved + eps);
+      model.zero_grad();
+      const double plus = model.forward_backward(tokens, label);
+      ref.value[i] = static_cast<float>(saved - eps);
+      model.zero_grad();
+      const double minus = model.forward_backward(tokens, label);
+      ref.value[i] = saved;
+      const double fd = (plus - minus) / (2.0 * eps);
+      model.zero_grad();
+      model.forward_backward(tokens, label);
+      EXPECT_NEAR(model.params()[p].grad[i], fd, tol)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(GradientCheck, WCnnParameterGradients) {
+  WCnnConfig config;
+  config.embed_dim = 4;
+  config.num_filters = 5;
+  config.train_dropout = 0.0f;  // dropout off: loss must be deterministic
+  WCnn model(config, dense_embeddings(20, 4, 43), /*freeze_embedding=*/false);
+  check_param_gradients(model, {2, 5, 8, 11, 14}, 1, 5e-3);
+}
+
+TEST(GradientCheck, LstmParameterGradients) {
+  LstmConfig config;
+  config.embed_dim = 3;
+  config.hidden = 4;
+  config.train_dropout = 0.0f;
+  LstmClassifier model(config, dense_embeddings(16, 3, 47),
+                       /*freeze_embedding=*/false);
+  check_param_gradients(model, {2, 5, 8, 11}, 0, 5e-3);
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,226 @@
+// Tests for the Kneser-Ney language model and Word Mover's Distance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/data/synthetic.h"
+#include "src/text/ngram_lm.h"
+#include "src/text/wmd.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+namespace {
+
+Dataset tiny_corpus() {
+  // Vocab ids: 2..6. Bigrams: (2,3) frequent, (2,4) rare.
+  Dataset data;
+  data.num_classes = 2;
+  auto add = [&](std::vector<Sentence> sents) {
+    Document doc;
+    doc.label = 0;
+    doc.sentences = std::move(sents);
+    data.docs.push_back(std::move(doc));
+  };
+  for (int i = 0; i < 10; ++i) add({{2, 3, 5}});
+  add({{2, 4, 5}});
+  add({{6, 3}});
+  return data;
+}
+
+TEST(NGramLm, ConditionalIsAProbability) {
+  const Dataset data = tiny_corpus();
+  const NGramLm lm(data, 8);
+  for (WordId prev : {-1, 2, 3, 7}) {
+    double total = 0.0;
+    for (WordId w = 0; w < 8; ++w) {
+      const double p = lm.conditional(prev, w);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      total += p;
+    }
+    // KN with the uniform mixture should sum close to 1 over the vocab.
+    EXPECT_NEAR(total, 1.0, 0.15) << "context " << prev;
+  }
+}
+
+TEST(NGramLm, FrequentBigramBeatsRareBigram) {
+  const NGramLm lm(tiny_corpus(), 8);
+  EXPECT_GT(lm.conditional(2, 3), lm.conditional(2, 4));
+}
+
+TEST(NGramLm, UnseenContextFallsBackToContinuation) {
+  const NGramLm lm(tiny_corpus(), 8);
+  // Word 3 continues more contexts than word 4.
+  EXPECT_GT(lm.conditional(7, 3), lm.conditional(7, 4));
+}
+
+TEST(NGramLm, SentenceLogProbIsSumOfConditionals) {
+  const NGramLm lm(tiny_corpus(), 8);
+  const Sentence s = {2, 3, 5};
+  const double expected = std::log(lm.conditional(-1, 2)) +
+                          std::log(lm.conditional(2, 3)) +
+                          std::log(lm.conditional(3, 5));
+  EXPECT_NEAR(lm.sentence_log_prob(s), expected, 1e-9);
+}
+
+TEST(NGramLm, ReplacementDeltaMatchesFullRecomputation) {
+  const NGramLm lm(tiny_corpus(), 8);
+  const TokenSeq tokens = {2, 3, 5, 6, 3};
+  for (std::size_t pos = 0; pos < tokens.size(); ++pos) {
+    for (WordId cand : {2, 4, 7}) {
+      TokenSeq swapped = tokens;
+      swapped[pos] = cand;
+      const double full =
+          lm.sequence_log_prob(swapped) - lm.sequence_log_prob(tokens);
+      EXPECT_NEAR(lm.replacement_delta(tokens, pos, cand), full, 1e-9)
+          << "pos " << pos << " cand " << cand;
+    }
+  }
+}
+
+TEST(NGramLm, NaturalSwapHasSmallerDeltaThanJunkSwap) {
+  // Replacing a word with one seen in the same context should move ln P
+  // less than replacing it with a never-seen-in-context word.
+  const NGramLm lm(tiny_corpus(), 8);
+  const TokenSeq tokens = {2, 3, 5};
+  const double natural = std::abs(lm.replacement_delta(tokens, 1, 4));
+  const double junk = std::abs(lm.replacement_delta(tokens, 1, 7));
+  EXPECT_LT(natural, junk);
+}
+
+TEST(NGramLm, PerplexityPositive) {
+  const NGramLm lm(tiny_corpus(), 8);
+  Document doc;
+  doc.sentences = {{2, 3, 5}};
+  EXPECT_GT(lm.perplexity(doc), 1.0);
+  Document empty;
+  EXPECT_DOUBLE_EQ(lm.perplexity(empty), 0.0);
+}
+
+// ---- WMD ----------------------------------------------------------------
+
+Matrix grid_embeddings() {
+  // 6 words on a line: word i at (i, 0) so distances are |i - j|.
+  Matrix emb(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    emb(i, 0) = static_cast<float>(i);
+  }
+  return emb;
+}
+
+TEST(Wmd, WordDistanceIsEuclidean) {
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  EXPECT_NEAR(wmd.word_distance(2, 5), 3.0, 1e-6);
+  EXPECT_DOUBLE_EQ(wmd.word_distance(3, 3), 0.0);
+  EXPECT_NEAR(wmd.word_similarity(3, 3), 1.0, 1e-9);
+  EXPECT_LT(wmd.word_similarity(0, 5), wmd.word_similarity(0, 1));
+}
+
+TEST(Wmd, IdenticalSentencesHaveZeroDistance) {
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  const Sentence s = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(wmd.distance(s, s), 0.0);
+  EXPECT_DOUBLE_EQ(wmd.similarity(s, s), 1.0);
+  // Word order does not matter for WMD (bag-of-words).
+  EXPECT_DOUBLE_EQ(wmd.distance({2, 3, 4}, {4, 2, 3}), 0.0);
+}
+
+TEST(Wmd, SymmetricAndNonNegative) {
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Sentence a;
+    Sentence b;
+    for (int i = 0; i < 4; ++i) {
+      a.push_back(static_cast<WordId>(rng.uniform_index(6)));
+      b.push_back(static_cast<WordId>(rng.uniform_index(6)));
+    }
+    const double dab = wmd.distance(a, b);
+    const double dba = wmd.distance(b, a);
+    EXPECT_NEAR(dab, dba, 1e-9);
+    EXPECT_GE(dab, 0.0);
+  }
+}
+
+TEST(Wmd, SingleWordSwapDistanceEqualsScaledWordDistance) {
+  // Sentence of n distinct words, one replaced: the mover distance is
+  // (1/n) * d(old, new) when all other words match exactly.
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  const Sentence a = {0, 2, 4};
+  const Sentence b = {0, 2, 5};
+  EXPECT_NEAR(wmd.distance(a, b), (1.0 / 3.0) * 1.0, 1e-6);
+}
+
+TEST(Wmd, EmptySentenceEdgeCases) {
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  EXPECT_DOUBLE_EQ(wmd.distance({}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(wmd.distance({}, {1, 2})));
+  EXPECT_DOUBLE_EQ(wmd.similarity({}, {1, 2}), 0.0);
+}
+
+TEST(Wmd, TriangleLikeMonotonicity) {
+  // Moving a word further away cannot decrease the distance.
+  const Matrix emb = grid_embeddings();
+  const Wmd wmd(emb);
+  const Sentence base = {1, 2};
+  double prev = 0.0;
+  for (WordId far = 2; far < 6; ++far) {
+    const double d = wmd.distance(base, {1, far});
+    EXPECT_GE(d + 1e-9, prev);
+    prev = d;
+  }
+}
+
+TEST(Wmd, RelaxedIsLowerBoundOfExact) {
+  const SynthTask task = make_yelp(123);
+  const Wmd exact(task.paragram, Wmd::Method::kExact);
+  const Wmd relaxed(task.paragram, Wmd::Method::kRelaxed);
+  Rng rng(6);
+  const WordId vocab = task.vocab.size();
+  for (int trial = 0; trial < 15; ++trial) {
+    Sentence a;
+    Sentence b;
+    for (int i = 0; i < 6; ++i) {
+      a.push_back(static_cast<WordId>(2 + rng.uniform_index(vocab - 2)));
+      b.push_back(static_cast<WordId>(2 + rng.uniform_index(vocab - 2)));
+    }
+    EXPECT_LE(relaxed.distance(a, b), exact.distance(a, b) + 1e-7);
+  }
+}
+
+TEST(Wmd, SinkhornUpperBoundsExact) {
+  const SynthTask task = make_yelp(123);
+  const Wmd exact(task.paragram, Wmd::Method::kExact);
+  const Wmd sinkhorn(task.paragram, Wmd::Method::kSinkhorn);
+  const Sentence a = {5, 8, 11, 14};
+  const Sentence b = {6, 9, 12, 15};
+  EXPECT_GE(sinkhorn.distance(a, b) + 0.05, exact.distance(a, b));
+}
+
+TEST(Wmd, ClusterSiblingsAreCloserThanStrangers) {
+  // The paragram embeddings must place synonym-cluster words close: this
+  // is the property the paraphrase index depends on.
+  const SynthTask task = make_news(55);
+  const Wmd wmd(task.paragram);
+  double within = 0.0;
+  std::size_t within_n = 0;
+  double across = 0.0;
+  std::size_t across_n = 0;
+  for (std::size_t c = 0; c + 1 < task.concept_members.size(); c += 2) {
+    const auto& m0 = task.concept_members[c];
+    const auto& m1 = task.concept_members[c + 1];
+    within += wmd.word_distance(m0[0], m0[1]);
+    ++within_n;
+    across += wmd.word_distance(m0[0], m1[0]);
+    ++across_n;
+  }
+  EXPECT_LT(within / within_n, 0.5 * (across / across_n));
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,178 @@
+// Tests for the paraphrase machinery: word-level neighbour sets with WMD
+// and LM filters, and the rule-based sentence paraphraser.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/data/synthetic.h"
+#include "src/text/paraphrase_index.h"
+#include "src/text/sentence_paraphraser.h"
+
+namespace advtext {
+namespace {
+
+class ParaphraseFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new SynthTask(make_news(61));
+    lm_ = new NGramLm(task_->train,
+                      static_cast<std::size_t>(task_->vocab.size()));
+    wmd_ = new Wmd(task_->paragram);
+  }
+  static void TearDownTestSuite() {
+    delete wmd_;
+    delete lm_;
+    delete task_;
+    wmd_ = nullptr;
+    lm_ = nullptr;
+    task_ = nullptr;
+  }
+  static SynthTask* task_;
+  static NGramLm* lm_;
+  static Wmd* wmd_;
+};
+
+SynthTask* ParaphraseFixture::task_ = nullptr;
+NGramLm* ParaphraseFixture::lm_ = nullptr;
+Wmd* ParaphraseFixture::wmd_ = nullptr;
+
+TEST_F(ParaphraseFixture, NeighborsAreMostlyClusterSiblings) {
+  const ParaphraseIndex index(task_->paragram, {});
+  std::size_t sibling = 0;
+  std::size_t total = 0;
+  for (const auto& members : task_->concept_members) {
+    const WordId canonical = members[0];
+    for (WordId nbr : index.neighbors(canonical)) {
+      ++total;
+      if (task_->concept_of_word[static_cast<std::size_t>(nbr)] ==
+          task_->concept_of_word[static_cast<std::size_t>(canonical)]) {
+        ++sibling;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(sibling) / static_cast<double>(total), 0.8);
+}
+
+TEST_F(ParaphraseFixture, NeighborCountRespectsK) {
+  WordNeighborConfig config;
+  config.max_neighbors = 3;
+  const ParaphraseIndex index(task_->paragram, config);
+  for (WordId w = 2; w < task_->vocab.size(); ++w) {
+    EXPECT_LE(index.neighbors(w).size(), 3u);
+  }
+}
+
+TEST_F(ParaphraseFixture, SimilarityThresholdPrunes) {
+  WordNeighborConfig loose;
+  loose.min_similarity = 0.1;
+  loose.max_neighbors = 50;
+  WordNeighborConfig tight;
+  tight.min_similarity = 0.97;
+  tight.max_neighbors = 50;
+  const ParaphraseIndex loose_index(task_->paragram, loose);
+  const ParaphraseIndex tight_index(task_->paragram, tight);
+  std::size_t loose_total = 0;
+  std::size_t tight_total = 0;
+  for (WordId w = 2; w < task_->vocab.size(); ++w) {
+    loose_total += loose_index.neighbors(w).size();
+    tight_total += tight_index.neighbors(w).size();
+  }
+  EXPECT_GT(loose_total, tight_total);
+}
+
+TEST_F(ParaphraseFixture, SpecialsHaveNoNeighbors) {
+  const ParaphraseIndex index(task_->paragram, {});
+  EXPECT_TRUE(index.neighbors(Vocab::kPad).empty());
+  EXPECT_TRUE(index.neighbors(Vocab::kUnk).empty());
+  EXPECT_TRUE(index.neighbors(-5).empty());
+}
+
+TEST_F(ParaphraseFixture, LmFilterDropsDisfluentCandidates) {
+  WordNeighborConfig with_lm;
+  with_lm.lm_delta = 0.5;  // tight syntactic bound
+  WordNeighborConfig without_lm;
+  without_lm.lm_delta = std::numeric_limits<double>::infinity();
+  const ParaphraseIndex index_tight(task_->paragram, with_lm);
+  const ParaphraseIndex index_loose(task_->paragram, without_lm);
+  const TokenSeq tokens = task_->train.docs.front().flatten();
+  const auto tight = index_tight.candidates_for(tokens, lm_);
+  const auto loose = index_loose.candidates_for(tokens, lm_);
+  std::size_t tight_total = 0;
+  std::size_t loose_total = 0;
+  for (const auto& c : tight) tight_total += c.size();
+  for (const auto& c : loose) loose_total += c.size();
+  EXPECT_LT(tight_total, loose_total);
+  EXPECT_GT(loose_total, 0u);
+}
+
+TEST_F(ParaphraseFixture, NullLmSkipsFilter) {
+  WordNeighborConfig config;
+  config.lm_delta = 0.5;
+  const ParaphraseIndex index(task_->paragram, config);
+  const TokenSeq tokens = task_->train.docs.front().flatten();
+  const auto no_lm = index.candidates_for(tokens, nullptr);
+  const auto with_lm = index.candidates_for(tokens, lm_);
+  std::size_t no_lm_total = 0;
+  std::size_t with_lm_total = 0;
+  for (const auto& c : no_lm) no_lm_total += c.size();
+  for (const auto& c : with_lm) with_lm_total += c.size();
+  EXPECT_GE(no_lm_total, with_lm_total);
+}
+
+TEST_F(ParaphraseFixture, SentenceParaphrasesAreDistinctAndSimilar) {
+  const ParaphraseIndex index(task_->paragram, {});
+  std::vector<std::vector<WordId>> neighbors(
+      static_cast<std::size_t>(task_->vocab.size()));
+  for (WordId w = 2; w < task_->vocab.size(); ++w) {
+    neighbors[static_cast<std::size_t>(w)] = index.neighbors(w);
+  }
+  SentenceParaphraserConfig config;
+  config.min_similarity = 0.7;
+  const SentenceParaphraser paraphraser(neighbors, task_->is_function_word,
+                                        config);
+  const Sentence& sentence = task_->train.docs.front().sentences.front();
+  const auto paraphrases = paraphraser.paraphrases(sentence, *wmd_);
+  EXPECT_FALSE(paraphrases.empty());
+  EXPECT_LE(paraphrases.size(), config.max_paraphrases);
+  std::set<Sentence> seen;
+  for (const Sentence& p : paraphrases) {
+    EXPECT_NE(p, sentence);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate paraphrase";
+    EXPECT_GE(wmd_->similarity(sentence, p), config.min_similarity);
+  }
+}
+
+TEST_F(ParaphraseFixture, ParaphrasesAreDeterministic) {
+  const ParaphraseIndex index(task_->paragram, {});
+  std::vector<std::vector<WordId>> neighbors(
+      static_cast<std::size_t>(task_->vocab.size()));
+  for (WordId w = 2; w < task_->vocab.size(); ++w) {
+    neighbors[static_cast<std::size_t>(w)] = index.neighbors(w);
+  }
+  const SentenceParaphraser paraphraser(neighbors, task_->is_function_word);
+  const Sentence& sentence = task_->train.docs.back().sentences.front();
+  EXPECT_EQ(paraphraser.paraphrases(sentence, *wmd_),
+            paraphraser.paraphrases(sentence, *wmd_));
+}
+
+TEST_F(ParaphraseFixture, EmptySentenceYieldsNoParaphrases) {
+  const SentenceParaphraser paraphraser({}, {});
+  EXPECT_TRUE(paraphraser.paraphrases({}, *wmd_).empty());
+}
+
+TEST_F(ParaphraseFixture, NeighborSetsCoverEverySentence) {
+  const ParaphraseIndex index(task_->paragram, {});
+  std::vector<std::vector<WordId>> neighbors(
+      static_cast<std::size_t>(task_->vocab.size()));
+  for (WordId w = 2; w < task_->vocab.size(); ++w) {
+    neighbors[static_cast<std::size_t>(w)] = index.neighbors(w);
+  }
+  const SentenceParaphraser paraphraser(neighbors, task_->is_function_word);
+  const Document& doc = task_->test.docs.front();
+  const auto sets = paraphraser.neighbor_sets(doc, *wmd_);
+  EXPECT_EQ(sets.size(), doc.sentences.size());
+}
+
+}  // namespace
+}  // namespace advtext

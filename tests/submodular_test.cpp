@@ -1,0 +1,204 @@
+// Tests for the submodular toolkit: reference families satisfy the
+// Definition 1 checkers, greedy/lazy-greedy agree, the (1-1/e) guarantee
+// of Claim 1 holds against brute force, and evaluation counting works.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/optim/submodular.h"
+
+namespace advtext {
+namespace {
+
+TEST(ModularFunction, ValueIsWeightSum) {
+  ModularFunction f({1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.value({}), 0.0);
+  EXPECT_DOUBLE_EQ(f.value({0, 2}), 5.0);
+  EXPECT_EQ(f.evaluations(), 2u);
+}
+
+TEST(ModularFunction, IsSubmodularWithEquality) {
+  ModularFunction f({0.5, 1.5, 2.5, 3.5});
+  Rng rng(1);
+  const auto check = check_submodular(f, rng);
+  EXPECT_TRUE(check.holds);
+  EXPECT_GT(check.checks, 0u);
+}
+
+TEST(CoverageFunction, HandBuiltValues) {
+  // Element 0 covers {0,1}; element 1 covers {1,2}; weights 1, 2, 4.
+  CoverageFunction f({{0, 1}, {1, 2}}, {1.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(f.value({0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.value({1}), 6.0);
+  EXPECT_DOUBLE_EQ(f.value({0, 1}), 7.0);  // item 1 counted once
+}
+
+TEST(CoverageFunction, RandomInstancesAreMonotoneSubmodular) {
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto f = CoverageFunction::random(8, 20, 5, rng);
+    Rng check_rng(trial);
+    EXPECT_TRUE(check_monotone(f, check_rng).holds);
+    EXPECT_TRUE(check_submodular(f, check_rng).holds);
+  }
+}
+
+TEST(FacilityLocation, IsMonotoneSubmodular) {
+  Rng rng(11);
+  Matrix sim(6, 10);
+  for (std::size_t i = 0; i < sim.rows(); ++i) {
+    for (std::size_t j = 0; j < sim.cols(); ++j) {
+      sim(i, j) = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+  }
+  FacilityLocationFunction f(std::move(sim));
+  Rng check_rng(2);
+  EXPECT_TRUE(check_monotone(f, check_rng).holds);
+  EXPECT_TRUE(check_submodular(f, check_rng).holds);
+}
+
+TEST(Checkers, DetectNonSubmodularFunction) {
+  // f(S) = (sum of weights)^2 is supermodular (strictly, for positive
+  // weights), so the checker must flag it.
+  class Square : public SetFunction {
+   public:
+    std::size_t ground_set_size() const override { return 5; }
+
+   protected:
+    double value_impl(const std::vector<std::size_t>& set) const override {
+      double s = 0.0;
+      for (std::size_t e : set) s += static_cast<double>(e) + 1.0;
+      return s * s;
+    }
+  };
+  Square f;
+  Rng rng(3);
+  const auto check = check_submodular(f, rng);
+  EXPECT_FALSE(check.holds);
+  EXPECT_GT(check.violations, 0u);
+  EXPECT_LT(check.worst_violation, 0.0);
+}
+
+TEST(Checkers, DetectNonMonotoneFunction) {
+  class Alternating : public SetFunction {
+   public:
+    std::size_t ground_set_size() const override { return 4; }
+
+   protected:
+    double value_impl(const std::vector<std::size_t>& set) const override {
+      return set.size() % 2 == 0 ? 1.0 : 0.0;
+    }
+  };
+  Alternating f;
+  Rng rng(5);
+  EXPECT_FALSE(check_monotone(f, rng).holds);
+}
+
+TEST(Greedy, MatchesBruteForceOnModular) {
+  // For modular functions greedy is exactly optimal.
+  ModularFunction f({3.0, 1.0, 4.0, 1.0, 5.0});
+  const auto greedy = greedy_maximize(f, 2);
+  const auto exact = brute_force_maximize(f, 2);
+  EXPECT_DOUBLE_EQ(greedy.value, exact.value);
+  EXPECT_DOUBLE_EQ(greedy.value, 9.0);
+}
+
+TEST(Greedy, RespectsOneMinusOneOverEGuarantee) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto f = CoverageFunction::random(10, 25, 4, rng);
+    for (std::size_t budget : {1, 2, 3, 4}) {
+      const auto greedy = greedy_maximize(f, budget);
+      const auto exact = brute_force_maximize(f, budget);
+      EXPECT_GE(greedy.value + 1e-9, (1.0 - 1.0 / std::exp(1.0)) *
+                                         exact.value)
+          << "trial " << trial << " budget " << budget;
+    }
+  }
+}
+
+TEST(LazyGreedy, MatchesNaiveGreedyOnSubmodular) {
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto f = CoverageFunction::random(12, 30, 5, rng);
+    const auto naive = greedy_maximize(f, 5);
+    const auto lazy = lazy_greedy_maximize(f, 5);
+    EXPECT_NEAR(naive.value, lazy.value, 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LazyGreedy, UsesFewerEvaluations) {
+  Rng rng(19);
+  auto f = CoverageFunction::random(40, 100, 6, rng);
+  const auto naive = greedy_maximize(f, 8);
+  const auto lazy = lazy_greedy_maximize(f, 8);
+  EXPECT_NEAR(naive.value, lazy.value, 1e-9);
+  EXPECT_LT(lazy.evaluations, naive.evaluations);
+}
+
+TEST(StochasticGreedy, GetsCloseToGreedy) {
+  Rng rng(23);
+  auto f = CoverageFunction::random(30, 60, 5, rng);
+  const auto greedy = greedy_maximize(f, 6);
+  Rng sg_rng(1);
+  const auto stochastic = stochastic_greedy_maximize(f, 6, sg_rng, 0.05);
+  EXPECT_GE(stochastic.value, 0.8 * greedy.value);
+}
+
+TEST(RandomBaseline, IsUsuallyWorseThanGreedy) {
+  Rng rng(29);
+  auto f = CoverageFunction::random(30, 80, 4, rng);
+  const auto greedy = greedy_maximize(f, 5);
+  Rng rand_rng(2);
+  double random_total = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    random_total += random_subset_baseline(f, 5, rand_rng).value;
+  }
+  EXPECT_GT(greedy.value, random_total / trials);
+}
+
+TEST(BruteForce, RejectsHugeGroundSets) {
+  ModularFunction f(std::vector<double>(30, 1.0));
+  EXPECT_THROW(brute_force_maximize(f, 3), std::invalid_argument);
+}
+
+TEST(BruteForce, BudgetZeroIsEmptySet) {
+  ModularFunction f({1.0, 2.0});
+  const auto result = brute_force_maximize(f, 0);
+  EXPECT_TRUE(result.set.empty());
+  EXPECT_DOUBLE_EQ(result.value, 0.0);
+}
+
+TEST(Greedy, StopsEarlyWhenNoGain) {
+  // All weights zero: greedy should pick nothing.
+  ModularFunction f({0.0, 0.0, 0.0});
+  const auto result = greedy_maximize(f, 3);
+  EXPECT_TRUE(result.set.empty());
+}
+
+// Parameterized sweep: greedy >= (1-1/e) OPT across budgets on facility
+// location instances.
+class GreedyRatioTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GreedyRatioTest, FacilityLocationRatio) {
+  const std::size_t budget = GetParam();
+  Rng rng(100 + budget);
+  Matrix sim(9, 18);
+  for (std::size_t i = 0; i < sim.rows(); ++i) {
+    for (std::size_t j = 0; j < sim.cols(); ++j) {
+      sim(i, j) = static_cast<float>(rng.uniform(0.0, 1.0));
+    }
+  }
+  FacilityLocationFunction f(std::move(sim));
+  const auto greedy = greedy_maximize(f, budget);
+  const auto exact = brute_force_maximize(f, budget);
+  EXPECT_GE(greedy.value + 1e-9,
+            (1.0 - 1.0 / std::exp(1.0)) * exact.value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, GreedyRatioTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace advtext
