@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wmd.dir/bench_ablation_wmd.cpp.o"
+  "CMakeFiles/bench_ablation_wmd.dir/bench_ablation_wmd.cpp.o.d"
+  "bench_ablation_wmd"
+  "bench_ablation_wmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

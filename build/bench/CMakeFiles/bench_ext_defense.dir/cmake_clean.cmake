@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_defense.dir/bench_ext_defense.cpp.o"
+  "CMakeFiles/bench_ext_defense.dir/bench_ext_defense.cpp.o.d"
+  "bench_ext_defense"
+  "bench_ext_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

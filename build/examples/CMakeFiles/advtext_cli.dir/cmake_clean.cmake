@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advtext_cli.dir/advtext_cli.cpp.o"
+  "CMakeFiles/advtext_cli.dir/advtext_cli.cpp.o.d"
+  "advtext_cli"
+  "advtext_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advtext_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

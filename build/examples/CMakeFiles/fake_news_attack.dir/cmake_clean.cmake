@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fake_news_attack.dir/fake_news_attack.cpp.o"
+  "CMakeFiles/fake_news_attack.dir/fake_news_attack.cpp.o.d"
+  "fake_news_attack"
+  "fake_news_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fake_news_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

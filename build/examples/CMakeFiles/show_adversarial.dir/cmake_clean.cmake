@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/show_adversarial.dir/show_adversarial.cpp.o"
+  "CMakeFiles/show_adversarial.dir/show_adversarial.cpp.o.d"
+  "show_adversarial"
+  "show_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/show_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_filter_attack.dir/spam_filter_attack.cpp.o"
+  "CMakeFiles/spam_filter_attack.dir/spam_filter_attack.cpp.o.d"
+  "spam_filter_attack"
+  "spam_filter_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_filter_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

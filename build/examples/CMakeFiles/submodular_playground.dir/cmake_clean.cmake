@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submodular_playground.dir/submodular_playground.cpp.o"
+  "CMakeFiles/submodular_playground.dir/submodular_playground.cpp.o.d"
+  "submodular_playground"
+  "submodular_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submodular_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attack_set_function.cpp" "src/CMakeFiles/advtext.dir/core/attack_set_function.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/attack_set_function.cpp.o.d"
+  "/root/repo/src/core/char_flip.cpp" "src/CMakeFiles/advtext.dir/core/char_flip.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/char_flip.cpp.o.d"
+  "/root/repo/src/core/gradient_attack.cpp" "src/CMakeFiles/advtext.dir/core/gradient_attack.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/gradient_attack.cpp.o.d"
+  "/root/repo/src/core/gradient_guided_greedy.cpp" "src/CMakeFiles/advtext.dir/core/gradient_guided_greedy.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/gradient_guided_greedy.cpp.o.d"
+  "/root/repo/src/core/joint_attack.cpp" "src/CMakeFiles/advtext.dir/core/joint_attack.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/joint_attack.cpp.o.d"
+  "/root/repo/src/core/lazy_greedy_attack.cpp" "src/CMakeFiles/advtext.dir/core/lazy_greedy_attack.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/lazy_greedy_attack.cpp.o.d"
+  "/root/repo/src/core/objective_greedy.cpp" "src/CMakeFiles/advtext.dir/core/objective_greedy.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/objective_greedy.cpp.o.d"
+  "/root/repo/src/core/sentence_attack.cpp" "src/CMakeFiles/advtext.dir/core/sentence_attack.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/sentence_attack.cpp.o.d"
+  "/root/repo/src/core/transformation.cpp" "src/CMakeFiles/advtext.dir/core/transformation.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/core/transformation.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/advtext.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/eval/adversarial_training.cpp" "src/CMakeFiles/advtext.dir/eval/adversarial_training.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/adversarial_training.cpp.o.d"
+  "/root/repo/src/eval/defenses.cpp" "src/CMakeFiles/advtext.dir/eval/defenses.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/defenses.cpp.o.d"
+  "/root/repo/src/eval/human_sim.cpp" "src/CMakeFiles/advtext.dir/eval/human_sim.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/human_sim.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/advtext.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/pipeline.cpp" "src/CMakeFiles/advtext.dir/eval/pipeline.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/pipeline.cpp.o.d"
+  "/root/repo/src/eval/report.cpp" "src/CMakeFiles/advtext.dir/eval/report.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/eval/report.cpp.o.d"
+  "/root/repo/src/nn/bow_classifier.cpp" "src/CMakeFiles/advtext.dir/nn/bow_classifier.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/bow_classifier.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/advtext.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/gru.cpp" "src/CMakeFiles/advtext.dir/nn/gru.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/gru.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/CMakeFiles/advtext.dir/nn/lstm.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/lstm.cpp.o.d"
+  "/root/repo/src/nn/scalar_rnn.cpp" "src/CMakeFiles/advtext.dir/nn/scalar_rnn.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/scalar_rnn.cpp.o.d"
+  "/root/repo/src/nn/simple_wcnn.cpp" "src/CMakeFiles/advtext.dir/nn/simple_wcnn.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/simple_wcnn.cpp.o.d"
+  "/root/repo/src/nn/text_classifier.cpp" "src/CMakeFiles/advtext.dir/nn/text_classifier.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/text_classifier.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/advtext.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/trainer.cpp.o.d"
+  "/root/repo/src/nn/wcnn.cpp" "src/CMakeFiles/advtext.dir/nn/wcnn.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/nn/wcnn.cpp.o.d"
+  "/root/repo/src/optim/submodular.cpp" "src/CMakeFiles/advtext.dir/optim/submodular.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/optim/submodular.cpp.o.d"
+  "/root/repo/src/optim/transport.cpp" "src/CMakeFiles/advtext.dir/optim/transport.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/optim/transport.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/CMakeFiles/advtext.dir/tensor/ops.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/advtext.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/text/corpus.cpp" "src/CMakeFiles/advtext.dir/text/corpus.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/corpus.cpp.o.d"
+  "/root/repo/src/text/ngram_lm.cpp" "src/CMakeFiles/advtext.dir/text/ngram_lm.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/ngram_lm.cpp.o.d"
+  "/root/repo/src/text/paraphrase_index.cpp" "src/CMakeFiles/advtext.dir/text/paraphrase_index.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/paraphrase_index.cpp.o.d"
+  "/root/repo/src/text/sentence_paraphraser.cpp" "src/CMakeFiles/advtext.dir/text/sentence_paraphraser.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/sentence_paraphraser.cpp.o.d"
+  "/root/repo/src/text/skipgram.cpp" "src/CMakeFiles/advtext.dir/text/skipgram.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/skipgram.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/advtext.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocab.cpp" "src/CMakeFiles/advtext.dir/text/vocab.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/vocab.cpp.o.d"
+  "/root/repo/src/text/wmd.cpp" "src/CMakeFiles/advtext.dir/text/wmd.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/text/wmd.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/advtext.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/advtext.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/serialize.cpp" "src/CMakeFiles/advtext.dir/util/serialize.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/util/serialize.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/advtext.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/advtext.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/advtext.dir/util/string_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lm_wmd_test.dir/lm_wmd_test.cpp.o"
+  "CMakeFiles/lm_wmd_test.dir/lm_wmd_test.cpp.o.d"
+  "lm_wmd_test"
+  "lm_wmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lm_wmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

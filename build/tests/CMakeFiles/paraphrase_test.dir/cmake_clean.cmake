@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paraphrase_test.dir/paraphrase_test.cpp.o"
+  "CMakeFiles/paraphrase_test.dir/paraphrase_test.cpp.o.d"
+  "paraphrase_test"
+  "paraphrase_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paraphrase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
