@@ -1,5 +1,7 @@
 #include "src/nn/bow_classifier.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -13,7 +15,7 @@ BowClassifier::BowClassifier(const BowClassifierConfig& config)
       weights_grad_(config.num_classes, config.vocab_size),
       bias_(config.num_classes, 0.0f),
       bias_grad_(config.num_classes, 0.0f) {
-  detail::check(config.vocab_size > 0, "BowClassifier: empty vocab");
+  ADVTEXT_CHECK_SHAPE(config.vocab_size > 0) << "BowClassifier: empty vocab";
   Rng rng(config.seed);
   weights_.fill_normal(
       rng, static_cast<float>(
@@ -34,9 +36,7 @@ const Matrix& BowClassifier::embedding_table() const {
 Vector BowClassifier::predict_proba(const TokenSeq& tokens) const {
   Vector logits = bias_;
   for (WordId w : tokens) {
-    detail::check(w >= 0 &&
-                      static_cast<std::size_t>(w) < config_.vocab_size,
-                  "BowClassifier: token out of range");
+    ADVTEXT_CHECK_SHAPE(w >= 0 && static_cast<std::size_t>(w) < config_.vocab_size) << "BowClassifier: token out of range";
     for (std::size_t c = 0; c < config_.num_classes; ++c) {
       logits[c] += weights_(c, static_cast<std::size_t>(w));
     }
@@ -72,8 +72,7 @@ Matrix BowClassifier::input_gradient(const TokenSeq& tokens,
 
 float BowClassifier::forward_backward(const TokenSeq& tokens,
                                       std::size_t label) {
-  detail::check(label < config_.num_classes,
-                "BowClassifier: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < config_.num_classes) << "BowClassifier: label out of range";
   Vector logits = bias_;
   for (WordId w : tokens) {
     for (std::size_t c = 0; c < config_.num_classes; ++c) {

@@ -1,5 +1,7 @@
 #include "src/nn/gru.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -23,8 +25,7 @@ GruClassifier::GruClassifier(const GruConfig& config,
       out_b_(config.num_classes, 0.0f),
       out_b_grad_(config.num_classes, 0.0f),
       rng_(config.seed) {
-  detail::check(embedding_.dim() == config_.embed_dim,
-                "GruClassifier: embedding dim mismatch");
+  ADVTEXT_CHECK_SHAPE(embedding_.dim() == config_.embed_dim) << "GruClassifier: embedding dim mismatch";
   embedding_.set_frozen(freeze_embedding);
   const float bx = static_cast<float>(
       std::sqrt(6.0 / static_cast<double>(config.embed_dim + config.hidden)));
@@ -68,7 +69,7 @@ Vector GruClassifier::proba_from_hidden(const Vector& h) const {
 Vector GruClassifier::forward_traced(const TokenSeq& tokens,
                                      std::vector<StepTrace>* traces,
                                      Matrix* embedded) const {
-  detail::check(!tokens.empty(), "GruClassifier: empty input");
+  ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "GruClassifier: empty input";
   const std::size_t hidden = config_.hidden;
   Matrix emb = embedding_.lookup(tokens);
   Vector h(hidden, 0.0f);
@@ -106,7 +107,7 @@ Vector GruClassifier::forward_traced(const TokenSeq& tokens,
 }
 
 Vector GruClassifier::predict_proba(const TokenSeq& tokens) const {
-  detail::check(!tokens.empty(), "GruClassifier: empty input");
+  ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "GruClassifier: empty input";
   const Matrix emb = embedding_.lookup(tokens);
   Vector h(config_.hidden, 0.0f);
   for (std::size_t t = 0; t < tokens.size(); ++t) step(emb.row(t), h);
@@ -187,8 +188,7 @@ void GruClassifier::bptt(const Matrix& embedded,
 Matrix GruClassifier::input_gradient(const TokenSeq& tokens,
                                      std::size_t target,
                                      Vector* proba) const {
-  detail::check(target < config_.num_classes,
-                "GruClassifier::input_gradient: target out of range");
+  ADVTEXT_CHECK_SHAPE(target < config_.num_classes) << "GruClassifier::input_gradient: target out of range";
   std::vector<StepTrace> traces;
   Matrix embedded;
   const Vector p = forward_traced(tokens, &traces, &embedded);
@@ -208,8 +208,7 @@ Matrix GruClassifier::input_gradient(const TokenSeq& tokens,
 
 float GruClassifier::forward_backward(const TokenSeq& tokens,
                                       std::size_t label) {
-  detail::check(label < config_.num_classes,
-                "GruClassifier::forward_backward: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < config_.num_classes) << "GruClassifier::forward_backward: label out of range";
   std::vector<StepTrace> traces;
   Matrix embedded;
   forward_traced(tokens, &traces, &embedded);
@@ -312,7 +311,7 @@ class GruSwapEvaluator : public SwapEvaluator {
   }
 
   void rebase(const TokenSeq& tokens) override {
-    detail::check(!tokens.empty(), "GruSwapEvaluator: empty base");
+    ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "GruSwapEvaluator: empty base";
     base_ = tokens;
     const std::size_t hidden = model_.config().hidden;
     states_.assign(tokens.size() + 1, Vector(hidden, 0.0f));
@@ -326,7 +325,7 @@ class GruSwapEvaluator : public SwapEvaluator {
 
   Vector eval_swap(std::size_t pos, WordId candidate) override {
     ++queries_;
-    detail::check(pos < base_.size(), "eval_swap: position out of range");
+    ADVTEXT_CHECK_SHAPE(pos < base_.size()) << "eval_swap: position out of range";
     Vector h = states_[pos];
     model_.step(model_.embedding().vector(candidate), h);
     for (std::size_t t = pos + 1; t < base_.size(); ++t) {

@@ -1,5 +1,7 @@
 #include "src/nn/lstm.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -23,8 +25,7 @@ LstmClassifier::LstmClassifier(const LstmConfig& config,
       out_b_(config.num_classes, 0.0f),
       out_b_grad_(config.num_classes, 0.0f),
       rng_(config.seed) {
-  detail::check(embedding_.dim() == config_.embed_dim,
-                "LstmClassifier: embedding dim mismatch");
+  ADVTEXT_CHECK_SHAPE(embedding_.dim() == config_.embed_dim) << "LstmClassifier: embedding dim mismatch";
   embedding_.set_frozen(freeze_embedding);
   const float bx = static_cast<float>(
       std::sqrt(6.0 / static_cast<double>(config.embed_dim + config.hidden)));
@@ -70,7 +71,7 @@ Vector LstmClassifier::proba_from_hidden(const Vector& h) const {
 Vector LstmClassifier::forward_traced(const TokenSeq& tokens,
                                       std::vector<StepTrace>* traces,
                                       Matrix* embedded) const {
-  detail::check(!tokens.empty(), "LstmClassifier: empty input");
+  ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "LstmClassifier: empty input";
   const std::size_t hidden = config_.hidden;
   Matrix emb = embedding_.lookup(tokens);
   Vector h(hidden, 0.0f);
@@ -109,7 +110,7 @@ Vector LstmClassifier::forward_traced(const TokenSeq& tokens,
 }
 
 Vector LstmClassifier::predict_proba(const TokenSeq& tokens) const {
-  detail::check(!tokens.empty(), "LstmClassifier: empty input");
+  ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "LstmClassifier: empty input";
   const Matrix emb = embedding_.lookup(tokens);
   Vector h(config_.hidden, 0.0f);
   Vector c(config_.hidden, 0.0f);
@@ -173,8 +174,7 @@ void LstmClassifier::bptt(const Matrix& embedded,
 Matrix LstmClassifier::input_gradient(const TokenSeq& tokens,
                                       std::size_t target,
                                       Vector* proba) const {
-  detail::check(target < config_.num_classes,
-                "LstmClassifier::input_gradient: target out of range");
+  ADVTEXT_CHECK_SHAPE(target < config_.num_classes) << "LstmClassifier::input_gradient: target out of range";
   std::vector<StepTrace> traces;
   Matrix embedded;
   const Vector p = forward_traced(tokens, &traces, &embedded);
@@ -194,8 +194,7 @@ Matrix LstmClassifier::input_gradient(const TokenSeq& tokens,
 
 float LstmClassifier::forward_backward(const TokenSeq& tokens,
                                        std::size_t label) {
-  detail::check(label < config_.num_classes,
-                "LstmClassifier::forward_backward: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < config_.num_classes) << "LstmClassifier::forward_backward: label out of range";
   std::vector<StepTrace> traces;
   Matrix embedded;
   forward_traced(tokens, &traces, &embedded);
@@ -292,7 +291,7 @@ class LstmSwapEvaluatorImpl : public SwapEvaluator {
   }
 
   void rebase(const TokenSeq& tokens) override {
-    detail::check(!tokens.empty(), "LstmSwapEvaluator: empty base");
+    ADVTEXT_CHECK_SHAPE(!tokens.empty()) << "LstmSwapEvaluator: empty base";
     base_ = tokens;
     const std::size_t hidden = model_.config().hidden;
     // states_[t] = (h, c) after consuming tokens[0..t-1].
@@ -310,7 +309,7 @@ class LstmSwapEvaluatorImpl : public SwapEvaluator {
 
   Vector eval_swap(std::size_t pos, WordId candidate) override {
     ++queries_;
-    detail::check(pos < base_.size(), "eval_swap: position out of range");
+    ADVTEXT_CHECK_SHAPE(pos < base_.size()) << "eval_swap: position out of range";
     Vector h = h_states_[pos];
     Vector c = c_states_[pos];
     model_.step(model_.embedding().vector(candidate), h, c);

@@ -1,5 +1,7 @@
 #include "src/nn/scalar_rnn.h"
 
+#include "src/util/check.h"
+
 namespace advtext {
 
 ScalarRnn::ScalarRnn(const ScalarRnnConfig& config)
@@ -13,16 +15,14 @@ ScalarRnn::ScalarRnn(const ScalarRnnConfig& config)
 }
 
 double ScalarRnn::input_drive(const Vector& v) const {
-  detail::check(v.size() == config_.embed_dim,
-                "ScalarRnn::input_drive: dim mismatch");
+  ADVTEXT_CHECK_SHAPE(v.size() == config_.embed_dim) << "ScalarRnn::input_drive: dim mismatch";
   double acc = b_;
   for (std::size_t d = 0; d < v.size(); ++d) acc += m_[d] * v[d];
   return acc;
 }
 
 double ScalarRnn::final_hidden(const Matrix& embedded) const {
-  detail::check(embedded.cols() == config_.embed_dim,
-                "ScalarRnn: dim mismatch");
+  ADVTEXT_CHECK_SHAPE(embedded.cols() == config_.embed_dim) << "ScalarRnn: dim mismatch";
   double h = config_.h_init;
   for (std::size_t t = 0; t < embedded.rows(); ++t) {
     double drive = b_ + w_ * h;

@@ -1,5 +1,7 @@
 #include "src/nn/simple_wcnn.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -60,11 +62,8 @@ double SimpleWCnn::score(const Matrix& embedded) const {
 bool SimpleWCnn::replacement_increases_filters(std::size_t offset_in_window,
                                                const Vector& original,
                                                const Vector& candidate) const {
-  detail::check(offset_in_window < config_.window,
-                "replacement_increases_filters: offset out of range");
-  detail::check(original.size() == config_.embed_dim &&
-                    candidate.size() == config_.embed_dim,
-                "replacement_increases_filters: dim mismatch");
+  ADVTEXT_CHECK_SHAPE(offset_in_window < config_.window) << "replacement_increases_filters: offset out of range";
+  ADVTEXT_CHECK_SHAPE(original.size() == config_.embed_dim && candidate.size() == config_.embed_dim) << "replacement_increases_filters: dim mismatch";
   for (std::size_t f = 0; f < config_.num_filters; ++f) {
     const float* segment =
         filters_.row(f) + offset_in_window * config_.embed_dim;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "src/util/check.h"
 #include "src/util/rng.h"
 
 namespace advtext {
@@ -48,6 +49,15 @@ void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
       ref.value[i] -=
           static_cast<float>(lr * mhat / (std::sqrt(vhat) + config_.epsilon));
     }
+  }
+  // A single NaN gradient silently poisons every later step through the
+  // Adam moments; catch it at the step boundary where the culprit tensor
+  // is still identifiable.
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    ADVTEXT_DCHECK(all_finite(params[p].grad, params[p].size))
+        << "Adam::step: gradient tensor " << p << " non-finite";
+    ADVTEXT_DCHECK(all_finite(params[p].value, params[p].size))
+        << "Adam::step: parameter tensor " << p << " non-finite after update";
   }
 }
 
@@ -107,6 +117,9 @@ TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
             doc->flatten(), static_cast<std::size_t>(doc->label));
       }
       const std::size_t batch = end - start;
+      ADVTEXT_DCHECK(std::isfinite(batch_loss))
+          << "train_classifier: non-finite batch loss at epoch " << epoch
+          << ", batch starting at " << start;
       optimizer.step(model.params(), 1.0 / static_cast<double>(batch));
       epoch_loss += batch_loss;
       processed += batch;

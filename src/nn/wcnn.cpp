@@ -1,5 +1,7 @@
 #include "src/nn/wcnn.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -21,8 +23,7 @@ WCnn::WCnn(const WCnnConfig& config, Matrix pretrained_embeddings,
       out_b_(config.num_classes, 0.0f),
       out_b_grad_(config.num_classes, 0.0f),
       rng_(config.seed) {
-  detail::check(embedding_.dim() == config_.embed_dim,
-                "WCnn: embedding dim mismatch");
+  ADVTEXT_CHECK_SHAPE(embedding_.dim() == config_.embed_dim) << "WCnn: embedding dim mismatch";
   embedding_.set_frozen(freeze_embedding);
   const float conv_bound = static_cast<float>(
       std::sqrt(6.0 / static_cast<double>(config.kernel * config.embed_dim +
@@ -101,8 +102,7 @@ Vector WCnn::predict_proba(const TokenSeq& tokens) const {
 
 Matrix WCnn::input_gradient(const TokenSeq& tokens, std::size_t target,
                             Vector* proba) const {
-  detail::check(target < config_.num_classes,
-                "WCnn::input_gradient: target out of range");
+  ADVTEXT_CHECK_SHAPE(target < config_.num_classes) << "WCnn::input_gradient: target out of range";
   const TokenSeq pad_tokens = padded(tokens);
   const Matrix embedded = embedding_.lookup(pad_tokens);
   const Matrix preact = conv_preact(embedded);
@@ -154,8 +154,7 @@ Matrix WCnn::input_gradient(const TokenSeq& tokens, std::size_t target,
 }
 
 float WCnn::forward_backward(const TokenSeq& tokens, std::size_t label) {
-  detail::check(label < config_.num_classes,
-                "WCnn::forward_backward: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < config_.num_classes) << "WCnn::forward_backward: label out of range";
   const TokenSeq pad_tokens = padded(tokens);
   const Matrix embedded = embedding_.lookup(pad_tokens);
   const Matrix preact = conv_preact(embedded);
@@ -281,7 +280,7 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
 
   Vector eval_swap(std::size_t pos, WordId candidate) override {
     ++queries_;
-    detail::check(pos < base_len_, "eval_swap: position out of range");
+    ADVTEXT_CHECK_SHAPE(pos < base_len_) << "eval_swap: position out of range";
     const auto& cfg = model_.config();
     const std::size_t nw = preact_.rows();
     const std::size_t lo =

@@ -6,10 +6,26 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/util/check.h"
+
 namespace advtext {
 
 double SetFunction::value(const std::vector<std::size_t>& set) const {
+  // Documented contract: elements are sorted, duplicate-free indices into
+  // the ground set. Violations make greedy's marginal gains (and thus the
+  // (1-1/e) guarantee) meaningless, so trap them before they reach
+  // value_impl.
+  ADVTEXT_DCHECK(std::is_sorted(set.begin(), set.end()))
+      << "SetFunction::value: element list not sorted";
+  ADVTEXT_DCHECK(std::adjacent_find(set.begin(), set.end()) == set.end())
+      << "SetFunction::value: duplicate element";
+  ADVTEXT_DCHECK(set.empty() || set.back() < ground_set_size())
+      << "SetFunction::value: element " << set.back()
+      << " outside ground set of size " << ground_set_size();
+  const std::size_t before = evaluations_;
   ++evaluations_;
+  ADVTEXT_DCHECK(evaluations_ > before)
+      << "SetFunction::value: oracle counter overflow";
   return value_impl(set);
 }
 
@@ -50,6 +66,8 @@ MaximizationResult greedy_maximize(const SetFunction& f, std::size_t budget) {
     current += best_gain;
   }
   result.value = current;
+  ADVTEXT_DCHECK(f.evaluations() >= before)
+      << "oracle counter went backwards (reset mid-run?)";
   result.evaluations = f.evaluations() - before;
   return result;
 }
@@ -103,6 +121,8 @@ MaximizationResult lazy_greedy_maximize(const SetFunction& f,
     current += gain;
   }
   result.value = current;
+  ADVTEXT_DCHECK(f.evaluations() >= before)
+      << "oracle counter went backwards (reset mid-run?)";
   result.evaluations = f.evaluations() - before;
   return result;
 }
@@ -148,6 +168,8 @@ MaximizationResult stochastic_greedy_maximize(const SetFunction& f,
     current += best_gain;
   }
   result.value = current;
+  ADVTEXT_DCHECK(f.evaluations() >= before)
+      << "oracle counter went backwards (reset mid-run?)";
   result.evaluations = f.evaluations() - before;
   return result;
 }

@@ -1,5 +1,7 @@
 #include "src/optim/transport.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -15,9 +17,12 @@ constexpr double kEps = 1e-12;
 void normalize(std::vector<double>& v, const char* name) {
   double total = 0.0;
   for (double x : v) {
-    if (x < 0.0) throw std::invalid_argument("transport: negative mass");
+    ADVTEXT_CHECK_SHAPE(x >= 0.0)
+        << "transport: negative mass in " << name;
     total += x;
   }
+  ADVTEXT_CHECK_SHAPE(std::isfinite(total))
+      << "transport: non-finite mass in " << name;
   if (total <= 0.0) {
     throw std::invalid_argument(std::string("transport: ") + name +
                                 " has zero mass");
@@ -31,8 +36,9 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
                              std::vector<double> b, Matrix* plan) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
-  detail::check(cost.rows() == n && cost.cols() == m,
-                "transport: cost shape mismatch");
+  ADVTEXT_CHECK_SHAPE(cost.rows() == n && cost.cols() == m)
+      << "transport: cost is " << cost.rows() << "x" << cost.cols()
+      << ", marginals are " << n << " and " << m;
   normalize(a, "a");
   normalize(b, "b");
 
@@ -163,6 +169,27 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
     shipped += bottleneck;
   }
 
+#if ADVTEXT_DCHECK_ENABLED
+  // Flow conservation: every unit of supply left a row and every unit of
+  // demand reached a column. Violations mean the augmenting-path search or
+  // the potentials are corrupt, which silently breaks every WMD distance.
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_mass = 0.0;
+    for (std::size_t j = 0; j < m; ++j) row_mass += flow(i, j);
+    ADVTEXT_DCHECK(std::abs(row_mass - a[i]) < 1e-4)
+        << "transport: row " << i << " ships " << row_mass << ", supply is "
+        << a[i];
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    double col_mass = 0.0;
+    for (std::size_t i = 0; i < n; ++i) col_mass += flow(i, j);
+    ADVTEXT_DCHECK(std::abs(col_mass - b[j]) < 1e-4)
+        << "transport: column " << j << " receives " << col_mass
+        << ", demand is " << b[j];
+  }
+  ADVTEXT_DCHECK(std::isfinite(objective) && objective > -1e-9)
+      << "transport: objective " << objective;
+#endif
   if (plan != nullptr) *plan = flow;
   return objective;
 }
@@ -172,9 +199,10 @@ double solve_transport_sinkhorn(const Matrix& cost, std::vector<double> a,
                                 std::size_t iterations, Matrix* plan) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
-  detail::check(cost.rows() == n && cost.cols() == m,
-                "transport: cost shape mismatch");
-  detail::check(reg > 0.0, "sinkhorn: reg must be positive");
+  ADVTEXT_CHECK_SHAPE(cost.rows() == n && cost.cols() == m)
+      << "transport: cost is " << cost.rows() << "x" << cost.cols()
+      << ", marginals are " << n << " and " << m;
+  ADVTEXT_CHECK_SHAPE(reg > 0.0) << "sinkhorn: reg must be positive";
   normalize(a, "a");
   normalize(b, "b");
 
@@ -216,8 +244,9 @@ double transport_relaxed_lower_bound(const Matrix& cost,
                                      std::vector<double> b) {
   const std::size_t n = a.size();
   const std::size_t m = b.size();
-  detail::check(cost.rows() == n && cost.cols() == m,
-                "transport: cost shape mismatch");
+  ADVTEXT_CHECK_SHAPE(cost.rows() == n && cost.cols() == m)
+      << "transport: cost is " << cost.rows() << "x" << cost.cols()
+      << ", marginals are " << n << " and " << m;
   normalize(a, "a");
   normalize(b, "b");
   double lb_rows = 0.0;

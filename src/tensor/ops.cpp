@@ -1,5 +1,7 @@
 #include "src/tensor/ops.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -82,7 +84,9 @@ void activate_inplace(Activation a, Vector& x) {
 }
 
 Vector softmax(const Vector& logits) {
-  detail::check(!logits.empty(), "softmax: empty input");
+  ADVTEXT_CHECK_SHAPE(!logits.empty()) << "softmax: empty input";
+  ADVTEXT_DCHECK(all_finite(logits.data(), logits.size()))
+      << "softmax: non-finite logit";
   const float mx = *std::max_element(logits.begin(), logits.end());
   Vector out(logits.size());
   float total = 0.0f;
@@ -90,12 +94,17 @@ Vector softmax(const Vector& logits) {
     out[i] = std::exp(logits[i] - mx);
     total += out[i];
   }
+  // Max-shifted exponentials are in (0, 1] and at least one is exactly 1,
+  // so the normalizer is always >= 1 for finite input.
+  ADVTEXT_DCHECK(total >= 1.0f) << "softmax: degenerate normalizer " << total;
   for (float& v : out) v /= total;
   return out;
 }
 
 Vector log_softmax(const Vector& logits) {
-  detail::check(!logits.empty(), "log_softmax: empty input");
+  ADVTEXT_CHECK_SHAPE(!logits.empty()) << "log_softmax: empty input";
+  ADVTEXT_DCHECK(all_finite(logits.data(), logits.size()))
+      << "log_softmax: non-finite logit";
   const float mx = *std::max_element(logits.begin(), logits.end());
   float total = 0.0f;
   for (float v : logits) total += std::exp(v - mx);
@@ -106,13 +115,16 @@ Vector log_softmax(const Vector& logits) {
 }
 
 float cross_entropy(const Vector& logits, std::size_t label) {
-  detail::check(label < logits.size(), "cross_entropy: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < logits.size())
+      << "cross_entropy: label " << label << " out of range for "
+      << logits.size() << " classes";
   return -log_softmax(logits)[label];
 }
 
 Vector cross_entropy_grad(const Vector& logits, std::size_t label) {
-  detail::check(label < logits.size(),
-                "cross_entropy_grad: label out of range");
+  ADVTEXT_CHECK_SHAPE(label < logits.size())
+      << "cross_entropy_grad: label " << label << " out of range for "
+      << logits.size() << " classes";
   Vector g = softmax(logits);
   g[label] -= 1.0f;
   return g;

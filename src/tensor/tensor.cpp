@@ -1,7 +1,11 @@
 #include "src/tensor/tensor.h"
 
+#include "src/util/check.h"
+
 #include <algorithm>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 
 namespace advtext {
 
@@ -10,19 +14,29 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<float>> values) {
   cols_ = rows_ == 0 ? 0 : values.begin()->size();
   data_.reserve(rows_ * cols_);
   for (const auto& row : values) {
-    detail::check(row.size() == cols_, "Matrix: ragged initializer");
+    ADVTEXT_CHECK_SHAPE(row.size() == cols_) << "Matrix: ragged initializer";
     data_.insert(data_.end(), row.begin(), row.end());
   }
 }
 
+void Matrix::throw_at_out_of_range(std::size_t r, std::size_t c) const {
+  std::ostringstream oss;
+  oss << "Matrix::at(" << r << ", " << c << "): out of range for " << rows_
+      << "x" << cols_ << " matrix";
+  throw std::out_of_range(oss.str());
+}
+
 Vector Matrix::row_copy(std::size_t r) const {
-  detail::check(r < rows_, "row_copy: row out of range");
+  ADVTEXT_CHECK_SHAPE(r < rows_)
+      << "row_copy: row " << r << " out of range for " << rows_ << " rows";
   return Vector(row(r), row(r) + cols_);
 }
 
 void Matrix::set_row(std::size_t r, const Vector& v) {
-  detail::check(r < rows_, "set_row: row out of range");
-  detail::check(v.size() == cols_, "set_row: size mismatch");
+  ADVTEXT_CHECK_SHAPE(r < rows_)
+      << "set_row: row " << r << " out of range for " << rows_ << " rows";
+  ADVTEXT_CHECK_SHAPE(v.size() == cols_)
+      << "set_row: got " << v.size() << " values, want " << cols_;
   std::copy(v.begin(), v.end(), row(r));
 }
 
@@ -39,7 +53,8 @@ void Matrix::fill_uniform(Rng& rng, float bound) {
 }
 
 float dot(const Vector& a, const Vector& b) {
-  detail::check(a.size() == b.size(), "dot: size mismatch");
+  ADVTEXT_CHECK_SHAPE(a.size() == b.size())
+      << "dot: " << a.size() << " vs " << b.size();
   return dot(a.data(), b.data(), a.size());
 }
 
@@ -50,19 +65,22 @@ float dot(const float* a, const float* b, std::size_t n) {
 }
 
 void axpy(float alpha, const Vector& x, Vector& y) {
-  detail::check(x.size() == y.size(), "axpy: size mismatch");
+  ADVTEXT_CHECK_SHAPE(x.size() == y.size())
+      << "axpy: " << x.size() << " vs " << y.size();
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
 Vector add(const Vector& a, const Vector& b) {
-  detail::check(a.size() == b.size(), "add: size mismatch");
+  ADVTEXT_CHECK_SHAPE(a.size() == b.size())
+      << "add: " << a.size() << " vs " << b.size();
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
   return out;
 }
 
 Vector sub(const Vector& a, const Vector& b) {
-  detail::check(a.size() == b.size(), "sub: size mismatch");
+  ADVTEXT_CHECK_SHAPE(a.size() == b.size())
+      << "sub: " << a.size() << " vs " << b.size();
   Vector out(a.size());
   for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
   return out;
@@ -83,7 +101,9 @@ float norm2(const float* a, std::size_t n) {
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {
-  detail::check(a.cols() == x.size(), "matvec: shape mismatch");
+  ADVTEXT_CHECK_SHAPE(a.cols() == x.size())
+      << "matvec: A is " << a.rows() << "x" << a.cols() << ", x has "
+      << x.size() << " entries";
   Vector y(a.rows(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     y[r] = dot(a.row(r), x.data(), a.cols());
@@ -92,7 +112,9 @@ Vector matvec(const Matrix& a, const Vector& x) {
 }
 
 Vector matvec_transposed(const Matrix& a, const Vector& x) {
-  detail::check(a.rows() == x.size(), "matvec_transposed: shape mismatch");
+  ADVTEXT_CHECK_SHAPE(a.rows() == x.size())
+      << "matvec_transposed: A is " << a.rows() << "x" << a.cols()
+      << ", x has " << x.size() << " entries";
   Vector y(a.cols(), 0.0f);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     const float xr = x[r];
@@ -103,7 +125,9 @@ Vector matvec_transposed(const Matrix& a, const Vector& x) {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
-  detail::check(a.cols() == b.rows(), "matmul: shape mismatch");
+  ADVTEXT_CHECK_SHAPE(a.cols() == b.rows())
+      << "matmul: A is " << a.rows() << "x" << a.cols() << ", B is "
+      << b.rows() << "x" << b.cols();
   Matrix c(a.rows(), b.cols());
   constexpr std::size_t kBlock = 64;
   for (std::size_t i0 = 0; i0 < a.rows(); i0 += kBlock) {
@@ -124,8 +148,9 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
 }
 
 void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y) {
-  detail::check(c.rows() == x.size() && c.cols() == y.size(),
-                "add_outer: shape mismatch");
+  ADVTEXT_CHECK_SHAPE(c.rows() == x.size() && c.cols() == y.size())
+      << "add_outer: C is " << c.rows() << "x" << c.cols() << ", x has "
+      << x.size() << " entries, y has " << y.size();
   for (std::size_t r = 0; r < c.rows(); ++r) {
     const float ax = alpha * x[r];
     float* row = c.row(r);

@@ -7,9 +7,9 @@
 
 #include <cstddef>
 #include <initializer_list>
-#include <stdexcept>
 #include <vector>
 
+#include "src/util/check.h"
 #include "src/util/rng.h"
 
 namespace advtext {
@@ -33,9 +33,25 @@ class Matrix {
   std::size_t size() const { return data_.size(); }
 
   float& operator()(std::size_t r, std::size_t c) {
+    ADVTEXT_DCHECK(r < rows_ && c < cols_)
+        << "Matrix(" << r << ", " << c << ") on " << rows_ << "x" << cols_;
     return data_[r * cols_ + c];
   }
   float operator()(std::size_t r, std::size_t c) const {
+    ADVTEXT_DCHECK(r < rows_ && c < cols_)
+        << "Matrix(" << r << ", " << c << ") on " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access; throws std::out_of_range with the
+  /// offending indices and the matrix shape. Active in every build type —
+  /// use operator() on hot paths.
+  float& at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw_at_out_of_range(r, c);
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw_at_out_of_range(r, c);
     return data_[r * cols_ + c];
   }
 
@@ -63,6 +79,8 @@ class Matrix {
   bool operator==(const Matrix& other) const = default;
 
  private:
+  [[noreturn]] void throw_at_out_of_range(std::size_t r, std::size_t c) const;
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;
@@ -110,11 +128,5 @@ void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y);
 
 /// Frobenius norm.
 float frobenius_norm(const Matrix& a);
-
-namespace detail {
-inline void check(bool condition, const char* message) {
-  if (!condition) throw std::invalid_argument(message);
-}
-}  // namespace detail
 
 }  // namespace advtext

@@ -1,7 +1,10 @@
 #include "src/text/vocab.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
+
+#include "src/util/check.h"
 
 namespace advtext {
 
@@ -14,8 +17,11 @@ WordId Vocab::add(std::string_view word) {
   auto it = index_.find(std::string(word));
   if (it != index_.end()) return it->second;
   const WordId id = static_cast<WordId>(words_.size());
+  ADVTEXT_CHECK(id >= 0) << "Vocab::add: vocabulary overflowed WordId";
   words_.emplace_back(word);
   index_.emplace(words_.back(), id);
+  ADVTEXT_DCHECK(words_.size() == index_.size())
+      << "Vocab::add: word list and index diverged";
   return id;
 }
 
@@ -29,8 +35,14 @@ bool Vocab::contains(std::string_view word) const {
 }
 
 const std::string& Vocab::word(WordId id) const {
+  // OOV reads are caller bugs (a corpus indexed against a different vocab,
+  // or an attack proposing an id the model never saw); keep this check in
+  // every build type and name the offending id.
   if (id < 0 || id >= size()) {
-    throw std::out_of_range("Vocab::word: id out of range");
+    std::ostringstream oss;
+    oss << "Vocab::word: id " << id << " out of range for vocabulary of "
+        << size() << " words";
+    throw std::out_of_range(oss.str());
   }
   return words_[static_cast<std::size_t>(id)];
 }

@@ -5,12 +5,19 @@
 #include <limits>
 #include <unordered_map>
 
+#include "src/util/check.h"
+
 namespace advtext {
 
 Wmd::Wmd(const Matrix& embeddings, Method method)
     : embeddings_(embeddings), method_(method) {}
 
 double Wmd::word_distance(WordId a, WordId b) const {
+  ADVTEXT_CHECK(a >= 0 && b >= 0 &&
+                static_cast<std::size_t>(a) < embeddings_.rows() &&
+                static_cast<std::size_t>(b) < embeddings_.rows())
+      << "Wmd::word_distance: word ids " << a << ", " << b
+      << " out of range for " << embeddings_.rows() << " embeddings";
   if (a == b) return 0.0;
   const std::size_t dim = embeddings_.cols();
   const float* va = embeddings_.row(static_cast<std::size_t>(a));
@@ -51,6 +58,15 @@ void Wmd::nbow(const Sentence& s, std::vector<WordId>* words,
   }
   *words = std::move(sorted_words);
   *weights = std::move(sorted_weights);
+#if ADVTEXT_DCHECK_ENABLED
+  // nBOW mass balance: the weights are raw token counts, so they must sum
+  // to the sentence length exactly (they are small integers in doubles).
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  ADVTEXT_DCHECK(total == static_cast<double>(s.size()))
+      << "Wmd::nbow: weights sum to " << total << " for " << s.size()
+      << " tokens";
+#endif
 }
 
 double Wmd::distance(const Sentence& a, const Sentence& b) const {
@@ -82,15 +98,23 @@ double Wmd::distance(const Sentence& a, const Sentence& b) const {
       cost(i, j) = static_cast<float>(word_distance(wa[i], wb[j]));
     }
   }
+  ADVTEXT_DCHECK(all_finite(cost.data(), cost.size()))
+      << "Wmd::distance: non-finite ground cost (corrupt embeddings?)";
+  double result = 0.0;
   switch (method_) {
     case Method::kExact:
-      return solve_transport_exact(cost, pa, pb);
+      result = solve_transport_exact(cost, pa, pb);
+      break;
     case Method::kRelaxed:
-      return transport_relaxed_lower_bound(cost, pa, pb);
+      result = transport_relaxed_lower_bound(cost, pa, pb);
+      break;
     case Method::kSinkhorn:
-      return solve_transport_sinkhorn(cost, pa, pb);
+      result = solve_transport_sinkhorn(cost, pa, pb);
+      break;
   }
-  return solve_transport_exact(cost, pa, pb);
+  ADVTEXT_DCHECK(std::isfinite(result) && result > -1e-9)
+      << "Wmd::distance: solver returned " << result;
+  return result;
 }
 
 double Wmd::similarity(const Sentence& a, const Sentence& b) const {

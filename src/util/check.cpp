@@ -1,0 +1,47 @@
+#include "src/util/check.h"
+
+#include <cmath>
+
+namespace advtext {
+
+namespace {
+
+template <typename T>
+bool all_finite_impl(const T* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+template <typename T>
+void check_finite_impl(const T* data, std::size_t n, const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const T v = data[i];
+    if (!std::isfinite(v)) {
+      ADVTEXT_CHECK(std::isfinite(v))
+          << what << ": element " << i << " of " << n << " is "
+          << (std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf"));
+    }
+  }
+}
+
+}  // namespace
+
+bool all_finite(const float* data, std::size_t n) {
+  return all_finite_impl(data, n);
+}
+
+bool all_finite(const double* data, std::size_t n) {
+  return all_finite_impl(data, n);
+}
+
+void check_finite(const float* data, std::size_t n, const char* what) {
+  check_finite_impl(data, n, what);
+}
+
+void check_finite(const double* data, std::size_t n, const char* what) {
+  check_finite_impl(data, n, what);
+}
+
+}  // namespace advtext

@@ -1,0 +1,140 @@
+// Contract layer: runtime invariant checks with streaming context.
+//
+// The attack framework's guarantees (greedy's (1-1/e) bound, exact WMD via
+// min-cost flow, manual backprop) only hold if the substrate is numerically
+// and memory correct. This header gives every subsystem a uniform way to
+// state its preconditions and invariants:
+//
+//   ADVTEXT_CHECK(cond) << "context " << value;        // always on
+//   ADVTEXT_CHECK_SHAPE(cond) << "dims " << r << "x" << c;
+//   ADVTEXT_DCHECK(cond) << "debug-only invariant";    // no-op in Release
+//
+// Policy:
+//   * ADVTEXT_CHECK guards conditions that depend on caller input or
+//     external data (shapes, file contents, user-supplied indices). It is
+//     active in every build type; violations throw CheckError.
+//   * ADVTEXT_CHECK_SHAPE is ADVTEXT_CHECK specialised to dimension /
+//     argument preconditions; it throws ShapeError (a std::invalid_argument)
+//     so existing call sites and tests keep their exception contracts.
+//   * ADVTEXT_DCHECK guards internal invariants that are provably true
+//     unless advtext itself has a bug (flow conservation after a solve,
+//     gradient finiteness after a step). It compiles to nothing when
+//     ADVTEXT_DCHECK_ENABLED is 0 — the condition is NOT evaluated — so hot
+//     loops may use it freely. Sanitizer builds force it on.
+//
+// The macros use the classic if/else stream-sink shape so they are safe in
+// unbraced if/else bodies, and the message builder is only constructed on
+// the failure path (the success path costs one branch).
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+// DCHECK activation: off in NDEBUG builds unless forced (the sanitizer
+// presets define ADVTEXT_FORCE_DCHECKS so ASan/UBSan/TSan runs exercise
+// every internal invariant).
+#if !defined(ADVTEXT_DCHECK_ENABLED)
+#if defined(NDEBUG) && !defined(ADVTEXT_FORCE_DCHECKS)
+#define ADVTEXT_DCHECK_ENABLED 0
+#else
+#define ADVTEXT_DCHECK_ENABLED 1
+#endif
+#endif
+
+namespace advtext {
+
+/// Thrown by ADVTEXT_CHECK / ADVTEXT_DCHECK on violation.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on dimension / argument precondition violations. Derives from
+/// std::invalid_argument so callers catching the pre-contract-layer
+/// exception type keep working.
+class ShapeError : public std::invalid_argument {
+ public:
+  explicit ShapeError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+/// Accumulates "<file>:<line>: CHECK failed: <cond>" plus streamed context,
+/// then throws E from its destructor. Only ever constructed on the failure
+/// path, so the throwing destructor cannot fire during another unwind.
+template <typename E>
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << ": CHECK failed: " << condition;
+    seen_context_ = false;
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    if (!seen_context_) {
+      stream_ << ": ";
+      seen_context_ = true;
+    }
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckFailure() noexcept(false) { throw E(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+  bool seen_context_;
+};
+
+/// Swallows streamed context in disabled-DCHECK builds; every operator<<
+/// is a no-op the optimizer deletes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+
+/// True iff every element is finite (no NaN, no +-Inf).
+bool all_finite(const float* data, std::size_t n);
+bool all_finite(const double* data, std::size_t n);
+
+/// Throws CheckError naming `what` and the first bad index if any element
+/// is NaN or +-Inf. `what` should identify the tensor being scanned, e.g.
+/// "Adam::step: param 3 values".
+void check_finite(const float* data, std::size_t n, const char* what);
+void check_finite(const double* data, std::size_t n, const char* what);
+
+#define ADVTEXT_CHECK(condition)                                  \
+  if (condition) {                                                \
+  } else /* NOLINT(readability-misleading-indentation) */         \
+    ::advtext::detail::CheckFailure<::advtext::CheckError>(       \
+        __FILE__, __LINE__, #condition)
+
+#define ADVTEXT_CHECK_SHAPE(condition)                            \
+  if (condition) {                                                \
+  } else /* NOLINT(readability-misleading-indentation) */         \
+    ::advtext::detail::CheckFailure<::advtext::ShapeError>(       \
+        __FILE__, __LINE__, #condition)
+
+#if ADVTEXT_DCHECK_ENABLED
+#define ADVTEXT_DCHECK(condition) ADVTEXT_CHECK(condition)
+#else
+// `false && (condition)` keeps the condition type-checked (and any
+// variables it names "used") without ever evaluating it; the whole
+// statement folds to nothing.
+#define ADVTEXT_DCHECK(condition) \
+  while (false && static_cast<bool>(condition)) ::advtext::detail::NullStream()
+#endif
+
+}  // namespace advtext

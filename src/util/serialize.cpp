@@ -14,6 +14,28 @@ void fail(const char* what) {
   throw std::runtime_error(std::string("serialize: ") + what);
 }
 
+// Allocation guards for length-prefixed reads. A single flipped byte in a
+// u64 length field would otherwise drive a multi-GB resize (or a signed
+// overflow) before the stream even reports truncation; every size read off
+// disk goes through read_size with a per-field cap and the field name in
+// the error.
+constexpr std::uint64_t kMaxStringBytes = 1ULL << 26;    // 64 MiB
+constexpr std::uint64_t kMaxElements = 1ULL << 28;       // 256M scalars
+constexpr std::uint64_t kMaxMatrixSide = 1ULL << 24;     // 16M rows/cols
+constexpr std::uint64_t kMaxSequences = 1ULL << 24;      // docs/sentences
+
+std::uint64_t read_size(std::istream& in, const char* field,
+                        std::uint64_t limit) {
+  const std::uint64_t size = read_u64(in);
+  if (size > limit) {
+    throw std::runtime_error(
+        std::string("serialize: field '") + field + "' claims size " +
+        std::to_string(size) + " (limit " + std::to_string(limit) +
+        "); corrupt or truncated file");
+  }
+  return size;
+}
+
 void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
   out.write(static_cast<const char*>(data),
             static_cast<std::streamsize>(bytes));
@@ -37,10 +59,11 @@ void write_document(std::ostream& out, const Document& doc) {
 Document read_document(std::istream& in) {
   Document doc;
   doc.label = static_cast<int>(read_u64(in));
-  const std::uint64_t sentences = read_u64(in);
+  const std::uint64_t sentences =
+      read_size(in, "document.sentences", kMaxSequences);
   doc.sentences.resize(sentences);
   for (auto& s : doc.sentences) {
-    const std::uint64_t words = read_u64(in);
+    const std::uint64_t words = read_size(in, "sentence.words", kMaxElements);
     s.resize(words);
     for (auto& w : s) w = static_cast<WordId>(read_u64(in));
   }
@@ -56,7 +79,7 @@ void write_dataset(std::ostream& out, const Dataset& data) {
 Dataset read_dataset(std::istream& in) {
   Dataset data;
   data.num_classes = static_cast<int>(read_u64(in));
-  const std::uint64_t docs = read_u64(in);
+  const std::uint64_t docs = read_size(in, "dataset.docs", kMaxSequences);
   data.docs.reserve(docs);
   for (std::uint64_t i = 0; i < docs; ++i) {
     data.docs.push_back(read_document(in));
@@ -102,8 +125,7 @@ void write_string(std::ostream& out, const std::string& value) {
 }
 
 std::string read_string(std::istream& in) {
-  const std::uint64_t size = read_u64(in);
-  if (size > (1ULL << 30)) fail("string too large");
+  const std::uint64_t size = read_size(in, "string.bytes", kMaxStringBytes);
   std::string value(size, '\0');
   read_raw(in, value.data(), size);
   return value;
@@ -124,9 +146,15 @@ void write_matrix(std::ostream& out, const Matrix& matrix) {
 }
 
 Matrix read_matrix(std::istream& in) {
-  const std::uint64_t rows = read_u64(in);
-  const std::uint64_t cols = read_u64(in);
-  if (rows * cols > (1ULL << 30)) fail("matrix too large");
+  // Rows and cols are capped individually before the product so a flipped
+  // high byte cannot overflow rows * cols into a small number.
+  const std::uint64_t rows = read_size(in, "matrix.rows", kMaxMatrixSide);
+  const std::uint64_t cols = read_size(in, "matrix.cols", kMaxMatrixSide);
+  if (rows != 0 && cols > kMaxElements / rows) {
+    throw std::runtime_error(
+        "serialize: field 'matrix' claims " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " elements; corrupt or truncated file");
+  }
   Matrix matrix(rows, cols);
   read_floats(in, matrix.data(), matrix.size());
   return matrix;
@@ -138,8 +166,7 @@ void write_vector(std::ostream& out, const Vector& vector) {
 }
 
 Vector read_vector(std::istream& in) {
-  const std::uint64_t size = read_u64(in);
-  if (size > (1ULL << 30)) fail("vector too large");
+  const std::uint64_t size = read_size(in, "vector.size", kMaxElements);
   Vector vector(size);
   read_floats(in, vector.data(), vector.size());
   return vector;
@@ -151,8 +178,7 @@ void write_doubles(std::ostream& out, const std::vector<double>& values) {
 }
 
 std::vector<double> read_doubles(std::istream& in) {
-  const std::uint64_t size = read_u64(in);
-  if (size > (1ULL << 30)) fail("doubles too large");
+  const std::uint64_t size = read_size(in, "doubles.size", kMaxElements);
   std::vector<double> values(size);
   read_raw(in, values.data(), size * sizeof(double));
   return values;
@@ -164,8 +190,7 @@ void write_ints(std::ostream& out, const std::vector<int>& values) {
 }
 
 std::vector<int> read_ints(std::istream& in) {
-  const std::uint64_t size = read_u64(in);
-  if (size > (1ULL << 30)) fail("ints too large");
+  const std::uint64_t size = read_size(in, "ints.size", kMaxElements);
   std::vector<int> values(size);
   read_raw(in, values.data(), size * sizeof(int));
   return values;
@@ -180,8 +205,7 @@ void write_bools(std::ostream& out, const std::vector<bool>& values) {
 }
 
 std::vector<bool> read_bools(std::istream& in) {
-  const std::uint64_t size = read_u64(in);
-  if (size > (1ULL << 33)) fail("bools too large");
+  const std::uint64_t size = read_size(in, "bools.size", kMaxElements);
   std::vector<bool> values(size);
   for (std::uint64_t i = 0; i < size; ++i) {
     char byte = 0;
@@ -201,7 +225,7 @@ void write_vocab(std::ostream& out, const Vocab& vocab) {
 
 Vocab read_vocab(std::istream& in) {
   Vocab vocab;
-  const std::uint64_t words = read_u64(in);
+  const std::uint64_t words = read_size(in, "vocab.words", kMaxElements);
   for (std::uint64_t i = 0; i < words; ++i) {
     vocab.add(read_string(in));
   }
@@ -301,13 +325,15 @@ SynthTask load_task(const std::string& path) {
   task.is_function_word = read_bools(in);
   task.is_noise_word = read_bools(in);
   task.paragram = read_matrix(in);
-  const std::uint64_t concepts = read_u64(in);
+  const std::uint64_t concepts =
+      read_size(in, "task.concept_members", kMaxSequences);
   task.concept_members.resize(concepts);
   for (auto& members : task.concept_members) {
     const auto ints = read_ints(in);
     members.assign(ints.begin(), ints.end());
   }
-  const std::uint64_t clusters = read_u64(in);
+  const std::uint64_t clusters =
+      read_size(in, "task.function_clusters", kMaxSequences);
   task.function_clusters.resize(clusters);
   for (auto& cluster : task.function_clusters) {
     const auto ints = read_ints(in);
@@ -338,7 +364,8 @@ void load_parameters(
   if (!in) fail("cannot open file for reading");
   read_magic(in);
   if (read_string(in) != "params") fail("not a parameter file");
-  const std::uint64_t count = read_u64(in);
+  const std::uint64_t count =
+      read_size(in, "params.count", kMaxSequences);
   if (count != tensors.size()) fail("parameter tensor count mismatch");
   for (const auto& [data, size] : tensors) {
     const std::uint64_t stored = read_u64(in);

@@ -1,0 +1,144 @@
+// Tests for the contract layer (src/util/check.h): CHECK/DCHECK semantics,
+// streamed failure messages, Matrix::at bounds checking, and the
+// NaN/Inf scanners.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "src/tensor/tensor.h"
+#include "src/util/check.h"
+
+namespace advtext {
+namespace {
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(ADVTEXT_CHECK(1 + 1 == 2) << "arithmetic broke");
+  EXPECT_NO_THROW(ADVTEXT_CHECK_SHAPE(true));
+}
+
+TEST(Check, FailingCheckThrowsCheckError) {
+  EXPECT_THROW(ADVTEXT_CHECK(false), CheckError);
+  // CheckError is a logic_error, so generic handlers still catch it.
+  EXPECT_THROW(ADVTEXT_CHECK(false), std::logic_error);
+}
+
+TEST(Check, FailureMessageCarriesLocationConditionAndContext) {
+  try {
+    const int got = 3;
+    const int want = 5;
+    ADVTEXT_CHECK(got == want) << "got " << got << ", want " << want;
+    FAIL() << "ADVTEXT_CHECK did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("CHECK failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("got == want"), std::string::npos) << what;
+    EXPECT_NE(what.find("got 3, want 5"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ShapeCheckThrowsShapeErrorAsInvalidArgument) {
+  EXPECT_THROW(ADVTEXT_CHECK_SHAPE(false) << "bad shape", ShapeError);
+  // ShapeError preserves the pre-contract-layer exception contract.
+  EXPECT_THROW(ADVTEXT_CHECK_SHAPE(false), std::invalid_argument);
+}
+
+TEST(Check, CheckIsSafeInUnbracedIfElse) {
+  // The if/else sink shape must not capture a trailing else.
+  bool took_else = false;
+  if (false)
+    ADVTEXT_CHECK(true) << "never";
+  else
+    took_else = true;
+  EXPECT_TRUE(took_else);
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+#if ADVTEXT_DCHECK_ENABLED
+  EXPECT_THROW(ADVTEXT_DCHECK(false) << "debug invariant", CheckError);
+#else
+  EXPECT_NO_THROW(ADVTEXT_DCHECK(false) << "debug invariant");
+#endif
+}
+
+TEST(Check, DisabledDcheckMustNotEvaluateItsCondition) {
+  // In Release the condition must not run at all (that is what makes
+  // DCHECK free on hot paths); when DCHECKs are on it runs exactly once.
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return true;
+  };
+  ADVTEXT_DCHECK(count()) << "side effect probe";
+  EXPECT_EQ(evaluations, ADVTEXT_DCHECK_ENABLED ? 1 : 0);
+}
+
+TEST(MatrixAt, ReadsAndWritesInBounds) {
+  Matrix m(2, 3);
+  m.at(1, 2) = 7.5f;
+  EXPECT_EQ(m.at(1, 2), 7.5f);
+  const Matrix& cm = m;
+  EXPECT_EQ(cm.at(1, 2), 7.5f);
+}
+
+TEST(MatrixAt, OutOfBoundsThrowsWithIndicesAndShape) {
+  Matrix m(2, 3);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm.at(5, 9), std::out_of_range);
+  try {
+    m.at(5, 9);
+    FAIL() << "Matrix::at did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("5"), std::string::npos) << what;
+    EXPECT_NE(what.find("9"), std::string::npos) << what;
+    EXPECT_NE(what.find("2x3"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckFinite, AcceptsFiniteAndEmptyPayloads) {
+  const float floats[] = {0.0f, -1.5f, 3e30f};
+  const double doubles[] = {0.0, 5e300, -1e-300};
+  EXPECT_NO_THROW(check_finite(floats, 3, "floats"));
+  EXPECT_NO_THROW(check_finite(doubles, 3, "doubles"));
+  EXPECT_NO_THROW(check_finite(floats, 0, "empty"));
+  EXPECT_TRUE(all_finite(floats, 3));
+  EXPECT_TRUE(all_finite(doubles, 3));
+}
+
+TEST(CheckFinite, NamesTheBadElementForNan) {
+  float data[] = {1.0f, std::nanf(""), 2.0f};
+  EXPECT_FALSE(all_finite(data, 3));
+  try {
+    check_finite(data, 3, "gru.h2h gradient");
+    FAIL() << "check_finite did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("gru.h2h gradient"), std::string::npos) << what;
+    EXPECT_NE(what.find("element 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("NaN"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckFinite, NamesTheBadElementForInf) {
+  const double inf = std::numeric_limits<double>::infinity();
+  double data[] = {0.0, 1.0, -inf};
+  EXPECT_FALSE(all_finite(data, 3));
+  try {
+    check_finite(data, 3, "loss");
+    FAIL() << "check_finite did not throw";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("loss"), std::string::npos) << what;
+    EXPECT_NE(what.find("element 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("-Inf"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace advtext

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "src/data/synthetic.h"
@@ -88,6 +89,108 @@ TEST(Serialize, TruncatedReadThrows) {
   io::write_u64(buffer, 100);  // declares a 100-byte string...
   buffer << "short";           // ...but provides 5 bytes
   EXPECT_THROW(io::read_string(buffer), std::runtime_error);
+}
+
+TEST(Serialize, ImplausibleLengthFieldsThrowBeforeAllocating) {
+  // A flipped high byte in any u64 length prefix must be rejected by the
+  // per-field cap (naming the field), not attempted as a multi-GB resize.
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 60);
+    try {
+      io::read_string(buffer);
+      FAIL() << "read_string accepted a 2^60-byte length";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("string.bytes"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 58);
+    EXPECT_THROW(io::read_vector(buffer), std::runtime_error);
+  }
+  {
+    // Rows and cols individually plausible, product implausible: the
+    // overflow-safe product check must fire.
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 23);
+    io::write_u64(buffer, 1ULL << 23);
+    try {
+      io::read_matrix(buffer);
+      FAIL() << "read_matrix accepted 2^46 elements";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("matrix"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, ~0ULL);  // rows = 2^64 - 1
+    try {
+      io::read_matrix(buffer);
+      FAIL() << "read_matrix accepted 2^64 rows";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("matrix.rows"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 40);
+    EXPECT_THROW(io::read_ints(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 40);
+    EXPECT_THROW(io::read_doubles(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer;
+    io::write_u64(buffer, 1ULL << 40);
+    EXPECT_THROW(io::read_bools(buffer), std::runtime_error);
+  }
+}
+
+TEST(Serialize, CorruptedTaskArtifactIsRejected) {
+  SynthConfig config = make_yelp(7).config;
+  config.num_train = 20;
+  config.num_test = 5;
+  const SynthTask task = make_task(config);
+  TempFile file("corrupt_task.bin");
+  io::save_task(task, file.path);
+
+  // Corruption 1: flip the high byte of the first length prefix (the tag
+  // string directly after the 8-byte magic) so it claims an absurd size.
+  std::string bytes;
+  {
+    std::ifstream in(file.path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  ASSERT_GT(bytes.size(), sizeof(io::kMagic) + 8);
+  std::string flipped = bytes;
+  flipped[sizeof(io::kMagic) + 7] = '\x7f';  // tag length high byte
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out << flipped;
+  }
+  try {
+    io::load_task(file.path);
+    FAIL() << "load_task accepted a corrupt length field";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("string.bytes"), std::string::npos)
+        << e.what();
+  }
+
+  // Corruption 2: truncate the artifact mid-stream.
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  EXPECT_THROW(io::load_task(file.path), std::runtime_error);
 }
 
 TEST(Serialize, TaskRoundTripIsExact) {

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Mechanical repo lint for advtext, registered as a ctest (see
+tools/CMakeLists.txt).
+
+Rules enforced (each with a stable rule id, printed on violation):
+
+  pragma-once        every header has `#pragma once` before any code
+  using-namespace    no `using namespace` at any scope inside headers
+  include-path       quoted includes are repo-root-relative and resolve to a
+                     file in the repository (no "../foo.h" or bare "foo.h")
+  raw-random         no rand()/srand()/std::random_device outside
+                     src/util/rng.* — all randomness flows through Rng so
+                     experiments stay reproducible from one seed
+  cout-in-library    no std::cout/std::cerr in library code (src/); report
+                     output belongs to the callers in bench/ and examples/
+
+Run locally from the repo root:
+
+  python3 tools/lint.py            # lint the whole tree
+  python3 tools/lint.py src/...    # lint specific files
+
+Exit status is the number of violating files (0 = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+HEADER_SUFFIXES = {".h", ".hpp"}
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+LINT_DIRS = ("src", "tests", "bench", "examples")
+
+# Files allowed to touch raw randomness primitives.
+RAW_RANDOM_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
+
+RE_USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
+RE_QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+RE_RAW_RANDOM = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\(|std\s*::\s*random_device"
+)
+RE_COUT = re.compile(r"std\s*::\s*(?:cout|cerr)\b")
+
+
+def strip_comments(text: str) -> str:
+    """Blanks out comments and string literals, preserving line structure so
+    reported line numbers stay accurate."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if ch == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if ch == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if ch == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(ch)
+        elif state == "line_comment":
+            if ch == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if ch == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if ch == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if ch == quote:
+                state = "code"
+                out.append(quote)
+            elif ch == "\n":  # unterminated; bail back to code
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO_ROOT).as_posix()
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    code = strip_comments(raw)
+    code_lines = code.splitlines()
+    raw_lines = raw.splitlines()
+    violations = []
+
+    def report(line_no: int, rule: str, message: str) -> None:
+        violations.append(f"{rel}:{line_no}: [{rule}] {message}")
+
+    is_header = path.suffix in HEADER_SUFFIXES
+    in_library = rel.startswith("src/")
+
+    if is_header:
+        if not re.search(r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):
+            report(1, "pragma-once", "header missing #pragma once")
+        for idx, line in enumerate(code_lines, start=1):
+            if RE_USING_NAMESPACE.search(line):
+                report(idx, "using-namespace",
+                       "`using namespace` in a header leaks into every "
+                       "includer")
+
+    for idx, line in enumerate(code_lines, start=1):
+        # strip_comments blanks string contents, so detect the directive on
+        # the stripped line (ignores commented-out includes) but read the
+        # path from the raw line.
+        m = None
+        if RE_QUOTED_INCLUDE.search(line) and idx <= len(raw_lines):
+            m = RE_QUOTED_INCLUDE.search(raw_lines[idx - 1])
+        if m:
+            inc = m.group(1)
+            if inc.startswith(".") or "/.." in inc:
+                report(idx, "include-path",
+                       f'relative include "{inc}"; use a repo-root path '
+                       'like "src/util/rng.h"')
+            elif not (REPO_ROOT / inc).is_file():
+                report(idx, "include-path",
+                       f'include "{inc}" is not a repo-root-relative path '
+                       "to an existing file")
+
+        if rel not in RAW_RANDOM_ALLOWED and RE_RAW_RANDOM.search(line):
+            report(idx, "raw-random",
+                   "raw randomness outside src/util/rng.*; take an "
+                   "advtext::Rng so runs reproduce from one seed")
+
+        if in_library and RE_COUT.search(line):
+            report(idx, "cout-in-library",
+                   "std::cout/std::cerr in library code; return data and "
+                   "let bench/examples do the printing")
+
+    return violations
+
+
+def collect_files(args: list[str]) -> list[Path]:
+    if args:
+        return [Path(a).resolve() for a in args]
+    files = []
+    for top in LINT_DIRS:
+        for path in sorted((REPO_ROOT / top).rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    files = collect_files(argv[1:])
+    bad_files = 0
+    total = 0
+    for path in files:
+        violations = lint_file(path)
+        if violations:
+            bad_files += 1
+            total += len(violations)
+            for v in violations:
+                print(v)
+    if total:
+        print(f"lint: {total} violation(s) in {bad_files} file(s)",
+              file=sys.stderr)
+    else:
+        print(f"lint: {len(files)} files clean")
+    return min(bad_files, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
