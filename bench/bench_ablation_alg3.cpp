@@ -15,17 +15,17 @@ namespace {
 using namespace advtext;
 using namespace advtext::bench;
 
-struct Outcome {
+struct SweepStats {
   double sr = 0.0;
   double seconds = 0.0;
   double queries = 0.0;
 };
 
 template <typename AttackFn>
-Outcome sweep(const TextClassifier& model, const SynthTask& task,
+SweepStats sweep(const TextClassifier& model, const SynthTask& task,
               const TaskAttackContext& context, std::size_t max_docs,
               AttackFn&& attack) {
-  Outcome outcome;
+  SweepStats outcome;
   std::size_t attacked = 0;
   std::size_t flipped = 0;
   for (const Document& doc : task.test.docs) {
@@ -65,7 +65,7 @@ int main() {
     TablePrinter table({"N", "SR", "s/doc", "q/doc"}, {3, 6, 7, 8});
     table.print_header();
     for (std::size_t n : {1u, 3u, 5u, 8u}) {
-      const Outcome o = sweep(
+      const SweepStats o = sweep(
           *model, task, context, docs,
           [&](const TokenSeq& tokens, const WordCandidates& candidates,
               std::size_t target) {
@@ -86,7 +86,7 @@ int main() {
     TablePrinter table({"beam", "SR", "s/doc", "q/doc"}, {5, 6, 7, 8});
     table.print_header();
     for (std::size_t beam : {4u, 16u, 64u, 256u}) {
-      const Outcome o = sweep(
+      const SweepStats o = sweep(
           *model, task, context, docs,
           [&](const TokenSeq& tokens, const WordCandidates& candidates,
               std::size_t target) {
@@ -108,14 +108,14 @@ int main() {
     table.print_header();
     for (float dropout : {0.0f, 0.05f}) {
       model->set_mc_dropout(dropout);
-      const Outcome ggg = sweep(
+      const SweepStats ggg = sweep(
           *model, task, context, docs,
           [&](const TokenSeq& tokens, const WordCandidates& candidates,
               std::size_t target) {
             return gradient_guided_greedy_attack(*model, tokens, candidates,
                                                  target, {});
           });
-      const Outcome og = sweep(
+      const SweepStats og = sweep(
           *model, task, context, docs,
           [&](const TokenSeq& tokens, const WordCandidates& candidates,
               std::size_t target) {

@@ -3,6 +3,7 @@
 // suite can be run quickly (ADVTEXT_BENCH_DOCS limits attacked documents).
 #pragma once
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -25,6 +26,32 @@ inline std::size_t docs_per_config(std::size_t fallback = 30) {
     return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
   return fallback;
+}
+
+/// Optional per-document attack deadline in milliseconds, threaded into
+/// the joint attack config (0 = unlimited, the default). Lets a bench run
+/// be wall-clock-bounded: ADVTEXT_BENCH_DEADLINE_MS=50 caps each document.
+inline double deadline_ms_per_doc(double fallback = 0.0) {
+  if (const char* env = std::getenv("ADVTEXT_BENCH_DEADLINE_MS")) {
+    return std::strtod(env, nullptr);
+  }
+  return fallback;
+}
+
+/// Prints deadline/budget/fault counters when a run recorded any, so a
+/// bounded or fault-injected bench run shows what was cut short.
+inline void print_robustness_summary(const AttackEvalResult& result) {
+  if (result.docs_deadline + result.docs_budget + result.docs_failed +
+          result.wmd_degradations.total() ==
+      0) {
+    return;
+  }
+  std::printf(
+      "  [robustness] %zu deadline-limited, %zu budget-limited, "
+      "%zu failed docs; wmd degradations: %zu sinkhorn, %zu nbow\n",
+      result.docs_deadline, result.docs_budget, result.docs_failed,
+      result.wmd_degradations.to_sinkhorn,
+      result.wmd_degradations.to_lower_bound);
 }
 
 inline std::unique_ptr<WCnn> make_wcnn(const SynthTask& task,

@@ -60,6 +60,7 @@ int main() {
 
       AttackEvalConfig ours;
       ours.max_docs = docs;
+      ours.joint.deadline_ms = deadline_ms_per_doc();
       ours.joint.use_lm_filter = use_lm;
       ours.joint.sentence_fraction =
           task.config.name == "Trec07p" ? 0.6 : 0.2;  // paper §6.2
@@ -70,6 +71,7 @@ int main() {
 
       AttackEvalConfig kuleshov;
       kuleshov.max_docs = docs;
+      kuleshov.joint.deadline_ms = deadline_ms_per_doc();
       kuleshov.joint.use_lm_filter = use_lm;
       kuleshov.joint.enable_sentence = false;  // [19] is word-level only
       kuleshov.joint.word_fraction = 0.5;
@@ -91,6 +93,8 @@ int main() {
                        format_percent(paper->origin),
                        format_percent(paper->ours),
                        format_percent(paper->kuleshov)});
+      print_robustness_summary(ours_result);
+      print_robustness_summary(kuleshov_result);
     }
   }
   table.print_rule();

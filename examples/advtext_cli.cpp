@@ -25,11 +25,23 @@
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
 #include "src/util/args.h"
+#include "src/util/robust.h"
 #include "src/util/serialize.h"
 
 namespace {
 
 using namespace advtext;
+
+// Exit codes: 0 success, 1 uncaught exception, 2 usage, 3 some attacks were
+// cut short by a deadline/query budget, 4 some documents failed outright.
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitLimited = 3;
+constexpr int kExitDocsFailed = 4;
+
+// Updated as commands progress so the top-level catch can say which phase
+// an escaped exception came from.
+const char* g_phase = "startup";
 
 int usage() {
   std::printf(
@@ -39,8 +51,12 @@ int usage() {
       "           [--lr X] [--hidden N] [--filters N] --out FILE\n"
       "  eval     --task FILE --model KIND --params FILE\n"
       "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
-      "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n");
-  return 2;
+      "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n"
+      "           [--deadline-ms X] [--max-queries N] [--checkpoint FILE]\n"
+      "           [--resume] [--inject SPEC]\n"
+      "exit codes: 0 ok, 1 error, 2 usage, 3 deadline/budget-limited docs,\n"
+      "            4 failed docs\n");
+  return kExitUsage;
 }
 
 std::unique_ptr<TrainableClassifier> build_model(const std::string& kind,
@@ -130,10 +146,13 @@ int cmd_eval(const ArgParser& args) {
 }
 
 int cmd_attack(const ArgParser& args) {
+  g_phase = "attack:load-task";
   const SynthTask task = io::load_task(args.get_string("task"));
   const std::string kind = args.get_string("model", "lstm");
   auto model = build_model(kind, task, args);
+  g_phase = "attack:load-params";
   load_model(*model, args.get_string("params"));
+  g_phase = "attack:build-context";
   const TaskAttackContext context(task);
 
   AttackEvalConfig config;
@@ -141,6 +160,11 @@ int cmd_attack(const ArgParser& args) {
   config.joint.sentence_fraction = args.get_double("ls", 0.2);
   config.joint.word_fraction = args.get_double("lw", 0.2);
   config.joint.use_lm_filter = task.config.name != "Trec07p";
+  config.joint.deadline_ms = args.get_double("deadline-ms", 0.0);
+  config.joint.max_queries =
+      static_cast<std::size_t>(args.get_int("max-queries", 0));
+  config.checkpoint_path = args.get_string("checkpoint");
+  config.resume = args.get_bool("resume", false);
   const std::string method = args.get_string("method", "ggg");
   if (method == "greedy") {
     config.joint.word_method = WordAttackMethod::kObjectiveGreedy;
@@ -150,8 +174,10 @@ int cmd_attack(const ArgParser& args) {
     config.joint.word_method = WordAttackMethod::kGradientGuidedGreedy;
   }
 
+  g_phase = "attack:evaluate";
   const AttackEvalResult result =
       evaluate_attack(*model, task, context, config);
+  g_phase = "attack:report";
   std::printf(
       "clean acc %.3f | adversarial acc %.3f | success rate %.3f\n"
       "mean: %.1f words, %.1f sentences changed, %.0f queries, %.3fs/doc\n",
@@ -159,6 +185,19 @@ int cmd_attack(const ArgParser& args) {
       result.success_rate, result.mean_words_changed,
       result.mean_sentences_changed, result.mean_queries,
       result.mean_seconds_per_doc);
+  if (result.docs_deadline + result.docs_budget + result.docs_failed +
+          result.docs_retried + result.wmd_degradations.total() >
+      0) {
+    std::printf(
+        "robustness: %zu deadline-limited, %zu budget-limited, %zu failed,\n"
+        "            %zu retried; wmd degraded %zu-> sinkhorn, %zu-> nbow\n",
+        result.docs_deadline, result.docs_budget, result.docs_failed,
+        result.docs_retried, result.wmd_degradations.to_sinkhorn,
+        result.wmd_degradations.to_lower_bound);
+    for (const std::size_t idx : result.failed_indices) {
+      std::printf("  failed doc %zu\n", idx);
+    }
+  }
 
   const std::size_t show =
       static_cast<std::size_t>(args.get_int("show", 0));
@@ -170,6 +209,8 @@ int cmd_attack(const ArgParser& args) {
                 task.test.docs[idx].to_string(task.vocab).c_str(),
                 result.adv_docs[idx].to_string(task.vocab).c_str());
   }
+  if (result.docs_failed > 0) return kExitDocsFailed;
+  if (result.docs_deadline + result.docs_budget > 0) return kExitLimited;
   return 0;
 }
 
@@ -179,14 +220,31 @@ int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
     if (args.positional().empty()) return usage();
+    if (args.has("inject")) {
+      FaultInjector::instance().configure(args.get_string("inject"));
+    }
+    // g_phase only ever points at string literals: the catch below runs
+    // after locals (including `command`) are destroyed.
     const std::string command = args.positional().front();
-    if (command == "gen-task") return cmd_gen_task(args);
-    if (command == "train") return cmd_train(args);
-    if (command == "eval") return cmd_eval(args);
-    if (command == "attack") return cmd_attack(args);
+    if (command == "gen-task") {
+      g_phase = "gen-task";
+      return cmd_gen_task(args);
+    }
+    if (command == "train") {
+      g_phase = "train";
+      return cmd_train(args);
+    }
+    if (command == "eval") {
+      g_phase = "eval";
+      return cmd_eval(args);
+    }
+    if (command == "attack") {
+      g_phase = "attack";
+      return cmd_attack(args);
+    }
     return usage();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    std::fprintf(stderr, "error in phase '%s': %s\n", g_phase, e.what());
+    return kExitError;
   }
 }

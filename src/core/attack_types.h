@@ -5,12 +5,17 @@
 #include <vector>
 
 #include "src/text/corpus.h"
+#include "src/util/robust.h"
 
 namespace advtext {
 
-/// Result of a word-level attack on a flat token sequence.
+/// Result of a word-level attack on a flat token sequence. Attacks always
+/// return the best-so-far perturbation: when a deadline or query budget
+/// cuts the search short, `termination` says so and `adv_tokens` holds the
+/// last committed (never partially applied) state.
 struct WordAttackResult {
   bool success = false;            ///< target probability reached threshold
+  TerminationReason termination = TerminationReason::kExhaustedCandidates;
   double final_target_proba = 0.0;
   std::size_t words_changed = 0;   ///< positions differing from original
   std::size_t queries = 0;         ///< classifier forward evaluations
@@ -23,6 +28,7 @@ struct WordAttackResult {
 /// Result of the sentence-level greedy attack (Alg. 2).
 struct SentenceAttackResult {
   bool success = false;
+  TerminationReason termination = TerminationReason::kExhaustedCandidates;
   double final_target_proba = 0.0;
   std::size_t sentences_changed = 0;
   std::size_t queries = 0;
@@ -30,9 +36,12 @@ struct SentenceAttackResult {
   Document adv_doc;
 };
 
-/// Result of the joint attack (Alg. 1).
+/// Result of the joint attack (Alg. 1). `termination` aggregates both
+/// phases by severity (worse_of), so kSucceeded means the whole pipeline
+/// ran inside its limits.
 struct JointAttackResult {
   bool success = false;
+  TerminationReason termination = TerminationReason::kExhaustedCandidates;
   double final_target_proba = 0.0;
   std::size_t sentences_changed = 0;
   std::size_t words_changed = 0;

@@ -11,7 +11,9 @@ WordAttackResult gradient_attack(const TextClassifier& model,
                                  const TokenSeq& tokens,
                                  const WordCandidates& candidates,
                                  std::size_t target,
-                                 const GradientAttackConfig& config) {
+                                 const GradientAttackConfig& config,
+                                 const AttackControl& control) {
+  FaultInjector::instance().maybe_fault("attack.word");
   Stopwatch watch;
   WordAttackResult result;
   result.adv_tokens = tokens;
@@ -21,9 +23,15 @@ WordAttackResult gradient_attack(const TextClassifier& model,
   const Matrix& table = model.embedding_table();
   const std::size_t dim = model.embedding_dim();
 
+  bool out_of_time = false;
+  bool out_of_budget = false;
   Vector proba;
   for (std::size_t round = 0; round < std::max<std::size_t>(1, config.rounds);
        ++round) {
+    // The per-round work is gradient-dominated (no per-candidate forward
+    // passes), so round granularity is the natural check point.
+    if ((out_of_time = control.deadline.expired())) break;
+    if ((out_of_budget = control.budget_exhausted())) break;
     const std::size_t already_changed = count_changes(tokens,
                                                       result.adv_tokens);
     if (already_changed >= budget) break;
@@ -31,6 +39,7 @@ WordAttackResult gradient_attack(const TextClassifier& model,
     const Matrix grad =
         model.input_gradient(result.adv_tokens, target, &proba);
     ++result.gradient_calls;
+    control.charge(1);  // a gradient call embeds one forward pass
     ++result.iterations;
     if (proba[target] >= config.success_threshold) break;
 
@@ -113,10 +122,17 @@ WordAttackResult gradient_attack(const TextClassifier& model,
     result.adv_tokens = std::move(proposal);
   }
 
+  if (out_of_time) {
+    result.termination = TerminationReason::kDeadlineExceeded;
+  } else if (out_of_budget) {
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
   ++result.queries;
+  control.charge(1);
   result.success = result.final_target_proba >= config.success_threshold;
+  if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);
   result.seconds = watch.elapsed_seconds();
   return result;

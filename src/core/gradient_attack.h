@@ -42,6 +42,7 @@ WordAttackResult gradient_attack(const TextClassifier& model,
                                  const TokenSeq& tokens,
                                  const WordCandidates& candidates,
                                  std::size_t target,
-                                 const GradientAttackConfig& config = {});
+                                 const GradientAttackConfig& config = {},
+                                 const AttackControl& control = {});
 
 }  // namespace advtext

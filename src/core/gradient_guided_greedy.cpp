@@ -10,7 +10,8 @@ namespace advtext {
 WordAttackResult gradient_guided_greedy_attack(
     const TextClassifier& model, const TokenSeq& tokens,
     const WordCandidates& candidates, std::size_t target,
-    const GradientGuidedGreedyConfig& config) {
+    const GradientGuidedGreedyConfig& config, const AttackControl& control) {
+  FaultInjector::instance().maybe_fault("attack.word");
   Stopwatch watch;
   WordAttackResult result;
   result.adv_tokens = tokens;
@@ -22,7 +23,17 @@ WordAttackResult gradient_guided_greedy_attack(
   std::vector<bool> replaced(n, false);
   Vector proba;
 
+  std::size_t charged = 0;
+  const auto sync_budget = [&] {
+    control.charge(evaluator->queries() - charged);
+    charged = evaluator->queries();
+  };
+  bool out_of_time = false;
+  bool out_of_budget = false;
+
   while (result.iterations < config.max_iterations) {
+    if ((out_of_time = control.deadline.expired())) break;
+    if ((out_of_budget = control.budget_exhausted())) break;
     const std::size_t changed = count_changes(tokens, result.adv_tokens);
     if (changed >= budget) break;
 
@@ -30,6 +41,7 @@ WordAttackResult gradient_guided_greedy_attack(
     const Matrix grad =
         model.input_gradient(result.adv_tokens, target, &proba);
     ++result.gradient_calls;
+    control.charge(1);  // a gradient call embeds one forward pass
     if (proba[target] >= config.success_threshold) break;
     ++result.iterations;
 
@@ -79,18 +91,31 @@ WordAttackResult gradient_guided_greedy_attack(
     };
     std::vector<Candidate> pool;
     pool.push_back({result.adv_tokens, proba[target]});
-    for (std::size_t t = 0; t < take; ++t) {
+    for (std::size_t t = 0; t < take && !out_of_time && !out_of_budget;
+         ++t) {
       const std::size_t pos = scores[t].pos;
       std::vector<Candidate> expanded;
       for (const Candidate& base : pool) {
         for (WordId cand : candidates.per_position[pos]) {
           if (cand == base.tokens[pos]) continue;
+          // Limits abandon the expansion; already-scored pool members are
+          // still eligible for the commit below (best-so-far semantics).
+          if (control.deadline.expired()) {
+            out_of_time = true;
+            break;
+          }
+          if (control.budget_exhausted()) {
+            out_of_budget = true;
+            break;
+          }
           Candidate next;
           next.tokens = base.tokens;
           next.tokens[pos] = cand;
           next.proba = evaluator->eval_tokens(next.tokens)[target];
+          sync_budget();
           expanded.push_back(std::move(next));
         }
+        if (out_of_time || out_of_budget) break;
       }
       pool.insert(pool.end(), std::make_move_iterator(expanded.begin()),
                   std::make_move_iterator(expanded.end()));
@@ -118,12 +143,21 @@ WordAttackResult gradient_guided_greedy_attack(
     result.adv_tokens = best->tokens;
     evaluator->rebase(result.adv_tokens);
     if (best->proba >= config.success_threshold) break;
+    if (out_of_time || out_of_budget) break;
   }
 
+  if (out_of_time) {
+    result.termination = TerminationReason::kDeadlineExceeded;
+  } else if (out_of_budget) {
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
   result.queries = evaluator->queries();
+  sync_budget();
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
+  control.charge(1);
   result.success = result.final_target_proba >= config.success_threshold;
+  if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);
   result.seconds = watch.elapsed_seconds();
   return result;

@@ -51,6 +51,7 @@ struct GradientGuidedGreedyConfig {
 WordAttackResult gradient_guided_greedy_attack(
     const TextClassifier& model, const TokenSeq& tokens,
     const WordCandidates& candidates, std::size_t target,
-    const GradientGuidedGreedyConfig& config = {});
+    const GradientGuidedGreedyConfig& config = {},
+    const AttackControl& control = {});
 
 }  // namespace advtext

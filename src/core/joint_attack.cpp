@@ -14,32 +14,47 @@ JointAttackResult joint_attack(const TextClassifier& model,
   JointAttackResult result;
   result.adv_doc = doc;
 
+  // Both phases draw on one shared deadline and query budget; the phase
+  // terminations are folded together with worse_of below.
+  QueryBudget budget(config.max_queries);
+  AttackControl control;
+  if (config.deadline_ms > 0.0) {
+    control.deadline = Deadline::after_ms(config.deadline_ms);
+  }
+  control.budget = &budget;
+
   // ---- Phase 1: sentence paraphrasing (Alg. 1 steps 2-5) ----
   if (config.enable_sentence && config.sentence_fraction > 0.0) {
     if (resources.paraphraser == nullptr || resources.wmd == nullptr) {
       throw std::invalid_argument(
           "joint_attack: sentence phase needs paraphraser + wmd");
     }
-    const auto neighbor_sets =
-        resources.paraphraser->neighbor_sets(result.adv_doc, *resources.wmd);
+    const auto neighbor_sets = resources.paraphraser->neighbor_sets(
+        result.adv_doc, *resources.wmd, control.deadline);
     SentenceAttackConfig sentence_config;
     sentence_config.max_paraphrase_fraction = config.sentence_fraction;
     sentence_config.success_threshold = config.success_threshold;
     const SentenceAttackResult sentence_result = greedy_sentence_attack(
-        model, result.adv_doc, neighbor_sets, target, sentence_config);
+        model, result.adv_doc, neighbor_sets, target, sentence_config,
+        control);
     result.adv_doc = sentence_result.adv_doc;
     result.sentences_changed = sentence_result.sentences_changed;
     result.queries += sentence_result.queries;
     result.final_target_proba = sentence_result.final_target_proba;
+    result.termination =
+        worse_of(result.termination, sentence_result.termination);
     if (sentence_result.success) {
       result.success = true;
+      result.termination = TerminationReason::kSucceeded;
       result.seconds = watch.elapsed_seconds();
       return result;
     }
   }
 
   // ---- Phase 2: word paraphrasing (Alg. 1 steps 6-9) ----
-  if (config.enable_word && config.word_fraction > 0.0) {
+  const bool limits_hit =
+      control.deadline.expired() || control.budget_exhausted();
+  if (config.enable_word && config.word_fraction > 0.0 && !limits_hit) {
     if (resources.word_index == nullptr) {
       throw std::invalid_argument(
           "joint_attack: word phase needs a paraphrase index");
@@ -57,16 +72,16 @@ JointAttackResult joint_attack(const TextClassifier& model,
           GradientGuidedGreedyConfig ggg = config.ggg;
           ggg.max_replace_fraction = config.word_fraction;
           ggg.success_threshold = config.success_threshold;
-          word_result = gradient_guided_greedy_attack(model, tokens,
-                                                      candidates, target, ggg);
+          word_result = gradient_guided_greedy_attack(
+              model, tokens, candidates, target, ggg, control);
           break;
         }
         case WordAttackMethod::kObjectiveGreedy: {
           ObjectiveGreedyConfig og;
           og.max_replace_fraction = config.word_fraction;
           og.success_threshold = config.success_threshold;
-          word_result =
-              objective_greedy_attack(model, tokens, candidates, target, og);
+          word_result = objective_greedy_attack(model, tokens, candidates,
+                                                target, og, control);
           break;
         }
         case WordAttackMethod::kGradient: {
@@ -74,7 +89,7 @@ JointAttackResult joint_attack(const TextClassifier& model,
           ga.max_replace_fraction = config.word_fraction;
           ga.success_threshold = config.success_threshold;
           word_result =
-              gradient_attack(model, tokens, candidates, target, ga);
+              gradient_attack(model, tokens, candidates, target, ga, control);
           break;
         }
       }
@@ -88,17 +103,30 @@ JointAttackResult joint_attack(const TextClassifier& model,
       result.queries += word_result.queries;
       result.final_target_proba = word_result.final_target_proba;
       result.success = word_result.success;
+      result.termination = word_result.success
+                               ? TerminationReason::kSucceeded
+                               : worse_of(result.termination,
+                                          word_result.termination);
       result.seconds = watch.elapsed_seconds();
       return result;
     }
   }
 
+  if (limits_hit) {
+    // The sentence phase (or the deadline itself) consumed the limits
+    // before the word phase could start.
+    result.termination = worse_of(
+        result.termination, control.deadline.expired()
+                                ? TerminationReason::kDeadlineExceeded
+                                : TerminationReason::kBudgetExhausted);
+  }
   if (result.final_target_proba == 0.0) {
     result.final_target_proba =
         model.class_probability(result.adv_doc.flatten(), target);
     ++result.queries;
   }
   result.success = result.final_target_proba >= config.success_threshold;
+  if (result.success) result.termination = TerminationReason::kSucceeded;
   result.seconds = watch.elapsed_seconds();
   return result;
 }

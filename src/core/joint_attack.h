@@ -42,6 +42,13 @@ struct JointAttackConfig {
   /// paper sets δ = ∞ on Trec07p; encode that via
   /// word_index config lm_delta = inf or use_lm_filter = false here).
   bool use_lm_filter = true;
+  /// Wall-clock limit for the whole attack (both phases share it);
+  /// 0 disables. On expiry the attack returns best-so-far with
+  /// termination = kDeadlineExceeded.
+  double deadline_ms = 0.0;
+  /// Model-forward-pass limit shared by both phases; 0 disables. On
+  /// exhaustion the attack returns best-so-far with kBudgetExhausted.
+  std::size_t max_queries = 0;
 };
 
 /// Immutable per-task attack resources, built once and shared across all

@@ -10,7 +10,9 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
                                          const TokenSeq& tokens,
                                          const WordCandidates& candidates,
                                          std::size_t target,
-                                         const ObjectiveGreedyConfig& config) {
+                                         const ObjectiveGreedyConfig& config,
+                                         const AttackControl& control) {
+  FaultInjector::instance().maybe_fault("attack.word");
   Stopwatch watch;
   WordAttackResult result;
   result.adv_tokens = tokens;
@@ -20,7 +22,17 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
 
   auto evaluator = model.make_swap_evaluator(result.adv_tokens);
   double current = model.class_probability(result.adv_tokens, target);
+  control.charge(1);
   std::vector<bool> replaced(n, false);
+
+  // Tracks evaluator queries already reported to the shared budget.
+  std::size_t charged = 0;
+  const auto sync_budget = [&] {
+    control.charge(evaluator->queries() - charged);
+    charged = evaluator->queries();
+  };
+  bool out_of_time = false;
+  bool out_of_budget = false;
 
   while (current < config.success_threshold &&
          count_changes(tokens, result.adv_tokens) < budget) {
@@ -28,11 +40,23 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
     double best_gain = config.min_gain;
     std::size_t best_pos = n;
     WordId best_word = Vocab::kUnk;
-    for (std::size_t pos = 0; pos < n; ++pos) {
+    for (std::size_t pos = 0; pos < n && !out_of_time && !out_of_budget;
+         ++pos) {
       if (replaced[pos]) continue;  // one replacement per position
       for (WordId cand : candidates.per_position[pos]) {
         if (cand == result.adv_tokens[pos]) continue;
+        // A deadline/budget hit abandons the sweep but keeps the last
+        // *committed* document — never a half-evaluated swap.
+        if (control.deadline.expired()) {
+          out_of_time = true;
+          break;
+        }
+        if (control.budget_exhausted()) {
+          out_of_budget = true;
+          break;
+        }
         const double p = evaluator->eval_swap(pos, cand)[target];
+        sync_budget();
         const double gain = p - current;
         if (gain > best_gain) {
           best_gain = gain;
@@ -41,19 +65,27 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
         }
       }
     }
-    if (best_pos == n) break;  // no improving swap
+    if (out_of_time || out_of_budget || best_pos == n) break;
     result.adv_tokens[best_pos] = best_word;
     replaced[best_pos] = true;
     evaluator->rebase(result.adv_tokens);
     current += best_gain;
     // Re-anchor against drift (and MC-dropout noise) with a fresh forward.
     current = evaluator->eval_tokens(result.adv_tokens)[target];
+    sync_budget();
   }
 
+  if (out_of_time) {
+    result.termination = TerminationReason::kDeadlineExceeded;
+  } else if (out_of_budget) {
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
   result.queries = evaluator->queries();
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
+  control.charge(1);
   result.success = result.final_target_proba >= config.success_threshold;
+  if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);
   result.seconds = watch.elapsed_seconds();
   return result;

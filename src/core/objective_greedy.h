@@ -26,6 +26,7 @@ struct ObjectiveGreedyConfig {
 WordAttackResult objective_greedy_attack(
     const TextClassifier& model, const TokenSeq& tokens,
     const WordCandidates& candidates, std::size_t target,
-    const ObjectiveGreedyConfig& config = {});
+    const ObjectiveGreedyConfig& config = {},
+    const AttackControl& control = {});
 
 }  // namespace advtext

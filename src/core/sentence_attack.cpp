@@ -10,11 +10,13 @@ namespace advtext {
 SentenceAttackResult greedy_sentence_attack(
     const TextClassifier& model, const Document& doc,
     const std::vector<std::vector<Sentence>>& neighbor_sets,
-    std::size_t target, const SentenceAttackConfig& config) {
+    std::size_t target, const SentenceAttackConfig& config,
+    const AttackControl& control) {
   if (neighbor_sets.size() != doc.sentences.size()) {
     throw std::invalid_argument(
         "greedy_sentence_attack: neighbor set count mismatch");
   }
+  FaultInjector::instance().maybe_fault("attack.sentence");
   Stopwatch watch;
   SentenceAttackResult result;
   result.adv_doc = doc;
@@ -26,17 +28,37 @@ SentenceAttackResult greedy_sentence_attack(
   double current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
   std::vector<bool> paraphrased(l, false);
 
+  std::size_t charged = 0;
+  const auto sync_budget = [&] {
+    control.charge(evaluator->queries() - charged);
+    charged = evaluator->queries();
+  };
+  sync_budget();
+  bool out_of_time = false;
+  bool out_of_budget = false;
+
   while (current < config.success_threshold &&
          result.sentences_changed < budget) {
     double best_gain = config.min_gain;
     std::size_t best_sentence = l;
     const Sentence* best_candidate = nullptr;
-    for (std::size_t j = 0; j < l; ++j) {
+    for (std::size_t j = 0; j < l && !out_of_time && !out_of_budget; ++j) {
       if (paraphrased[j]) continue;
       for (const Sentence& candidate : neighbor_sets[j]) {
+        // Abandon the sweep on a limit hit; the last committed document
+        // stands (best-so-far semantics).
+        if (control.deadline.expired()) {
+          out_of_time = true;
+          break;
+        }
+        if (control.budget_exhausted()) {
+          out_of_budget = true;
+          break;
+        }
         Document trial = result.adv_doc;
         trial.sentences[j] = candidate;
         const double p = evaluator->eval_tokens(trial.flatten())[target];
+        sync_budget();
         const double gain = p - current;
         if (gain > best_gain) {
           best_gain = gain;
@@ -45,17 +67,24 @@ SentenceAttackResult greedy_sentence_attack(
         }
       }
     }
-    if (best_sentence == l) break;  // no improving paraphrase
+    if (out_of_time || out_of_budget || best_sentence == l) break;
     result.adv_doc.sentences[best_sentence] = *best_candidate;
     paraphrased[best_sentence] = true;
     ++result.sentences_changed;
     evaluator->rebase(result.adv_doc.flatten());
     current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
+    sync_budget();
   }
 
+  if (out_of_time) {
+    result.termination = TerminationReason::kDeadlineExceeded;
+  } else if (out_of_budget) {
+    result.termination = TerminationReason::kBudgetExhausted;
+  }
   result.queries = evaluator->queries();
   result.final_target_proba = current;
   result.success = current >= config.success_threshold;
+  if (result.success) result.termination = TerminationReason::kSucceeded;
   result.seconds = watch.elapsed_seconds();
   return result;
 }

@@ -26,6 +26,7 @@ struct SentenceAttackConfig {
 SentenceAttackResult greedy_sentence_attack(
     const TextClassifier& model, const Document& doc,
     const std::vector<std::vector<Sentence>>& neighbor_sets,
-    std::size_t target, const SentenceAttackConfig& config = {});
+    std::size_t target, const SentenceAttackConfig& config = {},
+    const AttackControl& control = {});
 
 }  // namespace advtext

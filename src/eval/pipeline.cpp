@@ -1,6 +1,13 @@
 #include "src/eval/pipeline.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
 #include "src/eval/metrics.h"
+#include "src/util/serialize.h"
 
 namespace advtext {
 
@@ -31,6 +38,148 @@ AttackResources TaskAttackContext::resources() const {
   return resources;
 }
 
+namespace {
+
+/// One per-document checkpoint record. Everything the aggregation step
+/// consumes is stored raw (doubles bit-exact, flags precomputed), so a
+/// resumed run replays to bitwise-identical aggregates without re-running
+/// the model.
+struct DocRecord {
+  std::uint64_t doc_index = 0;  ///< into task.test.docs
+  /// 0 = misclassified before the attack, 1 = attacked, 2 = attack threw.
+  std::uint64_t kind = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t wmd_to_sinkhorn = 0;
+  std::uint64_t wmd_to_lower = 0;
+  std::uint64_t flipped = 0;  ///< kind 1: adv doc changed the prediction
+  JointAttackResult attack;   ///< kind 1; kind 2 uses only .termination
+  std::string error;          ///< kind 2
+};
+
+constexpr const char* kCheckpointTag = "attack-checkpoint";
+
+void write_checkpoint(const std::string& path,
+                      const std::vector<DocRecord>& records) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    if (!out) {
+      throw std::runtime_error("pipeline: cannot open checkpoint " + tmp);
+    }
+    io::write_magic(out);
+    io::write_string(out, kCheckpointTag);
+    io::write_u64(out, records.size());
+    for (const DocRecord& r : records) {
+      io::write_u64(out, r.doc_index);
+      io::write_u64(out, r.kind);
+      io::write_u64(out, r.retried);
+      io::write_u64(out, r.wmd_to_sinkhorn);
+      io::write_u64(out, r.wmd_to_lower);
+      if (r.kind == 1) {
+        io::write_u64(out, r.flipped);
+        io::write_u64(out, r.attack.success ? 1 : 0);
+        io::write_u64(out, static_cast<std::uint64_t>(r.attack.termination));
+        io::write_double(out, r.attack.final_target_proba);
+        io::write_u64(out, r.attack.sentences_changed);
+        io::write_u64(out, r.attack.words_changed);
+        io::write_u64(out, r.attack.queries);
+        io::write_double(out, r.attack.seconds);
+        io::write_document(out, r.attack.adv_doc);
+      } else if (r.kind == 2) {
+        io::write_u64(out, static_cast<std::uint64_t>(r.attack.termination));
+        io::write_string(out, r.error);
+      }
+    }
+    if (!out) throw std::runtime_error("pipeline: checkpoint write failed");
+  }
+  // Atomic publish: a crash mid-write leaves the previous checkpoint valid.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("pipeline: checkpoint rename failed: " + path);
+  }
+}
+
+TerminationReason read_termination(std::istream& in) {
+  const std::uint64_t raw = io::read_u64(in);
+  if (raw > static_cast<std::uint64_t>(TerminationReason::kError)) {
+    throw std::runtime_error("pipeline: checkpoint has an invalid "
+                             "termination reason");
+  }
+  return static_cast<TerminationReason>(raw);
+}
+
+std::vector<DocRecord> read_checkpoint(const std::string& path,
+                                       std::size_t num_docs) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("pipeline: cannot open checkpoint " + path);
+  }
+  io::read_magic(in);
+  if (io::read_string(in) != kCheckpointTag) {
+    throw std::runtime_error("pipeline: not an attack checkpoint: " + path);
+  }
+  const std::uint64_t count = io::read_u64(in);
+  if (count > num_docs) {
+    throw std::runtime_error(
+        "pipeline: checkpoint records exceed the task's document count");
+  }
+  std::vector<DocRecord> records;
+  records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    DocRecord r;
+    r.doc_index = io::read_u64(in);
+    const bool ordered =
+        records.empty() || r.doc_index > records.back().doc_index;
+    if (r.doc_index >= num_docs || !ordered) {
+      throw std::runtime_error(
+          "pipeline: checkpoint document indices are out of range or "
+          "unordered");
+    }
+    r.kind = io::read_u64(in);
+    if (r.kind > 2) {
+      throw std::runtime_error("pipeline: checkpoint has an unknown record "
+                               "kind");
+    }
+    r.retried = io::read_u64(in);
+    r.wmd_to_sinkhorn = io::read_u64(in);
+    r.wmd_to_lower = io::read_u64(in);
+    if (r.kind == 1) {
+      r.flipped = io::read_u64(in);
+      r.attack.success = io::read_u64(in) != 0;
+      r.attack.termination = read_termination(in);
+      r.attack.final_target_proba = io::read_double(in);
+      r.attack.sentences_changed =
+          static_cast<std::size_t>(io::read_u64(in));
+      r.attack.words_changed = static_cast<std::size_t>(io::read_u64(in));
+      r.attack.queries = static_cast<std::size_t>(io::read_u64(in));
+      r.attack.seconds = io::read_double(in);
+      r.attack.adv_doc = io::read_document(in);
+    } else if (r.kind == 2) {
+      r.attack.termination = read_termination(in);
+      r.error = io::read_string(in);
+    }
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+/// Fault-isolation boundary: a document whose attack throws is recorded as
+/// failed and the batch continues. Only std::runtime_error is absorbed —
+/// logic errors (contract violations) still abort the whole run.
+Outcome<JointAttackResult> run_attack_isolated(
+    const TextClassifier& model, const Document& doc, std::size_t target,
+    const AttackResources& resources, const JointAttackConfig& joint) {
+  try {
+    FaultInjector::instance().maybe_fault("pipeline.doc");
+    return Outcome<JointAttackResult>(
+        joint_attack(model, doc, target, resources, joint));
+  } catch (const std::runtime_error& e) {
+    return Outcome<JointAttackResult>(
+        Failure{TerminationReason::kError, e.what()});
+  }
+}
+
+}  // namespace
+
 AttackEvalResult evaluate_attack(const TextClassifier& model,
                                  const SynthTask& task,
                                  const TaskAttackContext& context,
@@ -45,46 +194,130 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
   std::vector<double> queries;
   std::size_t flipped = 0;
   std::size_t correct_after = 0;
-  std::size_t attack_budget =
+  const std::size_t attack_budget =
       config.max_docs == 0 ? task.test.docs.size() : config.max_docs;
 
-  for (const Document& doc : task.test.docs) {
+  // Folds one record into the aggregates. Fresh and replayed documents go
+  // through the same path, so resume reproduces the uninterrupted run.
+  const auto apply_record = [&](const DocRecord& r) {
+    ++result.docs_evaluated;
+    result.wmd_degradations.to_sinkhorn +=
+        static_cast<std::size_t>(r.wmd_to_sinkhorn);
+    result.wmd_degradations.to_lower_bound +=
+        static_cast<std::size_t>(r.wmd_to_lower);
+    if (r.retried != 0) ++result.docs_retried;
+    switch (r.kind) {
+      case 0:
+        // Already misclassified: nothing to attack, counts as incorrect.
+        result.adv_docs.push_back(task.test.docs[r.doc_index]);
+        break;
+      case 2:
+        // Attack failed; the unmodified document is still classified
+        // correctly (it was checked before the attack).
+        ++result.docs_failed;
+        result.failed_indices.push_back(
+            static_cast<std::size_t>(r.doc_index));
+        result.adv_docs.push_back(task.test.docs[r.doc_index]);
+        ++correct_after;
+        break;
+      default: {
+        ++result.docs_attacked;
+        const JointAttackResult& attack = r.attack;
+        seconds.push_back(attack.seconds);
+        words_changed.push_back(static_cast<double>(attack.words_changed));
+        sentences_changed.push_back(
+            static_cast<double>(attack.sentences_changed));
+        queries.push_back(static_cast<double>(attack.queries));
+        if (attack.termination == TerminationReason::kDeadlineExceeded) {
+          ++result.docs_deadline;
+        } else if (attack.termination ==
+                   TerminationReason::kBudgetExhausted) {
+          ++result.docs_budget;
+        }
+        if (r.flipped != 0) {
+          ++flipped;
+        } else {
+          ++correct_after;
+        }
+        result.attacked_indices.push_back(result.adv_docs.size());
+        result.adv_docs.push_back(attack.adv_doc);
+        result.attacks.push_back(attack);
+        break;
+      }
+    }
+  };
+
+  std::vector<DocRecord> records;
+  std::size_t resume_from = 0;
+  if (config.resume && !config.checkpoint_path.empty()) {
+    records = read_checkpoint(config.checkpoint_path, task.test.docs.size());
+    for (const DocRecord& r : records) apply_record(r);
+    if (!records.empty()) {
+      resume_from = static_cast<std::size_t>(records.back().doc_index) + 1;
+    }
+  }
+
+  std::size_t docs_since_checkpoint = 0;
+  const auto maybe_checkpoint = [&](bool force) {
+    if (config.checkpoint_path.empty()) return;
+    if (docs_since_checkpoint == 0) return;
+    if (!force && docs_since_checkpoint < config.checkpoint_every) return;
+    write_checkpoint(config.checkpoint_path, records);
+    docs_since_checkpoint = 0;
+  };
+
+  const Wmd& wmd = context.wmd();
+  for (std::size_t doc_index = resume_from;
+       doc_index < task.test.docs.size(); ++doc_index) {
     if (result.docs_evaluated >= attack_budget) break;
+    const Document& doc = task.test.docs[doc_index];
     const TokenSeq tokens = doc.flatten();
     if (tokens.empty()) continue;
-    ++result.docs_evaluated;
 
+    DocRecord record;
+    record.doc_index = doc_index;
     const std::size_t true_label = static_cast<std::size_t>(doc.label);
     const std::size_t predicted = model.predict(tokens);
-    if (predicted != true_label) {
-      // Already misclassified: nothing to attack, counts as incorrect.
-      result.adv_docs.push_back(doc);
-      continue;
+    if (predicted == true_label) {
+      // Targeted attack at the other class (binary tasks).
+      const std::size_t target = 1 - true_label;
+      const WmdDegradation before = wmd.degradation();
+      Outcome<JointAttackResult> outcome =
+          run_attack_isolated(model, doc, target, resources, config.joint);
+      if (config.retry_relaxed && config.joint.deadline_ms > 0.0 &&
+          outcome.ok() &&
+          outcome.value().termination ==
+              TerminationReason::kDeadlineExceeded) {
+        // One retry with a relaxed budget; keep the retry only if it ran.
+        JointAttackConfig relaxed = config.joint;
+        relaxed.deadline_ms = config.joint.deadline_ms * 4.0;
+        relaxed.enable_sentence = false;
+        Outcome<JointAttackResult> second =
+            run_attack_isolated(model, doc, target, resources, relaxed);
+        record.retried = 1;
+        if (second.ok()) outcome = std::move(second);
+      }
+      const WmdDegradation after = wmd.degradation();
+      record.wmd_to_sinkhorn = after.to_sinkhorn - before.to_sinkhorn;
+      record.wmd_to_lower = after.to_lower_bound - before.to_lower_bound;
+      if (outcome.ok()) {
+        record.kind = 1;
+        record.attack = std::move(outcome.value());
+        record.attack.adv_doc.label = doc.label;  // ground truth unchanged
+        record.flipped =
+            model.predict(record.attack.adv_doc.flatten()) != true_label;
+      } else {
+        record.kind = 2;
+        record.attack.termination = outcome.failure().reason;
+        record.error = outcome.failure().message;
+      }
     }
-    // Targeted attack at the other class (binary tasks).
-    const std::size_t target = 1 - true_label;
-    const JointAttackResult attack =
-        joint_attack(model, doc, target, resources, config.joint);
-    ++result.docs_attacked;
-    seconds.push_back(attack.seconds);
-    words_changed.push_back(static_cast<double>(attack.words_changed));
-    sentences_changed.push_back(
-        static_cast<double>(attack.sentences_changed));
-    queries.push_back(static_cast<double>(attack.queries));
-
-    Document adv = attack.adv_doc;
-    adv.label = doc.label;  // ground truth is unchanged by the attack
-    const bool still_correct =
-        model.predict(adv.flatten()) == true_label;
-    if (!still_correct) {
-      ++flipped;
-    } else {
-      ++correct_after;
-    }
-    result.attacked_indices.push_back(result.adv_docs.size());
-    result.adv_docs.push_back(std::move(adv));
-    result.attacks.push_back(attack);
+    apply_record(record);
+    records.push_back(std::move(record));
+    ++docs_since_checkpoint;
+    maybe_checkpoint(/*force=*/false);
   }
+  maybe_checkpoint(/*force=*/true);
 
   result.adversarial_accuracy =
       result.docs_evaluated == 0

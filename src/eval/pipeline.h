@@ -43,6 +43,18 @@ struct AttackEvalConfig {
   /// clean model already misclassifies are not attacked (they already
   /// count against adversarial accuracy).
   std::size_t max_docs = 0;
+  /// Retry a deadline-killed document once with a relaxed configuration
+  /// (4x the deadline, sentence phase disabled) before giving up on it.
+  bool retry_relaxed = true;
+  /// Periodically persist per-document results to this path (tmp file +
+  /// atomic rename); empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Rewrite the checkpoint after every N evaluated documents.
+  std::size_t checkpoint_every = 8;
+  /// Replay an existing checkpoint_path before attacking: already-recorded
+  /// documents are restored (bitwise-identical aggregates), the run
+  /// continues from the first unrecorded document.
+  bool resume = false;
 };
 
 struct AttackEvalResult {
@@ -56,6 +68,18 @@ struct AttackEvalResult {
   double mean_queries = 0.0;
   std::size_t docs_attacked = 0;
   std::size_t docs_evaluated = 0;
+  /// Documents whose attack threw (fault isolation): the original text is
+  /// kept, the batch continues. Indices into task.test.docs.
+  std::size_t docs_failed = 0;
+  std::vector<std::size_t> failed_indices;
+  /// Documents retried once with a relaxed config after a deadline kill.
+  std::size_t docs_retried = 0;
+  /// Documents whose final attack ended on a deadline / query budget.
+  std::size_t docs_deadline = 0;
+  std::size_t docs_budget = 0;
+  /// WMD solver degradations (exact->Sinkhorn, ->nBOW bound) accumulated
+  /// over the run.
+  WmdDegradation wmd_degradations;
   /// Adversarial version of every evaluated test document (unattacked or
   /// failed attacks keep the original text). Labels are the true labels.
   std::vector<Document> adv_docs;

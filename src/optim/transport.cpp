@@ -33,7 +33,9 @@ void normalize(std::vector<double>& v, const char* name) {
 }  // namespace
 
 double solve_transport_exact(const Matrix& cost, std::vector<double> a,
-                             std::vector<double> b, Matrix* plan) {
+                             std::vector<double> b, Matrix* plan,
+                             const TransportControl& control) {
+  FaultInjector::instance().maybe_fault("transport.exact");
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   ADVTEXT_CHECK_SHAPE(cost.rows() == n && cost.cols() == m)
@@ -41,6 +43,14 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
       << ", marginals are " << n << " and " << m;
   normalize(a, "a");
   normalize(b, "b");
+
+  // Each augmentation saturates a row or a column, so a non-degenerate
+  // solve needs at most n+m-1 of them; the default cap only exists to turn
+  // a numerically-stuck loop into a typed, catchable failure.
+  const std::size_t max_augmentations = control.max_iterations != 0
+                                            ? control.max_iterations
+                                            : 4 * (n + m) + 8;
+  std::size_t augmentations = 0;
 
   // Successive shortest paths on the bipartite transportation graph with
   // node potentials. Nodes: 0..n-1 rows, n..n+m-1 columns. Because the
@@ -56,6 +66,16 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
   double shipped = 0.0;
 
   while (shipped < 1.0 - 1e-9) {
+    if (++augmentations > max_augmentations) {
+      throw TransportLimitError(
+          "transport: iteration cap hit after " +
+          std::to_string(max_augmentations) + " augmentations (" +
+          std::to_string(shipped) + " mass shipped)");
+    }
+    if (control.deadline.expired()) {
+      throw TransportLimitError("transport: deadline expired with " +
+                                std::to_string(shipped) + " mass shipped");
+    }
     // Pick any row with remaining supply as the source set; run a
     // multi-source Dijkstra to the nearest column with remaining demand,
     // over the residual graph (forward arcs row->col always exist; reverse
@@ -194,9 +214,12 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
   return objective;
 }
 
-double solve_transport_sinkhorn(const Matrix& cost, std::vector<double> a,
-                                std::vector<double> b, double reg,
-                                std::size_t iterations, Matrix* plan) {
+SinkhornResult solve_transport_sinkhorn(const Matrix& cost,
+                                        std::vector<double> a,
+                                        std::vector<double> b, double reg,
+                                        std::size_t iterations, Matrix* plan,
+                                        double tolerance) {
+  FaultInjector::instance().maybe_fault("transport.sinkhorn");
   const std::size_t n = a.size();
   const std::size_t m = b.size();
   ADVTEXT_CHECK_SHAPE(cost.rows() == n && cost.cols() == m)
@@ -215,18 +238,53 @@ double solve_transport_sinkhorn(const Matrix& cost, std::vector<double> a,
   }
   std::vector<double> u(n, 1.0);
   std::vector<double> v(m, 1.0);
-  for (std::size_t it = 0; it < iterations; ++it) {
+  std::vector<double> row_sums(n, 0.0);  // Σ_j K_ij v_j for the current v
+  SinkhornResult result;
+
+  const auto refresh_row_sums = [&] {
     for (std::size_t i = 0; i < n; ++i) {
       double s = 0.0;
       for (std::size_t j = 0; j < m; ++j) s += kernel(i, j) * v[j];
-      u[i] = a[i] / std::max(s, kEps);
+      row_sums[i] = s;
+    }
+  };
+  // After a v-update the column marginals hold exactly, so the L1 row
+  // marginal violation of the current (u, v) is the whole residual — and
+  // it reuses the row sums the next u-update needs, making the
+  // convergence check nearly free.
+  const auto row_error = [&] {
+    double err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err += std::abs(u[i] * row_sums[i] - a[i]);
+    }
+    return err;
+  };
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    refresh_row_sums();
+    if (it > 0) {
+      result.marginal_error = row_error();
+      if (result.marginal_error < tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      u[i] = a[i] / std::max(row_sums[i], kEps);
     }
     for (std::size_t j = 0; j < m; ++j) {
       double s = 0.0;
       for (std::size_t i = 0; i < n; ++i) s += kernel(i, j) * u[i];
       v[j] = b[j] / std::max(s, kEps);
     }
+    ++result.iterations;
   }
+  if (!result.converged) {
+    refresh_row_sums();
+    result.marginal_error = row_error();
+    result.converged = result.marginal_error < tolerance;
+  }
+
   double objective = 0.0;
   if (plan != nullptr) *plan = Matrix(n, m);
   for (std::size_t i = 0; i < n; ++i) {
@@ -236,7 +294,11 @@ double solve_transport_sinkhorn(const Matrix& cost, std::vector<double> a,
       if (plan != nullptr) (*plan)(i, j) = static_cast<float>(p);
     }
   }
-  return objective;
+  result.cost = objective;
+  ADVTEXT_DCHECK(std::isfinite(result.cost))
+      << "sinkhorn: non-finite cost " << result.cost << " after "
+      << result.iterations << " iterations";
+  return result;
 }
 
 double transport_relaxed_lower_bound(const Matrix& cost,

@@ -143,11 +143,13 @@ std::vector<Sentence> SentenceParaphraser::generate_raw(
 }
 
 std::vector<Sentence> SentenceParaphraser::paraphrases(
-    const Sentence& sentence, const Wmd& wmd) const {
+    const Sentence& sentence, const Wmd& wmd,
+    const Deadline& deadline) const {
   std::vector<std::pair<double, Sentence>> scored;
   std::set<Sentence> seen;
   seen.insert(sentence);
   for (Sentence& cand : generate_raw(sentence)) {
+    if (deadline.expired()) break;  // keep what cleared the filter so far
     if (!seen.insert(cand).second) continue;
     const double sim = wmd.similarity(sentence, cand);
     if (sim >= config_.min_similarity) {
@@ -181,11 +183,15 @@ std::vector<Sentence> SentenceParaphraser::paraphrases(
 }
 
 std::vector<std::vector<Sentence>> SentenceParaphraser::neighbor_sets(
-    const Document& doc, const Wmd& wmd) const {
+    const Document& doc, const Wmd& wmd, const Deadline& deadline) const {
   std::vector<std::vector<Sentence>> out;
   out.reserve(doc.sentences.size());
   for (const Sentence& s : doc.sentences) {
-    out.push_back(paraphrases(s, wmd));
+    if (deadline.expired()) {
+      out.emplace_back();  // empty set: sentence stays unattackable
+      continue;
+    }
+    out.push_back(paraphrases(s, wmd, deadline));
   }
   return out;
 }

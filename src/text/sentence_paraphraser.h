@@ -16,6 +16,7 @@
 
 #include "src/text/corpus.h"
 #include "src/text/wmd.h"
+#include "src/util/robust.h"
 
 namespace advtext {
 
@@ -42,13 +43,18 @@ class SentenceParaphraser {
 
   /// Up to max_paraphrases candidates for `sentence`, each distinct from
   /// the original and passing similarity(s, s') >= min_similarity under
-  /// the given WMD. Deterministic for a given sentence.
-  std::vector<Sentence> paraphrases(const Sentence& sentence,
-                                    const Wmd& wmd) const;
+  /// the given WMD. Deterministic for a given sentence. The deadline is
+  /// checked between WMD filters: once it expires, candidates generated so
+  /// far are kept and the rest are skipped (a truncated-but-valid set).
+  std::vector<Sentence> paraphrases(const Sentence& sentence, const Wmd& wmd,
+                                    const Deadline& deadline = {}) const;
 
   /// Neighbouring sets for every sentence of a document (Alg. 1, step 3).
-  std::vector<std::vector<Sentence>> neighbor_sets(const Document& doc,
-                                                   const Wmd& wmd) const;
+  /// On deadline expiry the remaining sentences get empty sets, so a
+  /// per-document deadline bounds this WMD-heavy step too.
+  std::vector<std::vector<Sentence>> neighbor_sets(
+      const Document& doc, const Wmd& wmd,
+      const Deadline& deadline = {}) const;
 
  private:
   /// All rule applications, before WMD filtering and truncation.

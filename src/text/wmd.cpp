@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/robust.h"
 
 namespace advtext {
 
@@ -69,7 +70,51 @@ void Wmd::nbow(const Sentence& s, std::vector<WordId>* words,
 #endif
 }
 
+double Wmd::solve_cost(const Matrix& cost, const std::vector<double>& pa,
+                       const std::vector<double>& pb) const {
+  // Last line of defense: never throws for cost reasons, and is orders of
+  // magnitude cheaper than either real solver.
+  const auto lower_bound = [&] {
+    ++degradation_.to_lower_bound;
+    return transport_relaxed_lower_bound(cost, pa, pb);
+  };
+  // Middle tier: entropic approximation; poisonable at "wmd.sinkhorn" so
+  // tests can force the full exact→Sinkhorn→nBOW chain.
+  const auto sinkhorn = [&]() -> double {
+    try {
+      const SinkhornResult status = solve_transport_sinkhorn(cost, pa, pb);
+      const double value =
+          FaultInjector::instance().poison("wmd.sinkhorn", status.cost);
+      if (std::isfinite(value)) return value;
+    } catch (const std::runtime_error&) {
+    }
+    return lower_bound();
+  };
+  switch (method_) {
+    case Method::kExact:
+      try {
+        TransportControl control;
+        control.max_iterations = limits_.exact_max_iterations;
+        if (limits_.exact_deadline_ms > 0.0) {
+          control.deadline = Deadline::after_ms(limits_.exact_deadline_ms);
+        }
+        return solve_transport_exact(cost, pa, pb, nullptr, control);
+      } catch (const std::runtime_error&) {
+        // TransportLimitError (cap/deadline), degenerate-solve errors, and
+        // injected faults all degrade; logic/shape errors propagate.
+        ++degradation_.to_sinkhorn;
+        return sinkhorn();
+      }
+    case Method::kSinkhorn:
+      return sinkhorn();
+    case Method::kRelaxed:
+      return transport_relaxed_lower_bound(cost, pa, pb);
+  }
+  return lower_bound();  // unreachable
+}
+
 double Wmd::distance(const Sentence& a, const Sentence& b) const {
+  FaultInjector::instance().maybe_fault("wmd.distance");
   if (a.empty() && b.empty()) return 0.0;
   if (a.empty() || b.empty()) {
     return std::numeric_limits<double>::infinity();
@@ -100,18 +145,7 @@ double Wmd::distance(const Sentence& a, const Sentence& b) const {
   }
   ADVTEXT_DCHECK(all_finite(cost.data(), cost.size()))
       << "Wmd::distance: non-finite ground cost (corrupt embeddings?)";
-  double result = 0.0;
-  switch (method_) {
-    case Method::kExact:
-      result = solve_transport_exact(cost, pa, pb);
-      break;
-    case Method::kRelaxed:
-      result = transport_relaxed_lower_bound(cost, pa, pb);
-      break;
-    case Method::kSinkhorn:
-      result = solve_transport_sinkhorn(cost, pa, pb);
-      break;
-  }
+  const double result = solve_cost(cost, pa, pb);
   ADVTEXT_DCHECK(std::isfinite(result) && result > -1e-9)
       << "Wmd::distance: solver returned " << result;
   return result;

@@ -8,6 +8,7 @@
 // spaCy convention cited in the paper); we map distance d to exp(-d).
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "src/optim/transport.h"
@@ -15,6 +16,21 @@
 #include "src/text/corpus.h"
 
 namespace advtext {
+
+/// Per-instance tally of graceful degradations (see Wmd::distance). The
+/// counters are cumulative; the attack pipeline snapshots them around each
+/// document to attribute degradations per doc.
+struct WmdDegradation {
+  std::size_t to_sinkhorn = 0;     ///< exact solve fell back to Sinkhorn
+  std::size_t to_lower_bound = 0;  ///< Sinkhorn fell back to the nBOW bound
+  std::size_t total() const { return to_sinkhorn + to_lower_bound; }
+};
+
+/// Optional cost bounds on the exact per-call transport solve.
+struct WmdLimits {
+  std::size_t exact_max_iterations = 0;  ///< 0 = solver default cap
+  double exact_deadline_ms = 0.0;        ///< 0 = unlimited
+};
 
 class Wmd {
  public:
@@ -25,6 +41,15 @@ class Wmd {
 
   Method method() const { return method_; }
 
+  /// Bounds every subsequent exact solve (degradation kicks in on a hit).
+  void set_limits(const WmdLimits& limits) { limits_ = limits; }
+  const WmdLimits& limits() const { return limits_; }
+
+  /// Degradations recorded so far. distance() is const (Wmd is shared
+  /// read-only across the pipeline), so the tally is mutable state.
+  const WmdDegradation& degradation() const { return degradation_; }
+  void reset_degradation() const { degradation_ = WmdDegradation{}; }
+
   /// Euclidean distance between two word embeddings.
   double word_distance(WordId a, WordId b) const;
 
@@ -33,6 +58,14 @@ class Wmd {
 
   /// WMD between two sentences (normalized bag-of-words mover distance).
   /// Returns 0 if both are empty, +inf if exactly one is empty.
+  ///
+  /// Graceful degradation: if the exact solve hits its iteration cap or
+  /// deadline (TransportLimitError) or fails at runtime (including an
+  /// injected fault at "transport.exact"), the call falls back to the
+  /// Sinkhorn approximation; if that also fails or returns a non-finite
+  /// value, to the relaxed nBOW lower bound. Every fallback is recorded in
+  /// degradation(). Logic/shape errors still propagate — degradation only
+  /// masks *cost* failures, never contract violations.
   double distance(const Sentence& a, const Sentence& b) const;
 
   /// exp(-distance); in [0, 1], 1 for identical sentences.
@@ -43,8 +76,14 @@ class Wmd {
   static void nbow(const Sentence& s, std::vector<WordId>* words,
                    std::vector<double>* weights);
 
+  /// Runs the configured solver with the degradation chain.
+  double solve_cost(const Matrix& cost, const std::vector<double>& pa,
+                    const std::vector<double>& pb) const;
+
   const Matrix& embeddings_;
   Method method_;
+  WmdLimits limits_;
+  mutable WmdDegradation degradation_;
 };
 
 }  // namespace advtext

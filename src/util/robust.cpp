@@ -1,0 +1,158 @@
+#include "src/util/robust.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <thread>
+
+namespace advtext {
+
+const char* to_string(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kSucceeded:
+      return "succeeded";
+    case TerminationReason::kExhaustedCandidates:
+      return "exhausted_candidates";
+    case TerminationReason::kBudgetExhausted:
+      return "budget_exhausted";
+    case TerminationReason::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case TerminationReason::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Deadline Deadline::after_ms(double ms) {
+  Deadline d;
+  d.unlimited_ = false;
+  d.when_ = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::milli>(ms));
+  return d;
+}
+
+double Deadline::remaining_ms() const {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double, std::milli>(
+             when_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+namespace {
+
+FaultInjector::Mode parse_mode(const std::string& token,
+                               const std::string& spec) {
+  if (token == "throw") return FaultInjector::Mode::kThrow;
+  if (token == "delay") return FaultInjector::Mode::kDelay;
+  if (token == "nan") return FaultInjector::Mode::kNan;
+  throw std::invalid_argument("FaultInjector: unknown mode '" + token +
+                              "' in spec '" + spec + "'");
+}
+
+double parse_probability(const std::string& token, const std::string& spec) {
+  std::size_t consumed = 0;
+  double p = -1.0;
+  try {
+    p = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != token.size() || !(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("FaultInjector: bad probability '" + token +
+                                "' in spec '" + spec + "' (need [0,1])");
+  }
+  return p;
+}
+
+}  // namespace
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  rules_.clear();
+  has_all_ = false;
+  all_ = Rule{};
+  fires_ = 0;
+  rng_ = Rng(seed);
+
+  std::stringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ',')) {
+    if (entry.empty()) continue;
+    // site[:mode]:probability — split on ':' from the right so site names
+    // may themselves contain dots (but not colons).
+    const std::size_t last = entry.rfind(':');
+    if (last == std::string::npos || last == 0) {
+      throw std::invalid_argument("FaultInjector: entry '" + entry +
+                                  "' in spec '" + spec +
+                                  "' is not site[:mode]:probability");
+    }
+    Rule rule;
+    rule.probability = parse_probability(entry.substr(last + 1), spec);
+    std::string site = entry.substr(0, last);
+    const std::size_t mode_sep = site.rfind(':');
+    if (mode_sep != std::string::npos) {
+      rule.mode = parse_mode(site.substr(mode_sep + 1), spec);
+      site = site.substr(0, mode_sep);
+    }
+    if (site.empty()) {
+      throw std::invalid_argument("FaultInjector: empty site in spec '" +
+                                  spec + "'");
+    }
+    if (site == "all") {
+      has_all_ = true;
+      all_ = rule;
+    } else {
+      rules_.emplace_back(site, rule);
+    }
+  }
+  enabled_ = has_all_ || !rules_.empty();
+}
+
+void FaultInjector::configure_from_env() {
+  const char* env = std::getenv("ADVTEXT_INJECT");
+  configure(env == nullptr ? std::string() : std::string(env));
+}
+
+const FaultInjector::Rule* FaultInjector::match(const char* site) const {
+  for (const auto& [name, rule] : rules_) {
+    if (name == site) return &rule;
+  }
+  return has_all_ ? &all_ : nullptr;
+}
+
+void FaultInjector::fault_slow(const char* site) {
+  const Rule* rule = match(site);
+  if (rule == nullptr || rule->mode == Mode::kNan) return;
+  if (!rng_.bernoulli(rule->probability)) return;
+  ++fires_;
+  if (rule->mode == Mode::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return;
+  }
+  throw InjectedFault(std::string("injected fault at ") + site);
+}
+
+double FaultInjector::poison_slow(const char* site, double value) {
+  const Rule* rule = match(site);
+  if (rule == nullptr) return value;
+  if (!rng_.bernoulli(rule->probability)) return value;
+  ++fires_;
+  switch (rule->mode) {
+    case Mode::kNan:
+      return std::numeric_limits<double>::quiet_NaN();
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return value;
+    case Mode::kThrow:
+      throw InjectedFault(std::string("injected fault at ") + site);
+  }
+  return value;
+}
+
+}  // namespace advtext

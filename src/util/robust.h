@@ -1,0 +1,269 @@
+// Robustness layer: deadlines, query budgets, typed failure outcomes and a
+// deterministic fault-injection harness.
+//
+// The paper's headline claim is wall-clock efficiency (Tables 2/4 report
+// per-document attack time and query counts), so every long-running path in
+// advtext must be *bounded* and *interruptible*: a single slow or throwing
+// document must never kill a table run. This header provides the shared
+// vocabulary:
+//
+//   * Deadline      — absolute monotonic wall-clock limit, checked at every
+//                     greedy step (the production "deadline propagation"
+//                     pattern: one Deadline is created per document and
+//                     passed down through both attack phases and the WMD
+//                     transport solves).
+//   * QueryBudget   — bound on classifier forward evaluations, the
+//                     budgeted-greedy framing of Mirzasoleiman et al.;
+//                     shared across the sentence and word phases of Alg. 1.
+//   * TerminationReason / Failure / Outcome<T>
+//                   — why a bounded computation stopped, and a typed
+//                     value-or-failure result for isolation boundaries.
+//   * FaultInjector — singleton with named injection points that can
+//                     probabilistically throw, delay, or NaN-poison,
+//                     seeded through advtext::rng so failure schedules are
+//                     reproducible. Drives tests/robustness_test.cpp and
+//                     the CI fault-injection leg (ADVTEXT_INJECT=all:0.05).
+//
+// Timing policy (enforced by tools/lint.py rule `raw-clock`): no src/ file
+// outside util/ reads std::chrono clocks directly; all timing flows through
+// Stopwatch and Deadline so fault injection and determinism stay possible.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace advtext {
+
+/// Why a bounded computation returned. Ordered by severity: larger values
+/// are worse, so callers can aggregate with worse_of() and assert
+/// "kDeadlineExceeded or better".
+enum class TerminationReason : int {
+  kSucceeded = 0,           ///< reached its goal (e.g. τ crossed)
+  kExhaustedCandidates = 1, ///< natural stop: no improving move left
+  kBudgetExhausted = 2,     ///< query budget hit; best-so-far returned
+  kDeadlineExceeded = 3,    ///< wall-clock deadline hit; best-so-far returned
+  kError = 4,               ///< exception / injected fault; work isolated
+};
+
+/// Severity-max aggregation over phases.
+inline TerminationReason worse_of(TerminationReason a, TerminationReason b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// Stable short name ("succeeded", "deadline_exceeded", ...).
+const char* to_string(TerminationReason reason);
+
+/// Absolute wall-clock limit on the monotonic clock. Value type: copy it
+/// freely down a call chain ("deadline propagation"); every copy refers to
+/// the same absolute instant. A default-constructed Deadline never expires.
+class Deadline {
+ public:
+  /// Unlimited (never expires).
+  Deadline() : unlimited_(true), when_() {}
+
+  /// Expires `ms` milliseconds from now. Non-positive values are already
+  /// expired (useful in tests).
+  static Deadline after_ms(double ms);
+
+  /// Never expires.
+  static Deadline unlimited() { return Deadline(); }
+
+  bool is_unlimited() const { return unlimited_; }
+
+  /// True once the monotonic clock passes the limit. O(1); cheap enough to
+  /// call once per candidate evaluation (a clock read against a model
+  /// forward pass).
+  bool expired() const {
+    return !unlimited_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Milliseconds until expiry (+inf when unlimited, <= 0 when expired).
+  double remaining_ms() const;
+
+ private:
+  bool unlimited_;
+  std::chrono::steady_clock::time_point when_;
+};
+
+/// Bound on model forward evaluations (the query-count metric the paper
+/// reports). Shared across attack phases: joint_attack owns one and both
+/// phases charge it. A limit of 0 means unlimited.
+class QueryBudget {
+ public:
+  explicit QueryBudget(std::size_t limit = 0) : limit_(limit) {}
+
+  void charge(std::size_t n = 1) { used_ += n; }
+
+  bool exhausted() const { return limit_ != 0 && used_ >= limit_; }
+
+  std::size_t used() const { return used_; }
+  std::size_t limit() const { return limit_; }
+
+  /// Queries left before exhaustion (max size_t when unlimited).
+  std::size_t remaining() const {
+    if (limit_ == 0) return std::numeric_limits<std::size_t>::max();
+    return used_ >= limit_ ? 0 : limit_ - used_;
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t used_ = 0;
+};
+
+/// Shared run controls threaded through the attack algorithms. The deadline
+/// is copied (absolute instant); the budget is borrowed and mutated so all
+/// phases of one document draw from the same pool. Both default to
+/// unconstrained, keeping existing call sites valid.
+struct AttackControl {
+  Deadline deadline;
+  QueryBudget* budget = nullptr;  ///< may be null (unlimited)
+
+  bool budget_exhausted() const {
+    return budget != nullptr && budget->exhausted();
+  }
+  /// const: the control block is shared read-only; the mutation happens in
+  /// the borrowed QueryBudget, which is non-const by construction.
+  void charge(std::size_t n) const {
+    if (budget != nullptr) budget->charge(n);
+  }
+};
+
+/// Typed failure at an isolation boundary.
+struct Failure {
+  TerminationReason reason = TerminationReason::kError;
+  std::string message;
+};
+
+/// Value-or-failure result for fault-isolation boundaries (per-document
+/// attack isolation in evaluate_attack). Deliberately minimal: holds either
+/// a T or a Failure, never neither.
+template <typename T>
+class Outcome {
+ public:
+  Outcome(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Outcome(Failure failure) : state_(std::move(failure)) {}  // NOLINT(google-explicit-constructor)
+
+  static Outcome error(TerminationReason reason, std::string message) {
+    return Outcome(Failure{reason, std::move(message)});
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const T& value() const {
+    ADVTEXT_CHECK(ok()) << "Outcome::value on a failed outcome: "
+                        << std::get<Failure>(state_).message;
+    return std::get<T>(state_);
+  }
+  T& value() {
+    ADVTEXT_CHECK(ok()) << "Outcome::value on a failed outcome: "
+                        << std::get<Failure>(state_).message;
+    return std::get<T>(state_);
+  }
+
+  const Failure& failure() const {
+    ADVTEXT_CHECK(!ok()) << "Outcome::failure on a successful outcome";
+    return std::get<Failure>(state_);
+  }
+
+ private:
+  std::variant<T, Failure> state_;
+};
+
+/// Thrown by FaultInjector at a firing injection point (and by nothing
+/// else), so tests and isolation code can tell injected faults from real
+/// ones.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Deterministic fault-injection harness. Library code marks *named
+/// injection points*; a configuration string arms a subset of them with a
+/// probability and a fault mode. Disabled (the default) every point is a
+/// single predicted branch.
+///
+/// Point naming convention: "<module>.<operation>", e.g. "wmd.distance",
+/// "transport.exact", "attack.word", "pipeline.doc". The wildcard site
+/// "all" arms every point.
+///
+/// Spec grammar (comma-separated):   site[:mode]:probability
+///   modes: throw (default) | delay | nan
+///   examples: "all:0.05"
+///             "wmd.distance:0.2,transport.exact:delay:0.5"
+///             "transport.sinkhorn:nan:1.0"
+///
+/// Faults are drawn from an advtext::Rng owned by the injector, so a fixed
+/// (spec, seed) pair reproduces the exact failure schedule — checkpoint /
+/// resume and isolation tests rely on this. Not thread-safe; a parallel
+/// pipeline must serialize access or shard injectors.
+class FaultInjector {
+ public:
+  enum class Mode { kThrow, kDelay, kNan };
+
+  /// Process-wide instance. On first use it arms itself from the
+  /// ADVTEXT_INJECT environment variable (empty/absent = disabled), which
+  /// is how the CI fault-injection leg reaches release binaries.
+  static FaultInjector& instance();
+
+  /// Replaces the active configuration (empty spec disables), resets the
+  /// fire counters, and reseeds the RNG. Throws std::invalid_argument on a
+  /// malformed spec.
+  void configure(const std::string& spec, std::uint64_t seed = 0x5eed);
+
+  /// configure() from ADVTEXT_INJECT (absent = disabled).
+  void configure_from_env();
+
+  bool enabled() const { return enabled_; }
+
+  /// Marks an injection point. No-op when disabled or the draw does not
+  /// fire. Fires as: kThrow — throws InjectedFault naming the site;
+  /// kDelay — sleeps ~1ms (deadline-pressure fault); kNan — records the
+  /// fire so a following poison() call returns NaN.
+  void maybe_fault(const char* site) {
+    if (!enabled_) return;
+    fault_slow(site);
+  }
+
+  /// Value-poisoning injection point: returns NaN if a kNan rule fires for
+  /// `site`, otherwise `value` unchanged.
+  double poison(const char* site, double value) {
+    if (!enabled_) return value;
+    return poison_slow(site, value);
+  }
+
+  /// Total faults fired since the last configure().
+  std::size_t fires() const { return fires_; }
+
+ private:
+  struct Rule {
+    Mode mode = Mode::kThrow;
+    double probability = 0.0;
+  };
+
+  FaultInjector() : rng_(0x5eed) { configure_from_env(); }
+
+  void fault_slow(const char* site);
+  double poison_slow(const char* site, double value);
+  const Rule* match(const char* site) const;
+
+  // Site-specific rules win over the "all" wildcard.
+  std::vector<std::pair<std::string, Rule>> rules_;
+  bool has_all_ = false;
+  Rule all_;
+  bool enabled_ = false;
+  Rng rng_;
+  std::size_t fires_ = 0;
+};
+
+}  // namespace advtext

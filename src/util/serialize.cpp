@@ -47,6 +47,8 @@ void read_raw(std::istream& in, void* data, std::size_t bytes) {
   if (!in) fail("read failed (truncated file?)");
 }
 
+}  // namespace
+
 void write_document(std::ostream& out, const Document& doc) {
   write_u64(out, static_cast<std::uint64_t>(doc.label));
   write_u64(out, doc.sentences.size());
@@ -69,6 +71,8 @@ Document read_document(std::istream& in) {
   }
   return doc;
 }
+
+namespace {
 
 void write_dataset(std::ostream& out, const Dataset& data) {
   write_u64(out, static_cast<std::uint64_t>(data.num_classes));

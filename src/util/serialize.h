@@ -22,6 +22,7 @@
 namespace advtext {
 
 struct SynthTask;  // data/synthetic.h
+struct Document;   // text/corpus.h
 
 namespace io {
 
@@ -64,6 +65,11 @@ std::vector<bool> read_bools(std::istream& in);
 
 void write_vocab(std::ostream& out, const Vocab& vocab);
 Vocab read_vocab(std::istream& in);
+
+/// Single documents (label + sentence/word structure). Used by the attack
+/// pipeline's checkpoint files; the whole-task writers reuse them.
+void write_document(std::ostream& out, const Document& doc);
+Document read_document(std::istream& in);
 
 // ---- Task & parameter checkpoints ------------------------------------------
 

@@ -12,9 +12,17 @@
 #include "src/eval/report.h"
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
+#include "src/util/robust.h"
 
 namespace advtext {
 namespace {
+
+// The CI fault-injection leg runs this binary with ADVTEXT_INJECT set.
+// Bookkeeping invariants must hold under injected faults; statistical
+// claims (accuracy drops, attack success) need an uninjected run.
+bool fault_injection_active() {
+  return FaultInjector::instance().enabled();
+}
 
 TEST(Metrics, MeanAndStddev) {
   EXPECT_DOUBLE_EQ(mean({}), 0.0);
@@ -88,6 +96,9 @@ TEST_F(PipelineFixture, EvaluateAttackBookkeepingIsConsistent) {
 }
 
 TEST_F(PipelineFixture, AdversarialAccuracyDropsUnderAttack) {
+  if (fault_injection_active()) {
+    GTEST_SKIP() << "statistical claim needs an injection-free run";
+  }
   AttackEvalConfig config;
   config.max_docs = 20;
   config.joint.sentence_fraction = 0.4;
@@ -126,6 +137,9 @@ TEST_F(PipelineFixture, HumanSimOriginalsScoreWell) {
 }
 
 TEST_F(PipelineFixture, HumanSimAdversarialLabelsMostlyPreserved) {
+  if (fault_injection_active()) {
+    GTEST_SKIP() << "statistical claim needs an injection-free run";
+  }
   AttackEvalConfig config;
   config.max_docs = 15;
   config.joint.sentence_fraction = 0.4;
@@ -157,6 +171,9 @@ TEST_F(PipelineFixture, HumanSimSizeMismatchThrows) {
 }
 
 TEST(AdversarialTraining, ImprovesRobustnessOnSmallTask) {
+  if (fault_injection_active()) {
+    GTEST_SKIP() << "statistical claim needs an injection-free run";
+  }
   // Small-scale Table 5: adversarial training should not hurt clean test
   // accuracy much and should raise adversarial accuracy.
   SynthConfig config = make_yelp(81).config;  // reuse yelp shape

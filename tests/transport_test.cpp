@@ -125,18 +125,23 @@ TEST(TransportSinkhorn, ApproachesExactForSmallReg) {
   const std::vector<double> a = {0.25, 0.25, 0.25, 0.25};
   const std::vector<double> b = {0.4, 0.3, 0.2, 0.1};
   const double exact = solve_transport_exact(cost, a, b);
-  const double sinkhorn =
+  const SinkhornResult sinkhorn =
       solve_transport_sinkhorn(cost, a, b, /*reg=*/0.05, /*iterations=*/500);
-  EXPECT_NEAR(sinkhorn, exact, 0.15);
-  EXPECT_GE(sinkhorn + 0.02, exact);  // entropic solution costs >= exact
+  EXPECT_NEAR(sinkhorn.cost, exact, 0.15);
+  EXPECT_GE(sinkhorn.cost + 0.02, exact);  // entropic cost >= exact
+  EXPECT_GT(sinkhorn.iterations, 0u);
+  EXPECT_LT(sinkhorn.marginal_error, 1e-3);
 }
 
 TEST(TransportSinkhorn, PlanMarginalsApproximatelyFeasible) {
   Matrix cost = {{0.5f, 1.5f}, {2.0f, 0.2f}};
   Matrix plan;
-  solve_transport_sinkhorn(cost, {0.6, 0.4}, {0.3, 0.7}, 0.1, 400, &plan);
+  const SinkhornResult status =
+      solve_transport_sinkhorn(cost, {0.6, 0.4}, {0.3, 0.7}, 0.1, 400, &plan);
   EXPECT_NEAR(plan(0, 0) + plan(0, 1), 0.6, 1e-3);
   EXPECT_NEAR(plan(0, 0) + plan(1, 0), 0.3, 1e-3);
+  EXPECT_TRUE(status.converged);
+  EXPECT_LE(status.iterations, 400u);
 }
 
 TEST(TransportSinkhorn, RejectsNonPositiveReg) {

@@ -13,6 +13,9 @@ Rules enforced (each with a stable rule id, printed on violation):
                      experiments stay reproducible from one seed
   cout-in-library    no std::cout/std::cerr in library code (src/); report
                      output belongs to the callers in bench/ and examples/
+  raw-clock          no *_clock::now() in library code outside src/util/ —
+                     timing flows through Stopwatch and Deadline so clocks
+                     stay mockable and deadline checks stay consistent
 
 Run locally from the repo root:
 
@@ -43,6 +46,9 @@ RE_RAW_RANDOM = re.compile(
     r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\(|std\s*::\s*random_device"
 )
 RE_COUT = re.compile(r"std\s*::\s*(?:cout|cerr)\b")
+RE_RAW_CLOCK = re.compile(
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
 
 
 def strip_comments(text: str) -> str:
@@ -158,6 +164,12 @@ def lint_file(path: Path) -> list[str]:
             report(idx, "cout-in-library",
                    "std::cout/std::cerr in library code; return data and "
                    "let bench/examples do the printing")
+
+        if (in_library and not rel.startswith("src/util/")
+                and RE_RAW_CLOCK.search(line)):
+            report(idx, "raw-clock",
+                   "raw clock read outside src/util/; route timing through "
+                   "Stopwatch or Deadline")
 
     return violations
 
