@@ -38,6 +38,39 @@ inline double deadline_ms_per_doc(double fallback = 0.0) {
   return fallback;
 }
 
+/// Training resilience for long-running benches: with
+/// ADVTEXT_BENCH_SNAPSHOT=<base path> set, each training stage snapshots
+/// under <base>.<tag> and resumes a killed run from its own generations
+/// (SIGINT/SIGTERM handlers installed, so ^C flushes before exiting). The
+/// per-stage tag keeps concurrent stages of one bench from sharing files.
+inline ResilienceConfig bench_resilience(const std::string& tag) {
+  ResilienceConfig resilience;
+  if (const char* env = std::getenv("ADVTEXT_BENCH_SNAPSHOT")) {
+    resilience.snapshot_path = std::string(env) + "." + tag;
+    resilience.resume = true;
+    resilience.install_stop_token = true;
+  }
+  return resilience;
+}
+
+/// Prints training-health counters when a run recorded any (rollbacks,
+/// resumed state, failed snapshot writes), mirroring
+/// print_robustness_summary for the attack side.
+inline void print_training_summary(const char* stage,
+                                   const TrainReport& report) {
+  if (!report.resumed &&
+      report.rollbacks + report.snapshot_write_failures == 0 &&
+      report.termination == TerminationReason::kSucceeded) {
+    return;
+  }
+  std::printf(
+      "  [training:%s] %s: resumed=%d, %zu rollbacks, %zu snapshots "
+      "(%zu failed writes)\n",
+      stage, to_string(report.termination), report.resumed ? 1 : 0,
+      report.rollbacks, report.snapshots_written,
+      report.snapshot_write_failures);
+}
+
 /// Prints deadline/budget/fault counters when a run recorded any, so a
 /// bounded or fault-injected bench run shows what was cut short.
 inline void print_robustness_summary(const AttackEvalResult& result) {

@@ -60,6 +60,8 @@ int main() {
       config.attack.joint.sentence_fraction =
           task.config.name == "Trec07p" ? 0.6 : 0.2;
       config.attack.joint.word_fraction = 0.2;
+      config.resilience =
+          bench_resilience(task.config.name + "." + model_kind);
       const AdvTrainingReport report = adversarial_training_experiment(
           [&]() -> std::unique_ptr<TrainableClassifier> {
             if (std::string(model_kind) == "WCNN") return make_wcnn(task);
@@ -83,6 +85,8 @@ int main() {
                format_percent(paper->test_after),
            format_percent(paper->adv_before) + " / " +
                format_percent(paper->adv_after)});
+      print_training_summary("pre", report.train_before);
+      print_training_summary("post", report.train_after);
     }
   }
   table.print_rule();

@@ -27,17 +27,21 @@
 #include "src/util/args.h"
 #include "src/util/robust.h"
 #include "src/util/serialize.h"
+#include "src/util/stop_token.h"
 
 namespace {
 
 using namespace advtext;
 
 // Exit codes: 0 success, 1 uncaught exception, 2 usage, 3 some attacks were
-// cut short by a deadline/query budget, 4 some documents failed outright.
+// cut short by a deadline/query budget, 4 some documents failed outright,
+// 5 cooperative shutdown (SIGINT/SIGTERM) with state flushed — rerun with
+// --train-resume / --resume to continue.
 constexpr int kExitError = 1;
 constexpr int kExitUsage = 2;
 constexpr int kExitLimited = 3;
 constexpr int kExitDocsFailed = 4;
+constexpr int kExitStopped = 5;
 
 // Updated as commands progress so the top-level catch can say which phase
 // an escaped exception came from.
@@ -49,13 +53,16 @@ int usage() {
       "  gen-task --dataset news|trec07p|yelp [--seed N] --out FILE\n"
       "  train    --task FILE --model wcnn|lstm|gru|bow [--epochs N]\n"
       "           [--lr X] [--hidden N] [--filters N] --out FILE\n"
+      "           [--snapshot FILE] [--snapshot-every N] [--train-resume]\n"
+      "           [--max-rollbacks N]\n"
       "  eval     --task FILE --model KIND --params FILE\n"
       "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
       "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n"
       "           [--deadline-ms X] [--max-queries N] [--checkpoint FILE]\n"
       "           [--resume] [--inject SPEC]\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 deadline/budget-limited docs,\n"
-      "            4 failed docs\n");
+      "            4 failed docs, 5 stopped by signal (state flushed;\n"
+      "            rerun with --train-resume / --resume)\n");
   return kExitUsage;
 }
 
@@ -121,13 +128,48 @@ int cmd_train(const ArgParser& args) {
   train.epochs = static_cast<std::size_t>(args.get_int("epochs", 12));
   train.learning_rate = args.get_double(
       "lr", kind == "lstm" || kind == "gru" ? 5e-3 : 1e-2);
-  const TrainReport report = train_classifier(*model, task.train, train);
-  std::printf("trained %s for %zu epochs, final loss %.4f\n", kind.c_str(),
-              report.epochs_run, report.final_train_loss);
+
+  ResilienceConfig resilience;
+  resilience.snapshot_path = args.get_string("snapshot");
+  resilience.snapshot_every =
+      static_cast<std::size_t>(args.get_int("snapshot-every", 0));
+  resilience.resume = args.get_bool("train-resume", false);
+  resilience.max_rollbacks =
+      static_cast<std::size_t>(args.get_int("max-rollbacks", 3));
+  resilience.install_stop_token = true;
+
+  const TrainReport report =
+      train_classifier(*model, task.train, train, resilience);
+  for (const std::string& warning : report.warnings) {
+    std::fprintf(stderr, "train warning: %s\n", warning.c_str());
+  }
+  std::printf("trained %s for %zu epochs, final loss %.4f [%s]\n",
+              kind.c_str(), report.epochs_run, report.final_train_loss,
+              to_string(report.termination));
+  if (report.resumed || report.rollbacks + report.clipped_steps +
+                                report.snapshots_written +
+                                report.snapshot_write_failures >
+                            0) {
+    std::printf(
+        "resilience: resumed=%d, %zu rollbacks (%zu lr backoffs), %zu "
+        "clipped steps, %zu snapshots (%zu failed writes)\n",
+        report.resumed ? 1 : 0, report.rollbacks, report.lr_backoffs,
+        report.clipped_steps, report.snapshots_written,
+        report.snapshot_write_failures);
+  }
+  if (report.termination == TerminationReason::kError) {
+    std::fprintf(stderr, "training diverged beyond --max-rollbacks\n");
+    return kExitError;
+  }
   std::printf("train acc %.3f, test acc %.3f\n",
               classification_accuracy(*model, task.train),
               classification_accuracy(*model, task.test));
   const std::string out = args.get_string("out");
+  if (report.termination == TerminationReason::kStopped) {
+    // Snapshot (if any) is flushed; do not publish half-trained params.
+    std::printf("training stopped by signal; rerun with --train-resume\n");
+    return kExitStopped;
+  }
   if (!out.empty()) {
     save_model(*model, out);
     std::printf("wrote parameters to %s\n", out.c_str());

@@ -2,18 +2,38 @@
 
 #include "src/eval/metrics.h"
 #include "src/util/rng.h"
+#include "src/util/stop_token.h"
 
 namespace advtext {
+
+namespace {
+
+/// Per-stage resilience policy: distinct snapshot paths keep the clean and
+/// retrained runs from clobbering each other's generations.
+ResilienceConfig stage_resilience(const ResilienceConfig& base,
+                                  const char* stage) {
+  ResilienceConfig staged = base;
+  if (!staged.snapshot_path.empty()) staged.snapshot_path += stage;
+  return staged;
+}
+
+}  // namespace
 
 AdvTrainingReport adversarial_training_experiment(
     const std::function<std::unique_ptr<TrainableClassifier>()>& make_model,
     const SynthTask& task, const TaskAttackContext& context,
     const AdvTrainingConfig& config) {
   AdvTrainingReport report;
+  StopToken& stop = StopToken::instance();
 
   // ---- Before: clean training + attack ----
   auto model = make_model();
-  train_classifier(*model, task.train, config.train);
+  report.train_before = train_classifier(
+      *model, task.train, config.train,
+      stage_resilience(config.resilience, ".pre"));
+  report.termination =
+      worse_of(report.termination, report.train_before.termination);
+  if (report.termination >= TerminationReason::kStopped) return report;
   report.test_before = classification_accuracy(*model, task.test);
   const AttackEvalResult before =
       evaluate_attack(*model, task, context, config.attack);
@@ -29,6 +49,14 @@ AdvTrainingReport adversarial_training_experiment(
 
   Dataset augmented = task.train;
   for (std::size_t i = 0; i < num_augment && i < order.size(); ++i) {
+    if (stop.stop_requested()) {
+      // Partial augmentation is unusable for the before/after comparison;
+      // report the stop and let the caller rerun (training resumes from
+      // its snapshots, the augmentation sweep is cheap by comparison).
+      report.termination =
+          worse_of(report.termination, TerminationReason::kStopped);
+      return report;
+    }
     const Document& doc = task.train.docs[order[i]];
     const TokenSeq tokens = doc.flatten();
     if (tokens.empty()) continue;
@@ -44,7 +72,12 @@ AdvTrainingReport adversarial_training_experiment(
 
   // ---- After: retrain from scratch on the merged set + attack ----
   auto retrained = make_model();
-  train_classifier(*retrained, augmented, config.train);
+  report.train_after = train_classifier(
+      *retrained, augmented, config.train,
+      stage_resilience(config.resilience, ".post"));
+  report.termination =
+      worse_of(report.termination, report.train_after.termination);
+  if (report.termination >= TerminationReason::kStopped) return report;
   report.test_after = classification_accuracy(*retrained, task.test);
   const AttackEvalResult after =
       evaluate_attack(*retrained, task, context, config.attack);

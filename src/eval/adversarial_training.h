@@ -4,6 +4,13 @@
 // (Alg. 1 against the clean model), merges them — with their *correct*
 // labels — into the training set, retrains from scratch, and reports clean
 // test accuracy and adversarial accuracy before and after.
+//
+// This is the repo's longest single code path (two full training runs plus
+// an attack sweep), so it runs under the resilience layer: both training
+// stages are supervised (snapshots at `<snapshot_path>.pre` / `.post`,
+// divergence rollback, resume) and the augmentation loop polls the
+// StopToken so SIGINT/SIGTERM exits cleanly with kStopped instead of
+// discarding hours of work.
 #pragma once
 
 #include <functional>
@@ -19,6 +26,10 @@ struct AdvTrainingConfig {
   double augmentation_fraction = 0.2;
   TrainConfig train;
   AttackEvalConfig attack;
+  /// Training resilience policy; snapshot_path (when set) is staged per
+  /// phase: "<path>.pre" for the clean model, "<path>.post" for the
+  /// retrained one.
+  ResilienceConfig resilience;
   std::uint64_t seed = 99;
 };
 
@@ -28,6 +39,11 @@ struct AdvTrainingReport {
   double adv_before = 0.0;
   double adv_after = 0.0;
   std::size_t augmented_examples = 0;
+  /// Worst termination across both training stages and the augmentation
+  /// loop; kStopped / kError mean the later metrics are partial.
+  TerminationReason termination = TerminationReason::kSucceeded;
+  TrainReport train_before;
+  TrainReport train_after;
 };
 
 /// `make_model` builds a fresh untrained classifier (called twice: before

@@ -2,7 +2,7 @@
 
 #include <cstdint>
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -60,12 +60,12 @@ constexpr const char* kCheckpointTag = "attack-checkpoint";
 
 void write_checkpoint(const std::string& path,
                       const std::vector<DocRecord>& records) {
-  const std::string tmp = path + ".tmp";
+  // Serialize to memory, then publish through the checksummed artifact
+  // envelope (atomic tmp+fsync+rename, CRC32 + version footer) so a crash
+  // mid-write leaves the previous checkpoint valid and a bit-flip is
+  // detected at resume time.
+  std::ostringstream out;
   {
-    std::ofstream out(tmp, std::ios::binary);
-    if (!out) {
-      throw std::runtime_error("pipeline: cannot open checkpoint " + tmp);
-    }
     io::write_magic(out);
     io::write_string(out, kCheckpointTag);
     io::write_u64(out, records.size());
@@ -92,10 +92,7 @@ void write_checkpoint(const std::string& path,
     }
     if (!out) throw std::runtime_error("pipeline: checkpoint write failed");
   }
-  // Atomic publish: a crash mid-write leaves the previous checkpoint valid.
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("pipeline: checkpoint rename failed: " + path);
-  }
+  io::save_artifact(path, out.str());
 }
 
 TerminationReason read_termination(std::istream& in) {
@@ -109,10 +106,7 @@ TerminationReason read_termination(std::istream& in) {
 
 std::vector<DocRecord> read_checkpoint(const std::string& path,
                                        std::size_t num_docs) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("pipeline: cannot open checkpoint " + path);
-  }
+  std::istringstream in(io::load_artifact(path));
   io::read_magic(in);
   if (io::read_string(in) != kCheckpointTag) {
     throw std::runtime_error("pipeline: not an attack checkpoint: " + path);
@@ -262,7 +256,13 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
     if (config.checkpoint_path.empty()) return;
     if (docs_since_checkpoint == 0) return;
     if (!force && docs_since_checkpoint < config.checkpoint_every) return;
-    write_checkpoint(config.checkpoint_path, records);
+    try {
+      write_checkpoint(config.checkpoint_path, records);
+    } catch (const std::runtime_error&) {
+      // Degrade: a failed checkpoint costs resume granularity, not results.
+      ++result.checkpoint_write_failures;
+      return;
+    }
     docs_since_checkpoint = 0;
   };
 

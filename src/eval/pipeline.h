@@ -77,6 +77,10 @@ struct AttackEvalResult {
   /// Documents whose final attack ended on a deadline / query budget.
   std::size_t docs_deadline = 0;
   std::size_t docs_budget = 0;
+  /// Checkpoint publishes that failed (disk error, injected ckpt.write
+  /// fault). The run continues: a lost checkpoint only costs resume
+  /// granularity, never results.
+  std::size_t checkpoint_write_failures = 0;
   /// WMD solver degradations (exact->Sinkhorn, ->nBOW bound) accumulated
   /// over the run.
   WmdDegradation wmd_degradations;

@@ -60,6 +60,18 @@ class LstmClassifier final : public TrainableClassifier {
   /// Probabilities from a final hidden state.
   Vector proba_from_hidden(const Vector& h) const;
 
+  // Dropout RNG round-trip for bitwise-identical training resume.
+  std::vector<std::uint64_t> stochastic_state() const override {
+    const RngState s = rng_.state();
+    return {s.begin(), s.end()};
+  }
+  void set_stochastic_state(const std::vector<std::uint64_t>& words) override {
+    RngState s{};
+    for (std::size_t i = 0; i < s.size() && i < words.size(); ++i)
+      s[i] = words[i];
+    rng_.set_state(s);
+  }
+
  private:
   /// Per-step activations recorded during the stateful forward pass.
   struct StepTrace {

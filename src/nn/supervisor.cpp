@@ -1,0 +1,224 @@
+#include "src/nn/supervisor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/serialize.h"
+#include "src/util/stop_token.h"
+
+namespace advtext {
+
+SnapshotRotation::SnapshotRotation(std::string base_path,
+                                   std::size_t generations)
+    : base_(std::move(base_path)), generations_(generations) {
+  ADVTEXT_CHECK(generations_ >= 1)
+      << "SnapshotRotation needs at least one generation";
+}
+
+std::string SnapshotRotation::generation_path(const std::string& base,
+                                              std::size_t generation) {
+  return base + ".ckpt." + std::to_string(generation);
+}
+
+void SnapshotRotation::write(const std::string& payload) const {
+  // Shift N-1 -> N, ..., 1 -> 2 before publishing, so an interrupted or
+  // failed publish leaves the previous snapshot intact one generation up.
+  for (std::size_t gen = generations_; gen >= 2; --gen) {
+    const std::string older = generation_path(base_, gen);
+    const std::string newer = generation_path(base_, gen - 1);
+    std::remove(older.c_str());
+    std::rename(newer.c_str(), older.c_str());  // no-op if newer is absent
+  }
+  io::save_artifact(generation_path(base_, 1), payload);
+}
+
+std::optional<std::string> SnapshotRotation::read_latest(
+    std::vector<std::string>* warnings) const {
+  for (std::size_t gen = 1; gen <= generations_; ++gen) {
+    const std::string path = generation_path(base_, gen);
+    {
+      // Probe existence quietly: a missing generation is normal (fresh run,
+      // fewer snapshots than generations), not a corruption event.
+      std::FILE* probe = std::fopen(path.c_str(), "rb");
+      if (probe == nullptr) continue;
+      std::fclose(probe);
+    }
+    try {
+      return io::load_artifact(path);
+    } catch (const std::runtime_error& error) {
+      if (warnings != nullptr) {
+        warnings->push_back("snapshot generation " + std::to_string(gen) +
+                            " (" + path + ") rejected: " + error.what() +
+                            "; falling back to older generation");
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+std::string serialize_loop(const ResumableTraining& loop) {
+  std::ostringstream out;
+  loop.save_state(out);
+  return out.str();
+}
+
+void restore_loop(ResumableTraining& loop, const std::string& state) {
+  std::istringstream in(state);
+  loop.load_state(in);
+}
+
+}  // namespace
+
+SupervisorReport TrainSupervisor::run(ResumableTraining& loop) const {
+  SupervisorReport report;
+  StopToken& stop = StopToken::instance();
+  if (config_.install_stop_token) stop.install();
+
+  const bool has_disk = !config_.snapshot_path.empty();
+  SnapshotRotation rotation(has_disk ? config_.snapshot_path : std::string("."),
+                            config_.keep_generations);
+
+  if (config_.resume && has_disk) {
+    // Walk generations newest-first, validating the *complete* restore —
+    // not just the checksum. A truncated file can pass load_artifact (it
+    // looks like a seed-era footer-less artifact) and only fail while
+    // deserializing the loop state; that too must fall back.
+    const std::string pristine = serialize_loop(loop);
+    bool restored = false;
+    for (std::size_t gen = 1;
+         gen <= config_.keep_generations && !restored; ++gen) {
+      const std::string path =
+          SnapshotRotation::generation_path(config_.snapshot_path, gen);
+      std::FILE* probe = std::fopen(path.c_str(), "rb");
+      if (probe == nullptr) continue;  // missing generation: not an error
+      std::fclose(probe);
+      try {
+        restore_loop(loop, io::load_artifact(path));
+        restored = true;
+        if (gen > 1) {
+          report.warnings.push_back(
+              "resumed from older snapshot generation " +
+              std::to_string(gen) + " (" + path + ")");
+        }
+      } catch (const std::runtime_error& error) {
+        report.warnings.push_back(
+            "snapshot generation " + std::to_string(gen) + " (" + path +
+            ") rejected: " + error.what() +
+            "; falling back to older generation");
+      }
+    }
+    if (restored) {
+      report.resumed = true;
+    } else {
+      // A rejected generation may have half-applied its state before the
+      // failure; rebuild the fresh-start state exactly.
+      restore_loop(loop, pristine);
+      report.warnings.push_back(
+          "resume requested but no readable snapshot generation under '" +
+          config_.snapshot_path + "'; starting fresh");
+    }
+  }
+
+  auto publish = [&](const std::string& state) {
+    if (!has_disk) return;
+    try {
+      rotation.write(state);
+      ++report.snapshots_written;
+    } catch (const std::runtime_error& error) {
+      // Losing a snapshot must not lose the run: degrade, count, continue.
+      ++report.snapshot_write_failures;
+      report.warnings.push_back(std::string("snapshot write failed: ") +
+                                error.what());
+    }
+  };
+
+  // Rollback target. Kept in memory so divergence recovery works even with
+  // no snapshot path configured.
+  std::string last_good = serialize_loop(loop);
+  double ewma = 0.0;
+  bool ewma_primed = false;
+  // Failed retries of the *current* stretch; resets on a clean step so the
+  // cap bounds genuine divergence, not the run's total transient-fault count.
+  std::size_t consecutive_failures = 0;
+
+  while (!loop.done()) {
+    if (stop.stop_requested() ||
+        (config_.max_steps != 0 && report.steps >= config_.max_steps)) {
+      report.termination = TerminationReason::kStopped;
+      report.stop_signal = stop.signal_number();
+      if (config_.flush_on_stop) publish(serialize_loop(loop));
+      return report;
+    }
+
+    bool diverged = false;
+    std::string divergence_note;
+    try {
+      const double loss = loop.step();
+      ++report.steps;
+      if (!std::isfinite(loss)) {
+        diverged = true;
+        divergence_note = "non-finite step loss";
+      } else if (config_.spike_factor > 0.0 && ewma_primed &&
+                 loss > config_.spike_factor * ewma + 1.0) {
+        diverged = true;
+        std::ostringstream note;
+        note << "loss spike " << loss << " vs EWMA " << ewma;
+        divergence_note = note.str();
+      } else {
+        ewma = ewma_primed ? 0.9 * ewma + 0.1 * loss : loss;
+        ewma_primed = true;
+      }
+    } catch (const std::runtime_error& error) {
+      ++report.steps;
+      diverged = true;
+      divergence_note = std::string("step threw: ") + error.what();
+    }
+
+    if (diverged) {
+      if (consecutive_failures >= config_.max_rollbacks) {
+        report.termination = TerminationReason::kError;
+        report.warnings.push_back(
+            "divergence (" + divergence_note + ") after exhausting " +
+            std::to_string(config_.max_rollbacks) +
+            " consecutive rollbacks; aborting training");
+        return report;
+      }
+      ++consecutive_failures;
+      ++report.rollbacks;
+      restore_loop(loop, last_good);
+      loop.on_rollback(consecutive_failures);
+      report.warnings.push_back("divergence (" + divergence_note +
+                                "); rolled back to last good state, attempt " +
+                                std::to_string(consecutive_failures));
+      // Reset the loss statistics: the backoff changes the loss scale.
+      ewma_primed = false;
+      continue;
+    }
+    if (consecutive_failures > 0) {
+      // The divergence passed: let the loop undo its backoff.
+      consecutive_failures = 0;
+      loop.on_recover();
+    }
+
+    const bool periodic = config_.snapshot_every != 0 &&
+                          report.steps % config_.snapshot_every == 0;
+    if (loop.at_boundary() || periodic) {
+      last_good = serialize_loop(loop);
+      publish(last_good);
+    }
+  }
+
+  // Natural completion: flush the final state so resume of a finished run
+  // is a no-op replay.
+  publish(serialize_loop(loop));
+  report.termination = TerminationReason::kSucceeded;
+  return report;
+}
+
+}  // namespace advtext

@@ -1,0 +1,174 @@
+// Training supervisor: checkpointed, self-healing execution of long
+// training loops.
+//
+// Every experiment in the paper sits on top of training runs — the
+// WCNN/LSTM classifiers, the skip-gram embeddings, and the adversarial-
+// retraining defense (§5, Table 6) retrains on augmented data, our single
+// longest code path. PR 2 made the *attack* side fault-tolerant; this layer
+// is its training-side twin, reusing the same TerminationReason vocabulary:
+//
+//   * snapshots  — a ResumableTraining loop serializes its complete state
+//                  (model params, optimizer moments, RNG streams, epoch /
+//                  batch cursor) at boundaries and every snapshot_every
+//                  steps. SnapshotRotation publishes generations
+//                  <base>.ckpt.1 (newest) .. .ckpt.K atomically with a
+//                  CRC32 + version footer; a truncated or bit-flipped
+//                  newest generation falls back to the previous one with a
+//                  named warning. Resume replays to bitwise-identical final
+//                  weights vs an uninterrupted run.
+//   * divergence — a non-finite or spiking step loss rolls the loop back to
+//                  the last good state with learning-rate backoff (capped
+//                  retries) instead of aborting the run.
+//   * shutdown   — the sigatomic StopToken (SIGINT/SIGTERM) is polled
+//                  between steps; a requested stop flushes a final snapshot
+//                  and returns TerminationReason::kStopped so callers exit
+//                  with a distinct code.
+//
+// Fault-injection sites: "train.loss" (step-loss poisoning, armed by the
+// loops), "ckpt.write" / "ckpt.read" (io::save_artifact / load_artifact),
+// so every recovery path is deterministic and CI-testable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/robust.h"
+
+namespace advtext {
+
+/// Resilience policy shared by every supervised trainer. Defaults keep an
+/// un-configured run behaviourally identical to the pre-supervisor code
+/// path (no disk snapshots, in-memory rollback only, no signal handlers).
+struct ResilienceConfig {
+  /// Base path for on-disk snapshots; generations live at
+  /// <path>.ckpt.1 (newest) .. <path>.ckpt.<keep_generations>. Empty keeps
+  /// snapshots in memory only (rollback still works, resume does not).
+  std::string snapshot_path;
+  /// Extra mid-run snapshots every N supervisor steps (0 = only at loop
+  /// boundaries, e.g. epoch ends, and on stop/completion).
+  std::size_t snapshot_every = 0;
+  /// On-disk generations kept per snapshot path (>= 1). Two generations
+  /// survive a corrupted newest file.
+  std::size_t keep_generations = 2;
+  /// Load the newest valid snapshot generation before training. All
+  /// generations invalid (or none present) falls back to a fresh start
+  /// with a named warning.
+  bool resume = false;
+  /// Consecutive failed retries of the same stretch tolerated before giving
+  /// up with kError. The counter resets once a step succeeds, so sporadic
+  /// transient faults (bit flips, injected NaNs) are absorbed indefinitely
+  /// while a genuinely diverged run — one that keeps failing straight after
+  /// every rollback — still aborts promptly.
+  std::size_t max_rollbacks = 3;
+  /// Learning-rate multiplier applied per consecutive rollback (loop-side,
+  /// via ResumableTraining::on_rollback): lr = base_lr * lr_backoff^attempt.
+  /// The loop's on_recover() restores the base rate after a clean step.
+  double lr_backoff = 0.5;
+  /// A finite step loss above spike_factor * EWMA(loss) + 1.0 counts as
+  /// divergence (0 disables spike detection; non-finite always triggers).
+  double spike_factor = 50.0;
+  /// Operational kill switch / step budget: stop cleanly (kStopped, with a
+  /// final snapshot) after this many supervisor steps. 0 = unlimited.
+  std::size_t max_steps = 0;
+  /// Flush a final snapshot when stopping on StopToken/max_steps. Disable
+  /// to simulate a hard kill (tests) — resume then replays from the last
+  /// periodic snapshot.
+  bool flush_on_stop = true;
+  /// Install the SIGINT/SIGTERM handlers at run start (CLIs). The token is
+  /// polled either way, so embedders can request_stop() programmatically.
+  bool install_stop_token = false;
+};
+
+/// A training loop the supervisor can drive. One step() is the unit of
+/// divergence detection and the snapshot granularity (a mini-batch for the
+/// classifier trainer, an epoch for skip-gram).
+class ResumableTraining {
+ public:
+  virtual ~ResumableTraining() = default;
+
+  /// True when training has reached its natural end (all epochs done or an
+  /// early-stop condition fired).
+  virtual bool done() const = 0;
+
+  /// Runs one unit of work and returns its (mean) loss. The supervisor
+  /// checks the value for divergence; exceptions derived from
+  /// std::runtime_error are treated as divergence too.
+  virtual double step() = 0;
+
+  /// True when the last step() ended a natural snapshot boundary (epoch
+  /// end); the supervisor always snapshots there.
+  virtual bool at_boundary() const = 0;
+
+  /// Serializes the complete loop state — everything the remaining steps
+  /// consume — such that load_state() + the same step sequence reproduces
+  /// an uninterrupted run bitwise.
+  virtual void save_state(std::ostream& out) const = 0;
+  virtual void load_state(std::istream& in) = 0;
+
+  /// Called after a rollback restored the last good state; `attempt` counts
+  /// consecutive failures of the current stretch (1..max_rollbacks).
+  /// Typical response: set the learning rate to base * lr_backoff^attempt.
+  virtual void on_rollback(std::size_t attempt) = 0;
+
+  /// Called once when a step succeeds after one or more rollbacks: the
+  /// divergence passed, so the loop may undo its backoff (restore the base
+  /// learning rate).
+  virtual void on_recover() {}
+};
+
+/// Generation-rotated, checksummed snapshot files: write() publishes to
+/// <base>.ckpt.1 after shifting older generations up, read_latest() returns
+/// the newest generation that passes integrity checks.
+class SnapshotRotation {
+ public:
+  SnapshotRotation(std::string base_path, std::size_t generations);
+
+  static std::string generation_path(const std::string& base,
+                                     std::size_t generation);
+
+  /// Rotates generations then atomically publishes `payload` (with CRC32 +
+  /// version footer) as generation 1. Throws std::runtime_error on write
+  /// failure (the previous generations stay intact).
+  void write(const std::string& payload) const;
+
+  /// Newest generation whose checksum verifies; rejected generations append
+  /// a named warning. std::nullopt when no generation is readable.
+  std::optional<std::string> read_latest(
+      std::vector<std::string>* warnings) const;
+
+ private:
+  std::string base_;
+  std::size_t generations_;
+};
+
+/// What the supervisor did. Loops fold the relevant fields into their own
+/// reports (TrainReport, SkipGramReport).
+struct SupervisorReport {
+  TerminationReason termination = TerminationReason::kSucceeded;
+  std::size_t steps = 0;
+  std::size_t rollbacks = 0;
+  std::size_t snapshots_written = 0;
+  /// Snapshot publishes that failed (disk full, injected ckpt.write fault):
+  /// training continues — losing a snapshot must not lose the run.
+  std::size_t snapshot_write_failures = 0;
+  bool resumed = false;
+  int stop_signal = 0;  ///< signal that requested the stop (0 = none)
+  std::vector<std::string> warnings;
+};
+
+/// Drives a ResumableTraining loop to completion under a ResilienceConfig.
+class TrainSupervisor {
+ public:
+  explicit TrainSupervisor(const ResilienceConfig& config)
+      : config_(config) {}
+
+  SupervisorReport run(ResumableTraining& loop) const;
+
+ private:
+  ResilienceConfig config_;
+};
+
+}  // namespace advtext

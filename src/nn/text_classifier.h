@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "src/tensor/tensor.h"
 #include "src/text/corpus.h"
@@ -104,6 +106,13 @@ class TrainableClassifier : public TextClassifier {
 
   /// Clears accumulated gradients.
   virtual void zero_grad() = 0;
+
+  /// Internal stochastic state (train-time dropout RNG streams) as raw
+  /// 64-bit words. Training snapshots round-trip it so a resumed run draws
+  /// the same dropout masks and replays bitwise. Default: stateless.
+  virtual std::vector<std::uint64_t> stochastic_state() const { return {}; }
+  virtual void set_stochastic_state(
+      const std::vector<std::uint64_t>& /*words*/) {}
 };
 
 }  // namespace advtext

@@ -2,13 +2,24 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/robust.h"
+#include "src/util/serialize.h"
 
 namespace advtext {
 
 void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
+  // A single NaN gradient silently poisons every later step through the
+  // Adam moments; reject it *before* the update while the moments and
+  // parameters are still clean (a supervisor rollback can then recover by
+  // restoring the loop state alone).
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    ADVTEXT_DCHECK(all_finite(params[p].grad, params[p].size))
+        << "Adam::step: gradient tensor " << p << " non-finite before update";
+  }
   // Global-norm gradient clipping (on the batch-averaged gradients).
   if (config_.clip_norm > 0.0) {
     double norm_sq = 0.0;
@@ -21,6 +32,7 @@ void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
     const double norm = std::sqrt(norm_sq);
     if (norm > config_.clip_norm) {
       batch_scale *= config_.clip_norm / norm;
+      ++clipped_steps_;
     }
   }
   if (m_.empty()) {
@@ -36,7 +48,7 @@ void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
   const double b2 = config_.beta2;
   const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
   const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
-  const double lr = config_.learning_rate;
+  const double lr = lr_;
   for (std::size_t p = 0; p < params.size(); ++p) {
     const ParamRef& ref = params[p];
     for (std::size_t i = 0; i < ref.size; ++i) {
@@ -50,14 +62,37 @@ void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
           static_cast<float>(lr * mhat / (std::sqrt(vhat) + config_.epsilon));
     }
   }
-  // A single NaN gradient silently poisons every later step through the
-  // Adam moments; catch it at the step boundary where the culprit tensor
-  // is still identifiable.
   for (std::size_t p = 0; p < params.size(); ++p) {
-    ADVTEXT_DCHECK(all_finite(params[p].grad, params[p].size))
-        << "Adam::step: gradient tensor " << p << " non-finite";
     ADVTEXT_DCHECK(all_finite(params[p].value, params[p].size))
         << "Adam::step: parameter tensor " << p << " non-finite after update";
+  }
+}
+
+void Adam::save_state(std::ostream& out) const {
+  io::write_u64(out, t_);
+  io::write_double(out, lr_);
+  io::write_u64(out, clipped_steps_);
+  io::write_u64(out, m_.size());
+  for (std::size_t p = 0; p < m_.size(); ++p) {
+    io::write_u64(out, m_[p].size());
+    io::write_floats(out, m_[p].data(), m_[p].size());
+    io::write_floats(out, v_[p].data(), v_[p].size());
+  }
+}
+
+void Adam::load_state(std::istream& in) {
+  t_ = io::read_u64(in);
+  lr_ = io::read_double(in);
+  clipped_steps_ = io::read_u64(in);
+  const std::size_t tensors = io::read_u64(in);
+  m_.assign(tensors, {});
+  v_.assign(tensors, {});
+  for (std::size_t p = 0; p < tensors; ++p) {
+    const std::size_t size = io::read_u64(in);
+    m_[p].resize(size);
+    v_[p].resize(size);
+    io::read_floats(in, m_[p].data(), size);
+    io::read_floats(in, v_[p].data(), size);
   }
 }
 
@@ -77,72 +112,240 @@ double dataset_accuracy(const TextClassifier& model,
   return static_cast<double>(correct) / static_cast<double>(docs.size());
 }
 
+/// The classifier training loop as a ResumableTraining: one step() is one
+/// mini-batch. Constructed fresh it replays the exact pre-supervisor
+/// trainer: Rng(seed) -> validation split -> per-epoch shuffles -> batched
+/// forward/backward -> Adam. load_state() overwrites the replayable state
+/// (cursor, permutation, RNG streams, model params, Adam moments) so the
+/// remaining steps are bitwise identical to an uninterrupted run.
+class ClassifierTrainLoop final : public ResumableTraining {
+ public:
+  ClassifierTrainLoop(TrainableClassifier& model, const Dataset& data,
+                      const TrainConfig& config,
+                      const ResilienceConfig& resilience)
+      : model_(model), config_(config), resilience_(resilience),
+        rng_(config.seed), optimizer_(config) {
+    // Validation split (deterministic tail slice of a fixed permutation).
+    // Document pointers cannot be serialized, so resume re-derives the
+    // split from the seed and then restores the RNG stream from the
+    // snapshot — identical result, by construction.
+    const auto order = rng_.permutation(data.docs.size());
+    const std::size_t num_val = static_cast<std::size_t>(
+        config.validation_fraction * static_cast<double>(data.docs.size()));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Document& doc = data.docs[order[i]];
+      if (doc.num_words() == 0) continue;
+      if (i < num_val) {
+        val_docs_.push_back(&doc);
+      } else {
+        train_docs_.push_back(&doc);
+      }
+    }
+  }
+
+  bool done() const override {
+    return finished_ || epoch_ >= config_.epochs;
+  }
+
+  double step() override {
+    if (!perm_drawn_) {
+      perm_ = rng_.permutation(train_docs_.size());
+      cursor_ = 0;
+      epoch_loss_ = 0.0;
+      processed_ = 0;
+      perm_drawn_ = true;
+    }
+    boundary_ = false;
+    const std::size_t end =
+        std::min(cursor_ + config_.batch_size, perm_.size());
+    model_.zero_grad();
+    double batch_loss = 0.0;
+    for (std::size_t i = cursor_; i < end; ++i) {
+      const Document* doc = train_docs_[perm_[i]];
+      batch_loss += model_.forward_backward(
+          doc->flatten(), static_cast<std::size_t>(doc->label));
+    }
+    const std::size_t batch = std::max<std::size_t>(1, end - cursor_);
+    batch_loss = FaultInjector::instance().poison("train.loss", batch_loss);
+    if (!std::isfinite(batch_loss)) {
+      // Divergence: report it *without* stepping the optimizer, so the
+      // Adam moments and parameters stay clean for the rollback.
+      return batch_loss;
+    }
+    if (end > cursor_) {
+      optimizer_.step(model_.params(),
+                      1.0 / static_cast<double>(end - cursor_));
+    }
+    epoch_loss_ += batch_loss;
+    processed_ += end - cursor_;
+    cursor_ = end;
+    if (cursor_ >= perm_.size()) finish_epoch();
+    return batch_loss / static_cast<double>(batch);
+  }
+
+  bool at_boundary() const override { return boundary_; }
+
+  void save_state(std::ostream& out) const override {
+    io::write_magic(out);
+    io::write_u64(out, epoch_);
+    io::write_u64(out, cursor_);
+    io::write_u64(out, processed_);
+    io::write_u64(out, perm_drawn_ ? 1 : 0);
+    io::write_u64(out, finished_ ? 1 : 0);
+    io::write_double(out, epoch_loss_);
+    io::write_double(out, best_val_);
+    io::write_doubles(out, epoch_losses_);
+    io::write_u64(out, perm_.size());
+    for (const std::size_t index : perm_) io::write_u64(out, index);
+    const RngState rng_state = rng_.state();
+    for (const std::uint64_t word : rng_state) io::write_u64(out, word);
+    const std::vector<std::uint64_t> stochastic = model_.stochastic_state();
+    io::write_u64(out, stochastic.size());
+    for (const std::uint64_t word : stochastic) io::write_u64(out, word);
+    const std::vector<ParamRef> params = model_.params();
+    io::write_u64(out, params.size());
+    for (const ParamRef& ref : params) {
+      io::write_u64(out, ref.size);
+      io::write_floats(out, ref.value, ref.size);
+    }
+    optimizer_.save_state(out);
+  }
+
+  void load_state(std::istream& in) override {
+    io::read_magic(in);
+    epoch_ = io::read_u64(in);
+    cursor_ = io::read_u64(in);
+    processed_ = io::read_u64(in);
+    perm_drawn_ = io::read_u64(in) != 0;
+    finished_ = io::read_u64(in) != 0;
+    epoch_loss_ = io::read_double(in);
+    best_val_ = io::read_double(in);
+    epoch_losses_ = io::read_doubles(in);
+    perm_.resize(io::read_u64(in));
+    for (std::size_t& index : perm_) index = io::read_u64(in);
+    RngState rng_state{};
+    for (std::uint64_t& word : rng_state) word = io::read_u64(in);
+    rng_.set_state(rng_state);
+    std::vector<std::uint64_t> stochastic(io::read_u64(in));
+    for (std::uint64_t& word : stochastic) word = io::read_u64(in);
+    model_.set_stochastic_state(stochastic);
+    const std::vector<ParamRef> params = model_.params();
+    const std::size_t tensors = io::read_u64(in);
+    if (tensors != params.size()) {
+      throw std::runtime_error(
+          "training snapshot parameter count mismatch: snapshot has " +
+          std::to_string(tensors) + ", model has " +
+          std::to_string(params.size()));
+    }
+    for (const ParamRef& ref : params) {
+      const std::size_t size = io::read_u64(in);
+      if (size != ref.size) {
+        throw std::runtime_error(
+            "training snapshot tensor size mismatch (architecture changed "
+            "between save and resume?)");
+      }
+      io::read_floats(in, ref.value, ref.size);
+    }
+    optimizer_.load_state(in);
+    boundary_ = false;
+  }
+
+  void on_rollback(std::size_t attempt) override {
+    optimizer_.set_learning_rate(
+        config_.learning_rate *
+        std::pow(resilience_.lr_backoff, static_cast<double>(attempt)));
+    if (config_.verbose) {
+      std::printf("rollback %zu: lr -> %.6f\n", attempt,
+                  optimizer_.learning_rate());
+    }
+  }
+
+  void on_recover() override {
+    // The backed-off retry made it through: restore the configured rate so
+    // a transient fault does not depress learning for the rest of the run.
+    optimizer_.set_learning_rate(config_.learning_rate);
+  }
+
+  /// Report of everything the loop itself tracked (the supervisor fields
+  /// are merged by train_classifier).
+  TrainReport report() const {
+    TrainReport report;
+    report.epochs_run = epoch_losses_.size();
+    report.epoch_losses = epoch_losses_;
+    report.final_train_loss =
+        epoch_losses_.empty() ? 0.0 : epoch_losses_.back();
+    report.best_validation_accuracy = best_val_;
+    report.clipped_steps = optimizer_.clipped_steps();
+    return report;
+  }
+
+ private:
+  void finish_epoch() {
+    epoch_loss_ /=
+        static_cast<double>(std::max<std::size_t>(1, processed_));
+    epoch_losses_.push_back(epoch_loss_);
+    if (!val_docs_.empty()) {
+      const double val_acc = dataset_accuracy(model_, val_docs_);
+      best_val_ = std::max(best_val_, val_acc);
+      if (config_.verbose) {
+        std::printf("epoch %zu: loss=%.4f val_acc=%.3f\n", epoch_ + 1,
+                    epoch_loss_, val_acc);
+      }
+      // Early stop once validation is saturated and loss is small.
+      if (val_acc >= 0.999 && epoch_loss_ < 0.05) finished_ = true;
+    } else if (config_.verbose) {
+      std::printf("epoch %zu: loss=%.4f\n", epoch_ + 1, epoch_loss_);
+    }
+    ++epoch_;
+    perm_drawn_ = false;
+    boundary_ = true;
+  }
+
+  TrainableClassifier& model_;
+  TrainConfig config_;
+  ResilienceConfig resilience_;
+  Rng rng_;
+  Adam optimizer_;
+  std::vector<const Document*> train_docs_;
+  std::vector<const Document*> val_docs_;
+
+  // Replayable cursor state (serialized).
+  std::size_t epoch_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t processed_ = 0;
+  bool perm_drawn_ = false;
+  bool finished_ = false;
+  bool boundary_ = false;
+  double epoch_loss_ = 0.0;
+  double best_val_ = 0.0;
+  std::vector<double> epoch_losses_;
+  std::vector<std::size_t> perm_;
+};
+
 }  // namespace
 
 TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
-                             const TrainConfig& config) {
-  TrainReport report;
-  Rng rng(config.seed);
-  Adam optimizer(config);
-
-  // Validation split (deterministic tail slice of a fixed permutation).
-  std::vector<const Document*> train_docs;
-  std::vector<const Document*> val_docs;
-  const auto order = rng.permutation(data.docs.size());
-  const std::size_t num_val = static_cast<std::size_t>(
-      config.validation_fraction * static_cast<double>(data.docs.size()));
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const Document& doc = data.docs[order[i]];
-    if (doc.num_words() == 0) continue;
-    if (i < num_val) {
-      val_docs.push_back(&doc);
-    } else {
-      train_docs.push_back(&doc);
-    }
-  }
-
-  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
-    const auto perm = rng.permutation(train_docs.size());
-    double epoch_loss = 0.0;
-    std::size_t processed = 0;
-    for (std::size_t start = 0; start < perm.size();
-         start += config.batch_size) {
-      const std::size_t end =
-          std::min(start + config.batch_size, perm.size());
-      model.zero_grad();
-      double batch_loss = 0.0;
-      for (std::size_t i = start; i < end; ++i) {
-        const Document* doc = train_docs[perm[i]];
-        batch_loss += model.forward_backward(
-            doc->flatten(), static_cast<std::size_t>(doc->label));
-      }
-      const std::size_t batch = end - start;
-      ADVTEXT_DCHECK(std::isfinite(batch_loss))
-          << "train_classifier: non-finite batch loss at epoch " << epoch
-          << ", batch starting at " << start;
-      optimizer.step(model.params(), 1.0 / static_cast<double>(batch));
-      epoch_loss += batch_loss;
-      processed += batch;
-    }
-    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, processed));
-    report.epoch_losses.push_back(epoch_loss);
-    report.final_train_loss = epoch_loss;
-    ++report.epochs_run;
-    if (!val_docs.empty()) {
-      const double val_acc = dataset_accuracy(model, val_docs);
-      report.best_validation_accuracy =
-          std::max(report.best_validation_accuracy, val_acc);
-      if (config.verbose) {
-        std::printf("epoch %zu: loss=%.4f val_acc=%.3f\n", epoch + 1,
-                    epoch_loss, val_acc);
-      }
-      // Early stop once validation is saturated and loss is small.
-      if (val_acc >= 0.999 && epoch_loss < 0.05) break;
-    } else if (config.verbose) {
-      std::printf("epoch %zu: loss=%.4f\n", epoch + 1, epoch_loss);
-    }
-  }
+                             const TrainConfig& config,
+                             const ResilienceConfig& resilience) {
+  ClassifierTrainLoop loop(model, data, config, resilience);
+  TrainSupervisor supervisor(resilience);
+  const SupervisorReport outcome = supervisor.run(loop);
+  TrainReport report = loop.report();
+  report.termination = outcome.termination;
+  report.rollbacks = outcome.rollbacks;
+  // Every rollback backs the learning rate off (on_rollback), so the
+  // supervisor's rollback count is also the backoff count.
+  report.lr_backoffs = outcome.rollbacks;
+  report.snapshots_written = outcome.snapshots_written;
+  report.snapshot_write_failures = outcome.snapshot_write_failures;
+  report.resumed = outcome.resumed;
+  report.warnings = outcome.warnings;
   return report;
+}
+
+TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
+                             const TrainConfig& config) {
+  return train_classifier(model, data, config, ResilienceConfig{});
 }
 
 }  // namespace advtext

@@ -3,11 +3,21 @@
 // Mirrors the paper's training recipe at laptop scale: mini-batches of 16,
 // a held-out validation slice used to pick the stopping epoch, and frozen
 // pretrained embeddings as the first layer.
+//
+// Training runs under the TrainSupervisor (src/nn/supervisor.h): the loop
+// exposes its full state (model params, Adam moments, RNG streams, epoch /
+// batch cursor) for periodic snapshots, divergence rollback with
+// learning-rate backoff, and cooperative shutdown. The plain overload keeps
+// the default policy (no disk snapshots) and is numerically identical to
+// the pre-supervisor trainer.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
+#include "src/nn/supervisor.h"
 #include "src/nn/text_classifier.h"
 #include "src/text/corpus.h"
 
@@ -36,19 +46,46 @@ struct TrainReport {
   double final_train_loss = 0.0;
   double best_validation_accuracy = 0.0;
   std::vector<double> epoch_losses;
+
+  // -- Resilience outcome (filled by the supervised overload; the plain
+  //    overload reports kSucceeded / zeros unless something went wrong) --
+  TerminationReason termination = TerminationReason::kSucceeded;
+  std::size_t clipped_steps = 0;          ///< batches hit by clip_norm
+  std::size_t rollbacks = 0;              ///< divergence recoveries
+  std::size_t lr_backoffs = 0;            ///< learning-rate halvings applied
+  std::size_t snapshots_written = 0;
+  std::size_t snapshot_write_failures = 0;
+  bool resumed = false;                   ///< started from a disk snapshot
+  std::vector<std::string> warnings;
 };
 
 /// Adam optimizer over raw parameter views. State is indexed by parameter
 /// order, so the same ParamRef layout must be passed to every step.
 class Adam {
  public:
-  explicit Adam(const TrainConfig& config) : config_(config) {}
+  explicit Adam(const TrainConfig& config)
+      : config_(config), lr_(config.learning_rate) {}
 
   /// Applies one update given accumulated gradients (scaled by 1/batch).
   void step(const std::vector<ParamRef>& params, double batch_scale);
 
+  /// Current learning rate (mutable for divergence backoff; starts at
+  /// TrainConfig::learning_rate).
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+  /// Batches whose gradient norm exceeded clip_norm and were rescaled.
+  std::size_t clipped_steps() const { return clipped_steps_; }
+
+  /// Moment/step-count round-trip for training snapshots. load_state
+  /// requires the same parameter layout the saved optimizer stepped on.
+  void save_state(std::ostream& out) const;
+  void load_state(std::istream& in);
+
  private:
   TrainConfig config_;
+  double lr_;
+  std::size_t clipped_steps_ = 0;
   std::vector<std::vector<float>> m_;
   std::vector<std::vector<float>> v_;
   std::size_t t_ = 0;
@@ -58,5 +95,12 @@ class Adam {
 /// flattened to token sequences; empty documents are skipped.
 TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
                              const TrainConfig& config = {});
+
+/// Supervised variant: snapshots, resume, divergence rollback and
+/// cooperative shutdown per `resilience`. With a default-constructed
+/// ResilienceConfig this is numerically identical to the plain overload.
+TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
+                             const TrainConfig& config,
+                             const ResilienceConfig& resilience);
 
 }  // namespace advtext

@@ -59,6 +59,18 @@ class WCnn final : public TrainableClassifier {
   /// Toggles inference-time MC dropout (ablation bench).
   void set_mc_dropout(float rate) { config_.mc_dropout = rate; }
 
+  // Dropout RNG round-trip for bitwise-identical training resume.
+  std::vector<std::uint64_t> stochastic_state() const override {
+    const RngState s = rng_.state();
+    return {s.begin(), s.end()};
+  }
+  void set_stochastic_state(const std::vector<std::uint64_t>& words) override {
+    RngState s{};
+    for (std::size_t i = 0; i < s.size() && i < words.size(); ++i)
+      s[i] = words[i];
+    rng_.set_state(s);
+  }
+
   // -- Internal forward pieces, exposed for the incremental SwapEvaluator --
 
   /// Pads a sequence to at least `kernel` tokens with Vocab::kPad.

@@ -1,0 +1,78 @@
+#include "src/util/atomic_file.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace advtext {
+
+namespace {
+
+// Durability barrier between "temp file fully written" and "rename": without
+// it a power loss can publish a file whose data blocks never hit the disk.
+// Best-effort: a filesystem that cannot fsync does not fail the publish.
+void sync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string final_path)
+    : path_(std::move(final_path)),
+      tmp_(path_ + ".tmp"),
+      out_(tmp_, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("atomic_file: cannot open " + tmp_ +
+                             " for writing");
+  }
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    out_.close();
+    std::remove(tmp_.c_str());
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) {
+    throw std::runtime_error("atomic_file: commit() called twice for " +
+                             path_);
+  }
+  out_.flush();
+  if (!out_) {
+    out_.close();
+    std::remove(tmp_.c_str());
+    committed_ = true;  // nothing left to clean up in the destructor
+    throw std::runtime_error("atomic_file: write to " + tmp_ + " failed");
+  }
+  out_.close();
+  sync_file(tmp_);
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    committed_ = true;
+    throw std::runtime_error("atomic_file: rename to " + path_ + " failed");
+  }
+  committed_ = true;
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+  writer.commit();
+}
+
+}  // namespace advtext

@@ -1,0 +1,45 @@
+// Atomic file publication: write to a sibling temp file, flush + fsync,
+// then rename over the final path.
+//
+// Every durable artifact in advtext (eval checkpoints, training snapshots,
+// tasks, trained parameters) is published through this writer so a crash
+// mid-write can never leave a half-written file under the final name — the
+// previous version (or nothing) stays in place. Factored out of the eval
+// pipeline's checkpoint writer so training snapshots share one tested
+// implementation.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+namespace advtext {
+
+/// Writes `final_path` atomically. Stream into stream(), then commit();
+/// destruction without commit() removes the temp file and leaves the final
+/// path untouched. Throws std::runtime_error when the temp file cannot be
+/// opened, a write fails, or the rename fails.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string final_path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ostream& stream() { return out_; }
+
+  /// Flushes, fsyncs (POSIX; best-effort elsewhere), closes and renames the
+  /// temp file over the final path. May be called at most once.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ofstream out_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: publishes `contents` atomically to `path`.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+}  // namespace advtext

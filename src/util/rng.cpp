@@ -1,5 +1,6 @@
 #include "src/util/rng.h"
 
+#include <bit>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -101,5 +102,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+RngState Rng::state() const {
+  return {s_[0], s_[1], s_[2], s_[3],
+          std::bit_cast<std::uint64_t>(cached_normal_),
+          has_cached_normal_ ? 1ULL : 0ULL};
+}
+
+void Rng::set_state(const RngState& state) {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  cached_normal_ = std::bit_cast<double>(state[4]);
+  has_cached_normal_ = state[5] != 0;
+}
 
 }  // namespace advtext

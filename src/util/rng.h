@@ -7,11 +7,18 @@
 // reference implementations by Blackman & Vigna.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace advtext {
+
+/// Serializable generator state: the four xoshiro words plus the Box-Muller
+/// cache (bit-cast to u64) and its valid flag. Opaque to callers; produced
+/// by Rng::state() and consumed by Rng::set_state() so training snapshots
+/// can resume a random stream mid-sequence bitwise-identically.
+using RngState = std::array<std::uint64_t, 6>;
 
 /// Counter-based seeding helper: expands one 64-bit seed into a stream of
 /// well-mixed 64-bit values. Used to seed Rng and to derive child seeds.
@@ -76,6 +83,13 @@ class Rng {
   /// Derives an independent child generator; child streams do not overlap
   /// with the parent for practical experiment sizes.
   Rng fork();
+
+  /// Captures the complete generator state for snapshots.
+  RngState state() const;
+
+  /// Restores a state captured by state(); the stream continues exactly
+  /// where the captured generator left off.
+  void set_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -18,6 +18,8 @@ const char* to_string(TerminationReason reason) {
       return "budget_exhausted";
     case TerminationReason::kDeadlineExceeded:
       return "deadline_exceeded";
+    case TerminationReason::kStopped:
+      return "stopped";
     case TerminationReason::kError:
       return "error";
   }
@@ -80,7 +82,13 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
   fires_ = 0;
   rng_ = Rng(seed);
 
-  std::stringstream entries(spec);
+  // ',' and ';' both separate entries: ';' survives unquoted in YAML env
+  // blocks and shell assignments where ',' sometimes needs quoting.
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == ';') c = ',';
+  }
+  std::stringstream entries(normalized);
   std::string entry;
   while (std::getline(entries, entry, ',')) {
     if (entry.empty()) continue;

@@ -52,7 +52,9 @@ enum class TerminationReason : int {
   kExhaustedCandidates = 1, ///< natural stop: no improving move left
   kBudgetExhausted = 2,     ///< query budget hit; best-so-far returned
   kDeadlineExceeded = 3,    ///< wall-clock deadline hit; best-so-far returned
-  kError = 4,               ///< exception / injected fault; work isolated
+  kStopped = 4,             ///< cooperative shutdown (StopToken / step cap);
+                            ///< state flushed, work resumable
+  kError = 5,               ///< exception / injected fault; work isolated
 };
 
 /// Severity-max aggregation over phases.
@@ -197,11 +199,11 @@ class InjectedFault : public std::runtime_error {
 /// "transport.exact", "attack.word", "pipeline.doc". The wildcard site
 /// "all" arms every point.
 ///
-/// Spec grammar (comma-separated):   site[:mode]:probability
+/// Spec grammar (comma- or semicolon-separated):  site[:mode]:probability
 ///   modes: throw (default) | delay | nan
 ///   examples: "all:0.05"
 ///             "wmd.distance:0.2,transport.exact:delay:0.5"
-///             "transport.sinkhorn:nan:1.0"
+///             "train.loss:nan:0.02;ckpt.write:throw:0.05"
 ///
 /// Faults are drawn from an advtext::Rng owned by the injector, so a fixed
 /// (spec, seed) pair reproduces the exact failure schedule — checkpoint /

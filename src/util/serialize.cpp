@@ -1,10 +1,15 @@
 #include "src/util/serialize.h"
 
+#include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "src/data/synthetic.h"
+#include "src/util/atomic_file.h"
+#include "src/util/robust.h"
 
 namespace advtext::io {
 
@@ -92,6 +97,117 @@ Dataset read_dataset(std::istream& in) {
 }
 
 }  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  // Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+// Footer = u32 crc + u32 version + 8-byte magic.
+constexpr std::size_t kFooterBytes = 16;
+
+std::size_t g_legacy_loads = 0;
+bool g_warned_legacy = false;
+
+void put_u32(std::string& out, std::uint32_t value) {
+  out.append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+std::uint32_t get_u32(const std::string& bytes, std::size_t offset) {
+  std::uint32_t value = 0;
+  std::memcpy(&value, bytes.data() + offset, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+std::size_t legacy_artifact_loads() { return g_legacy_loads; }
+
+void save_artifact(const std::string& path, const std::string& payload) {
+  FaultInjector::instance().maybe_fault("ckpt.write");
+  std::string footer;
+  footer.reserve(kFooterBytes);
+  put_u32(footer, crc32(payload.data(), payload.size()));
+  put_u32(footer, kArtifactVersion);
+  footer.append(kFooterMagic, sizeof(kFooterMagic));
+  AtomicFileWriter writer(path);
+  writer.stream().write(payload.data(),
+                        static_cast<std::streamsize>(payload.size()));
+  writer.stream().write(footer.data(),
+                        static_cast<std::streamsize>(footer.size()));
+  writer.commit();
+}
+
+std::string load_artifact(const std::string& path, ArtifactInfo* info) {
+  FaultInjector::instance().maybe_fault("ckpt.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("serialize: cannot open artifact " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) {
+    throw std::runtime_error("serialize: read failed for artifact " + path);
+  }
+  std::string bytes = buffer.str();
+
+  ArtifactInfo local;
+  const bool has_footer =
+      bytes.size() >= kFooterBytes &&
+      std::memcmp(bytes.data() + bytes.size() - sizeof(kFooterMagic),
+                  kFooterMagic, sizeof(kFooterMagic)) == 0;
+  if (has_footer) {
+    const std::size_t payload_size = bytes.size() - kFooterBytes;
+    const std::uint32_t stored_crc = get_u32(bytes, payload_size);
+    const std::uint32_t version = get_u32(bytes, payload_size + 4);
+    if (version > kArtifactVersion) {
+      throw std::runtime_error(
+          "serialize: artifact " + path + " has format version " +
+          std::to_string(version) + " (this build understands up to " +
+          std::to_string(kArtifactVersion) + ")");
+    }
+    const std::uint32_t actual_crc = crc32(bytes.data(), payload_size);
+    if (actual_crc != stored_crc) {
+      throw std::runtime_error("serialize: checksum mismatch in artifact " +
+                               path + " (corrupt or bit-flipped file)");
+    }
+    local.checksummed = true;
+    local.version = version;
+    bytes.resize(payload_size);
+  } else {
+    // Seed-era artifact written before the integrity footer existed: accept
+    // it (the tagged payload readers still validate structure) but warn once
+    // so long-lived setups know to re-save.
+    ++g_legacy_loads;
+    if (!g_warned_legacy) {
+      g_warned_legacy = true;
+      std::fprintf(stderr,
+                   "advtext: %s has no integrity footer (seed-era artifact); "
+                   "loading without checksum verification\n",
+                   path.c_str());
+    }
+  }
+  if (info != nullptr) *info = local;
+  return bytes;
+}
 
 void write_magic(std::ostream& out) { write_raw(out, kMagic, sizeof(kMagic)); }
 
@@ -237,8 +353,7 @@ Vocab read_vocab(std::istream& in) {
 }
 
 void save_task(const SynthTask& task, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail("cannot open file for writing");
+  std::ostringstream out;
   write_magic(out);
   write_string(out, "task");
   // Config (field by field; keep order in sync with load_task).
@@ -286,11 +401,11 @@ void save_task(const SynthTask& task, const std::string& path) {
     write_ints(out, std::vector<int>(cluster.begin(), cluster.end()));
   }
   if (!out) fail("write failed");
+  save_artifact(path, out.str());
 }
 
 SynthTask load_task(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open file for reading");
+  std::istringstream in(load_artifact(path));
   read_magic(in);
   if (read_string(in) != "task") fail("not a task file");
   SynthTask task;
@@ -349,8 +464,7 @@ SynthTask load_task(const std::string& path) {
 void save_parameters(
     const std::vector<std::pair<const float*, std::size_t>>& tensors,
     const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail("cannot open file for writing");
+  std::ostringstream out;
   write_magic(out);
   write_string(out, "params");
   write_u64(out, tensors.size());
@@ -359,13 +473,13 @@ void save_parameters(
     write_floats(out, data, size);
   }
   if (!out) fail("write failed");
+  save_artifact(path, out.str());
 }
 
 void load_parameters(
     const std::vector<std::pair<float*, std::size_t>>& tensors,
     const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open file for reading");
+  std::istringstream in(load_artifact(path));
   read_magic(in);
   if (read_string(in) != "params") fail("not a parameter file");
   const std::uint64_t count =

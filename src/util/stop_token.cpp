@@ -1,0 +1,37 @@
+#include "src/util/stop_token.h"
+
+namespace advtext {
+
+volatile std::sig_atomic_t StopToken::flag_ = 0;
+
+// Named (not anonymous-namespace) so the header can befriend it; only this
+// translation unit takes its address.
+void stop_token_signal_handler(int signal_number) {
+  if (StopToken::flag_ != 0) {
+    // Second signal: the cooperative path is apparently stuck. Restore the
+    // default disposition and re-raise so the process dies normally. Both
+    // calls are async-signal-safe.
+    std::signal(signal_number, SIG_DFL);
+    std::raise(signal_number);
+    return;
+  }
+  StopToken::flag_ = signal_number;
+}
+
+StopToken& StopToken::instance() {
+  static StopToken token;
+  return token;
+}
+
+void StopToken::install() {
+  if (installed_) return;
+  installed_ = true;
+  std::signal(SIGINT, stop_token_signal_handler);
+  std::signal(SIGTERM, stop_token_signal_handler);
+}
+
+void StopToken::request_stop(int signal_number) {
+  flag_ = static_cast<std::sig_atomic_t>(signal_number);
+}
+
+}  // namespace advtext

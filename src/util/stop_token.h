@@ -1,0 +1,53 @@
+// Cooperative shutdown for long-running work (training runs, table sweeps).
+//
+// A SIGINT/SIGTERM must not throw away hours of training: the supervisor
+// polls this token between units of work, flushes a final snapshot, and
+// returns with TerminationReason::kStopped so callers can exit with a
+// distinct code. The handler itself only writes one sig_atomic_t flag — the
+// only thing that is async-signal-safe — and a *second* signal restores the
+// default disposition and re-raises, so an unresponsive process can still
+// be killed the ordinary way.
+//
+// Signal-handling policy (enforced by tools/lint.py rule `raw-signal`): no
+// file outside src/util/ calls signal()/sigaction() directly; all handler
+// installation goes through StopToken so there is exactly one place that
+// owns process signal dispositions.
+#pragma once
+
+#include <csignal>
+
+namespace advtext {
+
+/// Process-wide stop flag with optional SIGINT/SIGTERM wiring.
+class StopToken {
+ public:
+  /// The single process-wide token.
+  static StopToken& instance();
+
+  /// Installs the SIGINT/SIGTERM handlers (idempotent). Call once near the
+  /// top of a CLI; library code only ever *reads* the token.
+  void install();
+
+  /// True once a handled signal arrived or request_stop() was called.
+  bool stop_requested() const { return flag_ != 0; }
+
+  /// The signal number that requested the stop (0 = none; request_stop()
+  /// defaults to SIGTERM so tests and callers share one code path).
+  int signal_number() const { return static_cast<int>(flag_); }
+
+  /// Requests a stop programmatically (tests, embedding applications).
+  void request_stop(int signal_number = SIGTERM);
+
+  /// Clears the flag (tests; a CLI that wants to survive one interrupt).
+  void clear() { flag_ = 0; }
+
+ private:
+  StopToken() = default;
+
+  friend void stop_token_signal_handler(int);
+
+  static volatile std::sig_atomic_t flag_;
+  bool installed_ = false;
+};
+
+}  // namespace advtext

@@ -10,6 +10,7 @@
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
 #include "src/nn/checkpoint.h"
+#include "src/nn/supervisor.h"
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
 #include "src/util/args.h"
@@ -177,9 +178,26 @@ TEST(Serialize, CorruptedTaskArtifactIsRejected) {
     std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
     out << flipped;
   }
+  // The envelope checksum catches the flip before the reader ever parses
+  // the bogus length field.
   try {
     io::load_task(file.path);
     FAIL() << "load_task accepted a corrupt length field";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // Same flip on a footer-less (seed-era) copy: no checksum to save us, so
+  // the read-size cap must reject the absurd length instead.
+  {
+    std::ofstream out(file.path, std::ios::binary | std::ios::trunc);
+    out << flipped.substr(0, flipped.size() - 16);  // strip envelope footer
+  }
+  try {
+    io::load_task(file.path);
+    FAIL() << "legacy load accepted a corrupt length field";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("string.bytes"), std::string::npos)
         << e.what();
@@ -191,6 +209,93 @@ TEST(Serialize, CorruptedTaskArtifactIsRejected) {
     out << bytes.substr(0, bytes.size() / 2);
   }
   EXPECT_THROW(io::load_task(file.path), std::runtime_error);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+}
+
+TEST(Artifact, RoundTripReportsChecksummedEnvelope) {
+  TempFile file("artifact_roundtrip.bin");
+  const std::string payload = "resilience payload \x01\x02\x00 with nuls";
+  io::save_artifact(file.path, std::string(payload.data(), payload.size()));
+  io::ArtifactInfo info;
+  EXPECT_EQ(io::load_artifact(file.path, &info),
+            std::string(payload.data(), payload.size()));
+  EXPECT_TRUE(info.checksummed);
+  EXPECT_EQ(info.version, io::kArtifactVersion);
+}
+
+TEST(Artifact, PayloadBitFlipUnderIntactFooterIsRejected) {
+  TempFile file("artifact_bitflip.bin");
+  io::save_artifact(file.path, std::string(256, 'x'));
+  std::string bytes = read_file(file.path);
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[bytes.size() / 4] ^= 0x01;  // payload byte; footer intact
+  write_file(file.path, bytes);
+  try {
+    io::load_artifact(file.path);
+    FAIL() << "bit-flipped artifact accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("checksum mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Artifact, SeedEraFooterlessFileIsAcceptedWithWarning) {
+  TempFile file("artifact_legacy.bin");
+  const std::string payload(64, 'y');
+  write_file(file.path, payload);  // raw bytes, no envelope footer
+  const std::size_t before = io::legacy_artifact_loads();
+  io::ArtifactInfo info;
+  EXPECT_EQ(io::load_artifact(file.path, &info), payload);
+  EXPECT_FALSE(info.checksummed);
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(io::legacy_artifact_loads(), before + 1);
+}
+
+TEST(Artifact, UnknownFutureVersionIsRejected) {
+  TempFile file("artifact_future.bin");
+  const std::string payload(64, 'z');
+  std::string bytes = payload;
+  const std::uint32_t crc =
+      io::crc32(payload.data(), payload.size());
+  const std::uint32_t version = 99;
+  bytes.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  bytes.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  bytes.append(io::kFooterMagic, sizeof(io::kFooterMagic));
+  write_file(file.path, bytes);
+  EXPECT_THROW(io::load_artifact(file.path), std::runtime_error);
+}
+
+TEST(Artifact, StaleGenerationServesAfterNewestIsCorrupted) {
+  TempFile gen1("rotation_base.bin.ckpt.1");
+  TempFile gen2("rotation_base.bin.ckpt.2");
+  const SnapshotRotation rotation(temp_path("rotation_base.bin"),
+                                  /*generations=*/2);
+  rotation.write("older snapshot");
+  rotation.write("newer snapshot");
+  EXPECT_EQ(read_file(gen2.path).substr(0, 5), "older");
+
+  std::string bytes = read_file(gen1.path);
+  bytes[3] ^= 0x10;
+  write_file(gen1.path, bytes);
+
+  std::vector<std::string> warnings;
+  const auto latest = rotation.read_latest(&warnings);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, "older snapshot");
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("generation 1"), std::string::npos);
 }
 
 TEST(Serialize, TaskRoundTripIsExact) {

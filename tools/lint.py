@@ -16,6 +16,9 @@ Rules enforced (each with a stable rule id, printed on violation):
   raw-clock          no *_clock::now() in library code outside src/util/ —
                      timing flows through Stopwatch and Deadline so clocks
                      stay mockable and deadline checks stay consistent
+  raw-signal         no signal()/sigaction() outside src/util/ — handler
+                     installation flows through StopToken so every subsystem
+                     shares one sigatomic stop flag (std::raise is fine)
 
 Run locally from the repo root:
 
@@ -48,6 +51,9 @@ RE_RAW_RANDOM = re.compile(
 RE_COUT = re.compile(r"std\s*::\s*(?:cout|cerr)\b")
 RE_RAW_CLOCK = re.compile(
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
+)
+RE_RAW_SIGNAL = re.compile(
+    r"(?<![\w:])(?:std\s*::\s*)?signal\s*\(|(?<![\w:])sigaction\s*\("
 )
 
 
@@ -170,6 +176,11 @@ def lint_file(path: Path) -> list[str]:
             report(idx, "raw-clock",
                    "raw clock read outside src/util/; route timing through "
                    "Stopwatch or Deadline")
+
+        if not rel.startswith("src/util/") and RE_RAW_SIGNAL.search(line):
+            report(idx, "raw-signal",
+                   "raw signal()/sigaction() outside src/util/; install "
+                   "handlers through StopToken so shutdown stays cooperative")
 
     return violations
 
