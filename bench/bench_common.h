@@ -38,6 +38,19 @@ inline double deadline_ms_per_doc(double fallback = 0.0) {
   return fallback;
 }
 
+/// Data shards for bench training stages (ADVTEXT_BENCH_SHARDS=<k>;
+/// default 1 = serial). Sharded runs are deterministic for a fixed shard
+/// count, but a different count is a different training run — record the
+/// value next to reported numbers.
+inline std::size_t bench_shards(std::size_t fallback = 1) {
+  if (const char* env = std::getenv("ADVTEXT_BENCH_SHARDS")) {
+    const std::size_t shards =
+        static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    return shards == 0 ? 1 : shards;
+  }
+  return fallback;
+}
+
 /// Training resilience for long-running benches: with
 /// ADVTEXT_BENCH_SNAPSHOT=<base path> set, each training stage snapshots
 /// under <base>.<tag> and resumes a killed run from its own generations

@@ -44,6 +44,11 @@ int main() {
       "Table 5: adversarial training (augment 20% of train with Alg. 1 "
       "adversarial examples, retrain, re-attack)");
   const std::size_t docs = docs_per_config(30);
+  const std::size_t shards = bench_shards();
+  if (shards > 1) {
+    std::printf("training with %zu data shards (ADVTEXT_BENCH_SHARDS)\n",
+                shards);
+  }
 
   TablePrinter table({"Dataset", "Model", "Test pre", "Test post", "ADV pre",
                       "ADV post", "paper Test pre/post", "paper ADV pre/post"},
@@ -62,6 +67,7 @@ int main() {
       config.attack.joint.word_fraction = 0.2;
       config.resilience =
           bench_resilience(task.config.name + "." + model_kind);
+      config.shards = shards;
       const AdvTrainingReport report = adversarial_training_experiment(
           [&]() -> std::unique_ptr<TrainableClassifier> {
             if (std::string(model_kind) == "WCNN") return make_wcnn(task);

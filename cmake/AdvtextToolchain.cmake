@@ -37,6 +37,20 @@ target_compile_options(advtext_warnings INTERFACE
   -Wimplicit-fallthrough
   -Wextra-semi
 )
+if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  # Compile-time lock-discipline proof over the ADVTEXT_CAPABILITY /
+  # ADVTEXT_GUARDED_BY annotations in src/util/sync.h (the beta set adds
+  # lock-ordering checks). GCC has no equivalent; the annotations expand to
+  # nothing there. Under ADVTEXT_WERROR a violation fails the build — the
+  # CI `thread-safety` leg builds exactly that configuration and also
+  # verifies a deliberately misannotated target (tests/thread_safety_neg)
+  # FAILS to compile, proving the analysis is live.
+  target_compile_options(advtext_warnings INTERFACE
+    -Wthread-safety
+    -Wthread-safety-beta
+  )
+  message(STATUS "advtext: Clang thread-safety analysis enabled")
+endif()
 if(ADVTEXT_WERROR)
   target_compile_options(advtext_warnings INTERFACE -Werror)
 endif()

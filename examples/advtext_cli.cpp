@@ -54,7 +54,7 @@ int usage() {
       "  train    --task FILE --model wcnn|lstm|gru|bow [--epochs N]\n"
       "           [--lr X] [--hidden N] [--filters N] --out FILE\n"
       "           [--snapshot FILE] [--snapshot-every N] [--train-resume]\n"
-      "           [--max-rollbacks N]\n"
+      "           [--max-rollbacks N] [--shards K]\n"
       "  eval     --task FILE --model KIND --params FILE\n"
       "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
       "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n"
@@ -138,8 +138,21 @@ int cmd_train(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("max-rollbacks", 3));
   resilience.install_stop_token = true;
 
-  const TrainReport report =
-      train_classifier(*model, task.train, train, resilience);
+  const std::size_t shards =
+      static_cast<std::size_t>(args.get_int("shards", 1));
+  TrainReport report;
+  if (shards > 1) {
+    const ShardedTrainReport sharded = train_classifier_sharded(
+        *model, [&] { return build_model(kind, task, args); }, task.train,
+        train, resilience, ShardConfig{shards});
+    report = sharded.train;
+    std::printf("sharded training: %zu shards, %zu averaging rounds, "
+                "%zu dead shards\n",
+                sharded.shards, sharded.averaging_rounds,
+                sharded.dead_shards.size());
+  } else {
+    report = train_classifier(*model, task.train, train, resilience);
+  }
   for (const std::string& warning : report.warnings) {
     std::fprintf(stderr, "train warning: %s\n", warning.c_str());
   }

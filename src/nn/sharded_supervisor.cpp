@@ -1,0 +1,344 @@
+#include "src/nn/sharded_supervisor.h"
+
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/serialize.h"
+#include "src/util/stop_token.h"
+#include "src/util/sync.h"
+
+namespace advtext {
+namespace {
+
+// Decorates a shard's training loop so that barrier alignment survives a
+// stop/resume cycle: `awaiting_barrier` (the shard reached an epoch
+// boundary and has not yet passed the averaging barrier) and the number of
+// barriers completed ride in front of the inner loop's own state. A shard
+// stopped while parked at a barrier therefore re-arrives at the *same*
+// barrier on resume, which is what makes a drained stop bitwise-replayable.
+class ShardMember final : public ResumableTraining {
+ public:
+  explicit ShardMember(ResumableTraining& inner) : inner_(inner) {}
+
+  bool done() const override { return inner_.done(); }
+  double step() override { return inner_.step(); }
+  bool at_boundary() const override { return inner_.at_boundary(); }
+
+  void save_state(std::ostream& out) const override {
+    io::write_u64(out, awaiting_barrier ? 1 : 0);
+    io::write_u64(out, barriers_done);
+    inner_.save_state(out);
+  }
+
+  void load_state(std::istream& in) override {
+    awaiting_barrier = io::read_u64(in) != 0;
+    barriers_done = static_cast<std::size_t>(io::read_u64(in));
+    inner_.load_state(in);
+  }
+
+  void on_rollback(std::size_t attempt) override {
+    inner_.on_rollback(attempt);
+  }
+  void on_recover() override { inner_.on_recover(); }
+
+  // Owned (read and written) exclusively by the shard's worker thread; the
+  // averaging thread never touches members, only ShardSpec::params.
+  bool awaiting_barrier = false;
+  std::size_t barriers_done = 0;
+
+ private:
+  ResumableTraining& inner_;
+};
+
+// The averaging barrier plus shard liveness book-keeping. All state is
+// guarded by one mutex and verified by the Clang thread-safety analysis.
+//
+// Lifecycle of a shard, from the coordinator's point of view:
+//   kRunning --arrive()--> kArrived --release--> kRunning   (another epoch)
+//   kArrived --stop while waiting--> kStopped               (drain)
+//   kRunning --depart(kDone/kDead/kStopped)--> terminal
+//
+// A barrier releases when no shard is left in kRunning and at least one is
+// kArrived: the completing thread (last arriver, or a departing shard whose
+// exit unblocks the group) averages parameters over the arrived shards in
+// ascending shard order, bumps the generation, and flips them back to
+// kRunning. Once any stop is observed (`stop_draining_`), releases are
+// forbidden forever: every shard — mid-epoch or parked — flushes where it
+// is, so all per-shard snapshots describe the same pending generation.
+class Coordinator {
+ public:
+  enum class State { kRunning, kArrived, kDone, kDead, kStopped };
+  enum class Arrival { kReleased, kStopped };
+
+  explicit Coordinator(std::vector<ShardSpec>& shards) : shards_(shards) {
+    MutexLock lock(mu_);
+    state_.assign(shards_.size(), State::kRunning);
+  }
+
+  /// Blocks shard `k` at the averaging barrier. Returns kReleased once the
+  /// barrier completed (parameters averaged; proceed to commit), or
+  /// kStopped if a drain started while waiting — the shard is then already
+  /// marked departed and must flush + exit without committing.
+  Arrival arrive(std::size_t k) ADVTEXT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    state_[k] = State::kArrived;
+    const std::size_t my_generation = generation_;
+    if (!stop_draining_) maybe_release_locked();
+    for (;;) {
+      if (generation_ != my_generation) return Arrival::kReleased;
+      if (stop_draining_ || StopToken::instance().stop_requested()) {
+        // Abandon the barrier: from here on nobody may average without this
+        // shard, or resume could not replay the round.
+        stop_draining_ = true;
+        state_[k] = State::kStopped;
+        cv_.notify_all();
+        return Arrival::kStopped;
+      }
+      // Timed wait so a StopToken signal (which carries no notify) is
+      // still observed promptly.
+      cv_.wait_for_ms(mu_, 50);
+    }
+  }
+
+  /// Removes shard `k` from the group. A stop-departure starts the drain; a
+  /// done/dead departure may complete a barrier the others are parked at.
+  /// Idempotent: a shard that already departed (e.g. stopped inside
+  /// arrive()) is left untouched.
+  void depart(std::size_t k, State terminal) ADVTEXT_EXCLUDES(mu_) {
+    ADVTEXT_CHECK(terminal == State::kDone || terminal == State::kDead ||
+                  terminal == State::kStopped);
+    MutexLock lock(mu_);
+    if (state_[k] != State::kRunning && state_[k] != State::kArrived) return;
+    state_[k] = terminal;
+    if (terminal == State::kStopped) {
+      stop_draining_ = true;
+    } else if (!stop_draining_) {
+      maybe_release_locked();
+    }
+    cv_.notify_all();
+  }
+
+  /// True once any shard stopped (or is about to): every session's external
+  /// stop predicate, so one shard's stop drains all of them.
+  bool draining() const ADVTEXT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return stop_draining_;
+  }
+
+  std::size_t rounds() const ADVTEXT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return rounds_;
+  }
+
+ private:
+  /// Completes the barrier if every live shard has arrived. Averaging runs
+  /// under the mutex: arrivers' parameter writes happen-before via their
+  /// arrive() lock acquisition, and waiters re-acquire the mutex before
+  /// reading the averaged values back.
+  void maybe_release_locked() ADVTEXT_REQUIRES(mu_) {
+    std::size_t arrived = 0;
+    for (const State state : state_) {
+      if (state == State::kRunning) return;  // someone is still training
+      if (state == State::kArrived) ++arrived;
+    }
+    if (arrived == 0) return;
+    average_locked();
+    ++generation_;
+    ++rounds_;
+    for (State& state : state_) {
+      if (state == State::kArrived) state = State::kRunning;
+    }
+    cv_.notify_all();
+  }
+
+  /// Element-wise parameter mean over the arrived shards, accumulated in
+  /// double and iterated in ascending shard order — a fixed reduction
+  /// order, so the result is independent of which thread executes it.
+  void average_locked() ADVTEXT_REQUIRES(mu_) {
+    std::vector<std::size_t> cohort;
+    for (std::size_t k = 0; k < state_.size(); ++k) {
+      if (state_[k] == State::kArrived) cohort.push_back(k);
+    }
+    if (cohort.size() < 2) return;  // nothing to average against
+    const std::vector<ParamRef>& head = shards_[cohort.front()].params;
+    for (std::size_t t = 0; t < head.size(); ++t) {
+      for (const std::size_t k : cohort) {
+        ADVTEXT_CHECK(shards_[k].params.size() == head.size() &&
+                      shards_[k].params[t].size == head[t].size)
+            << "shard parameter layouts must match for averaging";
+      }
+      for (std::size_t i = 0; i < head[t].size; ++i) {
+        double sum = 0.0;
+        for (const std::size_t k : cohort) {
+          sum += static_cast<double>(shards_[k].params[t].value[i]);
+        }
+        const float mean =
+            static_cast<float>(sum / static_cast<double>(cohort.size()));
+        for (const std::size_t k : cohort) {
+          shards_[k].params[t].value[i] = mean;
+        }
+      }
+    }
+  }
+
+  std::vector<ShardSpec>& shards_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::vector<State> state_ ADVTEXT_GUARDED_BY(mu_);
+  std::size_t generation_ ADVTEXT_GUARDED_BY(mu_) = 0;
+  std::size_t rounds_ ADVTEXT_GUARDED_BY(mu_) = 0;
+  bool stop_draining_ ADVTEXT_GUARDED_BY(mu_) = false;
+};
+
+// One shard's whole life: resume, train epoch-by-epoch, meet the barrier,
+// commit after averaging, depart. Runs on a pool worker; must not throw.
+void run_shard(std::size_t k, ShardMember& member, SupervisorSession& session,
+               Coordinator& coord) {
+  session.initialize();
+  for (;;) {
+    if (member.awaiting_barrier) {
+      if (coord.arrive(k) == Coordinator::Arrival::kStopped) {
+        // Drained while parked: flush with awaiting_barrier still set so
+        // resume re-arrives at this same barrier.
+        session.finish(SupervisorSession::StepStatus::kStopped);
+        return;  // arrive() already recorded the departure
+      }
+      member.awaiting_barrier = false;
+      ++member.barriers_done;
+      // The averaged parameters become the shard's rollback target and its
+      // published snapshot — exactly the serial boundary commit, one
+      // averaging step later.
+      session.commit_boundary();
+      continue;
+    }
+    const SupervisorSession::StepStatus status =
+        session.step_until_boundary(/*commit_at_boundary=*/false);
+    switch (status) {
+      case SupervisorSession::StepStatus::kBoundary:
+        member.awaiting_barrier = true;
+        break;
+      case SupervisorSession::StepStatus::kDone:
+        session.finish(status);
+        coord.depart(k, Coordinator::State::kDone);
+        return;
+      case SupervisorSession::StepStatus::kStopped:
+        session.finish(status);
+        coord.depart(k, Coordinator::State::kStopped);
+        return;
+      case SupervisorSession::StepStatus::kError:
+        session.finish(status);
+        coord.depart(k, Coordinator::State::kDead);
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+ShardedTrainSupervisor::ShardedTrainSupervisor(std::vector<ShardSpec> shards)
+    : shards_(std::move(shards)) {
+  ADVTEXT_CHECK(!shards_.empty())
+      << "ShardedTrainSupervisor needs at least one shard";
+  for (const ShardSpec& spec : shards_) {
+    ADVTEXT_CHECK(spec.loop != nullptr) << "every shard needs a loop";
+  }
+}
+
+ShardedReport ShardedTrainSupervisor::run() {
+  const std::size_t shard_count = shards_.size();
+
+  // The caller installs the StopToken once (from the main thread) if it
+  // wants signal handling; per-shard installs from workers would race.
+  std::vector<std::unique_ptr<ShardMember>> members;
+  std::vector<std::unique_ptr<SupervisorSession>> sessions;
+  members.reserve(shard_count);
+  sessions.reserve(shard_count);
+  Coordinator coord(shards_);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    members.push_back(std::make_unique<ShardMember>(*shards_[k].loop));
+    ResilienceConfig config = shards_[k].resilience;
+    config.install_stop_token = false;
+    sessions.push_back(std::make_unique<SupervisorSession>(*members[k],
+                                                           config));
+    sessions[k]->set_external_stop([&coord] { return coord.draining(); });
+  }
+
+  {
+    ThreadPool pool(shard_count);
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      pool.submit([k, &members, &sessions, &coord] {
+        run_shard(k, *members[k], *sessions[k], coord);
+      });
+    }
+    pool.wait_idle();
+  }  // join before touching any shard state from this thread
+
+  ShardedReport report;
+  report.shards.reserve(shard_count);
+  report.shard_barriers.reserve(shard_count);
+  bool any_stopped = false;
+  bool any_succeeded = false;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    SupervisorReport shard_report = sessions[k]->take_report();
+    for (const std::string& warning : shard_report.warnings) {
+      report.warnings.push_back("shard " + std::to_string(k) + ": " +
+                                warning);
+    }
+    switch (shard_report.termination) {
+      case TerminationReason::kStopped:
+        any_stopped = true;
+        break;
+      case TerminationReason::kError:
+        report.dead_shards.push_back(k);
+        break;
+      case TerminationReason::kSucceeded:
+        any_succeeded = true;
+        break;
+      default:
+        break;
+    }
+    report.shard_barriers.push_back(members[k]->barriers_done);
+    report.shards.push_back(std::move(shard_report));
+  }
+  report.averaging_rounds = coord.rounds();
+
+  if (any_stopped) {
+    report.termination = TerminationReason::kStopped;
+  } else if (!any_succeeded) {
+    report.termination = TerminationReason::kError;
+    report.warnings.push_back("all shards exhausted their rollback budget");
+  } else {
+    report.termination = TerminationReason::kSucceeded;
+    if (!report.dead_shards.empty()) {
+      report.warnings.push_back(
+          "degraded: " + std::to_string(report.dead_shards.size()) + " of " +
+          std::to_string(shard_count) +
+          " shards died; result averaged over survivors");
+    }
+  }
+
+  // Result shard: deepest successful shard (most barriers), ties to the
+  // lowest index. After a clean run every survivor in the final cohort
+  // holds identical parameters, so the choice only matters under
+  // degradation or stop.
+  std::size_t best = 0;
+  bool have_best = false;
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    const bool eligible =
+        report.shards[k].termination == TerminationReason::kSucceeded ||
+        (!any_succeeded &&
+         report.shards[k].termination == TerminationReason::kStopped);
+    if (!eligible) continue;
+    if (!have_best ||
+        members[k]->barriers_done > members[best]->barriers_done) {
+      best = k;
+      have_best = true;
+    }
+  }
+  report.result_shard = best;
+  return report;
+}
+
+}  // namespace advtext

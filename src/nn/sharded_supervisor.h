@@ -1,0 +1,95 @@
+// Parallel data-shard training on top of the supervisor machinery.
+//
+// Liu et al. (2021) note that word-level attack workloads are
+// embarrassingly parallel across documents; the training side is the same
+// shape: split the dataset into K shards, run one supervised training loop
+// per shard on its own worker thread, and periodically average parameters.
+// This file is the ROADMAP's "parallel data-shard training" item and the
+// first consumer of src/util/sync.h verified end-to-end by the Clang
+// thread-safety analysis (all cross-shard state is ADVTEXT_GUARDED_BY the
+// coordinator's mutex) and by the TSan CI leg.
+//
+// Execution model (all invariants tested in
+// tests/sharded_supervisor_test.cpp):
+//
+//   * Each shard is a ResumableTraining driven by its own
+//     SupervisorSession — full snapshot / divergence-rollback / resume
+//     machinery per shard, with per-shard snapshot paths.
+//   * At every epoch boundary all live shards meet at an averaging barrier:
+//     the last arriver (or a departing shard that completes the group)
+//     averages parameters element-wise over the arrived shards in ascending
+//     shard order — a fixed reduction order, so results are bitwise
+//     reproducible regardless of thread scheduling.
+//   * shards=1 degenerates to the serial TrainSupervisor run bitwise: same
+//     loop, same seed, same step sequence, averaging over one shard is
+//     skipped.
+//   * A shard whose session reports kError (rollbacks exhausted) departs;
+//     the survivors keep training and averaging among themselves — the run
+//     degrades instead of aborting. Only all shards dying kills the run.
+//   * Any stop (StopToken signal or a shard's max_steps budget) *drains*
+//     the whole group: no further averaging is released, every shard
+//     flushes its own snapshot at its current position — mid-epoch, or
+//     "arrived at the barrier, averaging pending" (the pending flag rides
+//     in the shard snapshot). Resume replays every shard to the same
+//     barrier and the run continues bitwise-identically; see DESIGN.md §8
+//     for why stops are barrier-consistent (hard kills are not).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/nn/supervisor.h"
+#include "src/nn/text_classifier.h"
+
+namespace advtext {
+
+/// One shard handed to ShardedTrainSupervisor. The loop and the parameter
+/// views are borrowed; the params must stay valid for the whole run and
+/// have the same tensor layout across shards (same architecture).
+struct ShardSpec {
+  ResumableTraining* loop = nullptr;
+  /// Parameter views averaged at epoch boundaries (typically
+  /// TrainableClassifier::params() of the shard's model replica).
+  std::vector<ParamRef> params;
+  /// Per-shard resilience; give each shard its own snapshot_path (the
+  /// trainer uses "<base>.shard<k>"). install_stop_token is ignored here —
+  /// the caller installs once, before spawning workers.
+  ResilienceConfig resilience;
+};
+
+/// Outcome of a sharded run. Per-shard SupervisorReports are indexed by
+/// shard; `warnings` aggregates them with "shard k:" tags plus run-level
+/// degradation notes.
+struct ShardedReport {
+  /// kStopped if any shard stopped (run resumable), kError if every shard
+  /// died, kSucceeded otherwise — dead shards degrade, they don't abort.
+  TerminationReason termination = TerminationReason::kSucceeded;
+  std::vector<SupervisorReport> shards;
+  /// Shards that exhausted their rollback budget and were dropped.
+  std::vector<std::size_t> dead_shards;
+  /// Averaging barriers completed per shard (aligned epochs).
+  std::vector<std::size_t> shard_barriers;
+  /// Shard whose parameters are the run's result: the successful shard
+  /// with the most completed barriers (ties: lowest index). After a full
+  /// run all shards in the final averaging cohort hold identical params.
+  std::size_t result_shard = 0;
+  /// Total averaging rounds released.
+  std::size_t averaging_rounds = 0;
+  std::vector<std::string> warnings;
+};
+
+/// Drives K shard loops to completion with epoch-boundary parameter
+/// averaging, degradation past dead shards, and drain-on-stop. Spawns its
+/// own ThreadPool of K workers; the StopToken is polled by every shard.
+class ShardedTrainSupervisor {
+ public:
+  explicit ShardedTrainSupervisor(std::vector<ShardSpec> shards);
+
+  ShardedReport run();
+
+ private:
+  std::vector<ShardSpec> shards_;
+};
+
+}  // namespace advtext

@@ -62,12 +62,6 @@ std::optional<std::string> SnapshotRotation::read_latest(
 
 namespace {
 
-std::string serialize_loop(const ResumableTraining& loop) {
-  std::ostringstream out;
-  loop.save_state(out);
-  return out.str();
-}
-
 void restore_loop(ResumableTraining& loop, const std::string& state) {
   std::istringstream in(state);
   loop.load_state(in);
@@ -75,21 +69,53 @@ void restore_loop(ResumableTraining& loop, const std::string& state) {
 
 }  // namespace
 
-SupervisorReport TrainSupervisor::run(ResumableTraining& loop) const {
-  SupervisorReport report;
-  StopToken& stop = StopToken::instance();
-  if (config_.install_stop_token) stop.install();
+SupervisorSession::SupervisorSession(ResumableTraining& loop,
+                                     const ResilienceConfig& config)
+    : loop_(loop),
+      config_(config),
+      has_disk_(!config.snapshot_path.empty()),
+      rotation_(has_disk_ ? config.snapshot_path : std::string("."),
+                config.keep_generations) {}
 
-  const bool has_disk = !config_.snapshot_path.empty();
-  SnapshotRotation rotation(has_disk ? config_.snapshot_path : std::string("."),
-                            config_.keep_generations);
+void SupervisorSession::set_external_stop(std::function<bool()> predicate) {
+  external_stop_ = std::move(predicate);
+}
 
-  if (config_.resume && has_disk) {
+std::string SupervisorSession::serialize_loop() const {
+  std::ostringstream out;
+  loop_.save_state(out);
+  return out.str();
+}
+
+bool SupervisorSession::stop_requested() const {
+  if (StopToken::instance().stop_requested()) return true;
+  if (config_.max_steps != 0 && report_.steps >= config_.max_steps) {
+    return true;
+  }
+  return external_stop_ && external_stop_();
+}
+
+void SupervisorSession::publish(const std::string& state) {
+  if (!has_disk_) return;
+  try {
+    rotation_.write(state);
+    ++report_.snapshots_written;
+  } catch (const std::runtime_error& error) {
+    // Losing a snapshot must not lose the run: degrade, count, continue.
+    ++report_.snapshot_write_failures;
+    report_.warnings.push_back(std::string("snapshot write failed: ") +
+                               error.what());
+  }
+}
+
+void SupervisorSession::initialize() {
+  if (config_.install_stop_token) StopToken::instance().install();
+  if (config_.resume && has_disk_) {
     // Walk generations newest-first, validating the *complete* restore —
     // not just the checksum. A truncated file can pass load_artifact (it
     // looks like a seed-era footer-less artifact) and only fail while
     // deserializing the loop state; that too must fall back.
-    const std::string pristine = serialize_loop(loop);
+    const std::string pristine = serialize_loop();
     bool restored = false;
     for (std::size_t gen = 1;
          gen <= config_.keep_generations && !restored; ++gen) {
@@ -99,126 +125,142 @@ SupervisorReport TrainSupervisor::run(ResumableTraining& loop) const {
       if (probe == nullptr) continue;  // missing generation: not an error
       std::fclose(probe);
       try {
-        restore_loop(loop, io::load_artifact(path));
+        restore_loop(loop_, io::load_artifact(path));
         restored = true;
         if (gen > 1) {
-          report.warnings.push_back(
+          report_.warnings.push_back(
               "resumed from older snapshot generation " +
               std::to_string(gen) + " (" + path + ")");
         }
       } catch (const std::runtime_error& error) {
-        report.warnings.push_back(
+        report_.warnings.push_back(
             "snapshot generation " + std::to_string(gen) + " (" + path +
             ") rejected: " + error.what() +
             "; falling back to older generation");
       }
     }
     if (restored) {
-      report.resumed = true;
+      report_.resumed = true;
     } else {
       // A rejected generation may have half-applied its state before the
       // failure; rebuild the fresh-start state exactly.
-      restore_loop(loop, pristine);
-      report.warnings.push_back(
+      restore_loop(loop_, pristine);
+      report_.warnings.push_back(
           "resume requested but no readable snapshot generation under '" +
           config_.snapshot_path + "'; starting fresh");
     }
   }
 
-  auto publish = [&](const std::string& state) {
-    if (!has_disk) return;
-    try {
-      rotation.write(state);
-      ++report.snapshots_written;
-    } catch (const std::runtime_error& error) {
-      // Losing a snapshot must not lose the run: degrade, count, continue.
-      ++report.snapshot_write_failures;
-      report.warnings.push_back(std::string("snapshot write failed: ") +
-                                error.what());
-    }
-  };
-
   // Rollback target. Kept in memory so divergence recovery works even with
   // no snapshot path configured.
-  std::string last_good = serialize_loop(loop);
-  double ewma = 0.0;
-  bool ewma_primed = false;
-  // Failed retries of the *current* stretch; resets on a clean step so the
-  // cap bounds genuine divergence, not the run's total transient-fault count.
-  std::size_t consecutive_failures = 0;
+  last_good_ = serialize_loop();
+}
 
-  while (!loop.done()) {
-    if (stop.stop_requested() ||
-        (config_.max_steps != 0 && report.steps >= config_.max_steps)) {
-      report.termination = TerminationReason::kStopped;
-      report.stop_signal = stop.signal_number();
-      if (config_.flush_on_stop) publish(serialize_loop(loop));
-      return report;
-    }
+SupervisorSession::StepStatus SupervisorSession::step_until_boundary(
+    bool commit_at_boundary) {
+  while (!loop_.done()) {
+    if (stop_requested()) return StepStatus::kStopped;
 
     bool diverged = false;
     std::string divergence_note;
     try {
-      const double loss = loop.step();
-      ++report.steps;
+      const double loss = loop_.step();
+      ++report_.steps;
       if (!std::isfinite(loss)) {
         diverged = true;
         divergence_note = "non-finite step loss";
-      } else if (config_.spike_factor > 0.0 && ewma_primed &&
-                 loss > config_.spike_factor * ewma + 1.0) {
+      } else if (config_.spike_factor > 0.0 && ewma_primed_ &&
+                 loss > config_.spike_factor * ewma_ + 1.0) {
         diverged = true;
         std::ostringstream note;
-        note << "loss spike " << loss << " vs EWMA " << ewma;
+        note << "loss spike " << loss << " vs EWMA " << ewma_;
         divergence_note = note.str();
       } else {
-        ewma = ewma_primed ? 0.9 * ewma + 0.1 * loss : loss;
-        ewma_primed = true;
+        ewma_ = ewma_primed_ ? 0.9 * ewma_ + 0.1 * loss : loss;
+        ewma_primed_ = true;
       }
     } catch (const std::runtime_error& error) {
-      ++report.steps;
+      ++report_.steps;
       diverged = true;
       divergence_note = std::string("step threw: ") + error.what();
     }
 
     if (diverged) {
-      if (consecutive_failures >= config_.max_rollbacks) {
-        report.termination = TerminationReason::kError;
-        report.warnings.push_back(
+      if (consecutive_failures_ >= config_.max_rollbacks) {
+        report_.warnings.push_back(
             "divergence (" + divergence_note + ") after exhausting " +
             std::to_string(config_.max_rollbacks) +
             " consecutive rollbacks; aborting training");
-        return report;
+        return StepStatus::kError;
       }
-      ++consecutive_failures;
-      ++report.rollbacks;
-      restore_loop(loop, last_good);
-      loop.on_rollback(consecutive_failures);
-      report.warnings.push_back("divergence (" + divergence_note +
-                                "); rolled back to last good state, attempt " +
-                                std::to_string(consecutive_failures));
+      ++consecutive_failures_;
+      ++report_.rollbacks;
+      restore_loop(loop_, last_good_);
+      loop_.on_rollback(consecutive_failures_);
+      report_.warnings.push_back("divergence (" + divergence_note +
+                                 "); rolled back to last good state, attempt " +
+                                 std::to_string(consecutive_failures_));
       // Reset the loss statistics: the backoff changes the loss scale.
-      ewma_primed = false;
+      ewma_primed_ = false;
       continue;
     }
-    if (consecutive_failures > 0) {
+    if (consecutive_failures_ > 0) {
       // The divergence passed: let the loop undo its backoff.
-      consecutive_failures = 0;
-      loop.on_recover();
+      consecutive_failures_ = 0;
+      loop_.on_recover();
     }
 
     const bool periodic = config_.snapshot_every != 0 &&
-                          report.steps % config_.snapshot_every == 0;
-    if (loop.at_boundary() || periodic) {
-      last_good = serialize_loop(loop);
-      publish(last_good);
+                          report_.steps % config_.snapshot_every == 0;
+    if (loop_.at_boundary()) {
+      // A boundary subsumes a coinciding periodic snapshot: the commit —
+      // internal here, or external after the caller's averaging — covers it.
+      if (commit_at_boundary) commit_boundary();
+      return StepStatus::kBoundary;
     }
+    if (periodic) commit_boundary();
   }
+  return StepStatus::kDone;
+}
 
-  // Natural completion: flush the final state so resume of a finished run
-  // is a no-op replay.
-  publish(serialize_loop(loop));
-  report.termination = TerminationReason::kSucceeded;
-  return report;
+void SupervisorSession::commit_boundary() {
+  last_good_ = serialize_loop();
+  publish(last_good_);
+}
+
+void SupervisorSession::finish(StepStatus status) {
+  switch (status) {
+    case StepStatus::kDone:
+      // Natural completion: flush the final state so resume of a finished
+      // run is a no-op replay.
+      publish(serialize_loop());
+      report_.termination = TerminationReason::kSucceeded;
+      break;
+    case StepStatus::kStopped:
+      report_.termination = TerminationReason::kStopped;
+      report_.stop_signal = StopToken::instance().signal_number();
+      if (config_.flush_on_stop) publish(serialize_loop());
+      break;
+    case StepStatus::kError:
+      report_.termination = TerminationReason::kError;
+      break;
+    case StepStatus::kBoundary:
+      ADVTEXT_CHECK(false) << "finish(kBoundary): boundaries are not "
+                              "terminal; keep stepping";
+      break;
+  }
+}
+
+SupervisorReport TrainSupervisor::run(ResumableTraining& loop) const {
+  SupervisorSession session(loop, config_);
+  session.initialize();
+  for (;;) {
+    const SupervisorSession::StepStatus status =
+        session.step_until_boundary(/*commit_at_boundary=*/true);
+    if (status == SupervisorSession::StepStatus::kBoundary) continue;
+    session.finish(status);
+    return session.take_report();
+  }
 }
 
 }  // namespace advtext

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -157,6 +158,71 @@ struct SupervisorReport {
   bool resumed = false;
   int stop_signal = 0;  ///< signal that requested the stop (0 = none)
   std::vector<std::string> warnings;
+};
+
+/// One supervised run of a ResumableTraining loop, decomposed so callers
+/// can interleave work between epoch boundaries. TrainSupervisor::run() is
+/// the plain serial composition; ShardedTrainSupervisor drives one session
+/// per shard and inserts a parameter-averaging barrier at each boundary.
+///
+/// Lifecycle: initialize() once (resume handling + initial rollback
+/// target), then step_until_boundary() repeatedly; on kBoundary either let
+/// the session commit (`commit_at_boundary=true`, serial behaviour) or do
+/// external work first and call commit_boundary() yourself; on any other
+/// status call finish(status) exactly once and read report().
+class SupervisorSession {
+ public:
+  enum class StepStatus {
+    kBoundary,  ///< loop hit a natural snapshot boundary (epoch end)
+    kDone,      ///< loop reports done(); finish() flushes + kSucceeded
+    kStopped,   ///< StopToken / max_steps / external stop; resumable
+    kError,     ///< divergence beyond max_rollbacks; run lost
+  };
+
+  SupervisorSession(ResumableTraining& loop, const ResilienceConfig& config);
+
+  /// Extra stop condition polled alongside the StopToken (sharded training
+  /// uses it to drain every shard once any shard stops). Set before
+  /// initialize(); null means no external stop.
+  void set_external_stop(std::function<bool()> predicate);
+
+  /// Resume handling (when configured) + the initial in-memory rollback
+  /// target. Must be called exactly once, before stepping.
+  void initialize();
+
+  /// Runs steps — with divergence detection, rollback and periodic
+  /// snapshots — until a boundary, completion, a stop, or rollback
+  /// exhaustion. With `commit_at_boundary`, a boundary also refreshes the
+  /// rollback target and publishes a snapshot before returning.
+  StepStatus step_until_boundary(bool commit_at_boundary);
+
+  /// Refreshes the rollback target from the loop's current state and
+  /// publishes it as a snapshot. Used by callers that mutate the loop at a
+  /// boundary (parameter averaging) after step_until_boundary(false).
+  void commit_boundary();
+
+  /// Records the terminal status: final snapshot flush on kDone (and on
+  /// kStopped when flush_on_stop), termination + stop-signal bookkeeping.
+  void finish(StepStatus status);
+
+  const SupervisorReport& report() const { return report_; }
+  SupervisorReport take_report() { return std::move(report_); }
+
+ private:
+  bool stop_requested() const;
+  std::string serialize_loop() const;
+  void publish(const std::string& state);
+
+  ResumableTraining& loop_;
+  ResilienceConfig config_;
+  bool has_disk_;
+  SnapshotRotation rotation_;
+  SupervisorReport report_;
+  std::function<bool()> external_stop_;
+  std::string last_good_;
+  double ewma_ = 0.0;
+  bool ewma_primed_ = false;
+  std::size_t consecutive_failures_ = 0;
 };
 
 /// Drives a ResumableTraining loop to completion under a ResilienceConfig.

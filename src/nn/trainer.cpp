@@ -1,13 +1,17 @@
 #include "src/nn/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
+#include "src/nn/sharded_supervisor.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 #include "src/util/robust.h"
 #include "src/util/serialize.h"
+#include "src/util/stop_token.h"
 
 namespace advtext {
 
@@ -120,11 +124,16 @@ double dataset_accuracy(const TextClassifier& model,
 /// remaining steps are bitwise identical to an uninterrupted run.
 class ClassifierTrainLoop final : public ResumableTraining {
  public:
+  /// `loss_site` is the fault-injection point armed around the batch loss;
+  /// sharded training passes "train.loss@shard<k>" so a fault can target
+  /// one shard.
   ClassifierTrainLoop(TrainableClassifier& model, const Dataset& data,
                       const TrainConfig& config,
-                      const ResilienceConfig& resilience)
+                      const ResilienceConfig& resilience,
+                      std::string loss_site = "train.loss")
       : model_(model), config_(config), resilience_(resilience),
-        rng_(config.seed), optimizer_(config) {
+        loss_site_(std::move(loss_site)), rng_(config.seed),
+        optimizer_(config) {
     // Validation split (deterministic tail slice of a fixed permutation).
     // Document pointers cannot be serialized, so resume re-derives the
     // split from the seed and then restores the RNG stream from the
@@ -166,7 +175,8 @@ class ClassifierTrainLoop final : public ResumableTraining {
           doc->flatten(), static_cast<std::size_t>(doc->label));
     }
     const std::size_t batch = std::max<std::size_t>(1, end - cursor_);
-    batch_loss = FaultInjector::instance().poison("train.loss", batch_loss);
+    batch_loss =
+        FaultInjector::instance().poison(loss_site_.c_str(), batch_loss);
     if (!std::isfinite(batch_loss)) {
       // Divergence: report it *without* stepping the optimizer, so the
       // Adam moments and parameters stay clean for the rollback.
@@ -304,6 +314,7 @@ class ClassifierTrainLoop final : public ResumableTraining {
   TrainableClassifier& model_;
   TrainConfig config_;
   ResilienceConfig resilience_;
+  std::string loss_site_;
   Rng rng_;
   Adam optimizer_;
   std::vector<const Document*> train_docs_;
@@ -346,6 +357,112 @@ TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
 TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
                              const TrainConfig& config) {
   return train_classifier(model, data, config, ResilienceConfig{});
+}
+
+ShardedTrainReport train_classifier_sharded(
+    TrainableClassifier& model,
+    const std::function<std::unique_ptr<TrainableClassifier>()>& make_replica,
+    const Dataset& data, const TrainConfig& config,
+    const ResilienceConfig& resilience, const ShardConfig& shard_config) {
+  const std::size_t shards = std::max<std::size_t>(1, shard_config.shards);
+  ADVTEXT_CHECK(shards == 1 || make_replica != nullptr)
+      << "train_classifier_sharded: shards > 1 needs a replica factory";
+
+  // Deal documents round-robin so every shard sees the same label mix; with
+  // one shard this reproduces the full dataset in order.
+  std::vector<Dataset> shard_data(shards);
+  for (Dataset& shard : shard_data) shard.num_classes = data.num_classes;
+  for (std::size_t i = 0; i < data.docs.size(); ++i) {
+    shard_data[i % shards].docs.push_back(data.docs[i]);
+  }
+
+  // Shard 0 trains the primary model in place; the others train replicas
+  // whose parameters start as a bitwise copy of the primary's.
+  std::vector<std::unique_ptr<TrainableClassifier>> replicas;
+  std::vector<TrainableClassifier*> shard_models(shards, &model);
+  for (std::size_t k = 1; k < shards; ++k) {
+    replicas.push_back(make_replica());
+    ADVTEXT_CHECK(replicas.back() != nullptr)
+        << "replica factory returned null";
+    const std::vector<ParamRef> src = model.params();
+    const std::vector<ParamRef> dst = replicas.back()->params();
+    ADVTEXT_CHECK(src.size() == dst.size())
+        << "replica architecture differs from the primary model";
+    for (std::size_t t = 0; t < src.size(); ++t) {
+      ADVTEXT_CHECK(src[t].size == dst[t].size)
+          << "replica tensor " << t << " size differs from the primary model";
+      std::copy(src[t].value, src[t].value + src[t].size, dst[t].value);
+    }
+    shard_models[k] = replicas.back().get();
+  }
+
+  // Signal handling is installed once, from this thread; the per-shard
+  // sessions only poll the token.
+  if (resilience.install_stop_token) StopToken::instance().install();
+
+  std::vector<std::unique_ptr<ClassifierTrainLoop>> loops;
+  std::vector<ShardSpec> specs;
+  loops.reserve(shards);
+  specs.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    TrainConfig shard_train = config;
+    shard_train.seed = config.seed + static_cast<std::uint64_t>(k);
+    ResilienceConfig shard_resilience = resilience;
+    shard_resilience.install_stop_token = false;
+    if (shards > 1 && !resilience.snapshot_path.empty()) {
+      shard_resilience.snapshot_path =
+          resilience.snapshot_path + ".shard" + std::to_string(k);
+    }
+    const std::string loss_site =
+        shards == 1 ? std::string("train.loss")
+                    : "train.loss@shard" + std::to_string(k);
+    loops.push_back(std::make_unique<ClassifierTrainLoop>(
+        *shard_models[k], shard_data[k], shard_train, shard_resilience,
+        loss_site));
+    ShardSpec spec;
+    spec.loop = loops.back().get();
+    spec.params = shard_models[k]->params();
+    spec.resilience = shard_resilience;
+    specs.push_back(std::move(spec));
+  }
+
+  ShardedTrainSupervisor supervisor(std::move(specs));
+  ShardedReport outcome = supervisor.run();
+
+  ShardedTrainReport report;
+  report.shards = shards;
+  report.result_shard = outcome.result_shard;
+  report.dead_shards = std::move(outcome.dead_shards);
+  report.averaging_rounds = outcome.averaging_rounds;
+
+  // The result shard's parameters become the primary model's (a bitwise
+  // copy; after a clean run every survivor already holds the averaged
+  // values, so this only matters under degradation or stop).
+  if (report.result_shard != 0) {
+    const std::vector<ParamRef> src =
+        shard_models[report.result_shard]->params();
+    const std::vector<ParamRef> dst = model.params();
+    for (std::size_t t = 0; t < src.size(); ++t) {
+      std::copy(src[t].value, src[t].value + src[t].size, dst[t].value);
+    }
+  }
+
+  report.train = loops[report.result_shard]->report();
+  report.train.termination = outcome.termination;
+  report.train.warnings = std::move(outcome.warnings);
+  report.train.rollbacks = 0;
+  report.train.snapshots_written = 0;
+  report.train.snapshot_write_failures = 0;
+  report.train.resumed = false;
+  for (const SupervisorReport& shard : outcome.shards) {
+    report.train.rollbacks += shard.rollbacks;
+    report.train.snapshots_written += shard.snapshots_written;
+    report.train.snapshot_write_failures += shard.snapshot_write_failures;
+    report.train.resumed = report.train.resumed || shard.resumed;
+  }
+  report.train.lr_backoffs = report.train.rollbacks;
+  report.shard_reports = std::move(outcome.shards);
+  return report;
 }
 
 }  // namespace advtext

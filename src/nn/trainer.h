@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -102,5 +104,45 @@ TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
 TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
                              const TrainConfig& config,
                              const ResilienceConfig& resilience);
+
+/// Data-shard parallel training (ShardedTrainSupervisor underneath).
+struct ShardConfig {
+  /// Worker shards. 1 runs the sharded machinery with a single shard —
+  /// bitwise identical to the serial supervised trainer (same seed, same
+  /// step sequence, same snapshot path, no averaging).
+  std::size_t shards = 1;
+};
+
+/// train_classifier_sharded outcome. `train` is the merged view callers of
+/// the serial trainer expect (result-shard curves, summed counters, overall
+/// termination); the per-shard detail rides alongside.
+struct ShardedTrainReport {
+  TrainReport train;
+  std::size_t shards = 1;
+  /// Shard whose parameters were copied back into the primary model.
+  std::size_t result_shard = 0;
+  /// Shards dropped after exhausting their rollback budget (the run
+  /// degrades to the survivors; only all shards dying is an error).
+  std::vector<std::size_t> dead_shards;
+  std::vector<SupervisorReport> shard_reports;
+  /// Parameter-averaging barriers released (aligned epoch boundaries).
+  std::size_t averaging_rounds = 0;
+};
+
+/// Trains `model` across `shard_config.shards` data shards in parallel:
+/// documents are dealt round-robin, shard k trains a replica (shard 0 uses
+/// `model` itself) seeded with config.seed + k and fault-site
+/// "train.loss@shard<k>", parameters are averaged at aligned epoch
+/// boundaries, and the result shard's parameters end up in `model`.
+/// Snapshots go to "<snapshot_path>.shard<k>" per shard (shards=1 keeps the
+/// bare path); resume replays a cooperatively stopped run bitwise.
+/// `make_replica` must build a model with the same architecture as `model`
+/// (its parameters are overwritten with a copy of the primary's before
+/// training starts).
+ShardedTrainReport train_classifier_sharded(
+    TrainableClassifier& model,
+    const std::function<std::unique_ptr<TrainableClassifier>()>& make_replica,
+    const Dataset& data, const TrainConfig& config,
+    const ResilienceConfig& resilience, const ShardConfig& shard_config);
 
 }  // namespace advtext

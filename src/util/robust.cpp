@@ -76,6 +76,8 @@ double parse_probability(const std::string& token, const std::string& spec) {
 }  // namespace
 
 void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  MutexLock lock(mu_);
+  enabled_.store(false, std::memory_order_release);
   rules_.clear();
   has_all_ = false;
   all_ = Rule{};
@@ -119,7 +121,7 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
       rules_.emplace_back(site, rule);
     }
   }
-  enabled_ = has_all_ || !rules_.empty();
+  enabled_.store(has_all_ || !rules_.empty(), std::memory_order_release);
 }
 
 void FaultInjector::configure_from_env() {
@@ -127,19 +129,40 @@ void FaultInjector::configure_from_env() {
   configure(env == nullptr ? std::string() : std::string(env));
 }
 
+std::size_t FaultInjector::fires() const {
+  MutexLock lock(mu_);
+  return fires_;
+}
+
 const FaultInjector::Rule* FaultInjector::match(const char* site) const {
   for (const auto& [name, rule] : rules_) {
     if (name == site) return &rule;
+  }
+  // "<base>@<instance>" falls back to a rule armed for the bare base site.
+  const char* at = nullptr;
+  for (const char* c = site; *c != '\0'; ++c) {
+    if (*c == '@') at = c;
+  }
+  if (at != nullptr) {
+    const std::string base(site, at);
+    for (const auto& [name, rule] : rules_) {
+      if (name == base) return &rule;
+    }
   }
   return has_all_ ? &all_ : nullptr;
 }
 
 void FaultInjector::fault_slow(const char* site) {
-  const Rule* rule = match(site);
-  if (rule == nullptr || rule->mode == Mode::kNan) return;
-  if (!rng_.bernoulli(rule->probability)) return;
-  ++fires_;
-  if (rule->mode == Mode::kDelay) {
+  Mode mode;
+  {
+    MutexLock lock(mu_);
+    const Rule* rule = match(site);
+    if (rule == nullptr || rule->mode == Mode::kNan) return;
+    if (!rng_.bernoulli(rule->probability)) return;
+    ++fires_;
+    mode = rule->mode;
+  }  // sleep and throw outside the lock
+  if (mode == Mode::kDelay) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return;
   }
@@ -147,11 +170,16 @@ void FaultInjector::fault_slow(const char* site) {
 }
 
 double FaultInjector::poison_slow(const char* site, double value) {
-  const Rule* rule = match(site);
-  if (rule == nullptr) return value;
-  if (!rng_.bernoulli(rule->probability)) return value;
-  ++fires_;
-  switch (rule->mode) {
+  Mode mode;
+  {
+    MutexLock lock(mu_);
+    const Rule* rule = match(site);
+    if (rule == nullptr) return value;
+    if (!rng_.bernoulli(rule->probability)) return value;
+    ++fires_;
+    mode = rule->mode;
+  }
+  switch (mode) {
     case Mode::kNan:
       return std::numeric_limits<double>::quiet_NaN();
     case Mode::kDelay:

@@ -29,6 +29,7 @@
 // Stopwatch and Deadline so fault injection and determinism stay possible.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -41,6 +42,7 @@
 
 #include "src/util/check.h"
 #include "src/util/rng.h"
+#include "src/util/sync.h"
 
 namespace advtext {
 
@@ -196,19 +198,28 @@ class InjectedFault : public std::runtime_error {
 /// single predicted branch.
 ///
 /// Point naming convention: "<module>.<operation>", e.g. "wmd.distance",
-/// "transport.exact", "attack.word", "pipeline.doc". The wildcard site
-/// "all" arms every point.
+/// "transport.exact", "attack.word", "pipeline.doc". An optional
+/// "@<instance>" suffix scopes a point to one instance of a replicated
+/// component — sharded training arms "train.loss@shard1" to kill exactly
+/// one shard. Matching order: exact "site@instance", then the bare "site"
+/// (a rule without a suffix hits every instance), then the wildcard "all".
 ///
 /// Spec grammar (comma- or semicolon-separated):  site[:mode]:probability
 ///   modes: throw (default) | delay | nan
 ///   examples: "all:0.05"
 ///             "wmd.distance:0.2,transport.exact:delay:0.5"
 ///             "train.loss:nan:0.02;ckpt.write:throw:0.05"
+///             "train.loss@shard1:nan:1.0"
 ///
 /// Faults are drawn from an advtext::Rng owned by the injector, so a fixed
 /// (spec, seed) pair reproduces the exact failure schedule — checkpoint /
-/// resume and isolation tests rely on this. Not thread-safe; a parallel
-/// pipeline must serialize access or shard injectors.
+/// resume and isolation tests rely on this. Thread-safe: the disabled fast
+/// path is one atomic load, and armed draws serialize on an internal mutex
+/// so concurrent sites see a deterministic *combined* fire count (the
+/// per-thread interleaving is scheduling-dependent; scope rules with '@' or
+/// use probability 1.0 when a test needs per-site determinism under
+/// threads). Do not call configure() while other threads are inside
+/// injection points.
 class FaultInjector {
  public:
   enum class Mode { kThrow, kDelay, kNan };
@@ -226,26 +237,26 @@ class FaultInjector {
   /// configure() from ADVTEXT_INJECT (absent = disabled).
   void configure_from_env();
 
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
 
   /// Marks an injection point. No-op when disabled or the draw does not
   /// fire. Fires as: kThrow — throws InjectedFault naming the site;
   /// kDelay — sleeps ~1ms (deadline-pressure fault); kNan — records the
   /// fire so a following poison() call returns NaN.
   void maybe_fault(const char* site) {
-    if (!enabled_) return;
+    if (!enabled()) return;
     fault_slow(site);
   }
 
   /// Value-poisoning injection point: returns NaN if a kNan rule fires for
   /// `site`, otherwise `value` unchanged.
   double poison(const char* site, double value) {
-    if (!enabled_) return value;
+    if (!enabled()) return value;
     return poison_slow(site, value);
   }
 
   /// Total faults fired since the last configure().
-  std::size_t fires() const { return fires_; }
+  std::size_t fires() const ADVTEXT_EXCLUDES(mu_);
 
  private:
   struct Rule {
@@ -255,17 +266,20 @@ class FaultInjector {
 
   FaultInjector() : rng_(0x5eed) { configure_from_env(); }
 
-  void fault_slow(const char* site);
-  double poison_slow(const char* site, double value);
-  const Rule* match(const char* site) const;
+  void fault_slow(const char* site) ADVTEXT_EXCLUDES(mu_);
+  double poison_slow(const char* site, double value) ADVTEXT_EXCLUDES(mu_);
+  const Rule* match(const char* site) const ADVTEXT_REQUIRES(mu_);
 
+  // Guards the armed state; enabled_ doubles as the lock-free fast path
+  // (released by configure(), acquired by every injection point).
+  mutable Mutex mu_;
   // Site-specific rules win over the "all" wildcard.
-  std::vector<std::pair<std::string, Rule>> rules_;
-  bool has_all_ = false;
-  Rule all_;
-  bool enabled_ = false;
-  Rng rng_;
-  std::size_t fires_ = 0;
+  std::vector<std::pair<std::string, Rule>> rules_ ADVTEXT_GUARDED_BY(mu_);
+  bool has_all_ ADVTEXT_GUARDED_BY(mu_) = false;
+  Rule all_ ADVTEXT_GUARDED_BY(mu_);
+  std::atomic<bool> enabled_{false};
+  Rng rng_ ADVTEXT_GUARDED_BY(mu_);
+  std::size_t fires_ ADVTEXT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace advtext

@@ -2,12 +2,14 @@
 
 namespace advtext {
 
-volatile std::sig_atomic_t StopToken::flag_ = 0;
+std::atomic<int> StopToken::flag_{0};
+static_assert(std::atomic<int>::is_always_lock_free,
+              "signal handler stores require a lock-free atomic");
 
 // Named (not anonymous-namespace) so the header can befriend it; only this
 // translation unit takes its address.
 void stop_token_signal_handler(int signal_number) {
-  if (StopToken::flag_ != 0) {
+  if (StopToken::flag_.load(std::memory_order_relaxed) != 0) {
     // Second signal: the cooperative path is apparently stuck. Restore the
     // default disposition and re-raise so the process dies normally. Both
     // calls are async-signal-safe.
@@ -15,7 +17,7 @@ void stop_token_signal_handler(int signal_number) {
     std::raise(signal_number);
     return;
   }
-  StopToken::flag_ = signal_number;
+  StopToken::flag_.store(signal_number, std::memory_order_relaxed);
 }
 
 StopToken& StopToken::instance() {
@@ -31,7 +33,7 @@ void StopToken::install() {
 }
 
 void StopToken::request_stop(int signal_number) {
-  flag_ = static_cast<std::sig_atomic_t>(signal_number);
+  flag_.store(signal_number, std::memory_order_relaxed);
 }
 
 }  // namespace advtext

@@ -3,10 +3,11 @@
 // A SIGINT/SIGTERM must not throw away hours of training: the supervisor
 // polls this token between units of work, flushes a final snapshot, and
 // returns with TerminationReason::kStopped so callers can exit with a
-// distinct code. The handler itself only writes one sig_atomic_t flag — the
-// only thing that is async-signal-safe — and a *second* signal restores the
-// default disposition and re-raises, so an unresponsive process can still
-// be killed the ordinary way.
+// distinct code. The handler itself only writes one lock-free atomic flag —
+// async-signal-safe, and also race-free when sharded training polls the
+// token from many worker threads at once — and a *second* signal restores
+// the default disposition and re-raises, so an unresponsive process can
+// still be killed the ordinary way.
 //
 // Signal-handling policy (enforced by tools/lint.py rule `raw-signal`): no
 // file outside src/util/ calls signal()/sigaction() directly; all handler
@@ -14,6 +15,7 @@
 // owns process signal dispositions.
 #pragma once
 
+#include <atomic>
 #include <csignal>
 
 namespace advtext {
@@ -29,24 +31,30 @@ class StopToken {
   void install();
 
   /// True once a handled signal arrived or request_stop() was called.
-  bool stop_requested() const { return flag_ != 0; }
+  /// Safe to poll from any thread (lock-free atomic).
+  bool stop_requested() const {
+    return flag_.load(std::memory_order_relaxed) != 0;
+  }
 
   /// The signal number that requested the stop (0 = none; request_stop()
   /// defaults to SIGTERM so tests and callers share one code path).
-  int signal_number() const { return static_cast<int>(flag_); }
+  int signal_number() const { return flag_.load(std::memory_order_relaxed); }
 
   /// Requests a stop programmatically (tests, embedding applications).
   void request_stop(int signal_number = SIGTERM);
 
   /// Clears the flag (tests; a CLI that wants to survive one interrupt).
-  void clear() { flag_ = 0; }
+  void clear() { flag_.store(0, std::memory_order_relaxed); }
 
  private:
   StopToken() = default;
 
   friend void stop_token_signal_handler(int);
 
-  static volatile std::sig_atomic_t flag_;
+  // A lock-free std::atomic<int> is async-signal-safe (the handler may
+  // store to it) *and* well-defined under concurrent polling from worker
+  // threads — volatile sig_atomic_t only covers the former.
+  static std::atomic<int> flag_;
   bool installed_ = false;
 };
 

@@ -1,0 +1,115 @@
+#include "src/util/sync.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace advtext {
+
+void CondVar::wait(Mutex& mu) {
+  // Adopt the already-held lock for the duration of the wait, then release
+  // ownership back to the caller; the capability bookkeeping stays with the
+  // caller's MutexLock / ADVTEXT_REQUIRES contract.
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+bool CondVar::wait_for_ms(Mutex& mu, long ms) {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  const std::cv_status status =
+      cv_.wait_for(lock, std::chrono::milliseconds(ms));
+  lock.release();
+  return status == std::cv_status::no_timeout;
+}
+
+TaskQueue::TaskQueue(std::size_t capacity) : capacity_(capacity) {
+  ADVTEXT_CHECK(capacity_ >= 1) << "TaskQueue needs capacity >= 1";
+}
+
+bool TaskQueue::push(Task task) {
+  MutexLock lock(mu_);
+  while (!closed_ && items_.size() >= capacity_) {
+    not_full_.wait(mu_);
+  }
+  if (closed_) return false;
+  items_.push_back(std::move(task));
+  not_empty_.notify_one();
+  return true;
+}
+
+bool TaskQueue::pop(Task& out) {
+  MutexLock lock(mu_);
+  while (items_.empty() && !closed_) {
+    not_empty_.wait(mu_);
+  }
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void TaskQueue::close() {
+  MutexLock lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+std::size_t TaskQueue::size() const {
+  MutexLock lock(mu_);
+  return items_.size();
+}
+
+ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
+    : queue_(queue_capacity != 0 ? queue_capacity
+                                 : std::max<std::size_t>(1, threads) * 2) {
+  ADVTEXT_CHECK(threads >= 1) << "ThreadPool needs at least one worker";
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+bool ThreadPool::submit(TaskQueue::Task task) {
+  {
+    MutexLock lock(mu_);
+    ++in_flight_;
+  }
+  if (queue_.push(std::move(task))) return true;
+  // Rejected by a closed queue: undo the accounting.
+  MutexLock lock(mu_);
+  --in_flight_;
+  if (in_flight_ == 0) idle_.notify_all();
+  return false;
+}
+
+void ThreadPool::wait_idle() {
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) {
+    idle_.wait(mu_);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  TaskQueue::Task task;
+  while (queue_.pop(task)) {
+    task();
+    task = nullptr;  // release captures before signalling idle
+    MutexLock lock(mu_);
+    --in_flight_;
+    if (in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace advtext

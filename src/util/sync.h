@@ -1,0 +1,223 @@
+// Concurrency primitives with compile-time thread-safety analysis.
+//
+// The north star is parallel shard training and batched attack serving, and
+// the first data race that ships costs more than every lock it would have
+// taken to prevent it. This header makes racy code fail to *compile* under
+// Clang instead of failing under TSan at 2am:
+//
+//   * Capability annotations — ADVTEXT_CAPABILITY / ADVTEXT_GUARDED_BY /
+//     ADVTEXT_REQUIRES / ADVTEXT_ACQUIRE / ADVTEXT_RELEASE wrap Clang's
+//     -Wthread-safety attribute set (no-op on GCC and other compilers, so
+//     the tree stays portable). cmake/AdvtextToolchain.cmake turns the
+//     analysis on for every target whenever the compiler is Clang, and
+//     promotes it to an error under ADVTEXT_WERROR — the CI `thread-safety`
+//     leg builds exactly that way, plus a deliberately misannotated target
+//     (tests/thread_safety_neg.cpp) that must FAIL to compile, proving the
+//     analysis is live and not silently disabled.
+//   * advtext::Mutex / MutexLock / CondVar — annotated wrappers over the
+//     standard primitives. Rule `raw-mutex` / `raw-thread` in tools/lint.py:
+//     no std::thread, std::mutex, std::condition_variable, std::lock_guard
+//     (or friends) anywhere outside src/util/sync.*; all concurrency flows
+//     through these wrappers so every lock is visible to the analysis.
+//   * TaskQueue / ThreadPool — a bounded MPMC queue and a fixed-size worker
+//     pool, the only place worker threads are spawned. Shared state is
+//     ADVTEXT_GUARDED_BY its mutex, so the analysis proves the lock
+//     discipline of the pool itself.
+//
+// Determinism note: threads make *scheduling* nondeterministic, never
+// results — consumers (ShardedTrainSupervisor) are designed so that all
+// cross-thread reductions happen at barriers in a fixed order. Nothing in
+// this file draws randomness or reads clocks besides CondVar's timed wait.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// ---- Clang thread-safety attribute wrappers --------------------------------
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html. Each
+// macro expands to the corresponding attribute under Clang and to nothing
+// elsewhere, so annotated headers compile unchanged under GCC.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ADVTEXT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADVTEXT_THREAD_ANNOTATION
+#define ADVTEXT_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define ADVTEXT_CAPABILITY(x) ADVTEXT_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define ADVTEXT_SCOPED_CAPABILITY ADVTEXT_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only while holding the named capability.
+#define ADVTEXT_GUARDED_BY(x) ADVTEXT_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer member whose *pointee* is guarded by the named capability.
+#define ADVTEXT_PT_GUARDED_BY(x) ADVTEXT_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function requires the capability held on entry (and does not release it).
+#define ADVTEXT_REQUIRES(...) \
+  ADVTEXT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability (held on return, not on entry).
+#define ADVTEXT_ACQUIRE(...) \
+  ADVTEXT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (held on entry, not on return).
+#define ADVTEXT_RELEASE(...) \
+  ADVTEXT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `result`.
+#define ADVTEXT_TRY_ACQUIRE(result, ...) \
+  ADVTEXT_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+/// Function must NOT be called with the capability held (deadlock guard).
+#define ADVTEXT_EXCLUDES(...) \
+  ADVTEXT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define ADVTEXT_ASSERT_CAPABILITY(x) \
+  ADVTEXT_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the named capability.
+#define ADVTEXT_RETURN_CAPABILITY(x) \
+  ADVTEXT_THREAD_ANNOTATION(lock_returned(x))
+/// Lock-ordering declaration for deadlock detection (-Wthread-safety-beta).
+#define ADVTEXT_ACQUIRED_BEFORE(...) \
+  ADVTEXT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ADVTEXT_ACQUIRED_AFTER(...) \
+  ADVTEXT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch for functions the analysis cannot follow (keep rare; every
+/// use is a hole in the proof).
+#define ADVTEXT_NO_THREAD_SAFETY_ANALYSIS \
+  ADVTEXT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace advtext {
+
+/// Annotated exclusive mutex. Prefer MutexLock for scoped acquisition;
+/// lock()/unlock() exist for the rare hand-over-hand pattern and for
+/// CondVar's re-acquisition.
+class ADVTEXT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADVTEXT_ACQUIRE() { mu_.lock(); }
+  void unlock() ADVTEXT_RELEASE() { mu_.unlock(); }
+  bool try_lock() ADVTEXT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock over an advtext::Mutex.
+class ADVTEXT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ADVTEXT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ADVTEXT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to advtext::Mutex. Callers must hold the mutex
+/// they pass (ADVTEXT_REQUIRES), re-check their predicate after every wake
+/// (spurious wakeups happen), and hold the same mutex when mutating the
+/// predicate state so waiters never miss a notify.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires `mu` before
+  /// returning.
+  void wait(Mutex& mu) ADVTEXT_REQUIRES(mu);
+
+  /// wait() with a timeout; returns false on timeout (mutex re-acquired
+  /// either way). Waiters that also poll an external flag (StopToken) use
+  /// this so a signal that carries no notify still gets noticed.
+  bool wait_for_ms(Mutex& mu, long ms) ADVTEXT_REQUIRES(mu);
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Bounded MPMC queue of tasks. push() blocks while full, pop() blocks
+/// while empty; close() wakes everyone, after which push() is rejected and
+/// pop() drains the remaining tasks then reports empty.
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  explicit TaskQueue(std::size_t capacity);
+
+  /// Enqueues (blocking while at capacity). Returns false iff the queue was
+  /// closed, in which case the task was not enqueued.
+  bool push(Task task) ADVTEXT_EXCLUDES(mu_);
+
+  /// Dequeues (blocking while empty). Returns false iff the queue is closed
+  /// and fully drained; `out` is untouched then.
+  bool pop(Task& out) ADVTEXT_EXCLUDES(mu_);
+
+  /// Rejects future push() calls and wakes all blocked producers/consumers.
+  /// Already-queued tasks still drain.
+  void close() ADVTEXT_EXCLUDES(mu_);
+
+  std::size_t size() const ADVTEXT_EXCLUDES(mu_);
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable Mutex mu_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Task> items_ ADVTEXT_GUARDED_BY(mu_);
+  bool closed_ ADVTEXT_GUARDED_BY(mu_) = false;
+};
+
+/// Fixed-size worker pool over a bounded TaskQueue — the only place in the
+/// tree that spawns threads. Tasks must not throw (an escaped exception
+/// from a task would terminate the process); wrap fallible work and record
+/// its failure into state you own.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1). `queue_capacity` bounds the backlog
+  /// of not-yet-started tasks (defaults to 2x the worker count).
+  explicit ThreadPool(std::size_t threads, std::size_t queue_capacity = 0);
+
+  /// Closes the queue, drains remaining tasks, joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task (blocking while the queue is full). Returns false iff
+  /// the pool is shutting down.
+  bool submit(TaskQueue::Task task) ADVTEXT_EXCLUDES(mu_);
+
+  /// Blocks until every submitted task has finished (queue empty and no
+  /// task running). The pool stays usable afterwards.
+  void wait_idle() ADVTEXT_EXCLUDES(mu_);
+
+  std::size_t threads() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  TaskQueue queue_;
+  mutable Mutex mu_;
+  CondVar idle_;
+  std::size_t in_flight_ ADVTEXT_GUARDED_BY(mu_) = 0;  ///< queued + running
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace advtext

@@ -1,0 +1,371 @@
+// Sharded-training tests: shards=1 identity with the serial trainer,
+// run-to-run bitwise determinism under real threading, degradation past a
+// dead shard (scoped fault injection), and drain-on-stop with bitwise
+// resume — including a shard parked at the averaging barrier and a real
+// SIGTERM.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/nn/supervisor.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+#include "src/util/robust.h"
+#include "src/util/stop_token.h"
+
+namespace advtext {
+namespace {
+
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::instance().configure(""); }
+  ~InjectorGuard() { FaultInjector::instance().configure_from_env(); }
+};
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("advtext_sharded_" + name))
+      .string();
+}
+
+/// Snapshot base with cleanup of the bare path and every per-shard suffix.
+struct ShardSnapshotFiles {
+  explicit ShardSnapshotFiles(const std::string& name)
+      : base(temp_path(name)) {
+    cleanup();
+  }
+  ~ShardSnapshotFiles() { cleanup(); }
+  void cleanup() const {
+    for (std::size_t gen = 1; gen <= 4; ++gen) {
+      auto wipe = [gen](const std::string& shard_base) {
+        const std::string path =
+            SnapshotRotation::generation_path(shard_base, gen);
+        std::remove(path.c_str());
+        std::remove((path + ".tmp").c_str());
+      };
+      wipe(base);
+      for (std::size_t k = 0; k < 4; ++k) {
+        wipe(base + ".shard" + std::to_string(k));
+      }
+    }
+  }
+  std::string shard_generation(std::size_t k, std::size_t gen) const {
+    return SnapshotRotation::generation_path(
+        base + ".shard" + std::to_string(k), gen);
+  }
+  std::string base;
+};
+
+void expect_params_bitwise_equal(TrainableClassifier& a,
+                                 TrainableClassifier& b) {
+  const auto pa = a.params();
+  const auto pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t p = 0; p < pa.size(); ++p) {
+    ASSERT_EQ(pa[p].size, pb[p].size);
+    EXPECT_EQ(std::memcmp(pa[p].value, pb[p].value,
+                          pa[p].size * sizeof(float)),
+              0)
+        << "parameter tensor " << p << " differs";
+  }
+}
+
+SynthTask make_small_task(std::uint64_t seed, std::size_t num_train) {
+  SynthConfig config = make_yelp(seed).config;
+  config.seed = seed;
+  config.num_train = num_train;
+  config.num_test = 20;
+  config.min_sentences = 3;
+  config.max_sentences = 5;
+  config.min_words_per_sentence = 5;
+  config.max_words_per_sentence = 9;
+  return make_task(config);
+}
+
+class ShardedFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // 180 train docs: round-robin over 3 shards gives 60 docs each, so all
+    // shards run the same number of optimizer steps per epoch.
+    task_ = new SynthTask(make_small_task(61, 180));
+  }
+  static void TearDownTestSuite() {
+    delete task_;
+    task_ = nullptr;
+  }
+
+  static WCnnConfig model_config() {
+    WCnnConfig config;
+    config.embed_dim = task_->config.embedding_dim;
+    config.num_filters = 8;
+    return config;
+  }
+
+  static WCnn make_model() {
+    return WCnn(model_config(), Matrix(task_->paragram));
+  }
+
+  static std::unique_ptr<TrainableClassifier> make_replica() {
+    return std::make_unique<WCnn>(model_config(), Matrix(task_->paragram));
+  }
+
+  static TrainConfig train_config() {
+    TrainConfig config;
+    config.epochs = 3;
+    return config;
+  }
+
+  /// Optimizer steps per epoch on one of the three 60-doc shards (mirrors
+  /// the trainer's validation-split arithmetic).
+  static std::size_t shard_steps_per_epoch() {
+    const TrainConfig config = train_config();
+    const std::size_t docs = task_->train.docs.size() / 3;
+    const std::size_t num_val = static_cast<std::size_t>(
+        config.validation_fraction * static_cast<double>(docs));
+    return (docs - num_val + config.batch_size - 1) / config.batch_size;
+  }
+
+  static SynthTask* task_;
+};
+
+SynthTask* ShardedFixture::task_ = nullptr;
+
+TEST_F(ShardedFixture, ShardsOneIsBitwiseIdenticalToSerialTrainer) {
+  InjectorGuard guard;
+  WCnn serial = make_model();
+  const TrainReport reference =
+      train_classifier(serial, task_->train, train_config());
+
+  WCnn sharded = make_model();
+  const ShardedTrainReport report = train_classifier_sharded(
+      sharded, make_replica, task_->train, train_config(),
+      ResilienceConfig{}, ShardConfig{1});
+  EXPECT_EQ(report.train.termination, TerminationReason::kSucceeded);
+  EXPECT_EQ(report.shards, 1u);
+  EXPECT_EQ(report.result_shard, 0u);
+  EXPECT_TRUE(report.dead_shards.empty());
+  EXPECT_EQ(report.train.epoch_losses, reference.epoch_losses);
+  EXPECT_EQ(report.train.best_validation_accuracy,
+            reference.best_validation_accuracy);
+  expect_params_bitwise_equal(serial, sharded);
+}
+
+TEST_F(ShardedFixture, FixedShardCountIsRunToRunDeterministic) {
+  InjectorGuard guard;
+  auto run = [](WCnn& model) {
+    return train_classifier_sharded(model, make_replica, task_->train,
+                                    train_config(), ResilienceConfig{},
+                                    ShardConfig{3});
+  };
+  WCnn first = make_model();
+  const ShardedTrainReport a = run(first);
+  WCnn second = make_model();
+  const ShardedTrainReport b = run(second);
+
+  EXPECT_EQ(a.train.termination, TerminationReason::kSucceeded);
+  EXPECT_EQ(b.train.termination, TerminationReason::kSucceeded);
+  EXPECT_GT(a.averaging_rounds, 0u);
+  EXPECT_EQ(a.averaging_rounds, b.averaging_rounds);
+  EXPECT_EQ(a.result_shard, b.result_shard);
+  EXPECT_EQ(a.train.epoch_losses, b.train.epoch_losses);
+  ASSERT_EQ(a.shard_reports.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(a.shard_reports[k].steps, b.shard_reports[k].steps)
+        << "shard " << k;
+  }
+  // Thread scheduling varies between the runs; the parameters must not.
+  expect_params_bitwise_equal(first, second);
+}
+
+TEST_F(ShardedFixture, DeadShardDegradesToSurvivors) {
+  InjectorGuard guard;
+  auto run = [](WCnn& model) {
+    // Kill exactly shard 1: the '@'-scoped rule leaves the other shards'
+    // sites unmatched, so they never draw from the injector RNG and the
+    // run stays deterministic.
+    FaultInjector::instance().configure("train.loss@shard1:nan:1.0");
+    ResilienceConfig resilience;
+    resilience.max_rollbacks = 2;
+    return train_classifier_sharded(model, make_replica, task_->train,
+                                    train_config(), resilience,
+                                    ShardConfig{3});
+  };
+  WCnn first = make_model();
+  const ShardedTrainReport a = run(first);
+
+  EXPECT_EQ(a.train.termination, TerminationReason::kSucceeded);
+  ASSERT_EQ(a.dead_shards.size(), 1u);
+  EXPECT_EQ(a.dead_shards[0], 1u);
+  EXPECT_NE(a.result_shard, 1u);
+  EXPECT_EQ(a.shard_reports[1].termination, TerminationReason::kError);
+  EXPECT_EQ(a.shard_reports[1].rollbacks, 2u);
+  bool degraded_named = false;
+  for (const std::string& warning : a.train.warnings) {
+    if (warning.find("degraded") != std::string::npos) degraded_named = true;
+  }
+  EXPECT_TRUE(degraded_named) << "no warning names the degradation";
+
+  // Degradation is itself deterministic.
+  WCnn second = make_model();
+  const ShardedTrainReport b = run(second);
+  EXPECT_EQ(b.dead_shards, a.dead_shards);
+  EXPECT_EQ(b.result_shard, a.result_shard);
+  expect_params_bitwise_equal(first, second);
+}
+
+TEST_F(ShardedFixture, AllShardsDeadReportsError) {
+  InjectorGuard guard;
+  FaultInjector::instance().configure("train.loss:nan:1.0");
+  ResilienceConfig resilience;
+  resilience.max_rollbacks = 1;
+  WCnn model = make_model();
+  const ShardedTrainReport report = train_classifier_sharded(
+      model, make_replica, task_->train, train_config(), resilience,
+      ShardConfig{3});
+  EXPECT_EQ(report.train.termination, TerminationReason::kError);
+  EXPECT_EQ(report.dead_shards.size(), 3u);
+}
+
+TEST_F(ShardedFixture, StopMidRunThenResumeReplaysBitwise) {
+  InjectorGuard guard;
+  ShardSnapshotFiles files("budget_stop");
+
+  WCnn reference = make_model();
+  const ShardedTrainReport full = train_classifier_sharded(
+      reference, make_replica, task_->train, train_config(),
+      ResilienceConfig{}, ShardConfig{3});
+  EXPECT_EQ(full.train.termination, TerminationReason::kSucceeded);
+
+  // Per-shard step budget lands mid-epoch 2 (after the first averaging
+  // barrier): the first shard over budget drains the whole group and every
+  // shard flushes its own snapshot.
+  ResilienceConfig stopping;
+  stopping.snapshot_path = files.base;
+  stopping.max_steps = shard_steps_per_epoch() + 2;
+  WCnn interrupted = make_model();
+  const ShardedTrainReport partial = train_classifier_sharded(
+      interrupted, make_replica, task_->train, train_config(), stopping,
+      ShardConfig{3});
+  EXPECT_EQ(partial.train.termination, TerminationReason::kStopped);
+  EXPECT_EQ(partial.averaging_rounds, 1u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_GE(partial.shard_reports[k].snapshots_written, 1u)
+        << "shard " << k << " flushed no snapshot";
+    std::FILE* probe =
+        std::fopen(files.shard_generation(k, 1).c_str(), "rb");
+    EXPECT_NE(probe, nullptr)
+        << "missing per-shard snapshot " << files.shard_generation(k, 1);
+    if (probe != nullptr) std::fclose(probe);
+  }
+
+  ResilienceConfig resuming;
+  resuming.snapshot_path = files.base;
+  resuming.resume = true;
+  WCnn resumed = make_model();
+  const ShardedTrainReport rest = train_classifier_sharded(
+      resumed, make_replica, task_->train, train_config(), resuming,
+      ShardConfig{3});
+  EXPECT_EQ(rest.train.termination, TerminationReason::kSucceeded);
+  EXPECT_TRUE(rest.train.resumed);
+  EXPECT_EQ(rest.train.epoch_losses, full.train.epoch_losses);
+  expect_params_bitwise_equal(reference, resumed);
+}
+
+TEST_F(ShardedFixture, SigtermDrainsAllShardsAndResumesBitwise) {
+  InjectorGuard guard;
+  ShardSnapshotFiles files("sigterm");
+
+  // Child process: install the handlers, deliver a real SIGTERM, then start
+  // sharded training. Every shard must observe the token, flush, and the
+  // run must report kStopped without dying.
+  EXPECT_EXIT(
+      {
+        StopToken::instance().install();
+        std::raise(SIGTERM);
+        ResilienceConfig resilience;
+        resilience.snapshot_path = files.base;
+        WCnn model = make_model();
+        const ShardedTrainReport report = train_classifier_sharded(
+            model, make_replica, task_->train, train_config(), resilience,
+            ShardConfig{3});
+        bool clean_stop =
+            report.train.termination == TerminationReason::kStopped;
+        for (const SupervisorReport& shard : report.shard_reports) {
+          clean_stop = clean_stop && shard.snapshots_written >= 1;
+        }
+        std::_Exit(clean_stop ? 5 : 1);
+      },
+      ::testing::ExitedWithCode(5), "");
+
+  WCnn reference = make_model();
+  train_classifier_sharded(reference, make_replica, task_->train,
+                           train_config(), ResilienceConfig{},
+                           ShardConfig{3});
+
+  ResilienceConfig resuming;
+  resuming.snapshot_path = files.base;
+  resuming.resume = true;
+  WCnn resumed = make_model();
+  const ShardedTrainReport rest = train_classifier_sharded(
+      resumed, make_replica, task_->train, train_config(), resuming,
+      ShardConfig{3});
+  EXPECT_TRUE(rest.train.resumed);
+  EXPECT_EQ(rest.train.termination, TerminationReason::kSucceeded);
+  expect_params_bitwise_equal(reference, resumed);
+}
+
+// Uneven shards: with 143 documents over two shards, shard 0 runs five
+// optimizer steps per epoch and shard 1 runs four. A budget of four lets
+// shard 1 finish its epoch and park at the averaging barrier while shard 0
+// stops mid-epoch — the drain must flush the parked shard with its
+// barrier-pending flag set, and resume must replay the round bitwise.
+TEST(ShardedUneven, ShardParkedAtBarrierDrainsAndResumesBitwise) {
+  InjectorGuard guard;
+  ShardSnapshotFiles files("parked");
+  const SynthTask task = make_small_task(73, 143);
+  WCnnConfig model_config;
+  model_config.embed_dim = task.config.embedding_dim;
+  model_config.num_filters = 8;
+  auto make_replica = [&]() -> std::unique_ptr<TrainableClassifier> {
+    return std::make_unique<WCnn>(model_config, Matrix(task.paragram));
+  };
+  TrainConfig config;
+  config.epochs = 2;
+
+  WCnn reference(model_config, Matrix(task.paragram));
+  const ShardedTrainReport full = train_classifier_sharded(
+      reference, make_replica, task.train, config, ResilienceConfig{},
+      ShardConfig{2});
+  EXPECT_EQ(full.train.termination, TerminationReason::kSucceeded);
+
+  ResilienceConfig stopping;
+  stopping.snapshot_path = files.base;
+  stopping.max_steps = 4;
+  WCnn interrupted(model_config, Matrix(task.paragram));
+  const ShardedTrainReport partial = train_classifier_sharded(
+      interrupted, make_replica, task.train, config, stopping,
+      ShardConfig{2});
+  EXPECT_EQ(partial.train.termination, TerminationReason::kStopped);
+  // The budget hits before the first barrier completes: no averaging.
+  EXPECT_EQ(partial.averaging_rounds, 0u);
+
+  ResilienceConfig resuming;
+  resuming.snapshot_path = files.base;
+  resuming.resume = true;
+  WCnn resumed(model_config, Matrix(task.paragram));
+  const ShardedTrainReport rest = train_classifier_sharded(
+      resumed, make_replica, task.train, config, resuming, ShardConfig{2});
+  EXPECT_EQ(rest.train.termination, TerminationReason::kSucceeded);
+  EXPECT_TRUE(rest.train.resumed);
+  EXPECT_EQ(rest.averaging_rounds, full.averaging_rounds);
+  expect_params_bitwise_equal(reference, resumed);
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,200 @@
+// Concurrency-primitive tests: Mutex/MutexLock/CondVar, the bounded MPMC
+// TaskQueue, ThreadPool lifecycle, and the FaultInjector's thread-safety
+// (deterministic combined fire counts under concurrent sites, '@'-scoped
+// site matching).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "src/util/robust.h"
+#include "src/util/sync.h"
+
+namespace advtext {
+namespace {
+
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::instance().configure(""); }
+  ~InjectorGuard() { FaultInjector::instance().configure_from_env(); }
+};
+
+TEST(MutexTest, GuardedCounterSurvivesContention) {
+  Mutex mu;
+  std::size_t counter = 0;
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kIncrementsPerTask = 250;
+  {
+    ThreadPool pool(4);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      pool.submit([&mu, &counter] {
+        for (std::size_t i = 0; i < kIncrementsPerTask; ++i) {
+          MutexLock lock(mu);
+          ++counter;
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter, kTasks * kIncrementsPerTask);
+}
+
+TEST(CondVarTest, NotifyWakesWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  {
+    ThreadPool pool(1);
+    pool.submit([&] {
+      MutexLock lock(mu);
+      while (!ready) cv.wait(mu);
+      observed = true;
+    });
+    {
+      MutexLock lock(mu);
+      ready = true;
+      cv.notify_one();
+    }
+    pool.wait_idle();
+  }
+  EXPECT_TRUE(observed);
+}
+
+TEST(CondVarTest, TimedWaitTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_FALSE(cv.wait_for_ms(mu, 1));
+}
+
+TEST(TaskQueueTest, CloseRejectsPushAndDrainsRemaining) {
+  TaskQueue queue(4);
+  int ran = 0;
+  EXPECT_TRUE(queue.push([&ran] { ++ran; }));
+  EXPECT_TRUE(queue.push([&ran] { ++ran; }));
+  queue.close();
+  EXPECT_FALSE(queue.push([&ran] { ++ran; }));  // rejected, not enqueued
+  TaskQueue::Task task;
+  while (queue.pop(task)) task();
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(queue.pop(task));  // closed and drained
+}
+
+TEST(TaskQueueTest, BoundedCapacityBlocksProducersUntilDrained) {
+  // Queue capacity far below the task count: submit() must block while the
+  // 2 workers drain, and every task must still run exactly once.
+  Mutex mu;
+  std::size_t ran = 0;
+  constexpr std::size_t kTasks = 100;
+  {
+    ThreadPool pool(2, /*queue_capacity=*/2);
+    for (std::size_t t = 0; t < kTasks; ++t) {
+      EXPECT_TRUE(pool.submit([&mu, &ran] {
+        MutexLock lock(mu);
+        ++ran;
+      }));
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(ran, kTasks);
+}
+
+TEST(ThreadPoolTest, WaitIdleThenReuse) {
+  Mutex mu;
+  std::size_t first = 0;
+  std::size_t second = 0;
+  ThreadPool pool(3);
+  for (int t = 0; t < 10; ++t) {
+    pool.submit([&mu, &first] {
+      MutexLock lock(mu);
+      ++first;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(first, 10u);
+  // The pool stays usable after an idle barrier.
+  for (int t = 0; t < 10; ++t) {
+    pool.submit([&mu, &second] {
+      MutexLock lock(mu);
+      ++second;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(second, 10u);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  EXPECT_EQ(pool.threads(), 2u);
+}
+
+TEST(FaultInjectorScoping, AtSuffixMatchesExactThenBaseThenWildcard) {
+  InjectorGuard guard;
+  auto& injector = FaultInjector::instance();
+
+  // Exact instance rule: only that instance fires.
+  injector.configure("train.loss@shard1:nan:1.0");
+  EXPECT_TRUE(std::isnan(injector.poison("train.loss@shard1", 1.0)));
+  EXPECT_EQ(injector.poison("train.loss@shard0", 1.0), 1.0);
+  EXPECT_EQ(injector.poison("train.loss", 1.0), 1.0);
+
+  // Bare base rule: every instance of the site fires.
+  injector.configure("train.loss:nan:1.0");
+  EXPECT_TRUE(std::isnan(injector.poison("train.loss", 1.0)));
+  EXPECT_TRUE(std::isnan(injector.poison("train.loss@shard2", 1.0)));
+  EXPECT_EQ(injector.poison("other.site@shard2", 1.0), 1.0);
+
+  // Wildcard reaches scoped sites too.
+  injector.configure("all:nan:1.0");
+  EXPECT_TRUE(std::isnan(injector.poison("train.loss@shard7", 1.0)));
+}
+
+// Two threads hammering the same armed site must observe a deterministic
+// *combined* fire count: the injector serializes its RNG, so the multiset
+// of Bernoulli draws is fixed even though their interleaving is not.
+TEST(FaultInjectorThreading, ConcurrentSitesSeeDeterministicCombinedFires) {
+  InjectorGuard guard;
+  auto& injector = FaultInjector::instance();
+  constexpr std::size_t kDrawsPerThread = 1000;
+
+  auto run_pair = [&injector]() -> std::size_t {
+    injector.configure("sync.test:nan:0.5", /*seed=*/1234);
+    Mutex mu;
+    std::size_t nans = 0;
+    {
+      ThreadPool pool(2);
+      for (const char* site : {"sync.test@a", "sync.test@b"}) {
+        pool.submit([&injector, &mu, &nans, site] {
+          std::size_t local = 0;
+          for (std::size_t i = 0; i < kDrawsPerThread; ++i) {
+            if (std::isnan(injector.poison(site, 0.0))) ++local;
+          }
+          MutexLock lock(mu);
+          nans += local;
+        });
+      }
+      pool.wait_idle();
+    }
+    EXPECT_EQ(nans, injector.fires());
+    return nans;
+  };
+
+  const std::size_t first = run_pair();
+  const std::size_t second = run_pair();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first, 0u);
+  EXPECT_LT(first, 2 * kDrawsPerThread);
+
+  // The same 2000 draws made serially land on the identical combined count.
+  injector.configure("sync.test:nan:0.5", /*seed=*/1234);
+  std::size_t serial = 0;
+  for (std::size_t i = 0; i < 2 * kDrawsPerThread; ++i) {
+    if (std::isnan(injector.poison("sync.test@a", 0.0))) ++serial;
+  }
+  EXPECT_EQ(serial, first);
+}
+
+}  // namespace
+}  // namespace advtext

@@ -1,0 +1,35 @@
+// Negative compile test for the Clang thread-safety analysis.
+//
+// This file reads a field annotated ADVTEXT_GUARDED_BY without holding its
+// mutex. It must FAIL to compile under
+//   clang++ -Wthread-safety -Werror=thread-safety-analysis
+// — the `thread_safety_negative` ctest (Clang builds only) asserts exactly
+// that, proving the analysis is live rather than silently disabled. If this
+// file ever compiles under that configuration, the whole compile-time
+// lock-discipline story is void; fix the toolchain wiring, not this file.
+#include "src/util/sync.h"
+
+namespace {
+
+class MisannotatedCounter {
+ public:
+  void increment() {
+    advtext::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without mu_ held.
+  int racy_read() const { return value_; }
+
+ private:
+  mutable advtext::Mutex mu_;
+  int value_ ADVTEXT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  MisannotatedCounter counter;
+  counter.increment();
+  return counter.racy_read();
+}

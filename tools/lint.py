@@ -18,14 +18,26 @@ Rules enforced (each with a stable rule id, printed on violation):
                      stay mockable and deadline checks stay consistent
   raw-signal         no signal()/sigaction() outside src/util/ — handler
                      installation flows through StopToken so every subsystem
-                     shares one sigatomic stop flag (std::raise is fine)
+                     shares one atomic stop flag (std::raise is fine)
+  raw-thread         no std::thread / std::jthread outside src/util/sync.* —
+                     workers are spawned only by advtext::ThreadPool so
+                     thread lifetimes are bounded and joined in one place
+                     (std::this_thread, e.g. sleep_for, is fine)
+  raw-mutex          no std::mutex / std::condition_variable / std::lock_guard
+                     (or timed/recursive/shared variants, unique_lock,
+                     scoped_lock, shared_lock, condition_variable_any)
+                     outside src/util/sync.* — locking flows through the
+                     annotated advtext::Mutex / MutexLock / CondVar wrappers
+                     so Clang's -Wthread-safety analysis sees every lock
 
 Run locally from the repo root:
 
   python3 tools/lint.py            # lint the whole tree
   python3 tools/lint.py src/...    # lint specific files
 
-Exit status is the number of violating files (0 = clean).
+Exit status: 1 if any violation was found, 0 otherwise (the counts are
+printed; an exit status equal to a count would wrap mod 256 and could
+report 256 violating files as success).
 """
 
 from __future__ import annotations
@@ -43,6 +55,9 @@ LINT_DIRS = ("src", "tests", "bench", "examples")
 # Files allowed to touch raw randomness primitives.
 RAW_RANDOM_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
 
+# The one place threads are spawned and raw locks are wrapped.
+SYNC_ALLOWED = {"src/util/sync.h", "src/util/sync.cpp"}
+
 RE_USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
 RE_QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
 RE_RAW_RANDOM = re.compile(
@@ -54,6 +69,15 @@ RE_RAW_CLOCK = re.compile(
 )
 RE_RAW_SIGNAL = re.compile(
     r"(?<![\w:])(?:std\s*::\s*)?signal\s*\(|(?<![\w:])sigaction\s*\("
+)
+# `std::this_thread` must not match: after `std::` the next token is
+# `this_thread`, so anchoring the alternatives right after the `::` (plus
+# the trailing \b) keeps it clean.
+RE_RAW_THREAD = re.compile(r"std\s*::\s*(?:jthread|thread)\b")
+RE_RAW_MUTEX = re.compile(
+    r"std\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
 )
 
 
@@ -182,6 +206,18 @@ def lint_file(path: Path) -> list[str]:
                    "raw signal()/sigaction() outside src/util/; install "
                    "handlers through StopToken so shutdown stays cooperative")
 
+        if rel not in SYNC_ALLOWED:
+            if RE_RAW_THREAD.search(line):
+                report(idx, "raw-thread",
+                       "std::thread outside src/util/sync.*; spawn workers "
+                       "through advtext::ThreadPool so lifetimes are joined "
+                       "in one place")
+            if RE_RAW_MUTEX.search(line):
+                report(idx, "raw-mutex",
+                       "raw std locking primitive outside src/util/sync.*; "
+                       "use advtext::Mutex/MutexLock/CondVar so the Clang "
+                       "thread-safety analysis sees the lock")
+
     return violations
 
 
@@ -210,9 +246,9 @@ def main(argv: list[str]) -> int:
     if total:
         print(f"lint: {total} violation(s) in {bad_files} file(s)",
               file=sys.stderr)
-    else:
-        print(f"lint: {len(files)} files clean")
-    return min(bad_files, 125)
+        return 1
+    print(f"lint: {len(files)} files clean")
+    return 0
 
 
 if __name__ == "__main__":
