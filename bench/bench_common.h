@@ -3,18 +3,22 @@
 // suite can be run quickly (ADVTEXT_BENCH_DOCS limits attacked documents).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
 #include "src/eval/pipeline.h"
+#include "src/nn/checkpoint.h"
 #include "src/nn/lstm.h"
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
 #include "src/util/string_util.h"
+#include "src/util/sync.h"
 
 namespace advtext::bench {
 
@@ -47,6 +51,19 @@ inline std::size_t bench_shards(std::size_t fallback = 1) {
     const std::size_t shards =
         static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
     return shards == 0 ? 1 : shards;
+  }
+  return fallback;
+}
+
+/// Attack-sweep worker threads (ADVTEXT_BENCH_ATTACK_THREADS=<k>; default
+/// 1 = the serial path). Unlike shards, a different thread count is the
+/// *same* run: for the deterministic bench models the K-worker sweep is
+/// bitwise-identical to serial, so thread count only changes wall-clock.
+inline std::size_t attack_threads(std::size_t fallback = 1) {
+  if (const char* env = std::getenv("ADVTEXT_BENCH_ATTACK_THREADS")) {
+    const std::size_t threads =
+        static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    return threads == 0 ? 1 : threads;
   }
   return fallback;
 }
@@ -137,6 +154,124 @@ inline std::unique_ptr<TrainableClassifier> make_trained(
   }
   train_classifier(*model, task.train, default_training(kind));
   return model;
+}
+
+/// Replica factory for the parallel attack sweep: rebuilds the bench
+/// architecture for `kind` and bitwise-copies the trained weights from
+/// `trained`. `trained` and `task` must outlive the returned factory and
+/// every replica it produces.
+inline std::function<std::unique_ptr<TextClassifier>()>
+attack_replica_factory(const std::string& kind, const SynthTask& task,
+                       TrainableClassifier& trained) {
+  return [kind, &task, &trained]() -> std::unique_ptr<TextClassifier> {
+    std::unique_ptr<TrainableClassifier> replica =
+        kind == "WCNN" ? std::unique_ptr<TrainableClassifier>(make_wcnn(task))
+                       : std::unique_ptr<TrainableClassifier>(make_lstm(task));
+    copy_model_params(trained, *replica);
+    return replica;
+  };
+}
+
+/// Applies the sweep-parallelism env knobs to an attack config (threads +
+/// replica factory). Call after the model is trained.
+inline void configure_attack_parallelism(AttackEvalConfig& config,
+                                         const std::string& kind,
+                                         const SynthTask& task,
+                                         TrainableClassifier& trained) {
+  config.threads = attack_threads();
+  if (config.threads > 1) {
+    config.make_model_replica = attack_replica_factory(kind, task, trained);
+  }
+}
+
+/// Ordered parallel map: computes fn(worker, index) for every index in
+/// [0, n) on up to `threads` pool workers and returns the results in index
+/// order. Workers self-dispatch from a shared cursor, so per-index work may
+/// run on any worker in any order — fn must only touch shared state that is
+/// read-only, plus per-worker state keyed by its `worker` id (< threads).
+/// threads <= 1 degenerates to a plain serial loop on the calling thread.
+/// The first exception fn throws is rethrown here after all workers drain.
+template <typename Result, typename Fn>
+std::vector<Result> parallel_index_map(std::size_t n, std::size_t threads,
+                                       Fn&& fn) {
+  std::vector<Result> results(n);
+  const std::size_t workers = threads < 2 || n < 2
+                                  ? 1
+                                  : (threads < n ? threads : n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results[i] = fn(0, i);
+    return results;
+  }
+  std::atomic<std::size_t> cursor{0};
+  Mutex mu;
+  std::exception_ptr first_error;  // guarded by mu
+  {
+    ThreadPool pool(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      (void)pool.submit([&, w] {
+        while (true) {
+          const std::size_t i = cursor.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          if (i >= n) break;
+          try {
+            results[i] = fn(w, i);
+          } catch (...) {
+            MutexLock lock(mu);
+            if (!first_error) first_error = std::current_exception();
+            cursor.store(n, std::memory_order_relaxed);  // stop dispatch
+            break;
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+// ---- Machine-readable bench output (ADVTEXT_BENCH_JSON) --------------------
+
+/// One benchmark measurement for the JSON trajectory (BENCH_*.json). All
+/// string fields must be plain identifiers/paths without quotes or control
+/// characters — they are emitted without escaping.
+struct BenchJsonRecord {
+  std::string bench;       ///< bench binary, e.g. "table2"
+  std::string config;      ///< configuration cell, e.g. "news/WCNN/ours"
+  std::size_t threads = 1; ///< attack-sweep workers
+  std::size_t shards = 1;  ///< training data shards
+  std::size_t docs = 0;    ///< documents evaluated
+  double wall_seconds = 0.0;      ///< whole-sweep wall clock
+  double seconds_per_doc = 0.0;   ///< mean per attacked doc
+  double success_rate = 0.0;
+};
+
+/// Appends `record` as one JSON object per line to the path named by
+/// ADVTEXT_BENCH_JSON (absent/empty = disabled). Append-only so a bench
+/// suite accumulates its runs into one file; hardware_threads is stamped
+/// into every record because speedup numbers are meaningless without the
+/// core count they were measured on. Write failures warn and continue — a
+/// lost metrics line must never fail a bench run.
+inline void append_bench_json(const BenchJsonRecord& record) {
+  const char* env = std::getenv("ADVTEXT_BENCH_JSON");
+  if (env == nullptr || *env == '\0') return;
+  std::FILE* out = std::fopen(env, "a");
+  if (out == nullptr) {
+    std::fprintf(stderr, "  [bench-json] cannot open %s; record dropped\n",
+                 env);
+    return;
+  }
+  const auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  std::fprintf(
+      out,
+      "{\"bench\":\"%s\",\"config\":\"%s\",\"threads\":%zu,\"shards\":%zu,"
+      "\"docs\":%zu,\"wall_seconds\":%.6f,\"seconds_per_doc\":%.6f,"
+      "\"success_rate\":%.4f,\"hardware_threads\":%zu}\n",
+      record.bench.c_str(), record.config.c_str(), record.threads,
+      record.shards, record.docs, finite(record.wall_seconds),
+      finite(record.seconds_per_doc), finite(record.success_rate),
+      hardware_threads());
+  std::fclose(out);
 }
 
 }  // namespace advtext::bench

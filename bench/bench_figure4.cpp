@@ -10,9 +10,11 @@
 // This bench prints the full grid as series (one row per λw) so the
 // curves can be compared to the figure.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/eval/report.h"
+#include "src/util/stopwatch.h"
 
 int main() {
   using namespace advtext;
@@ -42,8 +44,17 @@ int main() {
         config.joint.sentence_fraction = ls;
         config.joint.enable_word = lw > 0.0;
         config.joint.word_fraction = lw;
+        configure_attack_parallelism(config, "LSTM", task, *model);
+        Stopwatch watch;
         const AttackEvalResult result =
             evaluate_attack(*model, task, context, config);
+        append_bench_json(
+            {"figure4",
+             task.config.name + "/LSTM/ls=" + format_percent(ls, 0) +
+                 ",lw=" + format_percent(lw, 0),
+             config.threads, 1, result.docs_evaluated,
+             watch.elapsed_seconds(), result.mean_seconds_per_doc,
+             result.success_rate});
         row.push_back(format_percent(result.success_rate, 0));
       }
       table.print_row(row);

@@ -14,9 +14,11 @@
 // and matches or beats the word-only greedy baseline despite a 2.5x
 // smaller word budget.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/eval/report.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
@@ -66,8 +68,16 @@ int main() {
           task.config.name == "Trec07p" ? 0.6 : 0.2;  // paper §6.2
       ours.joint.word_fraction = 0.2;
       ours.joint.word_method = WordAttackMethod::kGradientGuidedGreedy;
+      configure_attack_parallelism(ours, model_kind, task, *model);
+      Stopwatch ours_watch;
       const AttackEvalResult ours_result =
           evaluate_attack(*model, task, context, ours);
+      append_bench_json({"table2",
+                         task.config.name + "/" + model_kind + "/ours",
+                         ours.threads, 1, ours_result.docs_evaluated,
+                         ours_watch.elapsed_seconds(),
+                         ours_result.mean_seconds_per_doc,
+                         ours_result.success_rate});
 
       AttackEvalConfig kuleshov;
       kuleshov.max_docs = docs;
@@ -76,8 +86,16 @@ int main() {
       kuleshov.joint.enable_sentence = false;  // [19] is word-level only
       kuleshov.joint.word_fraction = 0.5;
       kuleshov.joint.word_method = WordAttackMethod::kObjectiveGreedy;
+      configure_attack_parallelism(kuleshov, model_kind, task, *model);
+      Stopwatch kuleshov_watch;
       const AttackEvalResult kuleshov_result =
           evaluate_attack(*model, task, context, kuleshov);
+      append_bench_json({"table2",
+                         task.config.name + "/" + model_kind + "/kuleshov",
+                         kuleshov.threads, 1, kuleshov_result.docs_evaluated,
+                         kuleshov_watch.elapsed_seconds(),
+                         kuleshov_result.mean_seconds_per_doc,
+                         kuleshov_result.success_rate});
 
       const PaperRow* paper = nullptr;
       for (const PaperRow& row : kPaper) {

@@ -13,12 +13,16 @@
 // Shape to match: ours >= greedy[19] >> gradient[18] on success rate, and
 // ours much cheaper per document than greedy[19].
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/core/gradient_attack.h"
 #include "src/core/gradient_guided_greedy.h"
 #include "src/core/objective_greedy.h"
 #include "src/eval/report.h"
+#include "src/nn/checkpoint.h"
+#include "src/util/stopwatch.h"
 
 namespace {
 
@@ -29,61 +33,106 @@ struct MethodStats {
   double success_rate = 0.0;
   double seconds = 0.0;
   double queries = 0.0;
+  std::size_t attacked = 0;
 };
 
 // The attacker queries the stochastic (MC-dropout) model, but success is
 // judged on the deterministic decision rule — a stochastic verdict would
 // award wins for lucky dropout draws on near-boundary documents.
+//
+// Two stages so the sweep parallelizes: (1) eligibility — which documents
+// the deterministic rule classifies correctly — runs serially on the
+// primary model (cheap, no dropout draws); (2) the attacks run over the
+// eligible list on `threads` workers, each with its own WCnn replica
+// (dropout toggling is per-replica state, so workers never share a model).
+// Per-doc outcomes are reduced in document order; with threads=1 this is
+// step-for-step the original serial loop, and for mc_dropout=0 any thread
+// count produces identical stats.
 MethodStats run_method(WCnn& model, const SynthTask& task,
                        const TaskAttackContext& context,
                        const std::string& method, double lambda_w,
-                       std::size_t max_docs, bool use_lm,
-                       float mc_dropout) {
-  MethodStats stats;
-  std::size_t attacked = 0;
-  std::size_t flipped = 0;
-  double seconds = 0.0;
-  double queries = 0.0;
-  for (const Document& doc : task.test.docs) {
-    if (attacked >= max_docs) break;
-    const TokenSeq tokens = doc.flatten();
-    const std::size_t label = static_cast<std::size_t>(doc.label);
-    model.set_mc_dropout(0.0f);
-    const bool correct = !tokens.empty() && model.predict(tokens) == label;
-    model.set_mc_dropout(mc_dropout);
-    if (!correct) continue;
-    ++attacked;
-    WordCandidates candidates;
-    candidates.per_position = context.word_index().candidates_for(
-        tokens, use_lm ? &context.lm() : nullptr);
-    WordAttackResult result;
-    const std::size_t target = 1 - label;
-    if (method == "greedy[19]") {
-      ObjectiveGreedyConfig config;
-      config.max_replace_fraction = lambda_w;
-      result =
-          objective_greedy_attack(model, tokens, candidates, target, config);
-    } else if (method == "gradient[18]") {
-      GradientAttackConfig config;
-      config.max_replace_fraction = lambda_w;
-      result = gradient_attack(model, tokens, candidates, target, config);
-    } else {
-      GradientGuidedGreedyConfig config;
-      config.max_replace_fraction = lambda_w;
-      result = gradient_guided_greedy_attack(model, tokens, candidates,
-                                             target, config);
+                       std::size_t max_docs, bool use_lm, float mc_dropout,
+                       std::size_t threads) {
+  std::vector<std::size_t> eligible;
+  model.set_mc_dropout(0.0f);
+  for (std::size_t i = 0;
+       i < task.test.docs.size() && eligible.size() < max_docs; ++i) {
+    const TokenSeq tokens = task.test.docs[i].flatten();
+    if (!tokens.empty() &&
+        model.predict(tokens) ==
+            static_cast<std::size_t>(task.test.docs[i].label)) {
+      eligible.push_back(i);
     }
-    model.set_mc_dropout(0.0f);
-    if (model.predict(result.adv_tokens) != label) ++flipped;
-    model.set_mc_dropout(mc_dropout);
-    seconds += result.seconds;
-    queries += static_cast<double>(result.queries);
   }
-  if (attacked > 0) {
-    stats.success_rate =
-        static_cast<double>(flipped) / static_cast<double>(attacked);
-    stats.seconds = seconds / static_cast<double>(attacked);
-    stats.queries = queries / static_cast<double>(attacked);
+  model.set_mc_dropout(mc_dropout);
+
+  const std::size_t workers =
+      threads < 2 || eligible.size() < 2
+          ? 1
+          : (threads < eligible.size() ? threads : eligible.size());
+  std::vector<std::unique_ptr<WCnn>> replicas;
+  for (std::size_t w = 1; w < workers; ++w) {
+    replicas.push_back(make_wcnn(task, mc_dropout));
+    copy_model_params(model, *replicas.back());
+  }
+
+  struct DocOutcome {
+    bool flipped = false;
+    double seconds = 0.0;
+    double queries = 0.0;
+  };
+  const std::vector<DocOutcome> outcomes = parallel_index_map<DocOutcome>(
+      eligible.size(), workers,
+      [&](std::size_t worker, std::size_t index) {
+        WCnn& worker_model = worker == 0 ? model : *replicas[worker - 1];
+        const Document& doc = task.test.docs[eligible[index]];
+        const TokenSeq tokens = doc.flatten();
+        const std::size_t label = static_cast<std::size_t>(doc.label);
+        WordCandidates candidates;
+        candidates.per_position = context.word_index().candidates_for(
+            tokens, use_lm ? &context.lm() : nullptr);
+        WordAttackResult result;
+        const std::size_t target = 1 - label;
+        if (method == "greedy[19]") {
+          ObjectiveGreedyConfig config;
+          config.max_replace_fraction = lambda_w;
+          result = objective_greedy_attack(worker_model, tokens, candidates,
+                                           target, config);
+        } else if (method == "gradient[18]") {
+          GradientAttackConfig config;
+          config.max_replace_fraction = lambda_w;
+          result =
+              gradient_attack(worker_model, tokens, candidates, target, config);
+        } else {
+          GradientGuidedGreedyConfig config;
+          config.max_replace_fraction = lambda_w;
+          result = gradient_guided_greedy_attack(worker_model, tokens,
+                                                 candidates, target, config);
+        }
+        DocOutcome outcome;
+        worker_model.set_mc_dropout(0.0f);
+        outcome.flipped = worker_model.predict(result.adv_tokens) != label;
+        worker_model.set_mc_dropout(mc_dropout);
+        outcome.seconds = result.seconds;
+        outcome.queries = static_cast<double>(result.queries);
+        return outcome;
+      });
+
+  MethodStats stats;
+  stats.attacked = outcomes.size();
+  if (!outcomes.empty()) {
+    std::size_t flipped = 0;
+    double seconds = 0.0;
+    double queries = 0.0;
+    for (const DocOutcome& outcome : outcomes) {
+      if (outcome.flipped) ++flipped;
+      seconds += outcome.seconds;
+      queries += outcome.queries;
+    }
+    const double attacked = static_cast<double>(outcomes.size());
+    stats.success_rate = static_cast<double>(flipped) / attacked;
+    stats.seconds = seconds / attacked;
+    stats.queries = queries / attacked;
   }
   return stats;
 }
@@ -144,8 +193,17 @@ int main() {
       train_classifier(*model, task.train, default_training());
       for (double lw : {0.05, 0.20}) {
         for (const char* method : {"greedy[19]", "gradient[18]", "ours"}) {
-          const MethodStats stats = run_method(*model, task, context, method,
-                                               lw, docs, use_lm, mc);
+          Stopwatch watch;
+          const MethodStats stats =
+              run_method(*model, task, context, method, lw, docs, use_lm, mc,
+                         attack_threads());
+          append_bench_json(
+              {"table3",
+               task.config.name + "/WCNN/" + method +
+                   "/lw=" + format_percent(lw, 0) +
+                   ",mc=" + format_percent(static_cast<double>(mc), 0),
+               attack_threads(), 1, stats.attacked, watch.elapsed_seconds(),
+               stats.seconds, stats.success_rate});
           const PaperCell* paper = nullptr;
           for (const PaperCell& cell : kPaperCells) {
             if (task.config.name == cell.dataset &&

@@ -59,7 +59,8 @@ int usage() {
       "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
       "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n"
       "           [--deadline-ms X] [--max-queries N] [--checkpoint FILE]\n"
-      "           [--resume] [--inject SPEC]\n"
+      "           [--resume] [--inject SPEC] [--attack-threads K]\n"
+      "           [--sweep-max-queries N]\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 deadline/budget-limited docs,\n"
       "            4 failed docs, 5 stopped by signal (state flushed;\n"
       "            rerun with --train-resume / --resume)\n");
@@ -220,6 +221,18 @@ int cmd_attack(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("max-queries", 0));
   config.checkpoint_path = args.get_string("checkpoint");
   config.resume = args.get_bool("resume", false);
+  config.threads = static_cast<std::size_t>(args.get_int("attack-threads", 1));
+  config.sweep_max_queries =
+      static_cast<std::size_t>(args.get_int("sweep-max-queries", 0));
+  if (config.threads > 1) {
+    // Replica per extra worker: same architecture, trained weights copied
+    // in-memory from the loaded primary.
+    config.make_model_replica = [&]() -> std::unique_ptr<TextClassifier> {
+      auto replica = build_model(kind, task, args);
+      copy_model_params(*model, *replica);
+      return replica;
+    };
+  }
   const std::string method = args.get_string("method", "ggg");
   if (method == "greedy") {
     config.joint.word_method = WordAttackMethod::kObjectiveGreedy;
@@ -229,6 +242,9 @@ int cmd_attack(const ArgParser& args) {
     config.joint.word_method = WordAttackMethod::kGradientGuidedGreedy;
   }
 
+  // SIGINT/SIGTERM drain in-flight docs and flush an in-order-prefix
+  // checkpoint (exit 5; rerun with --resume).
+  StopToken::instance().install();
   g_phase = "attack:evaluate";
   const AttackEvalResult result =
       evaluate_attack(*model, task, context, config);
@@ -263,6 +279,16 @@ int cmd_attack(const ArgParser& args) {
                 i + 1, task.test.docs[idx].label,
                 task.test.docs[idx].to_string(task.vocab).c_str(),
                 result.adv_docs[idx].to_string(task.vocab).c_str());
+  }
+  if (result.termination == TerminationReason::kStopped) {
+    std::printf("attack sweep stopped by signal; rerun with --resume\n");
+    return kExitStopped;
+  }
+  if (result.termination == TerminationReason::kBudgetExhausted) {
+    std::printf("sweep query budget exhausted after %zu docs (%zu queries); "
+                "rerun with --resume and a larger --sweep-max-queries\n",
+                result.docs_evaluated, result.sweep_queries_used);
+    return kExitLimited;
   }
   if (result.docs_failed > 0) return kExitDocsFailed;
   if (result.docs_deadline + result.docs_budget > 0) return kExitLimited;

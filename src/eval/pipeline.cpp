@@ -2,12 +2,17 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <exception>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "src/eval/metrics.h"
 #include "src/util/serialize.h"
+#include "src/util/stop_token.h"
+#include "src/util/sync.h"
 
 namespace advtext {
 
@@ -172,6 +177,37 @@ Outcome<JointAttackResult> run_attack_isolated(
   }
 }
 
+/// Queries a record accounts for against the sweep budget: the pre-attack
+/// correctness probe, plus — for attacked docs — the kept attack's queries
+/// and the post-attack flip recheck. Derived from the record (not from live
+/// counters) so a resumed run replays exactly the same charges. A discarded
+/// deadline-retry's queries are bounded by the per-doc budget and not
+/// re-accounted.
+std::size_t record_query_cost(const DocRecord& r) {
+  return r.kind == 1 ? 2 + static_cast<std::size_t>(r.attack.queries) : 1;
+}
+
+/// Shared state of one parallel sweep: a self-dispatch cursor over the
+/// eligible-document list and an in-order commit buffer. Workers claim the
+/// next undispatched position, attack it on private resources, and park the
+/// finished record in done[pos]; the main thread folds/appends/checkpoints
+/// records strictly in ascending position order. halt stops further
+/// dispatch (stop request, sweep-budget exhaustion, or a fatal error) while
+/// in-flight documents drain, so the committed prefix is always
+/// contiguous — exactly what a serial run would have produced.
+struct SweepState {
+  Mutex mu;
+  /// Signalled on every record completion, halt, and worker exit.
+  CondVar progress;
+  std::size_t next ADVTEXT_GUARDED_BY(mu) = 0;  ///< dispatch cursor
+  bool halt ADVTEXT_GUARDED_BY(mu) = false;
+  bool stopped ADVTEXT_GUARDED_BY(mu) = false;       ///< StopToken drain
+  bool budget_stop ADVTEXT_GUARDED_BY(mu) = false;   ///< sweep cap hit
+  std::size_t active ADVTEXT_GUARDED_BY(mu) = 0;     ///< workers running
+  std::vector<std::unique_ptr<DocRecord>> done ADVTEXT_GUARDED_BY(mu);
+  std::exception_ptr fatal ADVTEXT_GUARDED_BY(mu);   ///< non-runtime_error
+};
+
 }  // namespace
 
 AttackEvalResult evaluate_attack(const TextClassifier& model,
@@ -190,6 +226,10 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
   std::size_t correct_after = 0;
   const std::size_t attack_budget =
       config.max_docs == 0 ? task.test.docs.size() : config.max_docs;
+  // Sweep-wide query cap shared by every worker (0 = unlimited; the
+  // accounting still runs so sweep_queries_used is always filled).
+  QueryBudget sweep_budget(config.sweep_max_queries);
+  const bool sweep_limited = config.sweep_max_queries > 0;
 
   // Folds one record into the aggregates. Fresh and replayed documents go
   // through the same path, so resume reproduces the uninterrupted run.
@@ -245,7 +285,12 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
   std::size_t resume_from = 0;
   if (config.resume && !config.checkpoint_path.empty()) {
     records = read_checkpoint(config.checkpoint_path, task.test.docs.size());
-    for (const DocRecord& r : records) apply_record(r);
+    for (const DocRecord& r : records) {
+      apply_record(r);
+      // Replayed docs re-charge the sweep budget so a resumed capped run
+      // honours the cap across the whole logical sweep.
+      sweep_budget.charge_up_to(record_query_cost(r));
+    }
     if (!records.empty()) {
       resume_from = static_cast<std::size_t>(records.back().doc_index) + 1;
     }
@@ -266,24 +311,27 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
     docs_since_checkpoint = 0;
   };
 
-  const Wmd& wmd = context.wmd();
-  for (std::size_t doc_index = resume_from;
-       doc_index < task.test.docs.size(); ++doc_index) {
-    if (result.docs_evaluated >= attack_budget) break;
+  // Attacks one document and builds its record. Called with the worker's
+  // own model / resources / Wmd — in the serial path those are the primary
+  // instances, in the parallel path per-worker replicas. FaultScope tags
+  // every injection point fired under it with "@doc<i>", so scoped
+  // injection rules hit the same document no matter which thread runs it.
+  const auto process_doc = [&](std::size_t doc_index,
+                               const TextClassifier& worker_model,
+                               const AttackResources& worker_resources,
+                               const Wmd& worker_wmd) -> DocRecord {
     const Document& doc = task.test.docs[doc_index];
-    const TokenSeq tokens = doc.flatten();
-    if (tokens.empty()) continue;
-
+    FaultScope scope("doc" + std::to_string(doc_index));
     DocRecord record;
     record.doc_index = doc_index;
     const std::size_t true_label = static_cast<std::size_t>(doc.label);
-    const std::size_t predicted = model.predict(tokens);
+    const std::size_t predicted = worker_model.predict(doc.flatten());
     if (predicted == true_label) {
       // Targeted attack at the other class (binary tasks).
       const std::size_t target = 1 - true_label;
-      const WmdDegradation before = wmd.degradation();
-      Outcome<JointAttackResult> outcome =
-          run_attack_isolated(model, doc, target, resources, config.joint);
+      const WmdDegradation before = worker_wmd.degradation();
+      Outcome<JointAttackResult> outcome = run_attack_isolated(
+          worker_model, doc, target, worker_resources, config.joint);
       if (config.retry_relaxed && config.joint.deadline_ms > 0.0 &&
           outcome.ok() &&
           outcome.value().termination ==
@@ -292,32 +340,202 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
         JointAttackConfig relaxed = config.joint;
         relaxed.deadline_ms = config.joint.deadline_ms * 4.0;
         relaxed.enable_sentence = false;
-        Outcome<JointAttackResult> second =
-            run_attack_isolated(model, doc, target, resources, relaxed);
+        Outcome<JointAttackResult> second = run_attack_isolated(
+            worker_model, doc, target, worker_resources, relaxed);
         record.retried = 1;
         if (second.ok()) outcome = std::move(second);
       }
-      const WmdDegradation after = wmd.degradation();
+      const WmdDegradation after = worker_wmd.degradation();
       record.wmd_to_sinkhorn = after.to_sinkhorn - before.to_sinkhorn;
       record.wmd_to_lower = after.to_lower_bound - before.to_lower_bound;
       if (outcome.ok()) {
         record.kind = 1;
         record.attack = std::move(outcome.value());
         record.attack.adv_doc.label = doc.label;  // ground truth unchanged
-        record.flipped =
-            model.predict(record.attack.adv_doc.flatten()) != true_label;
+        record.flipped = worker_model.predict(record.attack.adv_doc.flatten()) !=
+                         true_label;
       } else {
         record.kind = 2;
         record.attack.termination = outcome.failure().reason;
         record.error = outcome.failure().message;
       }
     }
+    return record;
+  };
+
+  // Commits one finished record: fold into the aggregates, append to the
+  // checkpoint stream, advance the cadence. The single commit path both
+  // loops share — records always land in ascending doc_index order.
+  const auto commit_record = [&](DocRecord record) {
     apply_record(record);
     records.push_back(std::move(record));
     ++docs_since_checkpoint;
     maybe_checkpoint(/*force=*/false);
+  };
+
+  bool stop_drained = false;
+  bool sweep_exhausted = false;
+
+  if (config.threads <= 1) {
+    // ---- Serial sweep (the original path) --------------------------------
+    for (std::size_t doc_index = resume_from;
+         doc_index < task.test.docs.size(); ++doc_index) {
+      if (result.docs_evaluated >= attack_budget) break;
+      const Document& doc = task.test.docs[doc_index];
+      if (doc.flatten().empty()) continue;
+      // Both polls sit after the empty-doc skip, mirroring the parallel
+      // path where only eligible (non-empty) documents reach dispatch.
+      if (StopToken::instance().stop_requested()) {
+        stop_drained = true;
+        break;
+      }
+      if (sweep_limited && sweep_budget.exhausted()) {
+        sweep_exhausted = true;
+        break;
+      }
+      DocRecord record =
+          process_doc(doc_index, model, resources, context.wmd());
+      sweep_budget.charge_up_to(record_query_cost(record));
+      commit_record(std::move(record));
+    }
+  } else {
+    // ---- Parallel sweep: K workers, in-order commit ----------------------
+    // Eligible docs = exactly the documents the serial loop would evaluate:
+    // from resume_from, skipping empty ones, capped by the remaining doc
+    // budget. Precomputing the list makes dispatch order — and therefore
+    // the committed prefix — independent of scheduling.
+    std::vector<std::size_t> eligible;
+    const std::size_t remaining_docs =
+        result.docs_evaluated >= attack_budget
+            ? 0
+            : attack_budget - result.docs_evaluated;
+    for (std::size_t doc_index = resume_from;
+         doc_index < task.test.docs.size() && eligible.size() < remaining_docs;
+         ++doc_index) {
+      if (!task.test.docs[doc_index].flatten().empty()) {
+        eligible.push_back(doc_index);
+      }
+    }
+
+    if (!eligible.empty()) {
+      const std::size_t workers =
+          config.threads < eligible.size() ? config.threads : eligible.size();
+      ADVTEXT_CHECK(config.make_model_replica != nullptr)
+          << "evaluate_attack: threads > 1 requires make_model_replica "
+             "(every extra worker needs its own classifier; see "
+             "AttackEvalConfig::make_model_replica)";
+      // Worker 0 attacks with the primary model; workers 1..K-1 get
+      // replicas. Each worker also gets its own Wmd copy (fresh tally) so
+      // per-doc degradation deltas never mix across threads.
+      std::vector<std::unique_ptr<TextClassifier>> replicas;
+      replicas.reserve(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        replicas.push_back(config.make_model_replica());
+        ADVTEXT_CHECK(replicas.back() != nullptr)
+            << "evaluate_attack: make_model_replica returned null";
+      }
+      std::vector<Wmd> worker_wmds;
+      worker_wmds.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        worker_wmds.emplace_back(context.wmd());
+      }
+
+      SweepState st;
+      st.done.resize(eligible.size());
+      {
+        MutexLock lock(st.mu);
+        st.active = workers;
+      }
+
+      const auto worker_loop = [&](std::size_t worker_id) {
+        const TextClassifier& worker_model =
+            worker_id == 0 ? model : *replicas[worker_id - 1];
+        AttackResources worker_resources = resources;
+        worker_resources.wmd = &worker_wmds[worker_id];
+        while (true) {
+          std::size_t pos = 0;
+          {
+            MutexLock lock(st.mu);
+            if (st.halt || st.next >= eligible.size()) break;
+            if (StopToken::instance().stop_requested()) {
+              st.halt = true;
+              st.stopped = true;
+              st.progress.notify_all();
+              break;
+            }
+            if (sweep_limited && sweep_budget.exhausted()) {
+              st.halt = true;
+              st.budget_stop = true;
+              st.progress.notify_all();
+              break;
+            }
+            pos = st.next++;
+          }
+          try {
+            DocRecord record =
+                process_doc(eligible[pos], worker_model, worker_resources,
+                            worker_wmds[worker_id]);
+            sweep_budget.charge_up_to(record_query_cost(record));
+            MutexLock lock(st.mu);
+            st.done[pos] = std::make_unique<DocRecord>(std::move(record));
+            st.progress.notify_all();
+          } catch (...) {
+            // Anything escaping process_doc is a contract violation
+            // (runtime errors were absorbed per-doc): stop dispatch, stash
+            // for the main thread, let the sweep drain.
+            MutexLock lock(st.mu);
+            if (!st.fatal) st.fatal = std::current_exception();
+            st.halt = true;
+            st.progress.notify_all();
+            break;
+          }
+        }
+        MutexLock lock(st.mu);
+        --st.active;
+        st.progress.notify_all();
+      };
+
+      std::exception_ptr fatal;
+      {
+        ThreadPool pool(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+          // A fresh pool never rejects; the return only matters at shutdown.
+          (void)pool.submit([&worker_loop, w] { worker_loop(w); });
+        }
+        // In-order commit: block on the next position until its record (or
+        // the news that it will never come) arrives. Folding and
+        // checkpointing happen only here, on this thread, in doc order.
+        for (std::size_t commit = 0; commit < eligible.size(); ++commit) {
+          std::unique_ptr<DocRecord> record;
+          {
+            MutexLock lock(st.mu);
+            while (st.done[commit] == nullptr && st.active > 0) {
+              st.progress.wait(st.mu);
+            }
+            if (st.done[commit] == nullptr) break;  // halted before this doc
+            record = std::move(st.done[commit]);
+          }
+          commit_record(std::move(*record));
+        }
+        pool.wait_idle();
+        MutexLock lock(st.mu);
+        stop_drained = st.stopped;
+        sweep_exhausted = st.budget_stop;
+        fatal = st.fatal;
+      }
+      // Propagate contract violations exactly like the serial loop would
+      // have (periodic checkpoints already persisted the committed prefix).
+      if (fatal) std::rethrow_exception(fatal);
+    }
   }
   maybe_checkpoint(/*force=*/true);
+
+  result.termination = stop_drained
+                           ? TerminationReason::kStopped
+                           : (sweep_exhausted
+                                  ? TerminationReason::kBudgetExhausted
+                                  : TerminationReason::kSucceeded);
+  result.sweep_queries_used = sweep_budget.used();
 
   result.adversarial_accuracy =
       result.docs_evaluated == 0

@@ -4,12 +4,16 @@
 // per-document time, replacement counts).
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/core/joint_attack.h"
 #include "src/data/synthetic.h"
 #include "src/nn/text_classifier.h"
+#include "src/util/robust.h"
 
 namespace advtext {
 
@@ -55,6 +59,31 @@ struct AttackEvalConfig {
   /// documents are restored (bitwise-identical aggregates), the run
   /// continues from the first unrecorded document.
   bool resume = false;
+  /// Attack worker threads. 1 (the default) runs the original serial loop;
+  /// K > 1 attacks up to K documents concurrently on a sync.h ThreadPool
+  /// while records are folded, appended, and checkpointed strictly in
+  /// ascending doc_index order — for a deterministic model (no MC dropout)
+  /// and no per-doc deadline, results and checkpoint files are
+  /// bitwise-identical to the serial run (timing fields excepted), and
+  /// serial and parallel runs resume each other's checkpoints.
+  std::size_t threads = 1;
+  /// Required when threads > 1: builds one independent model replica per
+  /// extra worker (worker 0 uses `model` itself). Contract: each call
+  /// returns a classifier over the same task whose trained weights are a
+  /// bitwise copy of `model`'s (see copy_model_params in nn/checkpoint.h)
+  /// and which shares no mutable state with `model` or other replicas.
+  /// Stochastic inference (MC dropout) breaks the bitwise guarantee; leave
+  /// it disabled for parity-sensitive sweeps.
+  std::function<std::unique_ptr<TextClassifier>()> make_model_replica;
+  /// Sweep-wide query cap shared by all workers (0 = unlimited), distinct
+  /// from the per-document joint.max_queries. Admission control: once the
+  /// accounted total reaches the cap no further document is dispatched
+  /// (in-flight documents drain), the run ends kBudgetExhausted with a
+  /// valid resumable checkpoint. Accounting is clamped (never exceeds the
+  /// cap) and derived from each document's record — pre-attack probe +
+  /// kept attack queries + flip recheck — so a resumed run replays the
+  /// same charges.
+  std::size_t sweep_max_queries = 0;
 };
 
 struct AttackEvalResult {
@@ -91,6 +120,14 @@ struct AttackEvalResult {
   std::vector<std::size_t> attacked_indices;
   /// Per-attacked-document results, aligned with attacked_indices.
   std::vector<JointAttackResult> attacks;
+  /// Why the *sweep* ended: kSucceeded (all requested docs evaluated),
+  /// kBudgetExhausted (sweep_max_queries admission stop), or kStopped
+  /// (StopToken / SIGTERM drain). Per-document failures stay isolated in
+  /// docs_failed and do not escalate the sweep termination.
+  TerminationReason termination = TerminationReason::kSucceeded;
+  /// Accounted queries charged against sweep_max_queries (also filled when
+  /// the sweep budget is unlimited; then it is the plain accounted total).
+  std::size_t sweep_queries_used = 0;
 };
 
 /// Attacks the model over task.test. For binary tasks the target label is

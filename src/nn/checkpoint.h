@@ -4,9 +4,12 @@
 // the same task/embedding table before loading.
 #pragma once
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "src/nn/text_classifier.h"
+#include "src/util/check.h"
 #include "src/util/serialize.h"
 
 namespace advtext {
@@ -28,6 +31,26 @@ inline void load_model(TrainableClassifier& model, const std::string& path) {
     tensors.emplace_back(ref.value, ref.size);
   }
   io::load_parameters(tensors, path);
+}
+
+/// Bitwise-copies every trainable tensor from `src` into the
+/// identically-shaped `dst` (in-memory save_model/load_model). This is the
+/// replica-hydration step shared by sharded training and the parallel
+/// attack sweep: build a fresh model from the same task/embeddings, then
+/// copy the trained weights over. ADVTEXT_CHECKs tensor count and sizes.
+inline void copy_model_params(TrainableClassifier& src,
+                              TrainableClassifier& dst) {
+  const std::vector<ParamRef> from = src.params();
+  const std::vector<ParamRef> to = dst.params();
+  ADVTEXT_CHECK(from.size() == to.size())
+      << "copy_model_params: tensor count mismatch (" << from.size()
+      << " vs " << to.size() << ")";
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    ADVTEXT_CHECK(from[i].size == to[i].size)
+        << "copy_model_params: tensor " << i << " size mismatch ("
+        << from[i].size << " vs " << to[i].size << ")";
+    std::copy(from[i].value, from[i].value + from[i].size, to[i].value);
+  }
 }
 
 }  // namespace advtext

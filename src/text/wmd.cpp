@@ -75,7 +75,7 @@ double Wmd::solve_cost(const Matrix& cost, const std::vector<double>& pa,
   // Last line of defense: never throws for cost reasons, and is orders of
   // magnitude cheaper than either real solver.
   const auto lower_bound = [&] {
-    ++degradation_.to_lower_bound;
+    to_lower_bound_.fetch_add(1, std::memory_order_relaxed);
     return transport_relaxed_lower_bound(cost, pa, pb);
   };
   // Middle tier: entropic approximation; poisonable at "wmd.sinkhorn" so
@@ -102,7 +102,7 @@ double Wmd::solve_cost(const Matrix& cost, const std::vector<double>& pa,
       } catch (const std::runtime_error&) {
         // TransportLimitError (cap/deadline), degenerate-solve errors, and
         // injected faults all degrade; logic/shape errors propagate.
-        ++degradation_.to_sinkhorn;
+        to_sinkhorn_.fetch_add(1, std::memory_order_relaxed);
         return sinkhorn();
       }
     case Method::kSinkhorn:

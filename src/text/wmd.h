@@ -8,6 +8,7 @@
 // spaCy convention cited in the paper); we map distance d to exp(-d).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -39,16 +40,40 @@ class Wmd {
   /// `embeddings` must outlive this object (vocab_size x dim).
   explicit Wmd(const Matrix& embeddings, Method method = Method::kExact);
 
+  /// Copy shares the embedding matrix reference and configuration but
+  /// starts a *fresh* degradation tally: the tally is per-instance
+  /// accounting, not part of the metric. The parallel attack sweep copies
+  /// one configured Wmd per worker so per-doc degradation deltas never mix
+  /// across threads.
+  Wmd(const Wmd& other)
+      : embeddings_(other.embeddings_),
+        method_(other.method_),
+        limits_(other.limits_) {}
+  Wmd& operator=(const Wmd&) = delete;  // reference member pins assignment
+
   Method method() const { return method_; }
 
   /// Bounds every subsequent exact solve (degradation kicks in on a hit).
   void set_limits(const WmdLimits& limits) { limits_ = limits; }
   const WmdLimits& limits() const { return limits_; }
 
-  /// Degradations recorded so far. distance() is const (Wmd is shared
-  /// read-only across the pipeline), so the tally is mutable state.
-  const WmdDegradation& degradation() const { return degradation_; }
-  void reset_degradation() const { degradation_ = WmdDegradation{}; }
+  /// Snapshot of the degradations recorded so far. distance() is const (Wmd
+  /// is shared read-only across the pipeline), so the tally is mutable
+  /// state backed by per-instance atomics — concurrent distance() calls on
+  /// one instance cannot corrupt the counters, and the snapshot is returned
+  /// by value so callers never hold a reference into racing state. (The
+  /// parallel sweep still gives each worker its own copy: atomics make the
+  /// tally safe, not per-thread attributable.)
+  WmdDegradation degradation() const {
+    WmdDegradation snapshot;
+    snapshot.to_sinkhorn = to_sinkhorn_.load(std::memory_order_relaxed);
+    snapshot.to_lower_bound = to_lower_bound_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void reset_degradation() const {
+    to_sinkhorn_.store(0, std::memory_order_relaxed);
+    to_lower_bound_.store(0, std::memory_order_relaxed);
+  }
 
   /// Euclidean distance between two word embeddings.
   double word_distance(WordId a, WordId b) const;
@@ -83,7 +108,10 @@ class Wmd {
   const Matrix& embeddings_;
   Method method_;
   WmdLimits limits_;
-  mutable WmdDegradation degradation_;
+  // Degradation tally (see degradation()). Atomic so a shared instance is
+  // safe by construction even outside the pipeline's replica discipline.
+  mutable std::atomic<std::size_t> to_sinkhorn_{0};
+  mutable std::atomic<std::size_t> to_lower_bound_{0};
 };
 
 }  // namespace advtext

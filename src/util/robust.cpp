@@ -48,6 +48,20 @@ FaultInjector& FaultInjector::instance() {
 }
 
 namespace {
+// Innermost FaultScope tag for this thread ("" = unscoped). thread_local so
+// parallel attack workers each carry their own document tag.
+thread_local std::string t_fault_scope;  // NOLINT(cert-err58-cpp)
+}  // namespace
+
+FaultScope::FaultScope(std::string instance) : previous_(t_fault_scope) {
+  t_fault_scope = std::move(instance);
+}
+
+FaultScope::~FaultScope() { t_fault_scope = previous_; }
+
+const std::string& FaultScope::current() { return t_fault_scope; }
+
+namespace {
 
 FaultInjector::Mode parse_mode(const std::string& token,
                                const std::string& spec) {
@@ -152,11 +166,32 @@ const FaultInjector::Rule* FaultInjector::match(const char* site) const {
   return has_all_ ? &all_ : nullptr;
 }
 
+const FaultInjector::Rule* FaultInjector::match_in_scope(
+    const char* site) const {
+  const std::string& scope = FaultScope::current();
+  if (!scope.empty()) {
+    bool has_at = false;
+    for (const char* c = site; *c != '\0'; ++c) {
+      if (*c == '@') {
+        has_at = true;
+        break;
+      }
+    }
+    if (!has_at) {
+      // Compose "site@scope"; match() then falls back scoped → base → all,
+      // so an unscoped rule still hits and draw counts are unchanged.
+      const std::string scoped = std::string(site) + "@" + scope;
+      return match(scoped.c_str());
+    }
+  }
+  return match(site);
+}
+
 void FaultInjector::fault_slow(const char* site) {
   Mode mode;
   {
     MutexLock lock(mu_);
-    const Rule* rule = match(site);
+    const Rule* rule = match_in_scope(site);
     if (rule == nullptr || rule->mode == Mode::kNan) return;
     if (!rng_.bernoulli(rule->probability)) return;
     ++fires_;
@@ -173,7 +208,7 @@ double FaultInjector::poison_slow(const char* site, double value) {
   Mode mode;
   {
     MutexLock lock(mu_);
-    const Rule* rule = match(site);
+    const Rule* rule = match_in_scope(site);
     if (rule == nullptr) return value;
     if (!rng_.bernoulli(rule->probability)) return value;
     ++fires_;

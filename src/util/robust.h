@@ -102,26 +102,62 @@ class Deadline {
 /// Bound on model forward evaluations (the query-count metric the paper
 /// reports). Shared across attack phases: joint_attack owns one and both
 /// phases charge it. A limit of 0 means unlimited.
+///
+/// Thread-safe by construction: the usage counter is a per-instance atomic,
+/// so one budget may be shared as a cap across parallel attack workers
+/// (evaluate_attack's sweep budget). Plain charge() is a relaxed add — the
+/// accounted total can briefly overshoot the limit by in-flight work;
+/// charge_up_to() is the clamped variant whose accounted total can never
+/// exceed the limit. Not copyable (atomics pin the identity: a copy would
+/// silently fork the pool).
 class QueryBudget {
  public:
   explicit QueryBudget(std::size_t limit = 0) : limit_(limit) {}
 
-  void charge(std::size_t n = 1) { used_ += n; }
+  QueryBudget(const QueryBudget&) = delete;
+  QueryBudget& operator=(const QueryBudget&) = delete;
 
-  bool exhausted() const { return limit_ != 0 && used_ >= limit_; }
+  void charge(std::size_t n = 1) {
+    used_.fetch_add(n, std::memory_order_relaxed);
+  }
 
-  std::size_t used() const { return used_; }
+  /// Atomically charges min(n, remaining()) and returns the amount actually
+  /// charged, so concurrent chargers can never push the accounted total past
+  /// the limit. Unlimited budgets charge and return n.
+  std::size_t charge_up_to(std::size_t n) {
+    if (limit_ == 0) {
+      used_.fetch_add(n, std::memory_order_relaxed);
+      return n;
+    }
+    std::size_t current = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (current >= limit_) return 0;
+      const std::size_t room = limit_ - current;
+      const std::size_t grant = n < room ? n : room;
+      if (used_.compare_exchange_weak(current, current + grant,
+                                      std::memory_order_relaxed)) {
+        return grant;
+      }
+    }
+  }
+
+  bool exhausted() const {
+    return limit_ != 0 && used_.load(std::memory_order_relaxed) >= limit_;
+  }
+
+  std::size_t used() const { return used_.load(std::memory_order_relaxed); }
   std::size_t limit() const { return limit_; }
 
   /// Queries left before exhaustion (max size_t when unlimited).
   std::size_t remaining() const {
     if (limit_ == 0) return std::numeric_limits<std::size_t>::max();
-    return used_ >= limit_ ? 0 : limit_ - used_;
+    const std::size_t u = used_.load(std::memory_order_relaxed);
+    return u >= limit_ ? 0 : limit_ - u;
   }
 
  private:
   std::size_t limit_;
-  std::size_t used_ = 0;
+  std::atomic<std::size_t> used_{0};
 };
 
 /// Shared run controls threaded through the attack algorithms. The deadline
@@ -190,6 +226,32 @@ class InjectedFault : public std::runtime_error {
  public:
   explicit InjectedFault(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// RAII thread-local instance tag for fault sites. While a scope named
+/// "doc12" is active on a thread, an injection point "wmd.distance" on that
+/// thread matches rules as if it were written "wmd.distance@doc12"
+/// (exact scoped rule → bare base rule → "all" wildcard, the normal
+/// FaultInjector fallback chain). Sites that already carry an explicit
+/// "@instance" are left untouched. evaluate_attack wraps each document's
+/// attack in FaultScope("doc<i>") so a spec like "attack.word@doc3:1.0"
+/// kills the same document no matter which worker thread picks it up or in
+/// what order — the scheduling-independent determinism the parallel sweep
+/// tests rely on. Scopes nest (the previous tag is restored on
+/// destruction) and are strictly per-thread.
+class FaultScope {
+ public:
+  explicit FaultScope(std::string instance);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// The calling thread's innermost active scope ("" when none).
+  static const std::string& current();
+
+ private:
+  std::string previous_;
 };
 
 /// Deterministic fault-injection harness. Library code marks *named
@@ -269,6 +331,8 @@ class FaultInjector {
   void fault_slow(const char* site) ADVTEXT_EXCLUDES(mu_);
   double poison_slow(const char* site, double value) ADVTEXT_EXCLUDES(mu_);
   const Rule* match(const char* site) const ADVTEXT_REQUIRES(mu_);
+  // match() after composing the thread's FaultScope into an unsuffixed site.
+  const Rule* match_in_scope(const char* site) const ADVTEXT_REQUIRES(mu_);
 
   // Guards the armed state; enabled_ doubles as the lock-free fast path
   // (released by configure(), acquired by every injection point).

@@ -8,6 +8,11 @@
 
 namespace advtext {
 
+std::size_t hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
 void CondVar::wait(Mutex& mu) {
   // Adopt the already-held lock for the duration of the wait, then release
   // ownership back to the caller; the capability bookkeeping stays with the

@@ -94,6 +94,12 @@
 
 namespace advtext {
 
+/// Hardware concurrency hint with a floor of 1 (0 is a legal
+/// std::thread::hardware_concurrency result). Lives here because sync.* is
+/// the only code allowed to name std::thread; callers size worker pools and
+/// stamp benchmark records with it.
+std::size_t hardware_threads();
+
 /// Annotated exclusive mutex. Prefer MutexLock for scoped acquisition;
 /// lock()/unlock() exist for the rare hand-over-hand pattern and for
 /// CondVar's re-acquisition.

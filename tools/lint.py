@@ -19,10 +19,11 @@ Rules enforced (each with a stable rule id, printed on violation):
   raw-signal         no signal()/sigaction() outside src/util/ — handler
                      installation flows through StopToken so every subsystem
                      shares one atomic stop flag (std::raise is fine)
-  raw-thread         no std::thread / std::jthread outside src/util/sync.* —
-                     workers are spawned only by advtext::ThreadPool so
-                     thread lifetimes are bounded and joined in one place
-                     (std::this_thread, e.g. sleep_for, is fine)
+  raw-thread         no std::thread / std::jthread / std::async /
+                     pthread_create outside src/util/sync.* — workers are
+                     spawned only by advtext::ThreadPool so thread lifetimes
+                     are bounded and joined in one place (std::this_thread,
+                     e.g. sleep_for, is fine)
   raw-mutex          no std::mutex / std::condition_variable / std::lock_guard
                      (or timed/recursive/shared variants, unique_lock,
                      scoped_lock, shared_lock, condition_variable_any)
@@ -72,8 +73,13 @@ RE_RAW_SIGNAL = re.compile(
 )
 # `std::this_thread` must not match: after `std::` the next token is
 # `this_thread`, so anchoring the alternatives right after the `::` (plus
-# the trailing \b) keeps it clean.
-RE_RAW_THREAD = re.compile(r"std\s*::\s*(?:jthread|thread)\b")
+# the trailing \b) keeps it clean. std::async and pthread_create/detach are
+# covered too — they spawn threads just as effectively as std::thread and
+# were the loophole the original rule left open.
+RE_RAW_THREAD = re.compile(
+    r"std\s*::\s*(?:jthread|thread|async)\b"
+    r"|(?<![\w:])pthread_(?:create|detach)\s*\("
+)
 RE_RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
     r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
@@ -209,9 +215,10 @@ def lint_file(path: Path) -> list[str]:
         if rel not in SYNC_ALLOWED:
             if RE_RAW_THREAD.search(line):
                 report(idx, "raw-thread",
-                       "std::thread outside src/util/sync.*; spawn workers "
-                       "through advtext::ThreadPool so lifetimes are joined "
-                       "in one place")
+                       "raw thread spawn (std::thread/std::async/"
+                       "pthread_create) outside src/util/sync.*; spawn "
+                       "workers through advtext::ThreadPool so lifetimes "
+                       "are joined in one place")
             if RE_RAW_MUTEX.search(line):
                 report(idx, "raw-mutex",
                        "raw std locking primitive outside src/util/sync.*; "
@@ -232,7 +239,50 @@ def collect_files(args: list[str]) -> list[Path]:
     return files
 
 
+def self_test() -> list[str]:
+    """Plants deliberate violations in the directories the concurrency rules
+    must police — notably src/eval/ and bench/, where the parallel attack
+    pipeline lives — and checks each one is caught. Guards against the
+    coverage gap where new code in a scanned tree silently bypasses sync.h.
+    Returns a list of failure descriptions (empty = pass)."""
+    cases = [
+        ("raw-thread", "std::thread t;"),
+        ("raw-thread", "std::jthread t;"),
+        ("raw-thread", "auto handle = std::async(run);"),
+        ("raw-thread", "pthread_create(&tid, nullptr, fn, nullptr);"),
+        ("raw-mutex", "std::mutex m;"),
+        ("raw-mutex", "std::condition_variable cv;"),
+        ("raw-mutex", "std::lock_guard<std::mutex> lock(m);"),
+    ]
+    failures = []
+    for directory in ("src/eval", "bench", "src/util", "tests", "examples"):
+        for rule, stmt in cases:
+            probe = REPO_ROOT / directory / "_lint_self_test_probe.h"
+            probe.write_text(f"#pragma once\ninline void probe() {{ {stmt} }}\n",
+                             encoding="utf-8")
+            try:
+                violations = lint_file(probe)
+            finally:
+                probe.unlink()
+            if not any(f"[{rule}]" in v for v in violations):
+                failures.append(
+                    f"self-test: `{stmt}` in {directory}/ did not trigger "
+                    f"[{rule}]")
+    # The wrappers themselves must stay exempt.
+    if not {"src/util/sync.h", "src/util/sync.cpp"} <= SYNC_ALLOWED:
+        failures.append("self-test: sync.* lost its raw-thread/raw-mutex "
+                        "exemption")
+    return failures
+
+
 def main(argv: list[str]) -> int:
+    self_failures = self_test()
+    if self_failures:
+        for f in self_failures:
+            print(f)
+        print("lint: self-test FAILED — rule coverage regressed",
+              file=sys.stderr)
+        return 1
     files = collect_files(argv[1:])
     bad_files = 0
     total = 0
