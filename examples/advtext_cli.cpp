@@ -24,6 +24,7 @@
 #include "src/nn/lstm.h"
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
+#include "src/data/serialize.h"
 #include "src/util/args.h"
 #include "src/util/robust.h"
 #include "src/util/serialize.h"

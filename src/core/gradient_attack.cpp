@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/det_accum.h"
 #include "src/util/stopwatch.h"
 
 namespace advtext {
@@ -67,13 +68,12 @@ WordAttackResult gradient_attack(const TextClassifier& model,
         for (WordId cand : candidates.per_position[i]) {
           if (cand == result.adv_tokens[i]) continue;
           const float* cand_vec = table.row(static_cast<std::size_t>(cand));
-          double dist_sq = 0.0;
-          for (std::size_t d = 0; d < dim; ++d) {
+          const double dist_sq = det_index_sum(dim, [&](std::size_t d) {
             const double target_coord =
                 orig_vec[d] + config.step_size * g[d] / gnorm;
             const double diff = cand_vec[d] - target_coord;
-            dist_sq += diff * diff;
-          }
+            return diff * diff;
+          });
           const double dist = std::sqrt(dist_sq);
           if (dist < best_dist) {
             best_dist = dist;
@@ -91,10 +91,7 @@ WordAttackResult gradient_attack(const TextClassifier& model,
       for (WordId cand : candidates.per_position[i]) {
         if (cand == result.adv_tokens[i]) continue;
         const float* cand_vec = table.row(static_cast<std::size_t>(cand));
-        double delta = 0.0;
-        for (std::size_t d = 0; d < dim; ++d) {
-          delta += static_cast<double>(cand_vec[d] - orig_vec[d]) * g[d];
-        }
+        const double delta = det_diff_dot(cand_vec, orig_vec, g, dim);
         if (delta > best) {
           best = delta;
           best_word = cand;

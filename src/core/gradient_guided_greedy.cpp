@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/util/det_accum.h"
 #include "src/util/stopwatch.h"
 
 namespace advtext {
@@ -64,11 +65,7 @@ WordAttackResult gradient_guided_greedy_attack(
             static_cast<std::size_t>(result.adv_tokens[i]));
         for (WordId cand : candidates.per_position[i]) {
           const float* vec = table.row(static_cast<std::size_t>(cand));
-          double gain = 0.0;
-          for (std::size_t d = 0; d < dim; ++d) {
-            gain += static_cast<double>(vec[d] - orig[d]) * g[d];
-          }
-          score = std::max(score, gain);
+          score = std::max(score, det_diff_dot(vec, orig, g, dim));
         }
       }
       scores.push_back({score, i});

@@ -69,6 +69,7 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
     result.adv_tokens[best_pos] = best_word;
     replaced[best_pos] = true;
     evaluator->rebase(result.adv_tokens);
+    // ADVTEXT_ALLOW(float-accum): running objective in greedy selection order; re-anchored by a fresh forward on the next line
     current += best_gain;
     // Re-anchor against drift (and MC-dropout noise) with a fresh forward.
     current = evaluator->eval_tokens(result.adv_tokens)[target];

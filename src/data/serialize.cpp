@@ -1,0 +1,131 @@
+#include "src/data/serialize.h"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "src/tensor/serialize.h"
+#include "src/text/serialize.h"
+#include "src/util/serialize.h"
+
+namespace advtext::io {
+
+namespace {
+
+void fail(const char* what) {
+  throw std::runtime_error(std::string("serialize: ") + what);
+}
+
+}  // namespace
+
+void save_task(const SynthTask& task, const std::string& path) {
+  std::ostringstream out;
+  write_magic(out);
+  write_string(out, "task");
+  // Config (field by field; keep order in sync with load_task).
+  const SynthConfig& c = task.config;
+  write_string(out, c.name);
+  write_u64(out, c.seed);
+  write_u64(out, c.num_train);
+  write_u64(out, c.num_test);
+  write_double(out, c.class1_fraction);
+  write_u64(out, c.num_concepts);
+  write_u64(out, c.cluster_size);
+  write_double(out, c.neutral_fraction);
+  write_u64(out, c.num_noise_words);
+  write_u64(out, c.min_sentences);
+  write_u64(out, c.max_sentences);
+  write_u64(out, c.min_words_per_sentence);
+  write_u64(out, c.max_words_per_sentence);
+  write_double(out, c.function_word_rate);
+  write_double(out, c.noise_token_rate);
+  write_double(out, c.aligned_concept_rate);
+  write_double(out, c.variant_label_correlation);
+  write_double(out, c.strength_decay);
+  write_u64(out, c.embedding_dim);
+  write_double(out, c.polarity_embed_scale);
+  write_double(out, c.cluster_noise);
+  write_double(out, c.mild_doc_fraction);
+  write_double(out, c.embed_evidence_fidelity);
+
+  write_vocab(out, task.vocab);
+  write_dataset(out, task.train);
+  write_dataset(out, task.test);
+  write_ints(out, task.concept_of_word);
+  write_ints(out, task.variant_of_word);
+  write_doubles(out, task.word_polarity);
+  write_doubles(out, task.word_meaning);
+  write_bools(out, task.is_function_word);
+  write_bools(out, task.is_noise_word);
+  write_matrix(out, task.paragram);
+  write_u64(out, task.concept_members.size());
+  for (const auto& members : task.concept_members) {
+    write_ints(out, std::vector<int>(members.begin(), members.end()));
+  }
+  write_u64(out, task.function_clusters.size());
+  for (const auto& cluster : task.function_clusters) {
+    write_ints(out, std::vector<int>(cluster.begin(), cluster.end()));
+  }
+  if (!out) fail("write failed");
+  save_artifact(path, out.str());
+}
+
+SynthTask load_task(const std::string& path) {
+  std::istringstream in(load_artifact(path));
+  read_magic(in);
+  if (read_string(in) != "task") fail("not a task file");
+  SynthTask task;
+  SynthConfig& c = task.config;
+  c.name = read_string(in);
+  c.seed = read_u64(in);
+  c.num_train = read_u64(in);
+  c.num_test = read_u64(in);
+  c.class1_fraction = read_double(in);
+  c.num_concepts = read_u64(in);
+  c.cluster_size = read_u64(in);
+  c.neutral_fraction = read_double(in);
+  c.num_noise_words = read_u64(in);
+  c.min_sentences = read_u64(in);
+  c.max_sentences = read_u64(in);
+  c.min_words_per_sentence = read_u64(in);
+  c.max_words_per_sentence = read_u64(in);
+  c.function_word_rate = read_double(in);
+  c.noise_token_rate = read_double(in);
+  c.aligned_concept_rate = read_double(in);
+  c.variant_label_correlation = read_double(in);
+  c.strength_decay = read_double(in);
+  c.embedding_dim = read_u64(in);
+  c.polarity_embed_scale = read_double(in);
+  c.cluster_noise = read_double(in);
+  c.mild_doc_fraction = read_double(in);
+  c.embed_evidence_fidelity = read_double(in);
+
+  task.vocab = read_vocab(in);
+  task.train = read_dataset(in);
+  task.test = read_dataset(in);
+  task.concept_of_word = read_ints(in);
+  task.variant_of_word = read_ints(in);
+  task.word_polarity = read_doubles(in);
+  task.word_meaning = read_doubles(in);
+  task.is_function_word = read_bools(in);
+  task.is_noise_word = read_bools(in);
+  task.paragram = read_matrix(in);
+  const std::uint64_t concepts =
+      read_size(in, "task.concept_members", kMaxSequences);
+  task.concept_members.resize(concepts);
+  for (auto& members : task.concept_members) {
+    const auto ints = read_ints(in);
+    members.assign(ints.begin(), ints.end());
+  }
+  const std::uint64_t clusters =
+      read_size(in, "task.function_clusters", kMaxSequences);
+  task.function_clusters.resize(clusters);
+  for (auto& cluster : task.function_clusters) {
+    const auto ints = read_ints(in);
+    cluster.assign(ints.begin(), ints.end());
+  }
+  return task;
+}
+
+}  // namespace advtext::io

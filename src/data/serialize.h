@@ -1,0 +1,20 @@
+// Binary serialization for whole synthetic tasks.
+//
+// The top of the typed io:: stack: composes the vocab/dataset serializers
+// (src/text/serialize.h), the matrix serializer (src/tensor/serialize.h)
+// and the envelope (src/util/serialize.h) into one durable artifact per
+// task, so every attack run can start from the identical corpus.
+#pragma once
+
+#include <string>
+
+#include "src/data/synthetic.h"
+
+namespace advtext::io {
+
+/// Saves / loads a complete synthetic task (config, data, semantics,
+/// embeddings) so every attack run can start from the identical corpus.
+void save_task(const SynthTask& task, const std::string& path);
+SynthTask load_task(const std::string& path);
+
+}  // namespace advtext::io

@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "src/util/det_accum.h"
+
 namespace advtext {
 
 namespace {
@@ -79,6 +81,7 @@ double SynthTask::meaning_score(const Document& doc) const {
   for (const Sentence& s : doc.sentences) {
     for (WordId w : s) {
       if (w >= 0 && static_cast<std::size_t>(w) < word_meaning.size()) {
+        // ADVTEXT_ALLOW(float-accum): terms follow document token order, which is part of the document identity
         score += word_meaning[static_cast<std::size_t>(w)];
       }
     }
@@ -201,12 +204,10 @@ SynthTask make_task(const SynthConfig& config) {
   task.paragram = Matrix(static_cast<std::size_t>(task.vocab.size()), dim);
   Vector pol_dir(dim);
   {
-    double norm = 0.0;
     for (std::size_t d = 0; d < dim; ++d) {
       pol_dir[d] = static_cast<float>(rng.normal());
-      norm += pol_dir[d] * pol_dir[d];
     }
-    norm = std::sqrt(norm);
+    const double norm = std::sqrt(det_dot(pol_dir.data(), pol_dir.data(), dim));
     for (float& v : pol_dir) v = static_cast<float>(v / norm);
   }
   const double center_scale = 1.0 / std::sqrt(static_cast<double>(dim));

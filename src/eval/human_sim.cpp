@@ -62,6 +62,7 @@ HumanEvalResult simulate_human_eval(const SynthTask& task, const NGramLm& lm,
           (std::log(std::max(lm.perplexity(doc), 1.0)) - center) / spread;
       double total = 0.0;
       for (std::size_t r = 0; r < config.num_raters; ++r) {
+        // ADVTEXT_ALLOW(float-accum): each term draws from the rng, so the order is pinned to the rater sampling order
         total += clamp_scale(config.naturalness_center -
                              config.naturalness_slope * z +
                              rng.normal(0.0, config.naturalness_noise));

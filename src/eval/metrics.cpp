@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/util/det_accum.h"
+
 namespace advtext {
 
 namespace {
@@ -35,16 +37,15 @@ double classification_accuracy(const TextClassifier& model,
 
 double mean(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
-  double total = 0.0;
-  for (double v : values) total += v;
-  return total / static_cast<double>(values.size());
+  return det_sum(values) / static_cast<double>(values.size());
 }
 
 double sample_stddev(const std::vector<double>& values) {
   if (values.size() < 2) return 0.0;
   const double m = mean(values);
-  double acc = 0.0;
-  for (double v : values) acc += (v - m) * (v - m);
+  const double acc =
+      det_accumulate(values.begin(), values.end(), 0.0,
+                     [m](double a, double v) { return a + (v - m) * (v - m); });
   return std::sqrt(acc / static_cast<double>(values.size() - 1));
 }
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/eval/metrics.h"
+#include "src/text/serialize.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
 #include "src/util/sync.h"
@@ -288,8 +289,9 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
     for (const DocRecord& r : records) {
       apply_record(r);
       // Replayed docs re-charge the sweep budget so a resumed capped run
-      // honours the cap across the whole logical sweep.
-      sweep_budget.charge_up_to(record_query_cost(r));
+      // honours the cap across the whole logical sweep; the grant itself is
+      // irrelevant here (the work already happened in the prior run).
+      (void)sweep_budget.charge_up_to(record_query_cost(r));
     }
     if (!records.empty()) {
       resume_from = static_cast<std::size_t>(records.back().doc_index) + 1;
@@ -395,7 +397,9 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
       }
       DocRecord record =
           process_doc(doc_index, model, resources, context.wmd());
-      sweep_budget.charge_up_to(record_query_cost(record));
+      // Post-hoc accounting: the doc already ran, so only the clamped total
+      // matters, not the grant.
+      (void)sweep_budget.charge_up_to(record_query_cost(record));
       commit_record(std::move(record));
     }
   } else {
@@ -475,7 +479,8 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
             DocRecord record =
                 process_doc(eligible[pos], worker_model, worker_resources,
                             worker_wmds[worker_id]);
-            sweep_budget.charge_up_to(record_query_cost(record));
+            // Post-hoc accounting, as in the serial sweep: grant unused.
+            (void)sweep_budget.charge_up_to(record_query_cost(record));
             MutexLock lock(st.mu);
             st.done[pos] = std::make_unique<DocRecord>(std::move(record));
             st.progress.notify_all();

@@ -1,6 +1,7 @@
 #include "src/nn/scalar_rnn.h"
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 
 namespace advtext {
 
@@ -16,20 +17,16 @@ ScalarRnn::ScalarRnn(const ScalarRnnConfig& config)
 
 double ScalarRnn::input_drive(const Vector& v) const {
   ADVTEXT_CHECK_SHAPE(v.size() == config_.embed_dim) << "ScalarRnn::input_drive: dim mismatch";
-  double acc = b_;
-  for (std::size_t d = 0; d < v.size(); ++d) acc += m_[d] * v[d];
-  return acc;
+  return det_dot(m_.data(), v.data(), v.size(), b_);
 }
 
 double ScalarRnn::final_hidden(const Matrix& embedded) const {
   ADVTEXT_CHECK_SHAPE(embedded.cols() == config_.embed_dim) << "ScalarRnn: dim mismatch";
   double h = config_.h_init;
   for (std::size_t t = 0; t < embedded.rows(); ++t) {
-    double drive = b_ + w_ * h;
     const float* row = embedded.row(t);
-    for (std::size_t d = 0; d < config_.embed_dim; ++d) {
-      drive += m_[d] * row[d];
-    }
+    const double drive =
+        det_dot(m_.data(), row, config_.embed_dim, b_ + w_ * h);
     h = activate(config_.activation, static_cast<float>(drive));
   }
   return h;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
 #include "src/util/sync.h"
@@ -170,10 +171,10 @@ class Coordinator {
             << "shard parameter layouts must match for averaging";
       }
       for (std::size_t i = 0; i < head[t].size; ++i) {
-        double sum = 0.0;
-        for (const std::size_t k : cohort) {
-          sum += static_cast<double>(shards_[k].params[t].value[i]);
-        }
+        const double sum = det_accumulate(
+            cohort.begin(), cohort.end(), 0.0, [&](double acc, std::size_t k) {
+              return acc + static_cast<double>(shards_[k].params[t].value[i]);
+            });
         const float mean =
             static_cast<float>(sum / static_cast<double>(cohort.size()));
         for (const std::size_t k : cohort) {

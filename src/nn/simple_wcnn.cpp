@@ -1,6 +1,7 @@
 #include "src/nn/simple_wcnn.h"
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 
 #include <algorithm>
 #include <cmath>
@@ -44,19 +45,20 @@ double SimpleWCnn::filter_preact(const Matrix& embedded, std::size_t f,
 double SimpleWCnn::score(const Matrix& embedded) const {
   const std::size_t windows = num_windows(embedded.rows());
   if (windows == 0) return out_b_;
-  double total = out_b_;
-  for (std::size_t f = 0; f < config_.num_filters; ++f) {
-    double best = -std::numeric_limits<double>::infinity();
-    for (std::size_t w = 0; w < windows; ++w) {
-      best = std::max(
-          best, static_cast<double>(activate(
-                    config_.activation,
-                    static_cast<float>(
-                        filter_preact(embedded, f, w * config_.stride)))));
-    }
-    total += out_w_[f] * best;
-  }
-  return total;
+  return det_index_sum(
+      config_.num_filters,
+      [&](std::size_t f) {
+        double best = -std::numeric_limits<double>::infinity();
+        for (std::size_t w = 0; w < windows; ++w) {
+          best = std::max(
+              best, static_cast<double>(activate(
+                        config_.activation,
+                        static_cast<float>(
+                            filter_preact(embedded, f, w * config_.stride)))));
+        }
+        return out_w_[f] * best;
+      },
+      out_b_);
 }
 
 bool SimpleWCnn::replacement_increases_filters(std::size_t offset_in_window,
@@ -67,11 +69,8 @@ bool SimpleWCnn::replacement_increases_filters(std::size_t offset_in_window,
   for (std::size_t f = 0; f < config_.num_filters; ++f) {
     const float* segment =
         filters_.row(f) + offset_in_window * config_.embed_dim;
-    double delta = 0.0;
-    for (std::size_t d = 0; d < config_.embed_dim; ++d) {
-      delta += static_cast<double>(segment[d]) *
-               (candidate[d] - original[d]);
-    }
+    const double delta = det_diff_dot(candidate.data(), original.data(),
+                                      segment, config_.embed_dim);
     if (delta < 0.0) return false;
   }
   return true;

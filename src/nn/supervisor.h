@@ -137,7 +137,9 @@ class SnapshotRotation {
 
   /// Newest generation whose checksum verifies; rejected generations append
   /// a named warning. std::nullopt when no generation is readable.
-  std::optional<std::string> read_latest(
+  /// [[nodiscard]]: ignoring the payload means the caller resumed from
+  /// nothing while believing it restored state.
+  [[nodiscard]] std::optional<std::string> read_latest(
       std::vector<std::string>* warnings) const;
 
  private:
@@ -172,7 +174,10 @@ struct SupervisorReport {
 /// status call finish(status) exactly once and read report().
 class SupervisorSession {
  public:
-  enum class StepStatus {
+  // [[nodiscard]]: every StepStatus encodes what the caller must do next
+  // (commit, finish, or stop); dropping one desynchronizes the session
+  // lifecycle.
+  enum class [[nodiscard]] StepStatus {
     kBoundary,  ///< loop hit a natural snapshot boundary (epoch end)
     kDone,      ///< loop reports done(); finish() flushes + kSucceeded
     kStopped,   ///< StopToken / max_steps / external stop; resumable

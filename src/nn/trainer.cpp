@@ -30,6 +30,7 @@ void Adam::step(const std::vector<ParamRef>& params, double batch_scale) {
     for (const ParamRef& ref : params) {
       for (std::size_t i = 0; i < ref.size; ++i) {
         const double g = ref.grad[i] * batch_scale;
+        // ADVTEXT_ALLOW(float-accum): one running norm across all tensors in params() order; splitting would change the bits
         norm_sq += g * g;
       }
     }
@@ -171,6 +172,7 @@ class ClassifierTrainLoop final : public ResumableTraining {
     double batch_loss = 0.0;
     for (std::size_t i = cursor_; i < end; ++i) {
       const Document* doc = train_docs_[perm_[i]];
+      // ADVTEXT_ALLOW(float-accum): terms are side-effecting forward_backward calls in (seeded) permutation order
       batch_loss += model_.forward_backward(
           doc->flatten(), static_cast<std::size_t>(doc->label));
     }

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 
 namespace advtext {
 
@@ -63,6 +64,7 @@ MaximizationResult greedy_maximize(const SetFunction& f, std::size_t budget) {
     chosen[best_element] = true;
     sorted_set = with_element(sorted_set, best_element);
     result.set.push_back(best_element);
+    // ADVTEXT_ALLOW(float-accum): running objective; additions follow the greedy selection order, the deterministic output
     current += best_gain;
   }
   result.value = current;
@@ -118,6 +120,7 @@ MaximizationResult lazy_greedy_maximize(const SetFunction& f,
     if (chosen == n || gain <= 0.0) break;
     sorted_set = with_element(sorted_set, chosen);
     result.set.push_back(chosen);
+    // ADVTEXT_ALLOW(float-accum): running objective; additions follow the lazy-greedy selection order, the deterministic output
     current += gain;
   }
   result.value = current;
@@ -165,6 +168,7 @@ MaximizationResult stochastic_greedy_maximize(const SetFunction& f,
     chosen[best_element] = true;
     sorted_set = with_element(sorted_set, best_element);
     result.set.push_back(best_element);
+    // ADVTEXT_ALLOW(float-accum): running objective; additions follow the greedy selection order, the deterministic output
     current += best_gain;
   }
   result.value = current;
@@ -321,9 +325,10 @@ PropertyCheck check_submodular(const SetFunction& f, Rng& rng,
 
 double ModularFunction::value_impl(
     const std::vector<std::size_t>& set) const {
-  double total = 0.0;
-  for (std::size_t e : set) total += weights_.at(e);
-  return total;
+  return det_accumulate(set.begin(), set.end(), 0.0,
+                        [this](double acc, std::size_t e) {
+                          return acc + weights_.at(e);
+                        });
 }
 
 CoverageFunction CoverageFunction::random(std::size_t n, std::size_t items,
@@ -347,23 +352,22 @@ double CoverageFunction::value_impl(
   for (std::size_t e : set) {
     covered.insert(covers_.at(e).begin(), covers_.at(e).end());
   }
-  double total = 0.0;
-  for (std::size_t item : covered) total += item_weights_.at(item);
-  return total;
+  return det_accumulate(covered.begin(), covered.end(), 0.0,
+                        [this](double acc, std::size_t item) {
+                          return acc + item_weights_.at(item);
+                        });
 }
 
 double FacilityLocationFunction::value_impl(
     const std::vector<std::size_t>& set) const {
   if (set.empty()) return 0.0;
-  double total = 0.0;
-  for (std::size_t j = 0; j < similarity_.cols(); ++j) {
+  return det_index_sum(similarity_.cols(), [&](std::size_t j) {
     double best = 0.0;
     for (std::size_t e : set) {
       best = std::max(best, static_cast<double>(similarity_(e, j)));
     }
-    total += best;
-  }
-  return total;
+    return best;
+  });
 }
 
 }  // namespace advtext

@@ -1,6 +1,7 @@
 #include "src/optim/transport.h"
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 
 #include <algorithm>
 #include <cmath>
@@ -19,6 +20,7 @@ void normalize(std::vector<double>& v, const char* name) {
   for (double x : v) {
     ADVTEXT_CHECK_SHAPE(x >= 0.0)
         << "transport: negative mass in " << name;
+    // ADVTEXT_ALLOW(float-accum): single validating pass; the order is the element order by construction
     total += x;
   }
   ADVTEXT_CHECK_SHAPE(std::isfinite(total))
@@ -177,6 +179,7 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
     }
     for (const auto& [i, j] : forward_arcs) {
       flow(i, j) += static_cast<float>(bottleneck);
+      // ADVTEXT_ALLOW(float-accum): objective updates follow the augmenting-path visit order, fixed by the solver
       objective += bottleneck * cost(i, j);
     }
     for (const auto& [i, j] : reverse_arcs) {
@@ -186,6 +189,7 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
     const std::size_t src_row = forward_arcs.back().first;
     row_remaining[src_row] -= bottleneck;
     col_remaining[best_col] -= bottleneck;
+    // ADVTEXT_ALLOW(float-accum): shipped mass accumulates per augmentation in the solver's deterministic order
     shipped += bottleneck;
   }
 
@@ -194,15 +198,15 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
   // demand reached a column. Violations mean the augmenting-path search or
   // the potentials are corrupt, which silently breaks every WMD distance.
   for (std::size_t i = 0; i < n; ++i) {
-    double row_mass = 0.0;
-    for (std::size_t j = 0; j < m; ++j) row_mass += flow(i, j);
+    const double row_mass =
+        det_index_sum(m, [&](std::size_t j) { return flow(i, j); });
     ADVTEXT_DCHECK(std::abs(row_mass - a[i]) < 1e-4)
         << "transport: row " << i << " ships " << row_mass << ", supply is "
         << a[i];
   }
   for (std::size_t j = 0; j < m; ++j) {
-    double col_mass = 0.0;
-    for (std::size_t i = 0; i < n; ++i) col_mass += flow(i, j);
+    const double col_mass =
+        det_index_sum(n, [&](std::size_t i) { return flow(i, j); });
     ADVTEXT_DCHECK(std::abs(col_mass - b[j]) < 1e-4)
         << "transport: column " << j << " receives " << col_mass
         << ", demand is " << b[j];
@@ -243,9 +247,8 @@ SinkhornResult solve_transport_sinkhorn(const Matrix& cost,
 
   const auto refresh_row_sums = [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      double s = 0.0;
-      for (std::size_t j = 0; j < m; ++j) s += kernel(i, j) * v[j];
-      row_sums[i] = s;
+      row_sums[i] =
+          det_index_sum(m, [&](std::size_t j) { return kernel(i, j) * v[j]; });
     }
   };
   // After a v-update the column marginals hold exactly, so the L1 row
@@ -253,11 +256,9 @@ SinkhornResult solve_transport_sinkhorn(const Matrix& cost,
   // it reuses the row sums the next u-update needs, making the
   // convergence check nearly free.
   const auto row_error = [&] {
-    double err = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      err += std::abs(u[i] * row_sums[i] - a[i]);
-    }
-    return err;
+    return det_index_sum(n, [&](std::size_t i) {
+      return std::abs(u[i] * row_sums[i] - a[i]);
+    });
   };
 
   for (std::size_t it = 0; it < iterations; ++it) {
@@ -273,8 +274,8 @@ SinkhornResult solve_transport_sinkhorn(const Matrix& cost,
       u[i] = a[i] / std::max(row_sums[i], kEps);
     }
     for (std::size_t j = 0; j < m; ++j) {
-      double s = 0.0;
-      for (std::size_t i = 0; i < n; ++i) s += kernel(i, j) * u[i];
+      const double s =
+          det_index_sum(n, [&](std::size_t i) { return kernel(i, j) * u[i]; });
       v[j] = b[j] / std::max(s, kEps);
     }
     ++result.iterations;
@@ -290,6 +291,7 @@ SinkhornResult solve_transport_sinkhorn(const Matrix& cost,
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < m; ++j) {
       const double p = u[i] * kernel(i, j) * v[j];
+      // ADVTEXT_ALLOW(float-accum): row-major pass fixed by the loop nest; the same pass emits the plan entries
       objective += p * cost(i, j);
       if (plan != nullptr) (*plan)(i, j) = static_cast<float>(p);
     }
@@ -311,22 +313,20 @@ double transport_relaxed_lower_bound(const Matrix& cost,
       << ", marginals are " << n << " and " << m;
   normalize(a, "a");
   normalize(b, "b");
-  double lb_rows = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
+  const double lb_rows = det_index_sum(n, [&](std::size_t i) {
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < m; ++j) {
       best = std::min(best, static_cast<double>(cost(i, j)));
     }
-    lb_rows += a[i] * best;
-  }
-  double lb_cols = 0.0;
-  for (std::size_t j = 0; j < m; ++j) {
+    return a[i] * best;
+  });
+  const double lb_cols = det_index_sum(m, [&](std::size_t j) {
     double best = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < n; ++i) {
       best = std::min(best, static_cast<double>(cost(i, j)));
     }
-    lb_cols += b[j] * best;
-  }
+    return b[j] * best;
+  });
   return std::max(lb_rows, lb_cols);
 }
 

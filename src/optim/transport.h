@@ -46,8 +46,9 @@ double solve_transport_exact(const Matrix& cost, std::vector<double> a,
                              std::vector<double> b, Matrix* plan = nullptr,
                              const TransportControl& control = {});
 
-/// Solve status of the Sinkhorn iteration.
-struct SinkhornResult {
+/// Solve status of the Sinkhorn iteration. [[nodiscard]]: the `converged`
+/// flag is the only way to tell a usable cost from a stalled iteration.
+struct [[nodiscard]] SinkhornResult {
   double cost = 0.0;            ///< <C, P> for the regularized plan
   bool converged = false;       ///< marginal error fell below tolerance
   std::size_t iterations = 0;   ///< iterations actually run

@@ -1,0 +1,44 @@
+#include "src/tensor/serialize.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/serialize.h"
+
+namespace advtext::io {
+
+void write_matrix(std::ostream& out, const Matrix& matrix) {
+  write_u64(out, matrix.rows());
+  write_u64(out, matrix.cols());
+  write_floats(out, matrix.data(), matrix.size());
+}
+
+Matrix read_matrix(std::istream& in) {
+  // Rows and cols are capped individually before the product so a flipped
+  // high byte cannot overflow rows * cols into a small number.
+  const std::uint64_t rows = read_size(in, "matrix.rows", kMaxMatrixSide);
+  const std::uint64_t cols = read_size(in, "matrix.cols", kMaxMatrixSide);
+  if (rows != 0 && cols > kMaxElements / rows) {
+    throw std::runtime_error(
+        "serialize: field 'matrix' claims " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " elements; corrupt or truncated file");
+  }
+  Matrix matrix(rows, cols);
+  read_floats(in, matrix.data(), matrix.size());
+  return matrix;
+}
+
+void write_vector(std::ostream& out, const Vector& vector) {
+  write_u64(out, vector.size());
+  write_floats(out, vector.data(), vector.size());
+}
+
+Vector read_vector(std::istream& in) {
+  const std::uint64_t size = read_size(in, "vector.size", kMaxElements);
+  Vector vector(size);
+  read_floats(in, vector.data(), vector.size());
+  return vector;
+}
+
+}  // namespace advtext::io

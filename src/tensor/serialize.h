@@ -1,0 +1,21 @@
+// Binary serialization for tensor types (Matrix / Vector).
+//
+// Sits one layer above src/util/serialize.h in the io:: stack: the envelope
+// and primitives live there, the typed composite formats live next to the
+// types they serialize. Same tagged little-endian format, same
+// std::runtime_error-on-corruption contract.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/tensor/tensor.h"
+
+namespace advtext::io {
+
+void write_matrix(std::ostream& out, const Matrix& matrix);
+Matrix read_matrix(std::istream& in);
+
+void write_vector(std::ostream& out, const Vector& vector);
+Vector read_vector(std::istream& in);
+
+}  // namespace advtext::io

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/util/det_accum.h"
+
 namespace advtext {
 
 NGramLm::NGramLm(const Dataset& data, std::size_t vocab_size,
@@ -67,6 +69,7 @@ double NGramLm::sentence_log_prob(const Sentence& sentence) const {
   WordId prev = kBos;
   for (WordId w : sentence) {
     if (w < 0 || static_cast<std::size_t>(w) >= vocab_size_) continue;
+    // ADVTEXT_ALLOW(float-accum): terms must follow token order; the bigram chain threads prev through the traversal
     lp += std::log(conditional(prev, w));
     prev = w;
   }
@@ -74,9 +77,10 @@ double NGramLm::sentence_log_prob(const Sentence& sentence) const {
 }
 
 double NGramLm::document_log_prob(const Document& doc) const {
-  double lp = 0.0;
-  for (const Sentence& s : doc.sentences) lp += sentence_log_prob(s);
-  return lp;
+  return det_accumulate(doc.sentences.begin(), doc.sentences.end(), 0.0,
+                        [this](double acc, const Sentence& s) {
+                          return acc + sentence_log_prob(s);
+                        });
 }
 
 double NGramLm::sequence_log_prob(const TokenSeq& tokens) const {

@@ -1,0 +1,66 @@
+#include "src/text/serialize.h"
+
+#include <cstdint>
+
+#include "src/util/serialize.h"
+
+namespace advtext::io {
+
+void write_vocab(std::ostream& out, const Vocab& vocab) {
+  // Specials (<pad>, <unk>) are rebuilt by the constructor; store the rest.
+  write_u64(out, static_cast<std::uint64_t>(vocab.size()) - 2);
+  for (WordId id = 2; id < vocab.size(); ++id) {
+    write_string(out, vocab.word(id));
+  }
+}
+
+Vocab read_vocab(std::istream& in) {
+  Vocab vocab;
+  const std::uint64_t words = read_size(in, "vocab.words", kMaxElements);
+  for (std::uint64_t i = 0; i < words; ++i) {
+    vocab.add(read_string(in));
+  }
+  return vocab;
+}
+
+void write_document(std::ostream& out, const Document& doc) {
+  write_u64(out, static_cast<std::uint64_t>(doc.label));
+  write_u64(out, doc.sentences.size());
+  for (const Sentence& s : doc.sentences) {
+    write_u64(out, s.size());
+    for (WordId w : s) write_u64(out, static_cast<std::uint64_t>(w));
+  }
+}
+
+Document read_document(std::istream& in) {
+  Document doc;
+  doc.label = static_cast<int>(read_u64(in));
+  const std::uint64_t sentences =
+      read_size(in, "document.sentences", kMaxSequences);
+  doc.sentences.resize(sentences);
+  for (auto& s : doc.sentences) {
+    const std::uint64_t words = read_size(in, "sentence.words", kMaxElements);
+    s.resize(words);
+    for (auto& w : s) w = static_cast<WordId>(read_u64(in));
+  }
+  return doc;
+}
+
+void write_dataset(std::ostream& out, const Dataset& data) {
+  write_u64(out, static_cast<std::uint64_t>(data.num_classes));
+  write_u64(out, data.docs.size());
+  for (const Document& doc : data.docs) write_document(out, doc);
+}
+
+Dataset read_dataset(std::istream& in) {
+  Dataset data;
+  data.num_classes = static_cast<int>(read_u64(in));
+  const std::uint64_t docs = read_size(in, "dataset.docs", kMaxSequences);
+  data.docs.reserve(docs);
+  for (std::uint64_t i = 0; i < docs; ++i) {
+    data.docs.push_back(read_document(in));
+  }
+  return data;
+}
+
+}  // namespace advtext::io

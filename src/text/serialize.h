@@ -1,0 +1,27 @@
+// Binary serialization for text types (Vocab / Document / Dataset).
+//
+// Typed composites over the primitives in src/util/serialize.h, living in
+// the text layer so src/util/ never includes upward. Same tagged
+// little-endian format, same std::runtime_error-on-corruption contract.
+#pragma once
+
+#include <iosfwd>
+
+#include "src/text/corpus.h"
+#include "src/text/vocab.h"
+
+namespace advtext::io {
+
+void write_vocab(std::ostream& out, const Vocab& vocab);
+Vocab read_vocab(std::istream& in);
+
+/// Single documents (label + sentence/word structure). Used by the attack
+/// pipeline's checkpoint files; the whole-task writers reuse them.
+void write_document(std::ostream& out, const Document& doc);
+Document read_document(std::istream& in);
+
+/// Labelled document collections (the train/test halves of a task).
+void write_dataset(std::ostream& out, const Dataset& data);
+Dataset read_dataset(std::istream& in);
+
+}  // namespace advtext::io

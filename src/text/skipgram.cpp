@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/tensor/ops.h"
+#include "src/tensor/serialize.h"
 #include "src/util/rng.h"
 #include "src/util/robust.h"
 #include "src/util/serialize.h"

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/util/check.h"
+#include "src/util/det_accum.h"
 #include "src/util/robust.h"
 
 namespace advtext {
@@ -23,12 +24,7 @@ double Wmd::word_distance(WordId a, WordId b) const {
   const std::size_t dim = embeddings_.cols();
   const float* va = embeddings_.row(static_cast<std::size_t>(a));
   const float* vb = embeddings_.row(static_cast<std::size_t>(b));
-  double acc = 0.0;
-  for (std::size_t d = 0; d < dim; ++d) {
-    const double diff = static_cast<double>(va[d]) - vb[d];
-    acc += diff * diff;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(det_sq_dist(va, vb, dim));
 }
 
 double Wmd::word_similarity(WordId a, WordId b) const {
@@ -41,6 +37,7 @@ void Wmd::nbow(const Sentence& s, std::vector<WordId>* words,
   for (WordId w : s) counts[w] += 1.0;
   words->clear();
   weights->clear();
+  // ADVTEXT_ALLOW(unordered-iteration): pairs are copied out and sorted by WordId immediately below
   for (const auto& [w, c] : counts) {
     words->push_back(w);
     weights->push_back(c);
@@ -62,8 +59,7 @@ void Wmd::nbow(const Sentence& s, std::vector<WordId>* words,
 #if ADVTEXT_DCHECK_ENABLED
   // nBOW mass balance: the weights are raw token counts, so they must sum
   // to the sentence length exactly (they are small integers in doubles).
-  double total = 0.0;
-  for (double w : *weights) total += w;
+  const double total = det_sum(*weights);
   ADVTEXT_DCHECK(total == static_cast<double>(s.size()))
       << "Wmd::nbow: weights sum to " << total << " for " << s.size()
       << " tokens";
@@ -128,10 +124,8 @@ double Wmd::distance(const Sentence& a, const Sentence& b) const {
   if (wa == wb) {
     // Same multiset support; if the weights also match the distance is 0.
     bool same = pa.size() == pb.size();
-    double ta = 0.0;
-    double tb = 0.0;
-    for (double x : pa) ta += x;
-    for (double x : pb) tb += x;
+    const double ta = det_sum(pa);
+    const double tb = det_sum(pb);
     for (std::size_t i = 0; same && i < pa.size(); ++i) {
       same = std::abs(pa[i] / ta - pb[i] / tb) < 1e-12;
     }

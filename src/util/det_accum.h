@@ -1,0 +1,79 @@
+// Blessed deterministic floating-point reductions.
+//
+// Reduction order determines the bits of a floating-point sum, and the
+// repo's reproducibility contract is bitwise (see DESIGN.md). Every helper
+// here accumulates strictly left-to-right in a double accumulator — the
+// exact order a plain sequential loop would use — so call sites keep their
+// numeric behaviour while making the fixed order explicit and auditable in
+// one place. The `float-accum` analyzer rule flags ad-hoc accumulation
+// loops outside src/tensor/ and src/util/ and points here.
+//
+// None of these helpers reassociate, vectorize-by-construction, or
+// compensate (no Kahan): they are the sequential loop, named.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace advtext {
+
+/// Left-to-right sum of a double vector.
+inline double det_sum(const std::vector<double>& values) {
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  return acc;
+}
+
+/// Left-to-right dot product of two float buffers, accumulated in double
+/// starting from `init`. The element product is computed in float (matching
+/// the plain `acc += a[i] * b[i]` loop) before widening.
+inline double det_dot(const float* a, const float* b, std::size_t n,
+                      double init = 0.0) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// Left-to-right sum of (a[i] - b[i]) * g[i]: the difference is computed in
+/// float, widened, then scaled — the Gauss–Southwell linearized-gain shape
+/// shared by the gradient attacks.
+inline double det_diff_dot(const float* a, const float* b, const float* g,
+                           std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i] - b[i]) * g[i];
+  }
+  return acc;
+}
+
+/// Left-to-right squared Euclidean distance between two float buffers,
+/// with each coordinate difference widened to double before squaring.
+inline double det_sq_dist(const float* a, const float* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// Left-to-right fold over a range: acc = f(acc, *it) in iteration order.
+/// For transformed or filtered sums where the term is not a plain element.
+template <typename It, typename F>
+double det_accumulate(It begin, It end, double init, F&& f) {
+  double acc = init;
+  for (It it = begin; it != end; ++it) acc = f(acc, *it);
+  return acc;
+}
+
+/// Left-to-right sum of term(i) for i in [0, n), starting from `init`: the
+/// indexed variant of det_accumulate, for terms drawn from parallel arrays
+/// or matrix slices.
+template <typename F>
+double det_index_sum(std::size_t n, F&& term, double init = 0.0) {
+  double acc = init;
+  for (std::size_t i = 0; i < n; ++i) acc += term(i);
+  return acc;
+}
+
+}  // namespace advtext

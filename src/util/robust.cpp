@@ -77,6 +77,7 @@ double parse_probability(const std::string& token, const std::string& spec) {
   double p = -1.0;
   try {
     p = std::stod(token, &consumed);
+    // ADVTEXT_ALLOW(catch-all): a stod failure IS the parse-failed signal, converted to a typed invalid_argument below
   } catch (const std::exception&) {
     consumed = 0;
   }

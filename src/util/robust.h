@@ -123,8 +123,10 @@ class QueryBudget {
 
   /// Atomically charges min(n, remaining()) and returns the amount actually
   /// charged, so concurrent chargers can never push the accounted total past
-  /// the limit. Unlimited budgets charge and return n.
-  std::size_t charge_up_to(std::size_t n) {
+  /// the limit. Unlimited budgets charge and return n. [[nodiscard]]: a
+  /// caller that ignores the grant cannot know how much work it is allowed
+  /// to account — use charge() for fire-and-forget accounting.
+  [[nodiscard]] std::size_t charge_up_to(std::size_t n) {
     if (limit_ == 0) {
       used_.fetch_add(n, std::memory_order_relaxed);
       return n;
@@ -186,9 +188,11 @@ struct Failure {
 
 /// Value-or-failure result for fault-isolation boundaries (per-document
 /// attack isolation in evaluate_attack). Deliberately minimal: holds either
-/// a T or a Failure, never neither.
+/// a T or a Failure, never neither. [[nodiscard]]: dropping an Outcome
+/// drops the failure with it, which is exactly the silent-swallow the type
+/// exists to prevent.
 template <typename T>
-class Outcome {
+class [[nodiscard]] Outcome {
  public:
   Outcome(T value) : state_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
   Outcome(Failure failure) : state_(std::move(failure)) {}  // NOLINT(google-explicit-constructor)

@@ -7,7 +7,6 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "src/data/synthetic.h"
 #include "src/util/atomic_file.h"
 #include "src/util/robust.h"
 
@@ -17,28 +16,6 @@ namespace {
 
 void fail(const char* what) {
   throw std::runtime_error(std::string("serialize: ") + what);
-}
-
-// Allocation guards for length-prefixed reads. A single flipped byte in a
-// u64 length field would otherwise drive a multi-GB resize (or a signed
-// overflow) before the stream even reports truncation; every size read off
-// disk goes through read_size with a per-field cap and the field name in
-// the error.
-constexpr std::uint64_t kMaxStringBytes = 1ULL << 26;    // 64 MiB
-constexpr std::uint64_t kMaxElements = 1ULL << 28;       // 256M scalars
-constexpr std::uint64_t kMaxMatrixSide = 1ULL << 24;     // 16M rows/cols
-constexpr std::uint64_t kMaxSequences = 1ULL << 24;      // docs/sentences
-
-std::uint64_t read_size(std::istream& in, const char* field,
-                        std::uint64_t limit) {
-  const std::uint64_t size = read_u64(in);
-  if (size > limit) {
-    throw std::runtime_error(
-        std::string("serialize: field '") + field + "' claims size " +
-        std::to_string(size) + " (limit " + std::to_string(limit) +
-        "); corrupt or truncated file");
-  }
-  return size;
 }
 
 void write_raw(std::ostream& out, const void* data, std::size_t bytes) {
@@ -54,49 +31,17 @@ void read_raw(std::istream& in, void* data, std::size_t bytes) {
 
 }  // namespace
 
-void write_document(std::ostream& out, const Document& doc) {
-  write_u64(out, static_cast<std::uint64_t>(doc.label));
-  write_u64(out, doc.sentences.size());
-  for (const Sentence& s : doc.sentences) {
-    write_u64(out, s.size());
-    for (WordId w : s) write_u64(out, static_cast<std::uint64_t>(w));
+std::uint64_t read_size(std::istream& in, const char* field,
+                        std::uint64_t limit) {
+  const std::uint64_t size = read_u64(in);
+  if (size > limit) {
+    throw std::runtime_error(
+        std::string("serialize: field '") + field + "' claims size " +
+        std::to_string(size) + " (limit " + std::to_string(limit) +
+        "); corrupt or truncated file");
   }
+  return size;
 }
-
-Document read_document(std::istream& in) {
-  Document doc;
-  doc.label = static_cast<int>(read_u64(in));
-  const std::uint64_t sentences =
-      read_size(in, "document.sentences", kMaxSequences);
-  doc.sentences.resize(sentences);
-  for (auto& s : doc.sentences) {
-    const std::uint64_t words = read_size(in, "sentence.words", kMaxElements);
-    s.resize(words);
-    for (auto& w : s) w = static_cast<WordId>(read_u64(in));
-  }
-  return doc;
-}
-
-namespace {
-
-void write_dataset(std::ostream& out, const Dataset& data) {
-  write_u64(out, static_cast<std::uint64_t>(data.num_classes));
-  write_u64(out, data.docs.size());
-  for (const Document& doc : data.docs) write_document(out, doc);
-}
-
-Dataset read_dataset(std::istream& in) {
-  Dataset data;
-  data.num_classes = static_cast<int>(read_u64(in));
-  const std::uint64_t docs = read_size(in, "dataset.docs", kMaxSequences);
-  data.docs.reserve(docs);
-  for (std::uint64_t i = 0; i < docs; ++i) {
-    data.docs.push_back(read_document(in));
-  }
-  return data;
-}
-
-}  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size) {
   // Table-driven CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
@@ -259,39 +204,6 @@ void read_floats(std::istream& in, float* data, std::size_t count) {
   read_raw(in, data, count * sizeof(float));
 }
 
-void write_matrix(std::ostream& out, const Matrix& matrix) {
-  write_u64(out, matrix.rows());
-  write_u64(out, matrix.cols());
-  write_floats(out, matrix.data(), matrix.size());
-}
-
-Matrix read_matrix(std::istream& in) {
-  // Rows and cols are capped individually before the product so a flipped
-  // high byte cannot overflow rows * cols into a small number.
-  const std::uint64_t rows = read_size(in, "matrix.rows", kMaxMatrixSide);
-  const std::uint64_t cols = read_size(in, "matrix.cols", kMaxMatrixSide);
-  if (rows != 0 && cols > kMaxElements / rows) {
-    throw std::runtime_error(
-        "serialize: field 'matrix' claims " + std::to_string(rows) + "x" +
-        std::to_string(cols) + " elements; corrupt or truncated file");
-  }
-  Matrix matrix(rows, cols);
-  read_floats(in, matrix.data(), matrix.size());
-  return matrix;
-}
-
-void write_vector(std::ostream& out, const Vector& vector) {
-  write_u64(out, vector.size());
-  write_floats(out, vector.data(), vector.size());
-}
-
-Vector read_vector(std::istream& in) {
-  const std::uint64_t size = read_size(in, "vector.size", kMaxElements);
-  Vector vector(size);
-  read_floats(in, vector.data(), vector.size());
-  return vector;
-}
-
 void write_doubles(std::ostream& out, const std::vector<double>& values) {
   write_u64(out, values.size());
   write_raw(out, values.data(), values.size() * sizeof(double));
@@ -333,132 +245,6 @@ std::vector<bool> read_bools(std::istream& in) {
     values[i] = byte != 0;
   }
   return values;
-}
-
-void write_vocab(std::ostream& out, const Vocab& vocab) {
-  // Specials (<pad>, <unk>) are rebuilt by the constructor; store the rest.
-  write_u64(out, static_cast<std::uint64_t>(vocab.size()) - 2);
-  for (WordId id = 2; id < vocab.size(); ++id) {
-    write_string(out, vocab.word(id));
-  }
-}
-
-Vocab read_vocab(std::istream& in) {
-  Vocab vocab;
-  const std::uint64_t words = read_size(in, "vocab.words", kMaxElements);
-  for (std::uint64_t i = 0; i < words; ++i) {
-    vocab.add(read_string(in));
-  }
-  return vocab;
-}
-
-void save_task(const SynthTask& task, const std::string& path) {
-  std::ostringstream out;
-  write_magic(out);
-  write_string(out, "task");
-  // Config (field by field; keep order in sync with load_task).
-  const SynthConfig& c = task.config;
-  write_string(out, c.name);
-  write_u64(out, c.seed);
-  write_u64(out, c.num_train);
-  write_u64(out, c.num_test);
-  write_double(out, c.class1_fraction);
-  write_u64(out, c.num_concepts);
-  write_u64(out, c.cluster_size);
-  write_double(out, c.neutral_fraction);
-  write_u64(out, c.num_noise_words);
-  write_u64(out, c.min_sentences);
-  write_u64(out, c.max_sentences);
-  write_u64(out, c.min_words_per_sentence);
-  write_u64(out, c.max_words_per_sentence);
-  write_double(out, c.function_word_rate);
-  write_double(out, c.noise_token_rate);
-  write_double(out, c.aligned_concept_rate);
-  write_double(out, c.variant_label_correlation);
-  write_double(out, c.strength_decay);
-  write_u64(out, c.embedding_dim);
-  write_double(out, c.polarity_embed_scale);
-  write_double(out, c.cluster_noise);
-  write_double(out, c.mild_doc_fraction);
-  write_double(out, c.embed_evidence_fidelity);
-
-  write_vocab(out, task.vocab);
-  write_dataset(out, task.train);
-  write_dataset(out, task.test);
-  write_ints(out, task.concept_of_word);
-  write_ints(out, task.variant_of_word);
-  write_doubles(out, task.word_polarity);
-  write_doubles(out, task.word_meaning);
-  write_bools(out, task.is_function_word);
-  write_bools(out, task.is_noise_word);
-  write_matrix(out, task.paragram);
-  write_u64(out, task.concept_members.size());
-  for (const auto& members : task.concept_members) {
-    write_ints(out, std::vector<int>(members.begin(), members.end()));
-  }
-  write_u64(out, task.function_clusters.size());
-  for (const auto& cluster : task.function_clusters) {
-    write_ints(out, std::vector<int>(cluster.begin(), cluster.end()));
-  }
-  if (!out) fail("write failed");
-  save_artifact(path, out.str());
-}
-
-SynthTask load_task(const std::string& path) {
-  std::istringstream in(load_artifact(path));
-  read_magic(in);
-  if (read_string(in) != "task") fail("not a task file");
-  SynthTask task;
-  SynthConfig& c = task.config;
-  c.name = read_string(in);
-  c.seed = read_u64(in);
-  c.num_train = read_u64(in);
-  c.num_test = read_u64(in);
-  c.class1_fraction = read_double(in);
-  c.num_concepts = read_u64(in);
-  c.cluster_size = read_u64(in);
-  c.neutral_fraction = read_double(in);
-  c.num_noise_words = read_u64(in);
-  c.min_sentences = read_u64(in);
-  c.max_sentences = read_u64(in);
-  c.min_words_per_sentence = read_u64(in);
-  c.max_words_per_sentence = read_u64(in);
-  c.function_word_rate = read_double(in);
-  c.noise_token_rate = read_double(in);
-  c.aligned_concept_rate = read_double(in);
-  c.variant_label_correlation = read_double(in);
-  c.strength_decay = read_double(in);
-  c.embedding_dim = read_u64(in);
-  c.polarity_embed_scale = read_double(in);
-  c.cluster_noise = read_double(in);
-  c.mild_doc_fraction = read_double(in);
-  c.embed_evidence_fidelity = read_double(in);
-
-  task.vocab = read_vocab(in);
-  task.train = read_dataset(in);
-  task.test = read_dataset(in);
-  task.concept_of_word = read_ints(in);
-  task.variant_of_word = read_ints(in);
-  task.word_polarity = read_doubles(in);
-  task.word_meaning = read_doubles(in);
-  task.is_function_word = read_bools(in);
-  task.is_noise_word = read_bools(in);
-  task.paragram = read_matrix(in);
-  const std::uint64_t concepts =
-      read_size(in, "task.concept_members", kMaxSequences);
-  task.concept_members.resize(concepts);
-  for (auto& members : task.concept_members) {
-    const auto ints = read_ints(in);
-    members.assign(ints.begin(), ints.end());
-  }
-  const std::uint64_t clusters =
-      read_size(in, "task.function_clusters", kMaxSequences);
-  task.function_clusters.resize(clusters);
-  for (auto& cluster : task.function_clusters) {
-    const auto ints = read_ints(in);
-    cluster.assign(ints.begin(), ints.end());
-  }
-  return task;
 }
 
 void save_parameters(

@@ -1,10 +1,17 @@
-// Binary serialization for experiment artifacts.
+// Binary serialization primitives for experiment artifacts.
 //
-// A reproduction repo lives and dies by reproducibility: this module
+// A reproduction repo lives and dies by reproducibility: the io:: layer
 // persists matrices, vocabularies, synthetic tasks and trained model
 // parameters to a simple tagged little-endian binary format so that a
 // trained classifier (or a generated task) can be saved once and attacked
 // many times — the workflow the CLI tool (examples/advtext_cli) exposes.
+//
+// This header is the *bottom* of that layer: the envelope (magic, CRC
+// footer), untyped primitives (u64/double/string/float buffers) and raw
+// parameter checkpoints. Serializers for typed composites live next to the
+// types they serialize — src/tensor/serialize.h (Matrix/Vector),
+// src/text/serialize.h (Vocab/Document/Dataset) and src/data/serialize.h
+// (SynthTask) — so src/util/ never includes upward in the layering DAG.
 //
 // Format: every file starts with a 8-byte magic ("ADVTEXT1"), then a
 // sequence of tagged fields written by the functions below. No attempt is
@@ -16,13 +23,7 @@
 #include <string>
 #include <vector>
 
-#include "src/tensor/tensor.h"
-#include "src/text/vocab.h"
-
 namespace advtext {
-
-struct SynthTask;  // data/synthetic.h
-struct Document;   // text/corpus.h
 
 namespace io {
 
@@ -67,12 +68,30 @@ void save_artifact(const std::string& path, const std::string& payload);
 /// std::runtime_error naming the file); an absent footer is accepted as a
 /// seed-era artifact with a once-per-process warning. Fault-injection site:
 /// "ckpt.read".
-std::string load_artifact(const std::string& path,
-                          ArtifactInfo* info = nullptr);
+[[nodiscard]] std::string load_artifact(const std::string& path,
+                                        ArtifactInfo* info = nullptr);
 
 /// Number of footer-less (seed-era) artifacts accepted so far; lets tests
 /// assert the backward-compatible path actually ran.
 std::size_t legacy_artifact_loads();
+
+// ---- Allocation guards for length-prefixed reads ---------------------------
+//
+// A single flipped byte in a u64 length field would otherwise drive a
+// multi-GB resize (or a signed overflow) before the stream even reports
+// truncation; every size read off disk goes through read_size with a
+// per-field cap and the field name in the error. The caps are shared by the
+// composite serializers in tensor/, text/ and data/.
+
+inline constexpr std::uint64_t kMaxStringBytes = 1ULL << 26;  // 64 MiB
+inline constexpr std::uint64_t kMaxElements = 1ULL << 28;     // 256M scalars
+inline constexpr std::uint64_t kMaxMatrixSide = 1ULL << 24;   // 16M rows/cols
+inline constexpr std::uint64_t kMaxSequences = 1ULL << 24;    // docs/sentences
+
+/// Reads a u64 length field and throws std::runtime_error (naming `field`)
+/// if it exceeds `limit` — corrupt files must fail before they allocate.
+std::uint64_t read_size(std::istream& in, const char* field,
+                        std::uint64_t limit);
 
 // ---- Primitive writers/readers (throw std::runtime_error on failure) ----
 
@@ -91,13 +110,7 @@ std::string read_string(std::istream& in);
 void write_floats(std::ostream& out, const float* data, std::size_t count);
 void read_floats(std::istream& in, float* data, std::size_t count);
 
-// ---- Composite types -----------------------------------------------------
-
-void write_matrix(std::ostream& out, const Matrix& matrix);
-Matrix read_matrix(std::istream& in);
-
-void write_vector(std::ostream& out, const Vector& vector);
-Vector read_vector(std::istream& in);
+// ---- Untyped buffer writers/readers ----------------------------------------
 
 void write_doubles(std::ostream& out, const std::vector<double>& values);
 std::vector<double> read_doubles(std::istream& in);
@@ -108,20 +121,7 @@ std::vector<int> read_ints(std::istream& in);
 void write_bools(std::ostream& out, const std::vector<bool>& values);
 std::vector<bool> read_bools(std::istream& in);
 
-void write_vocab(std::ostream& out, const Vocab& vocab);
-Vocab read_vocab(std::istream& in);
-
-/// Single documents (label + sentence/word structure). Used by the attack
-/// pipeline's checkpoint files; the whole-task writers reuse them.
-void write_document(std::ostream& out, const Document& doc);
-Document read_document(std::istream& in);
-
-// ---- Task & parameter checkpoints ------------------------------------------
-
-/// Saves / loads a complete synthetic task (config, data, semantics,
-/// embeddings) so every attack run can start from the identical corpus.
-void save_task(const SynthTask& task, const std::string& path);
-SynthTask load_task(const std::string& path);
+// ---- Parameter checkpoints -------------------------------------------------
 
 /// Saves / loads raw parameter buffers (any TrainableClassifier exposes
 /// them through params()). The caller is responsible for constructing the

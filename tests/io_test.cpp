@@ -7,12 +7,15 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/data/serialize.h"
 #include "src/data/synthetic.h"
 #include "src/eval/metrics.h"
 #include "src/nn/checkpoint.h"
 #include "src/nn/supervisor.h"
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
+#include "src/tensor/serialize.h"
+#include "src/text/serialize.h"
 #include "src/util/args.h"
 #include "src/util/serialize.h"
 
@@ -242,7 +245,7 @@ TEST(Artifact, PayloadBitFlipUnderIntactFooterIsRejected) {
   bytes[bytes.size() / 4] ^= 0x01;  // payload byte; footer intact
   write_file(file.path, bytes);
   try {
-    io::load_artifact(file.path);
+    (void)io::load_artifact(file.path);
     FAIL() << "bit-flipped artifact accepted";
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("checksum mismatch"),

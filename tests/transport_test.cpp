@@ -146,7 +146,7 @@ TEST(TransportSinkhorn, PlanMarginalsApproximatelyFeasible) {
 
 TEST(TransportSinkhorn, RejectsNonPositiveReg) {
   Matrix cost = {{1.0f}};
-  EXPECT_THROW(solve_transport_sinkhorn(cost, {1.0}, {1.0}, 0.0),
+  EXPECT_THROW((void)solve_transport_sinkhorn(cost, {1.0}, {1.0}, 0.0),
                std::invalid_argument);
 }
 

@@ -1,0 +1,14 @@
+"""advtext-analyzer: static analysis enforcing the repo's determinism and
+robustness invariants (see DESIGN.md's static-analysis section).
+
+Entry points:
+
+  python3 tools/lint.py [paths...]      # thin shim, keeps the repo_lint
+                                        # ctest name stable
+  python3 tools/analyzer [paths...]     # the analyzer itself
+  python3 tools/analyzer --self-test    # fixture corpus + lexer regression
+  python3 tools/analyzer --json out.json
+  python3 tools/analyzer --list-rules
+"""
+
+from __future__ import annotations

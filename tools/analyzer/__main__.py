@@ -1,0 +1,13 @@
+"""Makes `python3 tools/analyzer` work: running a directory puts the
+directory itself on sys.path, so the package has to be reached through its
+parent (tools/)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyzer.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

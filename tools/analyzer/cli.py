@@ -1,0 +1,134 @@
+"""Command-line driver for the advtext analyzer.
+
+Exit status: 0 clean, 1 findings (or self-test regression), 2 usage error.
+The counts are printed explicitly; an exit status equal to a count would
+wrap mod 256 and could report 256 violating files as success.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from .engine import SOURCE_SUFFIXES, AnalysisResult, Project
+from .rules import FILE_RULES, PROJECT_RULES, RULES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+LINT_DIRS = ("src", "tests", "bench", "examples")
+
+
+def collect_files(args: list[str]) -> list[Path]:
+    """Explicit paths must exist — a CI invocation that names a moved or
+    misspelled directory must fail loudly, not pass on an empty file set."""
+    if args:
+        files: list[Path] = []
+        for a in args:
+            path = Path(a).resolve()
+            if path.is_dir():
+                files.extend(p for p in sorted(path.rglob("*"))
+                             if p.suffix in SOURCE_SUFFIXES and p.is_file())
+            elif path.is_file():
+                files.append(path)
+            else:
+                raise FileNotFoundError(
+                    f"analyzer: path '{a}' does not exist; refusing to "
+                    "lint a vacuous file set")
+        return files
+    files = []
+    for top in LINT_DIRS:
+        for path in sorted((REPO_ROOT / top).rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                files.append(path)
+    return files
+
+
+def load_project(paths: list[Path]) -> Project:
+    files: dict[str, str] = {}
+    for path in paths:
+        try:
+            rel = path.relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        files[rel] = path.read_text(encoding="utf-8", errors="replace")
+    return Project(files, file_exists=lambda r: (REPO_ROOT / r).is_file())
+
+
+def report(result: AnalysisResult, json_path: str | None) -> int:
+    for f in result.findings:
+        print(f.render())
+    if json_path:
+        payload = result.render_json()
+        if json_path == "-":
+            sys.stdout.write(payload)
+        else:
+            Path(json_path).write_text(payload, encoding="utf-8")
+    if result.findings:
+        bad_files = len({f.file for f in result.findings})
+        print(f"analyzer: {len(result.findings)} finding(s) in "
+              f"{bad_files} file(s) "
+              f"({len(result.suppressed)} suppressed with reasons)",
+              file=sys.stderr)
+        return 1
+    print(f"analyzer: {result.files_analyzed} files clean "
+          f"({len(result.suppressed)} suppression(s) in effect)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    json_path: str | None = None
+    run_self_test_only = False
+    skip_self_test = False
+    paths: list[str] = []
+    it = iter(argv)
+    for arg in it:
+        if arg == "--json":
+            json_path = next(it, None)
+            if json_path is None:
+                print("analyzer: --json needs a path (or '-')",
+                      file=sys.stderr)
+                return 2
+        elif arg == "--self-test":
+            run_self_test_only = True
+        elif arg == "--no-self-test":
+            skip_self_test = True
+        elif arg == "--list-rules":
+            width = max(len(r) for r in RULES)
+            for rule_id, rule in sorted(RULES.items()):
+                kind = "project" if rule in PROJECT_RULES else "file"
+                print(f"{rule_id:<{width}}  [{kind:>7}]  {rule.synopsis}")
+            return 0
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            print("usage: python3 tools/analyzer [paths...] [--json FILE|-]"
+                  " [--self-test] [--list-rules]")
+            return 0
+        elif arg.startswith("-"):
+            print(f"analyzer: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+
+    # The self-test is always-on (the PR 5 lint pattern): every real run
+    # first proves each rule still fires on its fixture and stays quiet on
+    # the clean twin, so rule coverage cannot silently regress.
+    if not skip_self_test:
+        from .selftest import run_self_test
+        failures = run_self_test(verbose=run_self_test_only)
+        if failures:
+            for failure in failures:
+                print(failure)
+            print("analyzer: self-test FAILED — rule coverage regressed",
+                  file=sys.stderr)
+            return 1
+        if run_self_test_only:
+            print(f"analyzer: self-test OK ({len(FILE_RULES)} file rules, "
+                  f"{len(PROJECT_RULES)} project rules)")
+            return 0
+
+    try:
+        files = collect_files(paths)
+    except FileNotFoundError as err:
+        print(err, file=sys.stderr)
+        return 2
+    result = load_project(files).analyze()
+    return report(result, json_path)

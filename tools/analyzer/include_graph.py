@@ -1,0 +1,142 @@
+"""Repo-wide include graph: layering enforcement and cycle detection.
+
+The architecture of src/ is a DAG of layers:
+
+    util  ->  tensor  ->  { text, nn, optim, data }  ->  core  ->  eval
+
+(arrows point *up* the stack: higher layers may include lower ones). The
+middle group is one layer — its four directories may include each other
+freely (nn uses text's Vocab, text's skip-gram trainer runs under nn's
+supervisor) as long as no *file-level* include cycle forms. Two rules fall
+out of the graph:
+
+  include-layering   an #include edge from a lower layer to a higher one
+                     (e.g. util including tensor) — the dependency
+                     inversion that made src/util/serialize.h drag half
+                     the tree into every util consumer.
+  include-cycle      a cycle in the file-level include graph anywhere in
+                     src/ (self-includes included). Reported once per
+                     cycle, attributed to the lexicographically smallest
+                     file on it so the finding is stable across runs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .engine import FileContext, Finding
+
+RE_QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+
+#: Directory prefix -> layer rank. Higher ranks may include lower ones.
+LAYERS = {
+    "src/util/": 0,
+    "src/tensor/": 1,
+    "src/text/": 2,
+    "src/nn/": 2,
+    "src/optim/": 2,
+    "src/data/": 2,
+    "src/core/": 3,
+    "src/eval/": 4,
+}
+
+LAYER_NAMES = {0: "util", 1: "tensor", 2: "text/nn/optim/data",
+               3: "core", 4: "eval"}
+
+
+def layer_of(rel: str) -> int | None:
+    for prefix, rank in LAYERS.items():
+        if rel.startswith(prefix):
+            return rank
+    return None
+
+
+def quoted_includes(ctx: FileContext) -> list[tuple[int, str]]:
+    """(line, include-path) pairs. The directive is detected on the masked
+    line (so commented-out includes are ignored) but the path is read from
+    the raw line, since the lexer masks string contents."""
+    out = []
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if RE_QUOTED_INCLUDE.search(line) and idx <= len(ctx.raw_lines):
+            m = RE_QUOTED_INCLUDE.search(ctx.raw_lines[idx - 1])
+            if m:
+                out.append((idx, m.group(1)))
+    return out
+
+
+def check_layering(contexts: list[FileContext]) -> list[Finding]:
+    findings = []
+    for ctx in contexts:
+        src_layer = layer_of(ctx.rel)
+        if src_layer is None:
+            continue
+        for line, inc in quoted_includes(ctx):
+            dst_layer = layer_of(inc)
+            if dst_layer is None or dst_layer <= src_layer:
+                continue
+            findings.append(Finding(
+                ctx.rel, line, "include-layering",
+                f'"{inc}" is in layer {LAYER_NAMES[dst_layer]}, above this '
+                f"file's layer {LAYER_NAMES[src_layer]}; the layering DAG "
+                "util -> tensor -> text/nn/optim/data -> core -> eval only "
+                "permits downward includes"))
+    return findings
+
+
+def check_cycles(contexts: list[FileContext]) -> list[Finding]:
+    graph: dict[str, list[tuple[int, str]]] = {}
+    in_src = {ctx.rel for ctx in contexts if ctx.rel.startswith("src/")}
+    for ctx in contexts:
+        if ctx.rel not in in_src:
+            continue
+        graph[ctx.rel] = [(line, inc) for line, inc in quoted_includes(ctx)
+                          if inc in in_src]
+
+    findings = []
+    seen_cycles: set[tuple[str, ...]] = set()
+    # Iterative DFS with an explicit path stack; fires once per distinct
+    # cycle (canonicalized by rotating the smallest node to the front).
+    color: dict[str, int] = {}  # 0/absent=white, 1=grey, 2=black
+    for root in sorted(graph):
+        if color.get(root):
+            continue
+        path: list[str] = []
+        stack: list[tuple[str, int]] = [(root, 0)]
+        while stack:
+            node, edge_idx = stack.pop()
+            if edge_idx == 0:
+                color[node] = 1
+                path.append(node)
+            edges = graph.get(node, [])
+            advanced = False
+            for k in range(edge_idx, len(edges)):
+                line, inc = edges[k]
+                state = color.get(inc, 0)
+                if state == 1:
+                    cycle = path[path.index(inc):] + [inc]
+                    nodes = tuple(cycle[:-1])
+                    pivot = nodes.index(min(nodes))
+                    canon = nodes[pivot:] + nodes[:pivot]
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        anchor = canon[0]
+                        loop = " -> ".join(canon + (canon[0],))
+                        anchor_line = 1
+                        for ln, target in graph.get(anchor, []):
+                            if target == canon[1 % len(canon)] or \
+                                    (len(canon) == 1 and target == anchor):
+                                anchor_line = ln
+                                break
+                        findings.append(Finding(
+                            anchor, anchor_line, "include-cycle",
+                            f"include cycle: {loop}"))
+                    continue
+                if state == 0:
+                    stack.append((node, k + 1))
+                    stack.append((inc, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                path.pop()
+    return findings

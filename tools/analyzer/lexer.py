@@ -1,0 +1,144 @@
+"""C++ surface lexer for the advtext analyzer.
+
+Produces a *masked* view of a translation unit: comment bodies and
+string/char-literal contents are blanked out while line structure (every
+newline) is preserved, so rule regexes can run over `code` and report line
+numbers that match the raw file. Comments are additionally returned as
+(line, text) pairs so the suppression syntax (``// ADVTEXT_ALLOW(rule):
+reason``) can be parsed from them.
+
+This replaces the ``strip_comments`` scanner that used to live in
+tools/lint.py, which had two real bugs:
+
+  * raw string literals were not recognised at all, so ``R"(a " b)"``
+    left the scanner inside a phantom string (everything after the inner
+    quote — including genuine violations — was masked), and a ``//``
+    inside a raw string started a phantom comment;
+  * escape sequences were skipped as exactly two characters which is right
+    for ``\\`` and ``\"`` termination purposes, but the replacement text
+    was emitted unconditionally even when the backslash was the last
+    character of the file (dropping the newline and shifting every
+    subsequent line number).
+
+The lexer handles ``//``, ``/* */``, ``"..."`` with escapes (multi-char
+escapes like ``\x41`` need no special casing: only the character *after*
+the backslash is exempt from terminating the literal), ``'...'`` char
+literals, and raw string literals with optional encoding prefixes
+(``R"d(...)d"``, ``u8R"(...)"``, ``LR"(...)"``, ...). Newlines inside raw
+strings and block comments are preserved.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# Encoding prefixes that may precede a raw-string R.
+_RAW_PREFIXES = ("u8", "u", "U", "L")
+
+_RE_RAW_INTRO = re.compile(r'(?:u8|u|U|L)?R"([^ ()\\\t\v\f\n]{0,16})\(')
+
+
+@dataclass
+class LexedFile:
+    """Masked source plus the comment stream."""
+
+    code: str
+    comments: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def code_lines(self) -> list[str]:
+        return self.code.splitlines()
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def lex(text: str) -> LexedFile:
+    out: list[str] = []
+    comments: list[tuple[int, str]] = []
+    i = 0
+    n = len(text)
+    line = 1
+
+    def emit_masked(upto: int) -> None:
+        """Masks text[i:upto], preserving newlines, advancing i and line."""
+        nonlocal i, line
+        for k in range(i, upto):
+            if text[k] == "\n":
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+        i = upto
+
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        # ---- comments ----------------------------------------------------
+        if ch == "/" and nxt == "/":
+            end = text.find("\n", i)
+            if end == -1:
+                end = n
+            comments.append((line, text[i:end]))
+            emit_masked(end)
+            continue
+        if ch == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            comments.append((line, text[i:end]))
+            emit_masked(end)
+            continue
+
+        # ---- raw string literal -----------------------------------------
+        if ch in "RuUL" and (i == 0 or not _is_ident_char(text[i - 1])):
+            m = _RE_RAW_INTRO.match(text, i)
+            if m:
+                delim = m.group(1)
+                closer = ")" + delim + '"'
+                close = text.find(closer, m.end())
+                # Keep a quote visible at each end (rules that ask "does a
+                # string start here" still see one) but mask the prefix,
+                # delimiter and contents. Character counts are preserved.
+                out.append('"')
+                i += 1
+                if close == -1:  # unterminated: mask to EOF
+                    emit_masked(n)
+                    continue
+                end = close + len(closer)
+                emit_masked(end - 1)
+                out.append('"')
+                i = end
+                continue
+
+        # ---- ordinary string / char literal ------------------------------
+        if ch == '"' or ch == "'":
+            quote = ch
+            out.append(quote)
+            j = i + 1
+            while j < n:
+                c = text[j]
+                if c == "\\" and j + 1 < n:
+                    j += 2
+                    continue
+                if c == quote or c == "\n":
+                    break
+                j += 1
+            # j points at the closing quote, a newline (unterminated), or n.
+            end = j
+            i += 1
+            emit_masked(end)
+            if i < n and text[i] == quote:
+                out.append(quote)
+                i += 1
+            continue
+
+        # ---- plain code ---------------------------------------------------
+        if ch == "\n":
+            line += 1
+        out.append(ch)
+        i += 1
+
+    return LexedFile(code="".join(out), comments=comments)

@@ -1,0 +1,6 @@
+// fixture-path: src/eval/fixture_allow_noreason.cpp
+// expect: allow-missing-reason@5
+// expect-suppressed: env-access@6
+#include <cstdlib>
+// ADVTEXT_ALLOW(env-access)
+const char* fixture_env() { return std::getenv("X"); }

@@ -1,0 +1,4 @@
+// fixture-path: src/eval/fixture_allow_unknown.cpp
+// expect: allow-unknown-rule@4
+int fixture_declared();
+// ADVTEXT_ALLOW(not-a-rule): a reason cannot rescue an unknown rule id

@@ -1,0 +1,5 @@
+// fixture-path: src/eval/fixture_allow_ok.cpp
+// expect-suppressed: env-access@5
+#include <cstdlib>
+// ADVTEXT_ALLOW(env-access): fixture proving reasoned suppressions work
+const char* fixture_env() { return std::getenv("X"); }

@@ -1,0 +1,12 @@
+// fixture-path: src/text/fixture_catch_clean.cpp
+// expect-clean
+#include <stdexcept>
+int fixture_guard(int x) {
+  try {
+    return x;
+  } catch (const std::runtime_error&) {
+    return 0;
+  } catch (...) {
+    throw;
+  }
+}

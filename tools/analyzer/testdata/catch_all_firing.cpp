@@ -1,0 +1,18 @@
+// fixture-path: src/text/fixture_catch_firing.cpp
+// expect: catch-all@8
+// expect: catch-all@15
+#include <exception>
+int fixture_guard_all(int x) {
+  try {
+    return x;
+  } catch (...) {
+    return 0;
+  }
+}
+int fixture_guard_exception(int x) {
+  try {
+    return x;
+  } catch (const std::exception& e) {
+    return 0;
+  }
+}

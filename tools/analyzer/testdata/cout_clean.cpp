@@ -1,0 +1,4 @@
+// fixture-path: bench/fixture_cout_clean.cpp
+// expect-clean
+#include <iostream>
+void fixture_print() { std::cout << 1; }

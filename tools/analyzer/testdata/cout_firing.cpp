@@ -1,0 +1,4 @@
+// fixture-path: src/eval/fixture_cout_firing.cpp
+// expect: cout-in-library@4
+#include <iostream>
+void fixture_print() { std::cout << 1; }

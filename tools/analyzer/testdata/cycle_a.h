@@ -1,0 +1,5 @@
+// fixture-path: src/core/fixture_cycle_a.h
+// fixture-group: cycle
+// expect: include-cycle@5
+#pragma once
+#include "src/core/fixture_cycle_b.h"

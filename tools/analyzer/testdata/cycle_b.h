@@ -1,0 +1,5 @@
+// fixture-path: src/core/fixture_cycle_b.h
+// fixture-group: cycle
+// expect-clean
+#pragma once
+#include "src/core/fixture_cycle_a.h"

@@ -1,0 +1,4 @@
+// fixture-path: bench/fixture_env_clean.cpp
+// expect-clean
+#include <cstdlib>
+const char* fixture_env() { return std::getenv("ADVTEXT_FIXTURE"); }

@@ -1,0 +1,4 @@
+// fixture-path: src/data/fixture_env_firing.cpp
+// expect: env-access@4
+#include <cstdlib>
+const char* fixture_env() { return std::getenv("ADVTEXT_FIXTURE"); }

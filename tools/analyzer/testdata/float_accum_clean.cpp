@@ -1,0 +1,7 @@
+// fixture-path: src/tensor/fixture_accum_clean.cpp
+// expect-clean
+double fixture_blessed_sum(const double* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}

@@ -1,0 +1,13 @@
+// fixture-path: src/nn/fixture_accum_firing.cpp
+// expect: float-accum@7
+// expect: float-accum@10
+#include <cmath>
+double fixture_sum(const double* xs, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  double fused = 0.0;
+  for (int i = 0; i < n; ++i) {
+    fused = std::fma(xs[i], 2.0, fused);
+  }
+  return acc + fused;
+}

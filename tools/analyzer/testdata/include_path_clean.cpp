@@ -1,0 +1,3 @@
+// fixture-path: src/util/fixture_include_clean.cpp
+// expect-clean
+#include "src/util/rng.h"

@@ -1,0 +1,5 @@
+// fixture-path: src/util/fixture_include_firing.cpp
+// expect: include-path@4
+// expect: include-path@5
+#include "../util/rng.h"
+#include "nonexistent/header.h"

@@ -1,0 +1,5 @@
+// fixture-path: src/nn/fixture_layering_target.h
+// fixture-group: layering
+// expect-clean
+#pragma once
+#include "src/util/rng.h"

@@ -1,0 +1,5 @@
+// fixture-path: src/util/fixture_layering_bad.h
+// fixture-group: layering
+// expect: include-layering@5
+#pragma once
+#include "src/nn/fixture_layering_target.h"

@@ -1,0 +1,4 @@
+// fixture-path: src/util/fixture_pragma_clean.h
+// expect-clean
+#pragma once
+inline int fixture_pragma_clean() { return 1; }

@@ -1,0 +1,3 @@
+// fixture-path: src/util/fixture_pragma_firing.h
+// expect: pragma-once@1
+inline int fixture_pragma_firing() { return 1; }

@@ -1,0 +1,4 @@
+// fixture-path: src/util/fixture_clock_clean.cpp
+// expect-clean
+#include <chrono>
+auto fixture_now() { return std::chrono::steady_clock::now(); }

@@ -1,0 +1,4 @@
+// fixture-path: src/text/fixture_clock_firing.cpp
+// expect: raw-clock@4
+#include <chrono>
+auto fixture_now() { return std::chrono::steady_clock::now(); }

@@ -1,0 +1,6 @@
+// fixture-path: src/optim/fixture_mutex_clean.cpp
+// expect-clean
+#include "src/util/sync.h"
+namespace advtext {
+void fixture_lock(Mutex& mu) { MutexLock lock(mu); }
+}  // namespace advtext

@@ -1,0 +1,4 @@
+// fixture-path: src/optim/fixture_mutex_firing.cpp
+// expect: raw-mutex@4
+#include <mutex>
+void fixture_lock() { std::mutex m; }

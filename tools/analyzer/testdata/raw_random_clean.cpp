@@ -1,0 +1,6 @@
+// fixture-path: src/core/fixture_random_clean.cpp
+// expect-clean
+#include "src/util/rng.h"
+namespace advtext {
+double fixture_draw(Rng& rng) { return rng.uniform(); }
+}  // namespace advtext

@@ -1,0 +1,4 @@
+// fixture-path: src/core/fixture_random_firing.cpp
+// expect: raw-random@4
+#include <cstdlib>
+int fixture_draw() { return rand(); }

@@ -1,0 +1,4 @@
+// fixture-path: src/util/fixture_signal_clean.cpp
+// expect-clean
+#include <csignal>
+void fixture_install() { signal(2, SIG_IGN); }

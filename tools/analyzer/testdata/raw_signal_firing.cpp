@@ -1,0 +1,4 @@
+// fixture-path: src/nn/fixture_signal_firing.cpp
+// expect: raw-signal@4
+#include <csignal>
+void fixture_install() { signal(2, SIG_IGN); }

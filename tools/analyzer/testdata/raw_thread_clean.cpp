@@ -1,0 +1,6 @@
+// fixture-path: src/eval/fixture_thread_clean.cpp
+// expect-clean
+#include "src/util/sync.h"
+namespace advtext {
+void fixture_run(ThreadPool& pool) { (void)pool; }
+}  // namespace advtext

@@ -1,0 +1,6 @@
+// fixture-path: src/eval/fixture_thread_firing.cpp
+// expect: raw-thread@5
+// expect: raw-thread@6
+#include <thread>
+void fixture_spawn() { std::thread t; }
+void fixture_async() { auto h = std::async([] {}); }

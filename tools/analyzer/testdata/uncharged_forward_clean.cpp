@@ -1,0 +1,9 @@
+// fixture-path: src/core/fixture_forward_clean.cpp
+// expect-clean
+struct FixtureEvaluator { double score_swap(int); };
+struct FixtureControl { void charge(int) const; };
+double fixture_attack(FixtureEvaluator* evaluator,
+                      const FixtureControl& control) {
+  control.charge(1);
+  return evaluator->score_swap(1);
+}

@@ -1,0 +1,6 @@
+// fixture-path: src/core/fixture_forward_firing.cpp
+// expect: uncharged-forward@5
+// expect: uncharged-forward@6
+struct FixtureModel { double run(int); };
+double fixture_attack_ptr(FixtureModel* model) { return model->forward(1); }
+double fixture_attack_ref(FixtureModel& model) { return model.predict(1); }

@@ -1,0 +1,14 @@
+// fixture-path: src/text/fixture_unordered_clean.cpp
+// expect-clean
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+void fixture_emit(const std::unordered_map<int, int>& counts,
+                  std::vector<int>* out) {
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  std::transform(counts.begin(), counts.end(), std::back_inserter(keys),
+                 [](const auto& kv) { return kv.first; });
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) out->push_back(k);
+}

@@ -1,0 +1,8 @@
+// fixture-path: src/text/fixture_unordered_firing.cpp
+// expect: unordered-iteration@7
+#include <unordered_map>
+#include <vector>
+void fixture_emit(std::vector<int>* out) {
+  std::unordered_map<int, int> counts;
+  for (const auto& [k, v] : counts) out->push_back(k + v);
+}

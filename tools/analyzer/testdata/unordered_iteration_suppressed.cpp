@@ -1,0 +1,9 @@
+// fixture-path: src/text/fixture_unordered_suppressed.cpp
+// expect-suppressed: unordered-iteration@8
+#include <unordered_map>
+#include <vector>
+void fixture_emit(std::vector<int>* out) {
+  std::unordered_map<int, int> counts;
+  // ADVTEXT_ALLOW(unordered-iteration): caller sorts before any output
+  for (const auto& [k, v] : counts) out->push_back(k + v);
+}

@@ -1,0 +1,6 @@
+// fixture-path: src/util/fixture_using_clean.h
+// expect-clean
+#pragma once
+namespace advtext {
+inline int fixture_using_clean() { return 0; }
+}  // namespace advtext

@@ -1,0 +1,4 @@
+// fixture-path: src/util/fixture_using_firing.h
+// expect: using-namespace@4
+#pragma once
+using namespace std;

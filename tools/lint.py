@@ -1,305 +1,29 @@
 #!/usr/bin/env python3
-"""Mechanical repo lint for advtext, registered as a ctest (see
-tools/CMakeLists.txt).
+"""Thin shim over the advtext analyzer (tools/analyzer/), kept so the
+`repo_lint` ctest name, CI invocations, and muscle memory
+(`python3 tools/lint.py [paths...]`) all survive the promotion of the lint
+script into a real analysis subsystem.
 
-Rules enforced (each with a stable rule id, printed on violation):
+The nine legacy rule ids (pragma-once, using-namespace, include-path,
+raw-random, cout-in-library, raw-clock, raw-signal, raw-thread, raw-mutex)
+live on unchanged inside the analyzer's rule catalog, alongside the
+determinism/robustness rule pack and the include-graph rules. See
+`python3 tools/analyzer --list-rules` and DESIGN.md's static-analysis
+section.
 
-  pragma-once        every header has `#pragma once` before any code
-  using-namespace    no `using namespace` at any scope inside headers
-  include-path       quoted includes are repo-root-relative and resolve to a
-                     file in the repository (no "../foo.h" or bare "foo.h")
-  raw-random         no rand()/srand()/std::random_device outside
-                     src/util/rng.* — all randomness flows through Rng so
-                     experiments stay reproducible from one seed
-  cout-in-library    no std::cout/std::cerr in library code (src/); report
-                     output belongs to the callers in bench/ and examples/
-  raw-clock          no *_clock::now() in library code outside src/util/ —
-                     timing flows through Stopwatch and Deadline so clocks
-                     stay mockable and deadline checks stay consistent
-  raw-signal         no signal()/sigaction() outside src/util/ — handler
-                     installation flows through StopToken so every subsystem
-                     shares one atomic stop flag (std::raise is fine)
-  raw-thread         no std::thread / std::jthread / std::async /
-                     pthread_create outside src/util/sync.* — workers are
-                     spawned only by advtext::ThreadPool so thread lifetimes
-                     are bounded and joined in one place (std::this_thread,
-                     e.g. sleep_for, is fine)
-  raw-mutex          no std::mutex / std::condition_variable / std::lock_guard
-                     (or timed/recursive/shared variants, unique_lock,
-                     scoped_lock, shared_lock, condition_variable_any)
-                     outside src/util/sync.* — locking flows through the
-                     annotated advtext::Mutex / MutexLock / CondVar wrappers
-                     so Clang's -Wthread-safety analysis sees every lock
-
-Run locally from the repo root:
-
-  python3 tools/lint.py            # lint the whole tree
-  python3 tools/lint.py src/...    # lint specific files
-
-Exit status: 1 if any violation was found, 0 otherwise (the counts are
-printed; an exit status equal to a count would wrap mod 256 and could
-report 256 violating files as success).
+Exit status: 0 clean, 1 findings or self-test regression, 2 usage error
+(an explicitly named path that does not exist is an error — CI
+misconfiguration must not pass vacuously).
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-HEADER_SUFFIXES = {".h", ".hpp"}
-SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
-LINT_DIRS = ("src", "tests", "bench", "examples")
-
-# Files allowed to touch raw randomness primitives.
-RAW_RANDOM_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
-
-# The one place threads are spawned and raw locks are wrapped.
-SYNC_ALLOWED = {"src/util/sync.h", "src/util/sync.cpp"}
-
-RE_USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\b")
-RE_QUOTED_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
-RE_RAW_RANDOM = re.compile(
-    r"(?<![\w:])(?:std\s*::\s*)?(?:rand|srand)\s*\(|std\s*::\s*random_device"
-)
-RE_COUT = re.compile(r"std\s*::\s*(?:cout|cerr)\b")
-RE_RAW_CLOCK = re.compile(
-    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
-)
-RE_RAW_SIGNAL = re.compile(
-    r"(?<![\w:])(?:std\s*::\s*)?signal\s*\(|(?<![\w:])sigaction\s*\("
-)
-# `std::this_thread` must not match: after `std::` the next token is
-# `this_thread`, so anchoring the alternatives right after the `::` (plus
-# the trailing \b) keeps it clean. std::async and pthread_create/detach are
-# covered too — they spawn threads just as effectively as std::thread and
-# were the loophole the original rule left open.
-RE_RAW_THREAD = re.compile(
-    r"std\s*::\s*(?:jthread|thread|async)\b"
-    r"|(?<![\w:])pthread_(?:create|detach)\s*\("
-)
-RE_RAW_MUTEX = re.compile(
-    r"std\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
-    r"|shared_mutex|shared_timed_mutex|condition_variable(?:_any)?"
-    r"|lock_guard|unique_lock|scoped_lock|shared_lock)\b"
-)
-
-
-def strip_comments(text: str) -> str:
-    """Blanks out comments and string literals, preserving line structure so
-    reported line numbers stay accurate."""
-    out = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line_comment | block_comment | string | char
-    while i < n:
-        ch = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if ch == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if ch == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-                continue
-            if ch == '"':
-                state = "string"
-                out.append('"')
-                i += 1
-                continue
-            if ch == "'":
-                state = "char"
-                out.append("'")
-                i += 1
-                continue
-            out.append(ch)
-        elif state == "line_comment":
-            if ch == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        elif state == "block_comment":
-            if ch == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-                continue
-            out.append("\n" if ch == "\n" else " ")
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-                continue
-            if ch == quote:
-                state = "code"
-                out.append(quote)
-            elif ch == "\n":  # unterminated; bail back to code
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-        i += 1
-    return "".join(out)
-
-
-def lint_file(path: Path) -> list[str]:
-    rel = path.relative_to(REPO_ROOT).as_posix()
-    raw = path.read_text(encoding="utf-8", errors="replace")
-    code = strip_comments(raw)
-    code_lines = code.splitlines()
-    raw_lines = raw.splitlines()
-    violations = []
-
-    def report(line_no: int, rule: str, message: str) -> None:
-        violations.append(f"{rel}:{line_no}: [{rule}] {message}")
-
-    is_header = path.suffix in HEADER_SUFFIXES
-    in_library = rel.startswith("src/")
-
-    if is_header:
-        if not re.search(r"^\s*#\s*pragma\s+once\b", code, re.MULTILINE):
-            report(1, "pragma-once", "header missing #pragma once")
-        for idx, line in enumerate(code_lines, start=1):
-            if RE_USING_NAMESPACE.search(line):
-                report(idx, "using-namespace",
-                       "`using namespace` in a header leaks into every "
-                       "includer")
-
-    for idx, line in enumerate(code_lines, start=1):
-        # strip_comments blanks string contents, so detect the directive on
-        # the stripped line (ignores commented-out includes) but read the
-        # path from the raw line.
-        m = None
-        if RE_QUOTED_INCLUDE.search(line) and idx <= len(raw_lines):
-            m = RE_QUOTED_INCLUDE.search(raw_lines[idx - 1])
-        if m:
-            inc = m.group(1)
-            if inc.startswith(".") or "/.." in inc:
-                report(idx, "include-path",
-                       f'relative include "{inc}"; use a repo-root path '
-                       'like "src/util/rng.h"')
-            elif not (REPO_ROOT / inc).is_file():
-                report(idx, "include-path",
-                       f'include "{inc}" is not a repo-root-relative path '
-                       "to an existing file")
-
-        if rel not in RAW_RANDOM_ALLOWED and RE_RAW_RANDOM.search(line):
-            report(idx, "raw-random",
-                   "raw randomness outside src/util/rng.*; take an "
-                   "advtext::Rng so runs reproduce from one seed")
-
-        if in_library and RE_COUT.search(line):
-            report(idx, "cout-in-library",
-                   "std::cout/std::cerr in library code; return data and "
-                   "let bench/examples do the printing")
-
-        if (in_library and not rel.startswith("src/util/")
-                and RE_RAW_CLOCK.search(line)):
-            report(idx, "raw-clock",
-                   "raw clock read outside src/util/; route timing through "
-                   "Stopwatch or Deadline")
-
-        if not rel.startswith("src/util/") and RE_RAW_SIGNAL.search(line):
-            report(idx, "raw-signal",
-                   "raw signal()/sigaction() outside src/util/; install "
-                   "handlers through StopToken so shutdown stays cooperative")
-
-        if rel not in SYNC_ALLOWED:
-            if RE_RAW_THREAD.search(line):
-                report(idx, "raw-thread",
-                       "raw thread spawn (std::thread/std::async/"
-                       "pthread_create) outside src/util/sync.*; spawn "
-                       "workers through advtext::ThreadPool so lifetimes "
-                       "are joined in one place")
-            if RE_RAW_MUTEX.search(line):
-                report(idx, "raw-mutex",
-                       "raw std locking primitive outside src/util/sync.*; "
-                       "use advtext::Mutex/MutexLock/CondVar so the Clang "
-                       "thread-safety analysis sees the lock")
-
-    return violations
-
-
-def collect_files(args: list[str]) -> list[Path]:
-    if args:
-        return [Path(a).resolve() for a in args]
-    files = []
-    for top in LINT_DIRS:
-        for path in sorted((REPO_ROOT / top).rglob("*")):
-            if path.suffix in SOURCE_SUFFIXES and path.is_file():
-                files.append(path)
-    return files
-
-
-def self_test() -> list[str]:
-    """Plants deliberate violations in the directories the concurrency rules
-    must police — notably src/eval/ and bench/, where the parallel attack
-    pipeline lives — and checks each one is caught. Guards against the
-    coverage gap where new code in a scanned tree silently bypasses sync.h.
-    Returns a list of failure descriptions (empty = pass)."""
-    cases = [
-        ("raw-thread", "std::thread t;"),
-        ("raw-thread", "std::jthread t;"),
-        ("raw-thread", "auto handle = std::async(run);"),
-        ("raw-thread", "pthread_create(&tid, nullptr, fn, nullptr);"),
-        ("raw-mutex", "std::mutex m;"),
-        ("raw-mutex", "std::condition_variable cv;"),
-        ("raw-mutex", "std::lock_guard<std::mutex> lock(m);"),
-    ]
-    failures = []
-    for directory in ("src/eval", "bench", "src/util", "tests", "examples"):
-        for rule, stmt in cases:
-            probe = REPO_ROOT / directory / "_lint_self_test_probe.h"
-            probe.write_text(f"#pragma once\ninline void probe() {{ {stmt} }}\n",
-                             encoding="utf-8")
-            try:
-                violations = lint_file(probe)
-            finally:
-                probe.unlink()
-            if not any(f"[{rule}]" in v for v in violations):
-                failures.append(
-                    f"self-test: `{stmt}` in {directory}/ did not trigger "
-                    f"[{rule}]")
-    # The wrappers themselves must stay exempt.
-    if not {"src/util/sync.h", "src/util/sync.cpp"} <= SYNC_ALLOWED:
-        failures.append("self-test: sync.* lost its raw-thread/raw-mutex "
-                        "exemption")
-    return failures
-
-
-def main(argv: list[str]) -> int:
-    self_failures = self_test()
-    if self_failures:
-        for f in self_failures:
-            print(f)
-        print("lint: self-test FAILED — rule coverage regressed",
-              file=sys.stderr)
-        return 1
-    files = collect_files(argv[1:])
-    bad_files = 0
-    total = 0
-    for path in files:
-        violations = lint_file(path)
-        if violations:
-            bad_files += 1
-            total += len(violations)
-            for v in violations:
-                print(v)
-    if total:
-        print(f"lint: {total} violation(s) in {bad_files} file(s)",
-              file=sys.stderr)
-        return 1
-    print(f"lint: {len(files)} files clean")
-    return 0
-
+from analyzer.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))
