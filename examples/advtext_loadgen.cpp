@@ -1,0 +1,205 @@
+// advtext_loadgen — concurrent load generator for advtextd.
+//
+// Spawns K client threads, each submitting N attack jobs to a running
+// daemon and draining the streamed per-document results. Used by the
+// bench-service CI job (sustained docs/sec, p50/p99 job latency) and as a
+// manual smoke test for admission control: point it at a small daemon
+// (--workers 1 --max-pending 1) and watch overload come back as typed
+// kOverload rejections instead of hangs.
+//
+//   advtext_loadgen --socket /tmp/advtextd.sock --clients 4 --jobs 2
+//                   --docs 3 --json BENCH_service.json
+//
+// Exit code 0 means every job got a *typed* response (JobComplete or
+// JobRejected) — the daemon shed load correctly even if it rejected
+// everything; 1 means a job saw a transport error, EOF mid-stream, or no
+// daemon at all.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/service/net.h"
+#include "src/service/protocol.h"
+#include "src/util/args.h"
+#include "src/util/robust.h"
+#include "src/util/stopwatch.h"
+#include "src/util/sync.h"
+
+namespace {
+
+using namespace advtext;
+
+int usage() {
+  std::printf(
+      "usage: advtext_loadgen --socket PATH [--clients K] [--jobs N]\n"
+      "                       [--docs D] [--model KIND]\n"
+      "                       [--deadline-ms X] [--max-queries N]\n"
+      "                       [--job-deadline-ms X] [--job-max-queries N]\n"
+      "                       [--read-timeout-ms X] [--json FILE]\n"
+      "exit codes: 0 every job got a typed response, 1 errors, 2 usage\n");
+  return 2;
+}
+
+/// One job's fate, written only by its own client thread (preallocated
+/// slot: no shared mutation, no lock).
+struct JobOutcome {
+  bool responded = false;  ///< saw JobComplete or JobRejected
+  bool completed = false;
+  bool rejected_overload = false;
+  bool rejected_other = false;
+  std::size_t docs = 0;  ///< DocResult frames streamed back
+  double latency_ms = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const std::string socket_path = args.get_string("socket");
+  if (socket_path.empty()) return usage();
+  const std::size_t clients =
+      static_cast<std::size_t>(args.get_int("clients", 2));
+  const std::size_t jobs_per_client =
+      static_cast<std::size_t>(args.get_int("jobs", 2));
+  const std::string model = args.get_string("model", "wcnn");
+  const double read_timeout_ms = args.get_double("read-timeout-ms", 120000.0);
+  const std::string json_path = args.get_string("json");
+
+  JobRequest base;
+  base.model = model;
+  base.max_docs = static_cast<std::uint64_t>(args.get_int("docs", 3));
+  base.deadline_ms = args.get_double("deadline-ms", 0.0);
+  base.max_queries = static_cast<std::uint64_t>(args.get_int("max-queries", 0));
+  base.job_deadline_ms = args.get_double("job-deadline-ms", 0.0);
+  base.job_max_queries =
+      static_cast<std::uint64_t>(args.get_int("job-max-queries", 0));
+
+  // The daemon may still be starting when we launch (CI starts both with
+  // `&`): connect under a generous deterministic retry schedule.
+  RetryPolicy::Config connect_retry;
+  connect_retry.max_attempts = 40;
+  connect_retry.initial_backoff_ms = 5.0;
+  connect_retry.multiplier = 1.5;
+  connect_retry.max_backoff_ms = 250.0;
+
+  std::vector<JobOutcome> outcomes(clients * jobs_per_client);
+  Stopwatch wall;
+  {
+    ThreadPool pool(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      (void)pool.submit([&, c] {
+        const RetryPolicy retry(connect_retry, 0x10adull + c);
+        for (std::size_t j = 0; j < jobs_per_client; ++j) {
+          JobOutcome& slot = outcomes[c * jobs_per_client + j];
+          Stopwatch job_clock;
+          try {
+            Connection conn;
+            const Outcome<std::size_t> connected =
+                retry.run("connect", [&] { conn = connect_unix(socket_path); });
+            if (!connected.ok()) {
+              std::fprintf(stderr, "loadgen: client %zu job %zu: %s\n", c, j,
+                           connected.failure().message.c_str());
+              continue;
+            }
+            conn.set_read_timeout_ms(read_timeout_ms);
+            JobRequest request = base;
+            request.client = "client" + std::to_string(c);
+            conn.write_frame(encode_job_request(request));
+            std::string payload;
+            bool done = false;
+            while (!done && conn.read_frame(payload)) {
+              switch (peek_type(payload)) {
+                case MessageType::kJobAccepted:
+                  break;  // stream follows
+                case MessageType::kDocResult:
+                  ++slot.docs;
+                  break;
+                case MessageType::kJobRejected: {
+                  const JobRejected rejected = decode_job_rejected(payload);
+                  slot.responded = true;
+                  if (rejected.reason == RejectReason::kOverload) {
+                    slot.rejected_overload = true;
+                  } else {
+                    slot.rejected_other = true;
+                  }
+                  done = true;
+                  break;
+                }
+                case MessageType::kJobComplete:
+                  slot.responded = true;
+                  slot.completed = true;
+                  done = true;
+                  break;
+                default:
+                  done = true;  // protocol confusion: give up on this job
+                  break;
+              }
+            }
+          } catch (const std::runtime_error& error) {
+            std::fprintf(stderr, "loadgen: client %zu job %zu: %s\n", c, j,
+                         error.what());
+          }
+          slot.latency_ms = job_clock.elapsed_ms();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  const double wall_seconds = wall.elapsed_seconds();
+
+  std::size_t completed = 0;
+  std::size_t overloaded = 0;
+  std::size_t rejected_other = 0;
+  std::size_t unresponded = 0;
+  std::size_t docs_streamed = 0;
+  std::vector<double> latencies;
+  for (const JobOutcome& slot : outcomes) {
+    if (slot.completed) {
+      ++completed;
+      latencies.push_back(slot.latency_ms);
+    } else if (slot.rejected_overload) {
+      ++overloaded;
+    } else if (slot.rejected_other) {
+      ++rejected_other;
+    } else {
+      ++unresponded;
+    }
+    docs_streamed += slot.docs;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t n = latencies.size();
+  const double p50 = n == 0 ? 0.0 : latencies[n / 2];
+  const double p99 = n == 0 ? 0.0 : latencies[std::min(n - 1, (99 * n) / 100)];
+  const double docs_per_sec =
+      wall_seconds <= 0.0 ? 0.0
+                          : static_cast<double>(docs_streamed) / wall_seconds;
+
+  std::printf(
+      "loadgen: %zu clients x %zu jobs in %.2fs: %zu completed, %zu "
+      "overload-rejected, %zu other-rejected, %zu unresponded; %zu docs "
+      "streamed (%.2f docs/sec), job latency p50 %.1f ms p99 %.1f ms\n",
+      clients, jobs_per_client, wall_seconds, completed, overloaded,
+      rejected_other, unresponded, docs_streamed, docs_per_sec, p50, p99);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "loadgen: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(
+        out,
+        "{\"bench\": \"service\", \"clients\": %zu, \"jobs_requested\": %zu, "
+        "\"jobs_completed\": %zu, \"jobs_rejected_overload\": %zu, "
+        "\"jobs_rejected_other\": %zu, \"docs_streamed\": %zu, "
+        "\"wall_seconds\": %.3f, \"docs_per_sec\": %.3f, "
+        "\"p50_job_ms\": %.3f, \"p99_job_ms\": %.3f, "
+        "\"hardware_threads\": %zu}\n",
+        clients, outcomes.size(), completed, overloaded, rejected_other,
+        docs_streamed, wall_seconds, docs_per_sec, p50, p99,
+        hardware_threads());
+    std::fclose(out);
+  }
+  return unresponded == 0 ? 0 : 1;
+}

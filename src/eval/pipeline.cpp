@@ -46,22 +46,6 @@ AttackResources TaskAttackContext::resources() const {
 
 namespace {
 
-/// One per-document checkpoint record. Everything the aggregation step
-/// consumes is stored raw (doubles bit-exact, flags precomputed), so a
-/// resumed run replays to bitwise-identical aggregates without re-running
-/// the model.
-struct DocRecord {
-  std::uint64_t doc_index = 0;  ///< into task.test.docs
-  /// 0 = misclassified before the attack, 1 = attacked, 2 = attack threw.
-  std::uint64_t kind = 0;
-  std::uint64_t retried = 0;
-  std::uint64_t wmd_to_sinkhorn = 0;
-  std::uint64_t wmd_to_lower = 0;
-  std::uint64_t flipped = 0;  ///< kind 1: adv doc changed the prediction
-  JointAttackResult attack;   ///< kind 1; kind 2 uses only .termination
-  std::string error;          ///< kind 2
-};
-
 constexpr const char* kCheckpointTag = "attack-checkpoint";
 
 void write_checkpoint(const std::string& path,
@@ -204,6 +188,7 @@ struct SweepState {
   bool halt ADVTEXT_GUARDED_BY(mu) = false;
   bool stopped ADVTEXT_GUARDED_BY(mu) = false;       ///< StopToken drain
   bool budget_stop ADVTEXT_GUARDED_BY(mu) = false;   ///< sweep cap hit
+  bool deadline_stop ADVTEXT_GUARDED_BY(mu) = false;  ///< sweep deadline hit
   std::size_t active ADVTEXT_GUARDED_BY(mu) = 0;     ///< workers running
   std::vector<std::unique_ptr<DocRecord>> done ADVTEXT_GUARDED_BY(mu);
   std::exception_ptr fatal ADVTEXT_GUARDED_BY(mu);   ///< non-runtime_error
@@ -280,6 +265,9 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
         break;
       }
     }
+    // Stream the committed record out (service layer: per-doc results as
+    // they land). Runs for replayed and fresh records alike, in order.
+    if (config.on_commit) config.on_commit(r);
   };
 
   std::vector<DocRecord> records;
@@ -377,6 +365,7 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
 
   bool stop_drained = false;
   bool sweep_exhausted = false;
+  bool deadline_drained = false;
 
   if (config.threads <= 1) {
     // ---- Serial sweep (the original path) --------------------------------
@@ -393,6 +382,10 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
       }
       if (sweep_limited && sweep_budget.exhausted()) {
         sweep_exhausted = true;
+        break;
+      }
+      if (config.sweep_deadline.expired()) {
+        deadline_drained = true;
         break;
       }
       DocRecord record =
@@ -473,6 +466,12 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
               st.progress.notify_all();
               break;
             }
+            if (config.sweep_deadline.expired()) {
+              st.halt = true;
+              st.deadline_stop = true;
+              st.progress.notify_all();
+              break;
+            }
             pos = st.next++;
           }
           try {
@@ -526,6 +525,7 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
         MutexLock lock(st.mu);
         stop_drained = st.stopped;
         sweep_exhausted = st.budget_stop;
+        deadline_drained = st.deadline_stop;
         fatal = st.fatal;
       }
       // Propagate contract violations exactly like the serial loop would
@@ -535,11 +535,23 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
   }
   maybe_checkpoint(/*force=*/true);
 
-  result.termination = stop_drained
-                           ? TerminationReason::kStopped
-                           : (sweep_exhausted
-                                  ? TerminationReason::kBudgetExhausted
-                                  : TerminationReason::kSucceeded);
+  // Fold every applicable stop cause through the severity lattice: a sweep
+  // that hit its budget, blew its deadline, *and* was signalled reports the
+  // worst of the three (kStopped), matching the service layer's job-outcome
+  // mapping.
+  result.termination = TerminationReason::kSucceeded;
+  if (sweep_exhausted) {
+    result.termination =
+        worse_of(result.termination, TerminationReason::kBudgetExhausted);
+  }
+  if (deadline_drained) {
+    result.termination =
+        worse_of(result.termination, TerminationReason::kDeadlineExceeded);
+  }
+  if (stop_drained) {
+    result.termination =
+        worse_of(result.termination, TerminationReason::kStopped);
+  }
   result.sweep_queries_used = sweep_budget.used();
 
   result.adversarial_accuracy =

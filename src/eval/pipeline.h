@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -39,6 +40,23 @@ class TaskAttackContext {
   std::unique_ptr<SentenceParaphraser> paraphraser_;
   std::unique_ptr<Wmd> wmd_;
   std::unique_ptr<NGramLm> lm_;
+};
+
+/// One per-document sweep record — the unit shared by the checkpoint
+/// stream, resume replay, and the service layer's streamed job results.
+/// Everything the aggregation step consumes is stored raw (doubles
+/// bit-exact, flags precomputed), so a resumed run replays to
+/// bitwise-identical aggregates without re-running the model.
+struct DocRecord {
+  std::uint64_t doc_index = 0;  ///< into task.test.docs
+  /// 0 = misclassified before the attack, 1 = attacked, 2 = attack threw.
+  std::uint64_t kind = 0;
+  std::uint64_t retried = 0;
+  std::uint64_t wmd_to_sinkhorn = 0;
+  std::uint64_t wmd_to_lower = 0;
+  std::uint64_t flipped = 0;  ///< kind 1: adv doc changed the prediction
+  JointAttackResult attack;   ///< kind 1; kind 2 uses only .termination
+  std::string error;          ///< kind 2
 };
 
 struct AttackEvalConfig {
@@ -84,6 +102,18 @@ struct AttackEvalConfig {
   /// kept attack queries + flip recheck — so a resumed run replays the
   /// same charges.
   std::size_t sweep_max_queries = 0;
+  /// Whole-sweep wall-clock deadline, the job-granular twin of
+  /// sweep_max_queries (served attack jobs get one per admission). Once
+  /// expired no further document is dispatched; in-flight documents drain
+  /// and the run ends kDeadlineExceeded with a valid resumable checkpoint.
+  /// Default-constructed: never expires.
+  Deadline sweep_deadline;
+  /// Streaming hook: invoked once per committed record, strictly in
+  /// ascending doc_index order, on the committing (caller's) thread —
+  /// replayed checkpoint records first when resuming, then fresh records
+  /// as they commit. Must not throw. Fresh records carry measured
+  /// attack.seconds; replayed ones carry the original run's values.
+  std::function<void(const DocRecord&)> on_commit;
 };
 
 struct AttackEvalResult {
@@ -121,9 +151,11 @@ struct AttackEvalResult {
   /// Per-attacked-document results, aligned with attacked_indices.
   std::vector<JointAttackResult> attacks;
   /// Why the *sweep* ended: kSucceeded (all requested docs evaluated),
-  /// kBudgetExhausted (sweep_max_queries admission stop), or kStopped
-  /// (StopToken / SIGTERM drain). Per-document failures stay isolated in
-  /// docs_failed and do not escalate the sweep termination.
+  /// kBudgetExhausted (sweep_max_queries admission stop),
+  /// kDeadlineExceeded (sweep_deadline expired), or kStopped (StopToken /
+  /// SIGTERM drain) — the worst applicable on the severity lattice.
+  /// Per-document failures stay isolated in docs_failed and do not
+  /// escalate the sweep termination.
   TerminationReason termination = TerminationReason::kSucceeded;
   /// Accounted queries charged against sweep_max_queries (also filled when
   /// the sweep budget is unlimited; then it is the plain accounted total).

@@ -97,14 +97,26 @@ bool SupervisorSession::stop_requested() const {
 
 void SupervisorSession::publish(const std::string& state) {
   if (!has_disk_) return;
-  try {
-    rotation_.write(state);
+  // Transient write failures (sporadic disk errors, injected ckpt.write
+  // faults) are retried with capped backoff; the retry RNG is the policy's
+  // own, so the training trajectory is bit-for-bit unperturbed.
+  const RetryPolicy retry(config_.snapshot_retry);
+  const Outcome<std::size_t> outcome =
+      retry.run("snapshot write", [&] { rotation_.write(state); });
+  if (outcome.ok()) {
     ++report_.snapshots_written;
-  } catch (const std::runtime_error& error) {
+    if (outcome.value() > 1) {
+      const std::size_t retries = outcome.value() - 1;
+      report_.snapshot_write_retries += retries;
+      report_.warnings.push_back(
+          "snapshot-write-retried: publish succeeded on attempt " +
+          std::to_string(outcome.value()));
+    }
+  } else {
     // Losing a snapshot must not lose the run: degrade, count, continue.
     ++report_.snapshot_write_failures;
-    report_.warnings.push_back(std::string("snapshot write failed: ") +
-                               error.what());
+    report_.warnings.push_back("snapshot-write-failed: " +
+                               outcome.failure().message);
   }
 }
 

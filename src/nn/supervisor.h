@@ -81,6 +81,11 @@ struct ResilienceConfig {
   /// Install the SIGINT/SIGTERM handlers at run start (CLIs). The token is
   /// polled either way, so embedders can request_stop() programmatically.
   bool install_stop_token = false;
+  /// Bounded retries for a failed snapshot publish (transient disk errors,
+  /// injected ckpt.write faults). Defaults: 3 attempts, millisecond-scale
+  /// capped backoff with deterministic jitter. Only after every attempt
+  /// fails does the publish count as a snapshot_write_failure.
+  RetryPolicy::Config snapshot_retry;
 };
 
 /// A training loop the supervisor can drive. One step() is the unit of
@@ -154,9 +159,13 @@ struct SupervisorReport {
   std::size_t steps = 0;
   std::size_t rollbacks = 0;
   std::size_t snapshots_written = 0;
-  /// Snapshot publishes that failed (disk full, injected ckpt.write fault):
-  /// training continues — losing a snapshot must not lose the run.
+  /// Snapshot publishes that failed (disk full, injected ckpt.write fault)
+  /// even after snapshot_retry ran out of attempts: training continues —
+  /// losing a snapshot must not lose the run.
   std::size_t snapshot_write_failures = 0;
+  /// Extra publish attempts consumed by RetryPolicy before a snapshot
+  /// landed (0 when every publish succeeded first try).
+  std::size_t snapshot_write_retries = 0;
   bool resumed = false;
   int stop_signal = 0;  ///< signal that requested the stop (0 = none)
   std::vector<std::string> warnings;

@@ -351,6 +351,7 @@ TrainReport train_classifier(TrainableClassifier& model, const Dataset& data,
   report.lr_backoffs = outcome.rollbacks;
   report.snapshots_written = outcome.snapshots_written;
   report.snapshot_write_failures = outcome.snapshot_write_failures;
+  report.snapshot_write_retries = outcome.snapshot_write_retries;
   report.resumed = outcome.resumed;
   report.warnings = outcome.warnings;
   return report;
@@ -455,11 +456,13 @@ ShardedTrainReport train_classifier_sharded(
   report.train.rollbacks = 0;
   report.train.snapshots_written = 0;
   report.train.snapshot_write_failures = 0;
+  report.train.snapshot_write_retries = 0;
   report.train.resumed = false;
   for (const SupervisorReport& shard : outcome.shards) {
     report.train.rollbacks += shard.rollbacks;
     report.train.snapshots_written += shard.snapshots_written;
     report.train.snapshot_write_failures += shard.snapshot_write_failures;
+    report.train.snapshot_write_retries += shard.snapshot_write_retries;
     report.train.resumed = report.train.resumed || shard.resumed;
   }
   report.train.lr_backoffs = report.train.rollbacks;

@@ -57,6 +57,7 @@ struct TrainReport {
   std::size_t lr_backoffs = 0;            ///< learning-rate halvings applied
   std::size_t snapshots_written = 0;
   std::size_t snapshot_write_failures = 0;
+  std::size_t snapshot_write_retries = 0;  ///< RetryPolicy attempts absorbed
   bool resumed = false;                   ///< started from a disk snapshot
   std::vector<std::string> warnings;
 };

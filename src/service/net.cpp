@@ -1,0 +1,226 @@
+#include "src/service/net.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/service/protocol.h"
+#include "src/util/check.h"
+#include "src/util/robust.h"
+
+namespace advtext {
+
+namespace {
+
+std::string errno_message(const char* what) {
+  return std::string("net: ") + what + " failed: " + std::strerror(errno);
+}
+
+/// recv() until `n` bytes or EOF, retrying EINTR. Returns bytes read (< n
+/// only at EOF). Throws ProtocolError on a receive-timeout stall and
+/// std::runtime_error on transport failure.
+std::size_t recv_fully(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r == 0) break;  // peer closed
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      throw ProtocolError("net: read timed out mid-frame");
+    }
+    throw std::runtime_error(errno_message("recv"));
+  }
+  return got;
+}
+
+/// send() until everything is written, retrying EINTR. MSG_NOSIGNAL: a
+/// vanished peer must surface as EPIPE here, not SIGPIPE-kill the daemon.
+void send_fully(int fd, const char* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r >= 0) {
+      sent += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(errno_message("send"));
+  }
+}
+
+}  // namespace
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Connection::set_read_timeout_ms(double ms) {
+  ADVTEXT_CHECK(valid()) << "Connection::set_read_timeout_ms on a closed fd";
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    throw std::runtime_error(errno_message("setsockopt(SO_RCVTIMEO)"));
+  }
+}
+
+bool Connection::read_frame(std::string& payload) {
+  ADVTEXT_CHECK(valid()) << "Connection::read_frame on a closed fd";
+  FaultInjector::instance().maybe_fault("service.read");
+  unsigned char header[4];
+  const std::size_t header_got =
+      recv_fully(fd_, reinterpret_cast<char*>(header), sizeof(header));
+  if (header_got == 0) return false;  // clean close at a frame boundary
+  if (header_got < sizeof(header)) {
+    throw ProtocolError("net: peer closed mid frame header");
+  }
+  const std::size_t length =
+      static_cast<std::size_t>(header[0]) |
+      (static_cast<std::size_t>(header[1]) << 8) |
+      (static_cast<std::size_t>(header[2]) << 16) |
+      (static_cast<std::size_t>(header[3]) << 24);
+  if (length > kMaxFramePayloadBytes) {
+    // Reject before allocating: a forged length must not balloon memory.
+    throw ProtocolError("net: frame payload of " + std::to_string(length) +
+                        " bytes exceeds the " +
+                        std::to_string(kMaxFramePayloadBytes) + " byte cap");
+  }
+  payload.resize(length);
+  if (length != 0 && recv_fully(fd_, payload.data(), length) < length) {
+    throw ProtocolError("net: peer closed mid frame payload");
+  }
+  return true;
+}
+
+void Connection::write_frame(const std::string& payload) {
+  ADVTEXT_CHECK(valid()) << "Connection::write_frame on a closed fd";
+  ADVTEXT_CHECK(payload.size() <= kMaxFramePayloadBytes)
+      << "Connection::write_frame: payload exceeds the frame cap";
+  FaultInjector::instance().maybe_fault("service.write");
+  const std::size_t length = payload.size();
+  unsigned char header[4] = {
+      static_cast<unsigned char>(length & 0xFF),
+      static_cast<unsigned char>((length >> 8) & 0xFF),
+      static_cast<unsigned char>((length >> 16) & 0xFF),
+      static_cast<unsigned char>((length >> 24) & 0xFF),
+  };
+  send_fully(fd_, reinterpret_cast<const char*>(header), sizeof(header));
+  send_fully(fd_, payload.data(), payload.size());
+}
+
+void Connection::write_raw(const std::string& bytes) {
+  ADVTEXT_CHECK(valid()) << "Connection::write_raw on a closed fd";
+  send_fully(fd_, bytes.data(), bytes.size());
+}
+
+namespace {
+
+void fill_unix_address(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  ADVTEXT_CHECK(path.size() < sizeof(addr->sun_path))
+      << "unix socket path is too long (" << path.size() << " bytes): "
+      << path;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+}
+
+}  // namespace
+
+ServerSocket::ServerSocket(const std::string& path) : path_(path) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error(errno_message("socket"));
+  sockaddr_un addr;
+  fill_unix_address(path_, &addr);
+  // Replace a stale socket file from a killed daemon: bind() would
+  // otherwise fail with EADDRINUSE even though nobody is listening.
+  std::remove(path_.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = errno_message("bind");
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(message + " (path: " + path_ + ")");
+  }
+  if (::listen(fd_, 16) != 0) {
+    const std::string message = errno_message("listen");
+    ::close(fd_);
+    fd_ = -1;
+    std::remove(path_.c_str());
+    throw std::runtime_error(message);
+  }
+}
+
+ServerSocket::~ServerSocket() {
+  if (fd_ >= 0) ::close(fd_);
+  std::remove(path_.c_str());
+}
+
+std::optional<Connection> ServerSocket::accept(double timeout_ms) {
+  ADVTEXT_CHECK(fd_ >= 0) << "ServerSocket::accept on a closed socket";
+  FaultInjector::instance().maybe_fault("service.accept");
+  struct pollfd pfd;
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (ready == 0) return std::nullopt;
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;  // let the loop poll its stops
+    throw std::runtime_error(errno_message("poll"));
+  }
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      return std::nullopt;  // raced with a vanished client; not fatal
+    }
+    throw std::runtime_error(errno_message("accept"));
+  }
+  return Connection(client);
+}
+
+Connection connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error(errno_message("socket"));
+  sockaddr_un addr;
+  fill_unix_address(path, &addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string message = errno_message("connect");
+    ::close(fd);
+    throw std::runtime_error(message + " (path: " + path + ")");
+  }
+  return Connection(fd);
+}
+
+}  // namespace advtext

@@ -1,0 +1,90 @@
+// Local-socket transport for advtextd. This header/source pair is the ONLY
+// place in the tree allowed to touch raw socket primitives (socket(),
+// accept(), sockaddr_un, ...) — the `raw-socket` analyzer rule enforces the
+// confinement, mirroring how sync.h confines raw threads. Everything above
+// this layer speaks Connection frames and protocol.h messages.
+//
+// Framing: a frame is a 4-byte little-endian payload length followed by the
+// payload. Lengths above kMaxFramePayloadBytes are rejected before any
+// allocation. A clean peer close at a frame boundary is a normal end of
+// conversation; bytes that stop mid-frame are a ProtocolError.
+//
+// Fault-injection sites: "service.accept" (ServerSocket::accept),
+// "service.read" (Connection::read_frame), "service.write"
+// (Connection::write_frame) — armed, they throw InjectedFault exactly where
+// a real I/O failure would surface, so the daemon's recovery paths are
+// deterministic and CI-testable.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace advtext {
+
+/// One connected stream socket (move-only fd owner). Blocking I/O; an
+/// optional receive timeout bounds how long a read can stall the owner.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection();
+
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  void close();
+
+  /// Bound every subsequent read; a stalled peer then surfaces as a
+  /// ProtocolError instead of hanging a daemon worker forever.
+  void set_read_timeout_ms(double ms);
+
+  /// Reads one frame into `payload`. Returns false on a clean peer close at
+  /// a frame boundary. Throws ProtocolError on malformed framing (partial
+  /// header, oversized length, truncated payload, read timeout) and
+  /// std::runtime_error on transport failure.
+  bool read_frame(std::string& payload);
+
+  /// Writes one frame (length prefix + payload). Throws std::runtime_error
+  /// on transport failure; never raises SIGPIPE.
+  void write_frame(const std::string& payload);
+
+  /// Writes bytes with no framing. Test hook: lets a client forge corrupt
+  /// frames (bad lengths, truncated payloads) to exercise the daemon's
+  /// malformed-input handling.
+  void write_raw(const std::string& bytes);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening AF_UNIX socket bound to a filesystem path. The constructor
+/// replaces a stale socket file; the destructor closes and unlinks.
+class ServerSocket {
+ public:
+  explicit ServerSocket(const std::string& path);
+  ~ServerSocket();
+
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Waits up to timeout_ms for a pending connection; std::nullopt on
+  /// timeout (lets the accept loop poll its stop conditions). Throws
+  /// std::runtime_error on accept failure.
+  std::optional<Connection> accept(double timeout_ms);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Client side: connects to a daemon's socket path. Throws
+/// std::runtime_error when the daemon is not (yet) listening — callers
+/// retry under a RetryPolicy.
+Connection connect_unix(const std::string& path);
+
+}  // namespace advtext

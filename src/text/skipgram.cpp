@@ -206,6 +206,7 @@ Matrix train_skipgram(const Dataset& data, std::size_t vocab_size,
     report->rollbacks = outcome.rollbacks;
     report->snapshots_written = outcome.snapshots_written;
     report->snapshot_write_failures = outcome.snapshot_write_failures;
+    report->snapshot_write_retries = outcome.snapshot_write_retries;
     report->resumed = outcome.resumed;
     report->warnings = outcome.warnings;
   }

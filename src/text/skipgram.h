@@ -36,6 +36,7 @@ struct SkipGramReport {
   std::size_t rollbacks = 0;
   std::size_t snapshots_written = 0;
   std::size_t snapshot_write_failures = 0;
+  std::size_t snapshot_write_retries = 0;
   bool resumed = false;
   std::vector<std::string> warnings;
 };

@@ -42,6 +42,47 @@ double Deadline::remaining_ms() const {
       .count();
 }
 
+RetryPolicy::RetryPolicy(const Config& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  ADVTEXT_CHECK(config_.max_attempts >= 1)
+      << "RetryPolicy: max_attempts must be >= 1";
+}
+
+double RetryPolicy::backoff_ms(std::size_t attempt) const {
+  double base = config_.initial_backoff_ms;
+  for (std::size_t k = 1; k < attempt; ++k) {
+    base *= config_.multiplier;
+    if (base >= config_.max_backoff_ms) break;
+  }
+  if (base > config_.max_backoff_ms) base = config_.max_backoff_ms;
+  if (config_.jitter <= 0.0) return base;
+  // Pure function of (seed, attempt): a throwaway generator per call keeps
+  // the policy stateless (shareable across threads) and the schedule
+  // reproducible from the seed alone.
+  Rng rng(SplitMix64(seed_ + attempt).next());
+  return base * (1.0 + rng.uniform(0.0, config_.jitter));
+}
+
+Outcome<std::size_t> RetryPolicy::run(
+    const char* what, const std::function<void()>& fn) const {
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      fn();
+      return Outcome<std::size_t>(attempt);
+    } catch (const std::runtime_error& error) {
+      if (attempt >= config_.max_attempts) {
+        return Outcome<std::size_t>::error(
+            TerminationReason::kError,
+            std::string(what) + " failed after " +
+                std::to_string(config_.max_attempts) +
+                " attempt(s): " + error.what());
+      }
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms(attempt)));
+    }
+  }
+}
+
 FaultInjector& FaultInjector::instance() {
   static FaultInjector injector;
   return injector;

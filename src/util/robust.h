@@ -33,6 +33,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -230,6 +231,57 @@ class InjectedFault : public std::runtime_error {
  public:
   explicit InjectedFault(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Bounded retry with capped exponential backoff and deterministic seeded
+/// jitter, for *transient* I/O failure sites: checkpoint / snapshot
+/// publishes and the service layer's socket frame writes. The jitter for a
+/// given (seed, attempt) pair is a pure function — no shared RNG state — so
+/// a policy value can be shared across threads and a fixed seed reproduces
+/// the exact backoff schedule (the same determinism contract as
+/// FaultInjector). Backoffs default to single-digit milliseconds: retries
+/// exist to absorb sporadic faults (injected ckpt.write throws, EINTR-class
+/// socket hiccups), not to wait out a dead disk.
+class RetryPolicy {
+ public:
+  struct Config {
+    /// Total tries including the first (>= 1). 1 disables retrying.
+    std::size_t max_attempts = 3;
+    /// Sleep after the first failed attempt.
+    double initial_backoff_ms = 1.0;
+    /// Growth factor per further failed attempt.
+    double multiplier = 2.0;
+    /// Cap on the un-jittered backoff.
+    double max_backoff_ms = 8.0;
+    /// Uniform extra fraction in [0, jitter) added on top of the base
+    /// backoff, decorrelating retry storms across concurrent callers.
+    double jitter = 0.5;
+  };
+
+  // Defaults in a separate delegating constructor: `const Config& = {}`
+  // would need Config's NSDMIs inside the enclosing class definition, which
+  // is not a complete-class context for them.
+  RetryPolicy() : RetryPolicy(Config()) {}
+  explicit RetryPolicy(const Config& config, std::uint64_t seed = 0x5eed);
+
+  /// Backoff slept after failed attempt `attempt` (1-based), jitter
+  /// included. Deterministic in (seed, attempt).
+  double backoff_ms(std::size_t attempt) const;
+
+  /// Runs `fn` up to max_attempts times, absorbing std::runtime_error (and
+  /// subclasses, including InjectedFault) per attempt and sleeping
+  /// backoff_ms between attempts. Returns the 1-based attempt number that
+  /// succeeded, or a kError Failure naming `what` and the last error once
+  /// every attempt failed. Non-runtime_error exceptions (contract
+  /// violations) propagate immediately — a bug is not transient.
+  Outcome<std::size_t> run(const char* what,
+                           const std::function<void()>& fn) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::uint64_t seed_;
 };
 
 /// RAII thread-local instance tag for fault sites. While a scope named

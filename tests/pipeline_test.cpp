@@ -95,6 +95,34 @@ TEST_F(PipelineFixture, EvaluateAttackBookkeepingIsConsistent) {
   }
 }
 
+TEST_F(PipelineFixture, OnCommitStreamsEveryRecordInOrder) {
+  AttackEvalConfig config;
+  config.max_docs = 8;
+  std::vector<std::size_t> committed;
+  config.on_commit = [&](const DocRecord& record) {
+    committed.push_back(static_cast<std::size_t>(record.doc_index));
+  };
+  const AttackEvalResult result =
+      evaluate_attack(*model_, *task_, *context_, config);
+  // One commit per evaluated doc, in strictly ascending doc order — the
+  // contract the service layer's streamed DocResult frames rely on.
+  ASSERT_EQ(committed.size(), result.docs_evaluated);
+  for (std::size_t i = 0; i < committed.size(); ++i) {
+    EXPECT_EQ(committed[i], i);
+  }
+}
+
+TEST_F(PipelineFixture, ExpiredSweepDeadlineMapsOntoSeverityLattice) {
+  AttackEvalConfig config;
+  config.max_docs = 8;
+  config.sweep_deadline = Deadline::after_ms(0.0);  // already expired
+  const AttackEvalResult result =
+      evaluate_attack(*model_, *task_, *context_, config);
+  EXPECT_EQ(result.termination, TerminationReason::kDeadlineExceeded);
+  EXPECT_EQ(result.docs_evaluated, 0u);
+  EXPECT_TRUE(result.adv_docs.empty());
+}
+
 TEST_F(PipelineFixture, AdversarialAccuracyDropsUnderAttack) {
   if (fault_injection_active()) {
     GTEST_SKIP() << "statistical claim needs an injection-free run";

@@ -338,6 +338,27 @@ TEST_F(SupervisorFixture, SnapshotWriteFailureDegradesWithoutLosingTheRun) {
   expect_params_bitwise_equal(reference, model);
 }
 
+TEST_F(SupervisorFixture, TransientSnapshotWriteFailuresAreRetriedAway) {
+  InjectorGuard guard;
+  WCnn reference = make_model();
+  train_classifier(reference, task_->train, train_config());
+
+  // Flaky (not dead) disk: each write attempt fails with p=0.5, so most
+  // publishes succeed within RetryPolicy's attempt budget.
+  SnapshotFiles files("write_retry");
+  FaultInjector::instance().configure("ckpt.write:throw:0.5", /*seed=*/97);
+  ResilienceConfig resilience;
+  resilience.snapshot_path = files.base;
+  WCnn model = make_model();
+  const TrainReport report = train_classifier(
+      model, task_->train, train_config(), resilience);
+  EXPECT_EQ(report.termination, TerminationReason::kSucceeded);
+  EXPECT_GT(report.snapshots_written, 0u);
+  EXPECT_GT(report.snapshot_write_retries, 0u);
+  // Retries (and the odd exhausted publish) must not perturb training.
+  expect_params_bitwise_equal(reference, model);
+}
+
 TEST_F(SupervisorFixture, ResumeOfFinishedRunIsANoOp) {
   InjectorGuard guard;
   SnapshotFiles files("finished");

@@ -2,7 +2,7 @@
 
 The architecture of src/ is a DAG of layers:
 
-    util  ->  tensor  ->  { text, nn, optim, data }  ->  core  ->  eval
+    util -> tensor -> { text, nn, optim, data } -> core -> eval -> service
 
 (arrows point *up* the stack: higher layers may include lower ones). The
 middle group is one layer — its four directories may include each other
@@ -38,10 +38,11 @@ LAYERS = {
     "src/data/": 2,
     "src/core/": 3,
     "src/eval/": 4,
+    "src/service/": 5,
 }
 
 LAYER_NAMES = {0: "util", 1: "tensor", 2: "text/nn/optim/data",
-               3: "core", 4: "eval"}
+               3: "core", 4: "eval", 5: "service"}
 
 
 def layer_of(rel: str) -> int | None:

@@ -67,6 +67,7 @@ def project_rule(rule_id: str, synopsis: str):
 
 RAW_RANDOM_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
 SYNC_ALLOWED = {"src/util/sync.h", "src/util/sync.cpp"}
+NET_ALLOWED = {"src/service/net.h", "src/service/net.cpp"}
 
 # ---------------------------------------------------------------------------
 # Legacy rules (ids unchanged since PR 1-5)
@@ -86,6 +87,13 @@ _RE_RAW_SIGNAL = re.compile(
 _RE_RAW_THREAD = re.compile(
     r"std\s*::\s*(?:jthread|thread|async)\b"
     r"|(?<![\w:])pthread_(?:create|detach)\s*\("
+)
+_RE_RAW_SOCKET = re.compile(
+    r"#\s*include\s+<(?:sys/socket\.h|sys/un\.h|netinet/|arpa/inet\.h"
+    r"|poll\.h|sys/poll\.h)"
+    r"|\bsockaddr\w*\b"
+    r"|\bAF_(?:UNIX|LOCAL|INET6?)\b|\bSOCK_(?:STREAM|DGRAM|SEQPACKET)\b"
+    r"|(?<![\w:.])(?:::\s*)?(?:socket|accept4?)\s*\("
 )
 _RE_RAW_MUTEX = re.compile(
     r"std\s*::\s*(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
@@ -190,6 +198,22 @@ def check_raw_thread(ctx: FileContext):
                           "pthread_create) outside src/util/sync.*; spawn "
                           "workers through advtext::ThreadPool so lifetimes "
                           "are joined in one place")
+
+
+@file_rule("raw-socket",
+           "no raw socket primitives (socket()/accept()/sockaddr/AF_*) "
+           "outside src/service/net.*")
+def check_raw_socket(ctx: FileContext):
+    if ctx.rel in NET_ALLOWED:
+        return
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if _RE_RAW_SOCKET.search(line):
+            yield Finding(ctx.rel, idx, "raw-socket",
+                          "raw socket primitive outside src/service/net.*; "
+                          "speak Connection/ServerSocket frames so framing "
+                          "limits, timeouts, and the service.* fault-"
+                          "injection sites guard every byte that crosses "
+                          "the wire")
 
 
 @file_rule("raw-mutex",

@@ -1,0 +1,9 @@
+// fixture-path: src/service/fixture_socket_clean.cpp
+// expect-clean
+#include "src/service/net.h"
+namespace advtext {
+// Method calls named accept() on the transport wrapper stay legal; only
+// the raw primitives are confined to net.*.
+void fixture_serve(ServerSocket& server) { (void)server.accept(10.0); }
+void fixture_client(const char* path) { Connection c = connect_unix(path); }
+}  // namespace advtext

@@ -1,0 +1,9 @@
+// fixture-path: src/eval/fixture_socket_firing.cpp
+// expect: raw-socket@6
+// expect: raw-socket@7
+// expect: raw-socket@8
+// expect: raw-socket@9
+#include <sys/socket.h>
+void fixture_open() { int fd = socket(AF_UNIX, SOCK_STREAM, 0); (void)fd; }
+void fixture_accept(int fd) { (void)accept(fd, nullptr, nullptr); }
+void fixture_addr() { struct sockaddr_un addr; (void)addr; }
