@@ -10,8 +10,10 @@
 // Tasks and trained parameters are serialized with util/serialize, so a
 // model trained once can be attacked under many configurations without
 // retraining.
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "src/core/joint_attack.h"
@@ -25,6 +27,7 @@
 #include "src/nn/trainer.h"
 #include "src/nn/wcnn.h"
 #include "src/data/serialize.h"
+#include "src/service/protocol.h"
 #include "src/util/args.h"
 #include "src/util/robust.h"
 #include "src/util/serialize.h"
@@ -60,8 +63,18 @@ int usage() {
       "  attack   --task FILE --model KIND --params FILE [--ls X] [--lw X]\n"
       "           [--docs N] [--method ggg|greedy|gradient] [--show N]\n"
       "           [--deadline-ms X] [--max-queries N] [--checkpoint FILE]\n"
-      "           [--resume] [--inject SPEC] [--attack-threads K]\n"
-      "           [--sweep-max-queries N]\n"
+      "           [--checkpoint-every N] [--resume]\n"
+      "           [--resume-fallback-fresh] [--inject SPEC]\n"
+      "           [--attack-threads K] [--sweep-max-queries N]\n"
+      "           [--sweep-deadline-ms X] [--records-out FILE]\n"
+      "           [--mem-budget-mb N]\n"
+      "  --records-out: write the committed per-doc records (wire encoding,\n"
+      "                 timing excluded) to FILE — bitwise-comparable across\n"
+      "                 resumed / parallel / recovered runs of one sweep\n"
+      "  --resume-fallback-fresh: with --resume, restart from scratch if the\n"
+      "                 checkpoint is unreadable instead of failing\n"
+      "  --mem-budget-mb: process memory budget (0 = unlimited); exhaustion\n"
+      "                 degrades (fewer workers, smaller candidate sets)\n"
       "exit codes: 0 ok, 1 error, 2 usage, 3 deadline/budget-limited docs,\n"
       "            4 failed docs, 5 stopped by signal (state flushed;\n"
       "            rerun with --train-resume / --resume)\n");
@@ -221,10 +234,35 @@ int cmd_attack(const ArgParser& args) {
   config.joint.max_queries =
       static_cast<std::size_t>(args.get_int("max-queries", 0));
   config.checkpoint_path = args.get_string("checkpoint");
+  config.checkpoint_every =
+      static_cast<std::size_t>(args.get_int("checkpoint-every", 8));
   config.resume = args.get_bool("resume", false);
+  config.resume_fallback_fresh = args.get_bool("resume-fallback-fresh", false);
   config.threads = static_cast<std::size_t>(args.get_int("attack-threads", 1));
   config.sweep_max_queries =
       static_cast<std::size_t>(args.get_int("sweep-max-queries", 0));
+  const double sweep_deadline_ms = args.get_double("sweep-deadline-ms", 0.0);
+  if (sweep_deadline_ms > 0.0) {
+    config.sweep_deadline = Deadline::after_ms(sweep_deadline_ms);
+  }
+  const std::size_t mem_budget_mb =
+      static_cast<std::size_t>(args.get_int("mem-budget-mb", 0));
+  if (mem_budget_mb > 0) {
+    MemoryBudget::instance().set_limit_bytes(mem_budget_mb * (std::size_t{1}
+                                                              << 20));
+  }
+  // Timing-free record dump: every committed record in wire encoding
+  // (attack.seconds excluded), published atomically at the end. The chaos
+  // harness compares these bitwise across clean / faulted / resumed runs.
+  const std::string records_out = args.get_string("records-out");
+  std::ostringstream record_bytes;
+  std::uint64_t record_count = 0;
+  if (!records_out.empty()) {
+    config.on_commit = [&](const DocRecord& record) {
+      write_record(record_bytes, record);
+      ++record_count;
+    };
+  }
   if (config.threads > 1) {
     // Replica per extra worker: same architecture, trained weights copied
     // in-memory from the loaded primary.
@@ -250,6 +288,20 @@ int cmd_attack(const ArgParser& args) {
   const AttackEvalResult result =
       evaluate_attack(*model, task, context, config);
   g_phase = "attack:report";
+  if (!records_out.empty()) {
+    // Replayed-then-fresh commits mean a resumed run dumps the complete
+    // stream from doc 0, so this file is comparable against an
+    // uninterrupted run's dump.
+    std::ostringstream out;
+    io::write_magic(out);
+    io::write_string(out, "attack-records");
+    io::write_u64(out, record_count);
+    out << record_bytes.str();
+    io::save_artifact(records_out, out.str());
+    std::printf("wrote %llu record(s) to %s\n",
+                static_cast<unsigned long long>(record_count),
+                records_out.c_str());
+  }
   std::printf(
       "clean acc %.3f | adversarial acc %.3f | success rate %.3f\n"
       "mean: %.1f words, %.1f sentences changed, %.0f queries, %.3fs/doc\n",
@@ -289,6 +341,12 @@ int cmd_attack(const ArgParser& args) {
     std::printf("sweep query budget exhausted after %zu docs (%zu queries); "
                 "rerun with --resume and a larger --sweep-max-queries\n",
                 result.docs_evaluated, result.sweep_queries_used);
+    return kExitLimited;
+  }
+  if (result.termination == TerminationReason::kDeadlineExceeded) {
+    std::printf("sweep deadline expired after %zu docs; rerun with --resume "
+                "to continue\n",
+                result.docs_evaluated);
     return kExitLimited;
   }
   if (result.docs_failed > 0) return kExitDocsFailed;

@@ -46,10 +46,26 @@ int usage() {
 struct JobOutcome {
   bool responded = false;  ///< saw JobComplete or JobRejected
   bool completed = false;
-  bool rejected_overload = false;
-  bool rejected_other = false;
+  bool rejected = false;
+  RejectReason reason = RejectReason::kInternal;  ///< valid iff rejected
+  bool timed_out = false;        ///< read timeout waiting on the daemon
+  bool protocol_error = false;   ///< malformed or out-of-order frame
+  bool transport_error = false;  ///< connect/transport failure
   std::size_t docs = 0;  ///< DocResult frames streamed back
   double latency_ms = 0.0;
+};
+
+/// Typed per-client tallies: admission control is per client, so operators
+/// need to see WHICH client was shed and WHY, not just a global count.
+struct ClientTally {
+  std::size_t completed = 0;
+  std::size_t rejected_overload = 0;
+  std::size_t rejected_budget = 0;
+  std::size_t rejected_resource = 0;
+  std::size_t rejected_other = 0;
+  std::size_t timeouts = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t transport_errors = 0;
 };
 
 }  // namespace
@@ -98,6 +114,7 @@ int main(int argc, char** argv) {
             const Outcome<std::size_t> connected =
                 retry.run("connect", [&] { conn = connect_unix(socket_path); });
             if (!connected.ok()) {
+              slot.transport_error = true;
               std::fprintf(stderr, "loadgen: client %zu job %zu: %s\n", c, j,
                            connected.failure().message.c_str());
               continue;
@@ -118,11 +135,8 @@ int main(int argc, char** argv) {
                 case MessageType::kJobRejected: {
                   const JobRejected rejected = decode_job_rejected(payload);
                   slot.responded = true;
-                  if (rejected.reason == RejectReason::kOverload) {
-                    slot.rejected_overload = true;
-                  } else {
-                    slot.rejected_other = true;
-                  }
+                  slot.rejected = true;
+                  slot.reason = rejected.reason;
                   done = true;
                   break;
                 }
@@ -132,11 +146,28 @@ int main(int argc, char** argv) {
                   done = true;
                   break;
                 default:
-                  done = true;  // protocol confusion: give up on this job
+                  // Protocol confusion: give up on this job, and make the
+                  // run exit nonzero — an out-of-order frame is a daemon
+                  // bug, not load shedding.
+                  slot.protocol_error = true;
+                  done = true;
                   break;
               }
             }
+          } catch (const ProtocolError& error) {
+            // net.cpp types a receive-timeout stall as a ProtocolError;
+            // split it out so a slow daemon reads as "timeout", not "the
+            // daemon spoke garbage".
+            if (std::string(error.what()).find("timed out") !=
+                std::string::npos) {
+              slot.timed_out = true;
+            } else {
+              slot.protocol_error = true;
+            }
+            std::fprintf(stderr, "loadgen: client %zu job %zu: %s\n", c, j,
+                         error.what());
           } catch (const std::runtime_error& error) {
+            slot.transport_error = true;
             std::fprintf(stderr, "loadgen: client %zu job %zu: %s\n", c, j,
                          error.what());
           }
@@ -150,21 +181,53 @@ int main(int argc, char** argv) {
 
   std::size_t completed = 0;
   std::size_t overloaded = 0;
+  std::size_t rejected_budget = 0;
+  std::size_t rejected_resource = 0;
   std::size_t rejected_other = 0;
+  std::size_t timeouts = 0;
+  std::size_t protocol_errors = 0;
   std::size_t unresponded = 0;
   std::size_t docs_streamed = 0;
+  std::vector<ClientTally> per_client(clients);
   std::vector<double> latencies;
-  for (const JobOutcome& slot : outcomes) {
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const JobOutcome& slot = outcomes[i];
+    ClientTally& tally = per_client[i / jobs_per_client];
     if (slot.completed) {
       ++completed;
+      ++tally.completed;
       latencies.push_back(slot.latency_ms);
-    } else if (slot.rejected_overload) {
-      ++overloaded;
-    } else if (slot.rejected_other) {
-      ++rejected_other;
+    } else if (slot.rejected) {
+      switch (slot.reason) {
+        case RejectReason::kOverload:
+          ++overloaded;
+          ++tally.rejected_overload;
+          break;
+        case RejectReason::kClientBudgetExhausted:
+          ++rejected_budget;
+          ++tally.rejected_budget;
+          break;
+        case RejectReason::kResource:
+          ++rejected_resource;
+          ++tally.rejected_resource;
+          break;
+        default:
+          ++rejected_other;
+          ++tally.rejected_other;
+          break;
+      }
     } else {
       ++unresponded;
     }
+    if (slot.timed_out) {
+      ++timeouts;
+      ++tally.timeouts;
+    }
+    if (slot.protocol_error) {
+      ++protocol_errors;
+      ++tally.protocol_errors;
+    }
+    if (slot.transport_error) ++tally.transport_errors;
     docs_streamed += slot.docs;
   }
   std::sort(latencies.begin(), latencies.end());
@@ -176,11 +239,23 @@ int main(int argc, char** argv) {
                           : static_cast<double>(docs_streamed) / wall_seconds;
 
   std::printf(
-      "loadgen: %zu clients x %zu jobs in %.2fs: %zu completed, %zu "
-      "overload-rejected, %zu other-rejected, %zu unresponded; %zu docs "
-      "streamed (%.2f docs/sec), job latency p50 %.1f ms p99 %.1f ms\n",
+      "loadgen: %zu clients x %zu jobs in %.2fs: %zu completed, rejected "
+      "%zu overload / %zu budget / %zu resource / %zu other, %zu timeouts, "
+      "%zu protocol errors, %zu unresponded; %zu docs streamed (%.2f "
+      "docs/sec), job latency p50 %.1f ms p99 %.1f ms\n",
       clients, jobs_per_client, wall_seconds, completed, overloaded,
-      rejected_other, unresponded, docs_streamed, docs_per_sec, p50, p99);
+      rejected_budget, rejected_resource, rejected_other, timeouts,
+      protocol_errors, unresponded, docs_streamed, docs_per_sec, p50, p99);
+  for (std::size_t c = 0; c < clients; ++c) {
+    const ClientTally& tally = per_client[c];
+    std::printf(
+        "  client%zu: %zu completed, rejected %zu overload / %zu budget / "
+        "%zu resource / %zu other, %zu timeouts, %zu protocol errors, %zu "
+        "transport errors\n",
+        c, tally.completed, tally.rejected_overload, tally.rejected_budget,
+        tally.rejected_resource, tally.rejected_other, tally.timeouts,
+        tally.protocol_errors, tally.transport_errors);
+  }
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -192,14 +267,20 @@ int main(int argc, char** argv) {
         out,
         "{\"bench\": \"service\", \"clients\": %zu, \"jobs_requested\": %zu, "
         "\"jobs_completed\": %zu, \"jobs_rejected_overload\": %zu, "
-        "\"jobs_rejected_other\": %zu, \"docs_streamed\": %zu, "
+        "\"jobs_rejected_budget\": %zu, \"jobs_rejected_resource\": %zu, "
+        "\"jobs_rejected_other\": %zu, \"timeouts\": %zu, "
+        "\"protocol_errors\": %zu, \"docs_streamed\": %zu, "
         "\"wall_seconds\": %.3f, \"docs_per_sec\": %.3f, "
         "\"p50_job_ms\": %.3f, \"p99_job_ms\": %.3f, "
         "\"hardware_threads\": %zu}\n",
-        clients, outcomes.size(), completed, overloaded, rejected_other,
+        clients, outcomes.size(), completed, overloaded, rejected_budget,
+        rejected_resource, rejected_other, timeouts, protocol_errors,
         docs_streamed, wall_seconds, docs_per_sec, p50, p99,
         hardware_threads());
     std::fclose(out);
   }
-  return unresponded == 0 ? 0 : 1;
+  // 0 strictly means "every job got a typed response and the daemon spoke
+  // the protocol correctly"; protocol errors fail the run even when every
+  // job eventually resolved.
+  return (unresponded == 0 && protocol_errors == 0) ? 0 : 1;
 }

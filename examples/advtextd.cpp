@@ -50,7 +50,14 @@ int usage() {
       "                [--client-max-queries N] [--max-job-deadline-ms X]\n"
       "                [--checkpoint-every N] [--read-timeout-ms X]\n"
       "                [--max-jobs N] [--recover-only] [--inject SPEC]\n"
+      "                [--watchdog-ms X] [--mem-budget-mb N]\n"
       "                [--hidden N] [--filters N]\n"
+      "--watchdog-ms: stall bound for the job watchdog (default 30000;\n"
+      "               0 disables). A stuck job's client gets a typed\n"
+      "               deadline-exceeded completion within the bound.\n"
+      "--mem-budget-mb: process memory budget (default 0 = unlimited).\n"
+      "               Exhaustion sheds jobs with typed 'resource'\n"
+      "               rejections instead of aborting on OOM.\n"
       "exit codes: 0 ok, 1 error, 2 usage, 5 stopped by signal\n"
       "            (accepted jobs resume on restart with the same "
       "--state-dir)\n");
@@ -124,6 +131,13 @@ int run(const ArgParser& args) {
       static_cast<std::size_t>(args.get_int("checkpoint-every", 4));
   config.read_timeout_ms = args.get_double("read-timeout-ms", 2000.0);
   config.max_jobs = static_cast<std::size_t>(args.get_int("max-jobs", 0));
+  config.watchdog_stall_ms = args.get_double("watchdog-ms", 30000.0);
+  const std::size_t mem_budget_mb =
+      static_cast<std::size_t>(args.get_int("mem-budget-mb", 0));
+  if (mem_budget_mb > 0) {
+    MemoryBudget::instance().set_limit_bytes(mem_budget_mb * (std::size_t{1}
+                                                              << 20));
+  }
 
   StopToken::instance().install();
   AttackDaemon daemon(task, context,
@@ -144,14 +158,15 @@ int run(const ArgParser& args) {
 
   const DaemonStats stats = daemon.stats();
   std::printf(
-      "advtextd: %zu accepted, %zu completed, %zu recovered, %zu errored; "
-      "rejected %zu overload / %zu budget / %zu unknown-model / %zu "
-      "malformed; %zu io retries, %zu stream write failures, worst job "
-      "%s [%s]\n",
+      "advtextd: %zu accepted, %zu completed, %zu recovered, %zu errored, "
+      "%zu stalled; rejected %zu overload / %zu budget / %zu unknown-model "
+      "/ %zu malformed / %zu resource; %zu io retries, %zu stream write "
+      "failures, %zu mem denials, worst job %s [%s]\n",
       stats.jobs_accepted, stats.jobs_completed, stats.jobs_recovered,
-      stats.jobs_errored, stats.rejected_overload, stats.rejected_budget,
-      stats.rejected_unknown_model, stats.rejected_malformed,
-      stats.io_retries, stats.stream_write_failures,
+      stats.jobs_errored, stats.jobs_stalled, stats.rejected_overload,
+      stats.rejected_budget, stats.rejected_unknown_model,
+      stats.rejected_malformed, stats.rejected_resource, stats.io_retries,
+      stats.stream_write_failures, MemoryBudget::instance().denials(),
       to_string(stats.worst_job), to_string(termination));
   for (const std::string& warning : stats.warnings) {
     std::fprintf(stderr, "advtextd warning: %s\n", warning.c_str());

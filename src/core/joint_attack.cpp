@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/util/robust.h"
 #include "src/util/stopwatch.h"
 
 namespace advtext {
@@ -65,6 +66,34 @@ JointAttackResult joint_attack(const TextClassifier& model,
       WordCandidates candidates;
       candidates.per_position =
           resources.word_index->candidates_for(tokens, lm);
+
+      // Resource governance: the candidate sets are the word phase's big
+      // allocation. Charge them against the process MemoryBudget; under
+      // pressure, halve every per-position list (candidates_for returns
+      // them similarity-sorted, so the best candidates survive) until the
+      // reservation fits or the floor of one candidate per position is
+      // reached — a narrowed attack beats an OOM abort. The reservation is
+      // held for the rest of the attack.
+      const auto candidate_bytes = [&candidates] {
+        std::size_t total = 0;
+        for (const auto& list : candidates.per_position) {
+          total += list.size() * sizeof(WordId) + sizeof(list);
+        }
+        return total;
+      };
+      MemoryReservation candidate_memory =
+          MemoryReservation::try_acquire(candidate_bytes());
+      while (!candidate_memory.ok()) {
+        bool shrunk = false;
+        for (auto& list : candidates.per_position) {
+          if (list.size() > 1) {
+            list.resize((list.size() + 1) / 2);
+            shrunk = true;
+          }
+        }
+        if (!shrunk) break;  // at the floor: proceed uncharged
+        candidate_memory = MemoryReservation::try_acquire(candidate_bytes());
+      }
 
       WordAttackResult word_result;
       switch (config.word_method) {

@@ -11,6 +11,7 @@
 
 #include "src/eval/metrics.h"
 #include "src/text/serialize.h"
+#include "src/util/io_file.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
 #include "src/util/sync.h"
@@ -273,7 +274,21 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
   std::vector<DocRecord> records;
   std::size_t resume_from = 0;
   if (config.resume && !config.checkpoint_path.empty()) {
-    records = read_checkpoint(config.checkpoint_path, task.test.docs.size());
+    if (config.resume_fallback_fresh) {
+      try {
+        records =
+            read_checkpoint(config.checkpoint_path, task.test.docs.size());
+      } catch (const std::runtime_error&) {
+        // Unreadable checkpoint under chaos (torn write, bit flip): drop it
+        // and restart the sweep from scratch — the fresh run converges to
+        // the same records the uninterrupted run would have produced.
+        remove_file(config.checkpoint_path);
+        records.clear();
+      }
+    } else {
+      records =
+          read_checkpoint(config.checkpoint_path, task.test.docs.size());
+    }
     for (const DocRecord& r : records) {
       apply_record(r);
       // Replayed docs re-charge the sweep budget so a resumed capped run
@@ -415,12 +430,30 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
     }
 
     if (!eligible.empty()) {
-      const std::size_t workers =
+      std::size_t workers =
           config.threads < eligible.size() ? config.threads : eligible.size();
       ADVTEXT_CHECK(config.make_model_replica != nullptr)
           << "evaluate_attack: threads > 1 requires make_model_replica "
              "(every extra worker needs its own classifier; see "
              "AttackEvalConfig::make_model_replica)";
+      // Resource governance: each extra worker costs a model replica.
+      // Estimate its footprint from the dominant tensor (the embedding
+      // table) and reserve against the process MemoryBudget; a denial
+      // degrades the worker count toward serial instead of allocating past
+      // the budget — safe, because results are bitwise-identical at any
+      // worker count.
+      const std::size_t replica_bytes =
+          model.embedding_table().size() * sizeof(float) +
+          (std::size_t{1} << 16);
+      std::vector<MemoryReservation> replica_memory;
+      replica_memory.reserve(workers - 1);
+      for (std::size_t w = 1; w < workers; ++w) {
+        MemoryReservation reserved =
+            MemoryReservation::try_acquire(replica_bytes);
+        if (!reserved.ok()) break;
+        replica_memory.push_back(std::move(reserved));
+      }
+      workers = 1 + replica_memory.size();
       // Worker 0 attacks with the primary model; workers 1..K-1 get
       // replicas. Each worker also gets its own Wmd copy (fresh tally) so
       // per-doc degradation deltas never mix across threads.
@@ -449,7 +482,11 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
             worker_id == 0 ? model : *replicas[worker_id - 1];
         AttackResources worker_resources = resources;
         worker_resources.wmd = &worker_wmds[worker_id];
+        Heartbeat* const heart = ThreadPool::current();
         while (true) {
+          // Each dispatch round is observable progress for any watchdog
+          // over this pool (per-doc granularity).
+          if (heart != nullptr) heart->beat();
           std::size_t pos = 0;
           {
             MutexLock lock(st.mu);

@@ -77,6 +77,12 @@ struct AttackEvalConfig {
   /// documents are restored (bitwise-identical aggregates), the run
   /// continues from the first unrecorded document.
   bool resume = false;
+  /// With resume: an unreadable/corrupt checkpoint (torn write, bit flip,
+  /// bad footer) is dropped and the sweep restarts from scratch instead of
+  /// throwing — losing progress, never results. The chaos harness runs the
+  /// CLI this way so every fault schedule still converges to the clean
+  /// sweep's output.
+  bool resume_fallback_fresh = false;
   /// Attack worker threads. 1 (the default) runs the original serial loop;
   /// K > 1 attacks up to K documents concurrently on a sync.h ThreadPool
   /// while records are folded, appended, and checkpointed strictly in
@@ -91,7 +97,10 @@ struct AttackEvalConfig {
   /// bitwise copy of `model`'s (see copy_model_params in nn/checkpoint.h)
   /// and which shares no mutable state with `model` or other replicas.
   /// Stochastic inference (MC dropout) breaks the bitwise guarantee; leave
-  /// it disabled for parity-sensitive sweeps.
+  /// it disabled for parity-sensitive sweeps. Replicas are charged against
+  /// the process MemoryBudget: when the budget cannot cover an extra
+  /// replica the sweep degrades its worker count toward serial (results
+  /// are bitwise-identical at any worker count, so this is always safe).
   std::function<std::unique_ptr<TextClassifier>()> make_model_replica;
   /// Sweep-wide query cap shared by all workers (0 = unlimited), distinct
   /// from the per-document joint.max_queries. Admission control: once the

@@ -1,12 +1,12 @@
 #include "src/nn/supervisor.h"
 
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/io_file.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
 
@@ -30,8 +30,8 @@ void SnapshotRotation::write(const std::string& payload) const {
   for (std::size_t gen = generations_; gen >= 2; --gen) {
     const std::string older = generation_path(base_, gen);
     const std::string newer = generation_path(base_, gen - 1);
-    std::remove(older.c_str());
-    std::rename(newer.c_str(), older.c_str());  // no-op if newer is absent
+    remove_file(older);
+    rename_file(newer, older);  // no-op if newer is absent
   }
   io::save_artifact(generation_path(base_, 1), payload);
 }
@@ -40,13 +40,9 @@ std::optional<std::string> SnapshotRotation::read_latest(
     std::vector<std::string>* warnings) const {
   for (std::size_t gen = 1; gen <= generations_; ++gen) {
     const std::string path = generation_path(base_, gen);
-    {
-      // Probe existence quietly: a missing generation is normal (fresh run,
-      // fewer snapshots than generations), not a corruption event.
-      std::FILE* probe = std::fopen(path.c_str(), "rb");
-      if (probe == nullptr) continue;
-      std::fclose(probe);
-    }
+    // Probe existence quietly: a missing generation is normal (fresh run,
+    // fewer snapshots than generations), not a corruption event.
+    if (!file_exists(path)) continue;
     try {
       return io::load_artifact(path);
     } catch (const std::runtime_error& error) {
@@ -133,9 +129,7 @@ void SupervisorSession::initialize() {
          gen <= config_.keep_generations && !restored; ++gen) {
       const std::string path =
           SnapshotRotation::generation_path(config_.snapshot_path, gen);
-      std::FILE* probe = std::fopen(path.c_str(), "rb");
-      if (probe == nullptr) continue;  // missing generation: not an error
-      std::fclose(probe);
+      if (!file_exists(path)) continue;  // missing generation: not an error
       try {
         restore_loop(loop_, io::load_artifact(path));
         restored = true;

@@ -5,11 +5,13 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/io_file.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
 
@@ -57,6 +59,22 @@ bool try_write_frame(Connection& conn, const std::string& payload) {
   try {
     conn.write_frame(payload);
     return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+/// A result file is a done-marker only if it is a complete, checksummed
+/// result artifact. Presence alone is not enough: a torn write can leave a
+/// partial file at the final path, and load_artifact's footer-less legacy
+/// fallback must not vouch for such a fragment.
+bool result_artifact_valid(const std::string& path) {
+  try {
+    io::ArtifactInfo info;
+    std::istringstream in(io::load_artifact(path, &info));
+    if (!info.checksummed) return false;
+    io::read_magic(in);
+    return io::read_string(in) == kResultTag;
   } catch (const std::runtime_error&) {
     return false;
   }
@@ -121,13 +139,6 @@ const TextClassifier* AttackDaemon::find_model(
   return it == models_.end() ? nullptr : it->second;
 }
 
-bool AttackDaemon::file_exists(const std::string& path) const {
-  std::FILE* probe = std::fopen(path.c_str(), "rb");
-  if (probe == nullptr) return false;
-  std::fclose(probe);
-  return true;
-}
-
 void AttackDaemon::record_io_retries(const Outcome<std::size_t>& outcome) {
   if (outcome.ok() && outcome.value() > 1) {
     stats_.io_retries += outcome.value() - 1;
@@ -146,6 +157,7 @@ void AttackDaemon::handle_connection(Connection conn) {
     std::uint64_t id = 0;
     bool rejected = false;
     JobRejected rejection;
+    MemoryReservation memory;
     {
       MutexLock lock(mu_);
       if (closing_) {
@@ -176,6 +188,18 @@ void AttackDaemon::handle_connection(Connection conn) {
             rejection = {RejectReason::kClientBudgetExhausted,
                          "client '" + request.client +
                              "' has spent its query budget"};
+          }
+        }
+        if (!rejected) {
+          // Resource governance: a job that cannot reserve its working
+          // memory is shed with a typed rejection — memory pressure behaves
+          // like overload, never like an OOM abort.
+          memory = MemoryReservation::try_acquire(config_.job_memory_bytes);
+          if (!memory.ok()) {
+            rejected = true;
+            ++stats_.rejected_resource;
+            rejection = {RejectReason::kResource,
+                         "process memory budget exhausted; retry later"};
           }
         }
         if (!rejected) {
@@ -213,6 +237,10 @@ void AttackDaemon::handle_connection(Connection conn) {
       }
     }
     if (!saved.ok()) {
+      // Drop any torn fragment the failed write left at the final path:
+      // "unjournaled means unaccepted", and recovery must not conjure a
+      // kError result for an id the client was told is not accepted.
+      (void)remove_file(journal_path);
       (void)try_write_frame(
           conn, encode_job_rejected(
                     {RejectReason::kInternal,
@@ -229,6 +257,7 @@ void AttackDaemon::handle_connection(Connection conn) {
     job.id = id;
     job.request = request;
     job.deadline = admission_deadline(request, config_);
+    job.memory = std::move(memory);
     if (acked) job.conn = std::make_unique<Connection>(std::move(conn));
     {
       MutexLock lock(mu_);
@@ -258,12 +287,16 @@ void AttackDaemon::handle_connection(Connection conn) {
 }
 
 void AttackDaemon::worker_loop() {
+  Heartbeat* const heart = ThreadPool::current();
   while (true) {
     PendingJob job;
     {
       MutexLock lock(mu_);
       while (queue_.empty() && !closing_) {
         (void)queue_cv_.wait_for_ms(mu_, 100);
+        // Waiting for work is liveness, not a stall: each wait slice beats
+        // so the watchdog only fires on jobs that stop making progress.
+        if (heart != nullptr) heart->beat();
       }
       if (StopToken::instance().stop_requested()) {
         // Abandon the queue: every queued job is journaled and will be
@@ -287,6 +320,50 @@ void AttackDaemon::worker_loop() {
 }
 
 void AttackDaemon::run_job(PendingJob job) {
+  // Register with the watchdog: while this job runs, a stall report on this
+  // worker's heartbeat maps back to the job, and every client-connection
+  // write serializes through `active` so the stall handler and the worker
+  // never race on the socket.
+  Heartbeat* const heart = ThreadPool::current();
+  auto active = std::make_shared<ActiveJob>();
+  active->id = job.id;
+  {
+    MutexLock conn_lock(active->mu);
+    active->conn = job.conn.get();
+  }
+  if (heart != nullptr) {
+    heart->set_tag("job" + std::to_string(job.id));
+    heart->beat();
+    MutexLock lock(mu_);
+    active_jobs_[heart] = active;
+  }
+  // Deregister on every exit path; past this, the stall handler can no
+  // longer reach the (about to die) connection.
+  struct Deregister {
+    AttackDaemon* daemon;
+    Heartbeat* heart;
+    std::shared_ptr<ActiveJob> active;
+    ~Deregister() {
+      {
+        MutexLock conn_lock(active->mu);
+        active->conn = nullptr;
+      }
+      if (heart != nullptr) {
+        MutexLock lock(daemon->mu_);
+        daemon->active_jobs_.erase(heart);
+      }
+    }
+  } deregister{this, heart, active};
+
+  // Exactly-one-terminal-frame send: suppressed if the watchdog already
+  // settled this client with a typed kDeadlineExceeded.
+  const auto send_terminal = [&](const JobComplete& summary) {
+    MutexLock conn_lock(active->mu);
+    if (active->settled || active->conn == nullptr) return;
+    active->settled = true;
+    (void)try_write_frame(*active->conn, encode_job_complete(summary));
+  };
+
   const TextClassifier* model = find_model(job.request.model);
   if (model == nullptr) {
     // Only reachable for recovered jobs whose model set changed across the
@@ -353,12 +430,22 @@ void AttackDaemon::run_job(PendingJob job) {
   std::uint64_t record_count = 0;
   bool client_gone = (job.conn == nullptr);
   eval.on_commit = [&](const DocRecord& record) {
+    // Each committed doc is observable progress for the watchdog.
+    if (heart != nullptr) heart->beat();
     write_record(record_bytes, record);
     ++record_count;
     if (client_gone) return;
+    MutexLock conn_lock(active->mu);
+    if (active->settled || active->conn == nullptr) {
+      // The watchdog already settled this client with a typed terminal
+      // frame; results keep persisting to disk only.
+      client_gone = true;
+      return;
+    }
+    Connection* conn = active->conn;
     const std::string frame = encode_doc_result(record);
-    const Outcome<std::size_t> sent = retry_.run(
-        "doc result stream", [&] { job.conn->write_frame(frame); });
+    const Outcome<std::size_t> sent =
+        retry_.run("doc result stream", [&] { conn->write_frame(frame); });
     MutexLock lock(mu_);
     record_io_retries(sent);
     if (!sent.ok()) {
@@ -381,7 +468,7 @@ void AttackDaemon::run_job(PendingJob job) {
       // the checkpoint and retry once from scratch; replayed records from
       // the aborted first try are discarded.
       sweep_error = error.what();
-      std::remove(eval.checkpoint_path.c_str());
+      remove_file(eval.checkpoint_path);
       eval.resume = false;
       record_bytes.str(std::string());
       record_count = 0;
@@ -398,9 +485,8 @@ void AttackDaemon::run_job(PendingJob job) {
     const Outcome<std::size_t> saved = retry_.run(
         "result write",
         [&] { io::save_artifact(job_path(job.id, ".result"), artifact); });
-    if (job.conn != nullptr && !client_gone) {
-      (void)try_write_frame(*job.conn, encode_job_complete(summary));
-    }
+    if (!saved.ok()) (void)remove_file(job_path(job.id, ".result"));
+    if (!client_gone) send_terminal(summary);
     MutexLock lock(mu_);
     record_io_retries(saved);
     ++stats_.jobs_errored;
@@ -423,9 +509,7 @@ void AttackDaemon::run_job(PendingJob job) {
   if (result.termination == TerminationReason::kStopped) {
     // Interrupted, not finished: keep the journal and checkpoint so the
     // next start resumes the job; tell the client what happened.
-    if (job.conn != nullptr && !client_gone) {
-      (void)try_write_frame(*job.conn, encode_job_complete(summary));
-    }
+    if (!client_gone) send_terminal(summary);
     MutexLock lock(mu_);
     stats_.worst_job =
         worse_of(stats_.worst_job, TerminationReason::kStopped);
@@ -440,27 +524,56 @@ void AttackDaemon::run_job(PendingJob job) {
       "result write",
       [&] { io::save_artifact(job_path(job.id, ".result"), artifact); });
   if (saved.ok()) {
-    std::remove(eval.checkpoint_path.c_str());
+    remove_file(eval.checkpoint_path);
   }
   if (ledger != nullptr) {
     // Post-hoc clamped settlement, same idiom as the sweep budget itself.
     (void)ledger->charge_up_to(result.sweep_queries_used);
   }
-  if (job.conn != nullptr && !client_gone) {
-    (void)try_write_frame(*job.conn, encode_job_complete(summary));
-  }
+  if (!client_gone) send_terminal(summary);
   MutexLock lock(mu_);
   record_io_retries(saved);
   if (!saved.ok()) {
-    // The client got its answer but the done-marker did not land: leave
-    // journal + checkpoint so recovery re-runs (deterministically) rather
-    // than lose the job.
+    // The client got its answer but the done-marker did not land: drop any
+    // torn fragment and leave journal + checkpoint so recovery re-runs
+    // (deterministically) rather than lose the job.
+    (void)remove_file(job_path(job.id, ".result"));
     stats_.warnings.push_back("result-write-failed for job " +
                               std::to_string(job.id) + ": " +
                               saved.failure().message);
   }
   ++stats_.jobs_completed;
   stats_.worst_job = worse_of(stats_.worst_job, result.termination);
+}
+
+void AttackDaemon::on_worker_stall(const Heartbeat* heart,
+                                   const std::string& tag,
+                                   double stalled_ms) {
+  std::shared_ptr<ActiveJob> active;
+  {
+    MutexLock lock(mu_);
+    ++stats_.jobs_stalled;
+    stats_.worst_job =
+        worse_of(stats_.worst_job, TerminationReason::kDeadlineExceeded);
+    stats_.warnings.push_back(
+        "watchdog-stall: '" + tag + "' made no progress for " +
+        std::to_string(static_cast<long>(stalled_ms)) + " ms");
+    const auto it = active_jobs_.find(heart);
+    if (it != active_jobs_.end()) active = it->second;
+  }
+  if (active == nullptr) return;
+  // Best-effort settlement. If the stuck worker is wedged INSIDE a client
+  // write (it holds active->mu), skip: the stall is already counted, and
+  // blocking the monitor thread here would un-watch every other worker.
+  if (!active->mu.try_lock()) return;
+  if (!active->settled && active->conn != nullptr) {
+    active->settled = true;
+    JobComplete summary;
+    summary.job_id = active->id;
+    summary.termination = TerminationReason::kDeadlineExceeded;
+    (void)try_write_frame(*active->conn, encode_job_complete(summary));
+  }
+  active->mu.unlock();
 }
 
 std::size_t AttackDaemon::recover() {
@@ -476,7 +589,13 @@ std::size_t AttackDaemon::recover() {
     }
     miss_streak = 0;
     last_seen = id;
-    if (!file_exists(job_path(id, ".result"))) todo.push_back(id);
+    // Validate the done-marker, not just its existence: partial/corrupt
+    // results re-run (idempotent — the re-run's save overwrites them with
+    // the bitwise-identical true result).
+    if (!file_exists(job_path(id, ".result")) ||
+        !result_artifact_valid(job_path(id, ".result"))) {
+      todo.push_back(id);
+    }
   }
   {
     MutexLock lock(mu_);
@@ -539,6 +658,23 @@ TerminationReason AttackDaemon::serve() {
   bool stopped = false;
   {
     ThreadPool pool(config_.workers);
+    // The watchdog watches the pool's heartbeats and must die before the
+    // pool does (declaration order gives reverse destruction). Its handler
+    // settles the stuck job's client with a typed terminal frame; the job's
+    // journal stays, so a restart still re-runs it to the true result.
+    const std::vector<const Heartbeat*> hearts = pool.heartbeats();
+    std::optional<Watchdog> watchdog;
+    if (config_.watchdog_stall_ms > 0.0) {
+      Watchdog::Config wd;
+      wd.stall_ms = config_.watchdog_stall_ms;
+      wd.poll_ms = config_.watchdog_poll_ms;
+      watchdog.emplace(hearts, wd,
+                       [this, hearts](std::size_t index,
+                                      const std::string& tag,
+                                      double stalled_ms) {
+                         on_worker_stall(hearts[index], tag, stalled_ms);
+                       });
+    }
     for (std::size_t w = 0; w < config_.workers; ++w) {
       // A fresh pool never rejects; the return only matters at shutdown.
       (void)pool.submit([this] { worker_loop(); });

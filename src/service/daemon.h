@@ -83,6 +83,19 @@ struct DaemonConfig {
   /// Retry policy for the daemon's own transient I/O: job journals, result
   /// artifacts, and streamed result frames.
   RetryPolicy::Config io_retry;
+  /// Watchdog stall bound: a worker that is busy on a job but makes no
+  /// observable progress (no committed doc, no queue-wait wake) for this
+  /// long is reported stalled — the client gets a typed kDeadlineExceeded
+  /// JobComplete within stall + poll, the daemon keeps serving, and the
+  /// journaled job stays recoverable. 0 disables the watchdog.
+  double watchdog_stall_ms = 30000.0;
+  /// Watchdog poll cadence (detection slack on top of the stall bound).
+  double watchdog_poll_ms = 50.0;
+  /// MemoryBudget bytes reserved per admitted job (stream frames, record
+  /// buffer, checkpoint payload). When the process budget cannot cover it
+  /// the job is shed with a typed RejectReason::kResource — overload
+  /// shedding for memory instead of an OOM abort.
+  std::size_t job_memory_bytes = std::size_t{1} << 20;
 };
 
 /// Operational counters, readable after serve()/recover() return.
@@ -97,6 +110,13 @@ struct DaemonStats {
   std::size_t rejected_budget = 0;
   std::size_t rejected_unknown_model = 0;
   std::size_t rejected_malformed = 0;
+  /// Jobs shed at admission because the process MemoryBudget could not
+  /// cover job_memory_bytes (typed RejectReason::kResource).
+  std::size_t rejected_resource = 0;
+  /// Stall episodes the watchdog settled: the client got a typed
+  /// kDeadlineExceeded JobComplete while the worker stayed stuck. The job's
+  /// journal stays, so a restart re-runs it.
+  std::size_t jobs_stalled = 0;
   std::size_t accept_failures = 0;       ///< accept() throws absorbed
   std::size_t stream_write_failures = 0; ///< per-doc frames a client missed
   std::size_t io_retries = 0;            ///< RetryPolicy attempts absorbed
@@ -139,11 +159,27 @@ class AttackDaemon {
     /// Client connection for streamed results; null for recovered jobs
     /// (their client is long gone) or when the accept ack failed.
     std::unique_ptr<Connection> conn;
+    /// MemoryBudget reservation made at admission; travels with the job and
+    /// releases when the job object dies. Recovered jobs run unreserved
+    /// (recovery is serial and must always make progress).
+    MemoryReservation memory;
+  };
+
+  /// A job currently running on a worker, registered so the watchdog's
+  /// stall handler can settle its client with a typed JobComplete while the
+  /// worker itself stays stuck. Every touch of the client connection after
+  /// the job starts — streamed frames, the terminal JobComplete, a stall
+  /// settlement — serializes on `mu`, and `settled` guarantees the client
+  /// sees exactly one terminal frame.
+  struct ActiveJob {
+    std::uint64_t id = 0;
+    Mutex mu;
+    Connection* conn ADVTEXT_GUARDED_BY(mu) = nullptr;
+    bool settled ADVTEXT_GUARDED_BY(mu) = false;
   };
 
   std::string job_path(std::uint64_t id, const char* suffix) const;
   const TextClassifier* find_model(const std::string& name) const;
-  bool file_exists(const std::string& path) const;
 
   /// Worker thread body: pop accepted jobs until the queue drains at
   /// shutdown (or a stop request abandons it to recovery).
@@ -162,6 +198,14 @@ class AttackDaemon {
   void record_io_retries(const Outcome<std::size_t>& outcome)
       ADVTEXT_REQUIRES(mu_);
 
+  /// Watchdog stall handler (monitor thread): records the stall and — if
+  /// the stuck worker's job still has a live, unsettled client — sends a
+  /// typed kDeadlineExceeded JobComplete so the client is released within
+  /// the watchdog bound. Deliberately does NOT persist a result artifact:
+  /// the journal stays, so recovery re-runs the job to its true result.
+  void on_worker_stall(const Heartbeat* heart, const std::string& tag,
+                       double stalled_ms);
+
   const SynthTask& task_;
   const TaskAttackContext& context_;
   std::map<std::string, const TextClassifier*> models_;
@@ -176,6 +220,10 @@ class AttackDaemon {
   /// Lifetime query ledgers keyed by client name. std::map: deterministic
   /// iteration order (matches the repo's no-unordered-iteration rule).
   std::map<std::string, std::unique_ptr<QueryBudget>> client_budgets_
+      ADVTEXT_GUARDED_BY(mu_);
+  /// Jobs currently running, keyed by the pool heartbeat of the worker
+  /// running them — the key the watchdog's stall report hands back.
+  std::map<const Heartbeat*, std::shared_ptr<ActiveJob>> active_jobs_
       ADVTEXT_GUARDED_BY(mu_);
   DaemonStats stats_ ADVTEXT_GUARDED_BY(mu_);
 };

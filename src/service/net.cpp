@@ -115,6 +115,15 @@ bool Connection::read_frame(std::string& payload) {
                         " bytes exceeds the " +
                         std::to_string(kMaxFramePayloadBytes) + " byte cap");
   }
+  // Charge the transient receive buffer against the process MemoryBudget:
+  // under memory pressure an oversized frame is refused (typed
+  // ProtocolError kills this conversation only), never allocated past the
+  // budget. The reservation releases when the frame is handed off.
+  MemoryReservation frame_memory = MemoryReservation::try_acquire(length);
+  if (length != 0 && !frame_memory.ok()) {
+    throw ProtocolError("net: frame payload of " + std::to_string(length) +
+                        " bytes denied by the process memory budget");
+  }
   payload.resize(length);
   if (length != 0 && recv_fully(fd_, payload.data(), length) < length) {
     throw ProtocolError("net: peer closed mid frame payload");

@@ -20,6 +20,8 @@ const char* to_string(RejectReason reason) {
       return "shutting_down";
     case RejectReason::kMalformed:
       return "malformed";
+    case RejectReason::kResource:
+      return "resource";
     case RejectReason::kInternal:
       return "internal";
   }
@@ -71,7 +73,7 @@ TerminationReason read_wire_termination(std::istream& in) {
 RejectReason read_wire_reject_reason(std::istream& in) {
   const std::uint64_t raw = io::read_u64(in);
   if (raw < static_cast<std::uint64_t>(RejectReason::kOverload) ||
-      raw > static_cast<std::uint64_t>(RejectReason::kInternal)) {
+      raw > static_cast<std::uint64_t>(RejectReason::kResource)) {
     throw ProtocolError("protocol: invalid reject reason " +
                         std::to_string(raw));
   }

@@ -69,6 +69,7 @@ enum class RejectReason : std::uint64_t {
   kShuttingDown = 4,           ///< daemon is draining; no new admissions
   kMalformed = 5,              ///< request did not parse / violated limits
   kInternal = 6,               ///< daemon-side failure before the job ran
+  kResource = 7,               ///< MemoryBudget denied the job's reservation
 };
 
 const char* to_string(RejectReason reason);

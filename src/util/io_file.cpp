@@ -1,0 +1,223 @@
+#include "src/util/io_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "src/util/check.h"
+#include "src/util/robust.h"
+
+namespace advtext {
+
+namespace {
+
+using Mode = FaultInjector::Mode;
+
+/// Bounded internal retries for the transient (eintr) mode: enough that a
+/// sporadic p<1 storm is invisible to callers, small enough that a p=1.0
+/// storm fails fast with a typed InjectedFault.
+constexpr int kTransientRetries = 8;
+
+// Durability barrier between "temp file fully written" and "rename": without
+// it a power loss can publish a file whose data blocks never hit the disk.
+// Best-effort: a filesystem that cannot fsync does not fail the publish.
+void sync_file(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// Strict prefix length for torn/enospc/short-read damage: always at least
+/// one byte short of `size` (an exact-length "prefix" would be the valid
+/// file — in particular a torn artifact truncated exactly at its footer
+/// boundary would masquerade as a well-formed legacy payload).
+std::size_t strict_prefix(std::size_t size, double fraction) {
+  if (size == 0) return 0;
+  auto n = static_cast<std::size_t>(fraction * static_cast<double>(size));
+  return n >= size ? size - 1 : n;
+}
+
+void write_stream(std::ofstream& out, const std::string& bytes,
+                  std::size_t count) {
+  out.write(bytes.data(), static_cast<std::streamsize>(count));
+  out.flush();
+}
+
+}  // namespace
+
+AtomicFileWriter::AtomicFileWriter(std::string final_path)
+    : path_(std::move(final_path)), tmp_(path_ + ".tmp") {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  // Nothing touches the disk before commit(), and commit() cleans up after
+  // itself on failure — except the torn mode, which *deliberately* leaves a
+  // partial final file for recovery paths to reject.
+}
+
+void AtomicFileWriter::commit() {
+  if (committed_) {
+    throw std::runtime_error("io_file: commit() called twice for " + path_);
+  }
+  committed_ = true;
+  std::string bytes = buffer_.str();
+
+  for (int attempt = 0;; ++attempt) {
+    const auto plan = FaultInjector::instance().io_fault("io.write");
+    if (!plan.has_value()) break;
+    switch (plan->mode) {
+      case Mode::kEintr: {
+        if (attempt + 1 >= kTransientRetries) {
+          throw InjectedFault("io_file: injected EINTR storm exhausted " +
+                              std::to_string(kTransientRetries) +
+                              " retries writing " + path_);
+        }
+        continue;  // transient: redraw and retry
+      }
+      case Mode::kTorn: {
+        // A strict prefix lands under the FINAL path: models a crash midway
+        // through a non-atomic write (or a partially flushed rename). The
+        // chaos oracle "no partially-published artifact ever loads" is
+        // checked against exactly this state.
+        const std::size_t n = strict_prefix(bytes.size(), plan->fraction);
+        std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+        if (out) write_stream(out, bytes, n);
+        throw InjectedFault("io_file: injected torn write left a partial " +
+                            path_);
+      }
+      case Mode::kEnospc: {
+        // The device fills mid-write: a prefix reaches the temp file, the
+        // publish fails, and the cleanup removes the partial temp — the
+        // final path is never touched.
+        const std::size_t n = strict_prefix(bytes.size(), plan->fraction);
+        {
+          std::ofstream out(tmp_, std::ios::binary | std::ios::trunc);
+          if (out) write_stream(out, bytes, n);
+        }
+        std::remove(tmp_.c_str());
+        throw InjectedFault(
+            "io_file: injected ENOSPC (no space left on device) writing " +
+            tmp_);
+      }
+      case Mode::kCorrupt: {
+        // One deterministically chosen bit flips in the published bytes;
+        // the artifact CRC footer must catch it at load time.
+        if (!bytes.empty()) {
+          const auto bit = static_cast<std::size_t>(
+              plan->fraction * static_cast<double>(bytes.size() * 8));
+          const std::size_t clamped = bit >= bytes.size() * 8
+                                          ? bytes.size() * 8 - 1
+                                          : bit;
+          bytes[clamped / 8] =
+              static_cast<char>(static_cast<unsigned char>(
+                                    bytes[clamped / 8]) ^
+                                (1u << (clamped % 8)));
+        }
+        break;
+      }
+      default:
+        break;  // throw/delay already handled inside io_fault()
+    }
+    break;
+  }
+
+  std::ofstream out(tmp_, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("io_file: cannot open " + tmp_ + " for writing");
+  }
+  write_stream(out, bytes, bytes.size());
+  if (!out) {
+    out.close();
+    std::remove(tmp_.c_str());
+    throw std::runtime_error("io_file: write to " + tmp_ + " failed");
+  }
+  out.close();
+  sync_file(tmp_);
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    throw std::runtime_error("io_file: rename to " + path_ + " failed");
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  AtomicFileWriter writer(path);
+  writer.stream().write(contents.data(),
+                        static_cast<std::streamsize>(contents.size()));
+  writer.commit();
+}
+
+std::string read_file(const std::string& path) {
+  std::optional<FaultInjector::IoFaultPlan> damage;
+  for (int attempt = 0;; ++attempt) {
+    const auto plan = FaultInjector::instance().io_fault("io.read");
+    if (!plan.has_value()) break;
+    if (plan->mode == Mode::kEintr) {
+      if (attempt + 1 >= kTransientRetries) {
+        throw InjectedFault("io_file: injected EINTR storm exhausted " +
+                            std::to_string(kTransientRetries) +
+                            " retries reading " + path);
+      }
+      continue;  // transient: redraw and retry
+    }
+    if (plan->mode == Mode::kShortRead || plan->mode == Mode::kCorrupt) {
+      damage = plan;  // applied to the bytes below
+      break;
+    }
+    // Write-shaped modes (torn/enospc) at the read site: a plain failure.
+    throw InjectedFault(std::string("injected fault at io.read (") + path +
+                        ")");
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("io_file: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) {
+    throw std::runtime_error("io_file: read failed for " + path);
+  }
+  std::string bytes = buffer.str();
+
+  if (damage.has_value()) {
+    if (damage->mode == Mode::kShortRead) {
+      bytes.resize(strict_prefix(bytes.size(), damage->fraction));
+    } else if (!bytes.empty()) {  // kCorrupt: bad sector on the read path
+      const auto bit = static_cast<std::size_t>(
+          damage->fraction * static_cast<double>(bytes.size() * 8));
+      const std::size_t clamped =
+          bit >= bytes.size() * 8 ? bytes.size() * 8 - 1 : bit;
+      bytes[clamped / 8] = static_cast<char>(
+          static_cast<unsigned char>(bytes[clamped / 8]) ^
+          (1u << (clamped % 8)));
+    }
+  }
+  return bytes;
+}
+
+bool file_exists(const std::string& path) {
+  std::FILE* probe = std::fopen(path.c_str(), "rb");
+  if (probe == nullptr) return false;
+  std::fclose(probe);
+  return true;
+}
+
+bool remove_file(const std::string& path) {
+  return std::remove(path.c_str()) == 0;
+}
+
+bool rename_file(const std::string& from, const std::string& to) {
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+}  // namespace advtext

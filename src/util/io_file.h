@@ -1,0 +1,86 @@
+// The single file-IO choke point for src/ (analyzer rule `raw-io`): every
+// read, write, probe, remove and rename of a regular file flows through
+// this shim, so the FaultInjector's storage fault modes — torn writes,
+// ENOSPC, short reads, EINTR storms, silent bit corruption — reach *all*
+// durable artifacts (eval checkpoints, training snapshots, daemon journals,
+// tasks, trained parameters) from one place. Subsumes the former
+// util/atomic_file.
+//
+// Injection sites: "io.write" (AtomicFileWriter::commit / write_file) and
+// "io.read" (read_file). Armed with the IO modes they fire as:
+//
+//   torn       — a strict prefix of the bytes lands under the FINAL path,
+//                then InjectedFault: models a crash midway through a
+//                non-atomic write. Readers must reject the partial file.
+//   enospc     — a prefix reaches the temp file, the temp file is removed,
+//                InjectedFault mentioning ENOSPC: the final path is never
+//                touched (atomic publication holds under a full disk).
+//   short-read — read_file returns a strict prefix of the file, modelling
+//                a race with a concurrent truncation; loaders must detect
+//                the truncation, not crash.
+//   eintr      — transient: the shim retries internally (bounded), so a
+//                sporadic EINTR-class hiccup is invisible to callers; a
+//                p=1.0 storm exhausts the retries and throws.
+//   corrupt    — one deterministically chosen bit flips (in the published
+//                bytes on write, in the returned bytes on read); the
+//                artifact CRC footer must catch it at load time.
+//
+// The prefix length and bit position come from the injector's seeded RNG,
+// so a (spec, seed) pair reproduces the exact damage — the chaos campaign's
+// bitwise oracles rely on this.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace advtext {
+
+/// Writes `final_path` atomically: stream into stream(), then commit() —
+/// the bytes are buffered in memory and published in one temp-file write +
+/// flush + fsync + rename, so a crash (or injected fault) mid-commit can
+/// never leave a half-written file under the final name. Destruction
+/// without commit() publishes nothing. Throws std::runtime_error when the
+/// temp file cannot be opened, a write fails, or the rename fails.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string final_path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::ostream& stream() { return buffer_; }
+
+  /// Publishes the buffered bytes ("io.write" injection site). May be
+  /// called at most once.
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+/// Convenience wrapper: publishes `contents` atomically to `path`.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// Reads the whole file ("io.read" injection site). Throws
+/// std::runtime_error when the file cannot be opened or the read fails.
+std::string read_file(const std::string& path);
+
+/// True when `path` exists and is openable for reading. A probe, not an
+/// injection site: journal/generation scans must see the real directory
+/// state or recovery itself would become nondeterministic.
+bool file_exists(const std::string& path);
+
+/// Removes `path`; returns false when nothing was removed. Cleanup path,
+/// not an injection site.
+bool remove_file(const std::string& path);
+
+/// Renames `from` over `to` (replacing it). Returns false on failure —
+/// callers in rotation paths treat a failed demotion as "generation
+/// absent", which the restore scan already tolerates.
+bool rename_file(const std::string& from, const std::string& to);
+
+}  // namespace advtext

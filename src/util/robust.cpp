@@ -109,6 +109,11 @@ FaultInjector::Mode parse_mode(const std::string& token,
   if (token == "throw") return FaultInjector::Mode::kThrow;
   if (token == "delay") return FaultInjector::Mode::kDelay;
   if (token == "nan") return FaultInjector::Mode::kNan;
+  if (token == "torn") return FaultInjector::Mode::kTorn;
+  if (token == "enospc") return FaultInjector::Mode::kEnospc;
+  if (token == "short-read") return FaultInjector::Mode::kShortRead;
+  if (token == "eintr") return FaultInjector::Mode::kEintr;
+  if (token == "corrupt") return FaultInjector::Mode::kCorrupt;
   throw std::invalid_argument("FaultInjector: unknown mode '" + token +
                               "' in spec '" + spec + "'");
 }
@@ -243,7 +248,42 @@ void FaultInjector::fault_slow(const char* site) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return;
   }
+  // IO modes at a non-IO site degrade to throw (documented in the header).
   throw InjectedFault(std::string("injected fault at ") + site);
+}
+
+std::optional<FaultInjector::IoFaultPlan> FaultInjector::io_fault_slow(
+    const char* site) {
+  IoFaultPlan plan;
+  {
+    MutexLock lock(mu_);
+    const Rule* rule = match_in_scope(site);
+    if (rule == nullptr || rule->mode == Mode::kNan) return std::nullopt;
+    if (!rng_.bernoulli(rule->probability)) return std::nullopt;
+    ++fires_;
+    plan.mode = rule->mode;
+    switch (plan.mode) {
+      case Mode::kTorn:
+      case Mode::kEnospc:
+      case Mode::kShortRead:
+      case Mode::kCorrupt:
+        // Draw the damage parameter under the same lock so a (spec, seed)
+        // pair reproduces the exact torn prefix / flipped bit.
+        plan.fraction = rng_.uniform(0.0, 1.0);
+        break;
+      default:
+        break;
+    }
+  }  // sleep and throw outside the lock
+  switch (plan.mode) {
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return std::nullopt;
+    case Mode::kThrow:
+      throw InjectedFault(std::string("injected fault at ") + site);
+    default:
+      return plan;
+  }
 }
 
 double FaultInjector::poison_slow(const char* site, double value) {
@@ -263,9 +303,20 @@ double FaultInjector::poison_slow(const char* site, double value) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       return value;
     case Mode::kThrow:
+    case Mode::kTorn:
+    case Mode::kEnospc:
+    case Mode::kShortRead:
+    case Mode::kEintr:
+    case Mode::kCorrupt:
+      // IO modes at a value site degrade to throw, same as fault_slow.
       throw InjectedFault(std::string("injected fault at ") + site);
   }
   return value;
+}
+
+MemoryBudget& MemoryBudget::instance() {
+  static MemoryBudget budget;
+  return budget;
 }
 
 }  // namespace advtext

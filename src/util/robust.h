@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -324,10 +325,17 @@ class FaultScope {
 ///
 /// Spec grammar (comma- or semicolon-separated):  site[:mode]:probability
 ///   modes: throw (default) | delay | nan
+///          | torn | enospc | short-read | eintr | corrupt   (IO modes)
 ///   examples: "all:0.05"
 ///             "wmd.distance:0.2,transport.exact:delay:0.5"
 ///             "train.loss:nan:0.02;ckpt.write:throw:0.05"
 ///             "train.loss@shard1:nan:1.0"
+///             "io.write:torn:0.1;io.read:short-read:0.1"
+///
+/// The IO modes are executed by util/io_file (see io_fault()); at a plain
+/// maybe_fault() site they degrade to throw, so an IO-mode rule armed on a
+/// non-IO site still produces a fault rather than silently matching
+/// nothing.
 ///
 /// Faults are drawn from an advtext::Rng owned by the injector, so a fixed
 /// (spec, seed) pair reproduces the exact failure schedule — checkpoint /
@@ -340,7 +348,26 @@ class FaultScope {
 /// injection points.
 class FaultInjector {
  public:
-  enum class Mode { kThrow, kDelay, kNan };
+  enum class Mode {
+    kThrow,
+    kDelay,
+    kNan,
+    // Storage fault modes, executed by util/io_file at the "io.*" sites.
+    kTorn,       ///< a strict prefix lands under the final path, then throw
+    kEnospc,     ///< write fails mid-stream; the final path stays untouched
+    kShortRead,  ///< a read returns a strict prefix of the file
+    kEintr,      ///< transient failure; io_file retries it away (bounded)
+    kCorrupt,    ///< one deterministically chosen bit flips
+  };
+
+  /// What an armed IO mode should do, handed to util/io_file for execution.
+  /// `fraction` is a deterministic draw in [0, 1) from the injector's
+  /// seeded RNG: the prefix fraction for torn/enospc/short-read, the bit
+  /// position fraction for corrupt (unused for eintr).
+  struct IoFaultPlan {
+    Mode mode = Mode::kThrow;
+    double fraction = 0.0;
+  };
 
   /// Process-wide instance. On first use it arms itself from the
   /// ADVTEXT_INJECT environment variable (empty/absent = disabled), which
@@ -373,6 +400,15 @@ class FaultInjector {
     return poison_slow(site, value);
   }
 
+  /// IO-aware injection point for util/io_file. Behaves like maybe_fault()
+  /// for throw/delay rules (throws / sleeps here); for the IO modes it
+  /// returns the plan the IO layer executes (nullopt = proceed normally;
+  /// kNan rules never fire at IO sites).
+  std::optional<IoFaultPlan> io_fault(const char* site) {
+    if (!enabled()) return std::nullopt;
+    return io_fault_slow(site);
+  }
+
   /// Total faults fired since the last configure().
   std::size_t fires() const ADVTEXT_EXCLUDES(mu_);
 
@@ -386,6 +422,8 @@ class FaultInjector {
 
   void fault_slow(const char* site) ADVTEXT_EXCLUDES(mu_);
   double poison_slow(const char* site, double value) ADVTEXT_EXCLUDES(mu_);
+  std::optional<IoFaultPlan> io_fault_slow(const char* site)
+      ADVTEXT_EXCLUDES(mu_);
   const Rule* match(const char* site) const ADVTEXT_REQUIRES(mu_);
   // match() after composing the thread's FaultScope into an unsuffixed site.
   const Rule* match_in_scope(const char* site) const ADVTEXT_REQUIRES(mu_);
@@ -400,6 +438,137 @@ class FaultInjector {
   std::atomic<bool> enabled_{false};
   Rng rng_ ADVTEXT_GUARDED_BY(mu_);
   std::size_t fires_ ADVTEXT_GUARDED_BY(mu_) = 0;
+};
+
+/// Process-wide soft memory budget for the big allocation sites (candidate
+/// sets, model replicas, service frames). A reservation that would push
+/// accounted usage past the limit is *denied* — the caller degrades (shrink
+/// the candidate neighbourhood, drop to fewer replicas, shed the job with a
+/// typed `resource` rejection) instead of letting the allocator OOM-abort
+/// the process. Accounting is cooperative and approximate: only the named
+/// big sites charge it, so the limit bounds the dominant allocations, not
+/// every byte of the process.
+///
+/// Thread-safe; unlimited (limit 0) by default, so existing call sites are
+/// unaffected until a limit is armed (`--mem-budget-mb`). Degradation is
+/// deterministic in the configuration: whether a reservation is denied
+/// depends only on the limit and the accounted usage at that point, both of
+/// which are reproducible for a fixed config on a serial path (parallel
+/// paths must degrade per-worker, not per-race, to keep bitwise contracts).
+class MemoryBudget {
+ public:
+  /// Process-wide instance (the daemon and CLI arm it from flags).
+  static MemoryBudget& instance();
+
+  /// Sets the budget in bytes (0 = unlimited). Does not evict existing
+  /// reservations; an over-limit state simply denies new ones.
+  void set_limit_bytes(std::size_t limit) {
+    limit_.store(limit, std::memory_order_relaxed);
+  }
+  std::size_t limit_bytes() const {
+    return limit_.load(std::memory_order_relaxed);
+  }
+
+  /// Reserves `bytes` if the limit allows; false (and a counted denial)
+  /// otherwise. [[nodiscard]]: ignoring a denial is exactly the OOM path
+  /// this class exists to close.
+  [[nodiscard]] bool try_reserve(std::size_t bytes) {
+    const std::size_t limit = limit_.load(std::memory_order_relaxed);
+    if (limit == 0) {
+      used_.fetch_add(bytes, std::memory_order_relaxed);
+      return true;
+    }
+    std::size_t current = used_.load(std::memory_order_relaxed);
+    while (true) {
+      if (bytes > limit || current > limit - bytes) {
+        denials_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      if (used_.compare_exchange_weak(current, current + bytes,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  void release(std::size_t bytes) {
+    ADVTEXT_CHECK(used_.load(std::memory_order_relaxed) >= bytes)
+        << "MemoryBudget::release of more than is reserved";
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  std::size_t used_bytes() const {
+    return used_.load(std::memory_order_relaxed);
+  }
+  std::size_t denials() const {
+    return denials_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: back to unlimited with zeroed accounting.
+  void reset() {
+    limit_.store(0, std::memory_order_relaxed);
+    used_.store(0, std::memory_order_relaxed);
+    denials_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::size_t> limit_{0};
+  std::atomic<std::size_t> used_{0};
+  std::atomic<std::size_t> denials_{0};
+};
+
+/// RAII handle on a MemoryBudget reservation: releases on destruction.
+/// A default-constructed (or denied) reservation holds nothing; ok() says
+/// whether the reserve succeeded. Move-only — copying would double-release.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+
+  /// Tries to reserve `bytes` from the process budget; check ok().
+  static MemoryReservation try_acquire(std::size_t bytes) {
+    MemoryReservation r;
+    if (MemoryBudget::instance().try_reserve(bytes)) {
+      r.bytes_ = bytes;
+      r.held_ = true;
+    }
+    return r;
+  }
+
+  ~MemoryReservation() { release(); }
+
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : bytes_(other.bytes_), held_(other.held_) {
+    other.held_ = false;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      release();
+      bytes_ = other.bytes_;
+      held_ = other.held_;
+      other.held_ = false;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+
+  bool ok() const { return held_; }
+  std::size_t bytes() const { return bytes_; }
+
+  /// Returns the bytes to the budget early (idempotent).
+  void release() {
+    if (held_) {
+      MemoryBudget::instance().release(bytes_);
+      held_ = false;
+      bytes_ = 0;
+    }
+  }
+
+ private:
+  std::size_t bytes_ = 0;
+  bool held_ = false;
 };
 
 }  // namespace advtext

@@ -3,11 +3,10 @@
 #include <array>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
-#include "src/util/atomic_file.h"
+#include "src/util/io_file.h"
 #include "src/util/robust.h"
 
 namespace advtext::io {
@@ -103,16 +102,10 @@ void save_artifact(const std::string& path, const std::string& payload) {
 
 std::string load_artifact(const std::string& path, ArtifactInfo* info) {
   FaultInjector::instance().maybe_fault("ckpt.read");
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw std::runtime_error("serialize: cannot open artifact " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in && !in.eof()) {
-    throw std::runtime_error("serialize: read failed for artifact " + path);
-  }
-  std::string bytes = buffer.str();
+  // read_file is the "io.read" injection site: short-read and corrupt
+  // damage land on the bytes here, and the footer/CRC checks below are
+  // what must catch them.
+  std::string bytes = read_file(path);
 
   ArtifactInfo local;
   const bool has_footer =

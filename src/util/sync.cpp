@@ -69,13 +69,95 @@ std::size_t TaskQueue::size() const {
   return items_.size();
 }
 
+Watchdog::Watchdog(std::vector<const Heartbeat*> hearts,
+                   const Config& config, StallHandler on_stall)
+    : hearts_(std::move(hearts)),
+      config_(config),
+      on_stall_(std::move(on_stall)) {
+  ADVTEXT_CHECK(config_.stall_ms > 0.0) << "Watchdog needs stall_ms > 0";
+  ADVTEXT_CHECK(config_.poll_ms > 0.0) << "Watchdog needs poll_ms > 0";
+  for (const Heartbeat* heart : hearts_) {
+    ADVTEXT_CHECK(heart != nullptr) << "Watchdog given a null heartbeat";
+  }
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+Watchdog::~Watchdog() {
+  stop();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void Watchdog::stop() {
+  MutexLock lock(mu_);
+  stopping_ = true;
+  wake_.notify_all();
+}
+
+std::size_t Watchdog::stalls() const {
+  MutexLock lock(mu_);
+  return stalls_;
+}
+
+void Watchdog::monitor_loop() {
+  struct HeartState {
+    std::uint64_t last_beats = 0;
+    std::chrono::steady_clock::time_point last_change;
+    bool reported = false;
+  };
+  std::vector<HeartState> states(hearts_.size());
+  const auto start = std::chrono::steady_clock::now();
+  for (HeartState& state : states) state.last_change = start;
+
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+      (void)wake_.wait_for_ms(mu_, static_cast<long>(config_.poll_ms));
+      if (stopping_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < hearts_.size(); ++i) {
+      const Heartbeat& heart = *hearts_[i];
+      HeartState& state = states[i];
+      const std::uint64_t beats = heart.beats();
+      if (beats != state.last_beats || !heart.busy()) {
+        state.last_beats = beats;
+        state.last_change = now;
+        state.reported = false;  // progress (or idleness) re-arms the check
+        continue;
+      }
+      const double stalled_ms =
+          std::chrono::duration<double, std::milli>(now - state.last_change)
+              .count();
+      if (stalled_ms < config_.stall_ms || state.reported) continue;
+      state.reported = true;  // one report per stall episode
+      {
+        MutexLock lock(mu_);
+        ++stalls_;
+      }
+      if (on_stall_) on_stall_(i, heart.tag(), stalled_ms);
+    }
+  }
+}
+
+namespace {
+// The calling pool worker's own heartbeat; null on non-pool threads.
+thread_local Heartbeat* t_pool_heartbeat = nullptr;
+}  // namespace
+
+Heartbeat* ThreadPool::current() { return t_pool_heartbeat; }
+
 ThreadPool::ThreadPool(std::size_t threads, std::size_t queue_capacity)
     : queue_(queue_capacity != 0 ? queue_capacity
                                  : std::max<std::size_t>(1, threads) * 2) {
   ADVTEXT_CHECK(threads >= 1) << "ThreadPool needs at least one worker";
+  hearts_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    hearts_.push_back(std::make_unique<Heartbeat>());
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -106,15 +188,28 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::worker_loop() {
+std::vector<const Heartbeat*> ThreadPool::heartbeats() const {
+  std::vector<const Heartbeat*> out;
+  out.reserve(hearts_.size());
+  for (const auto& heart : hearts_) out.push_back(heart.get());
+  return out;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  Heartbeat& heart = *hearts_[index];
+  t_pool_heartbeat = &heart;
   TaskQueue::Task task;
   while (queue_.pop(task)) {
+    heart.set_busy(true);
     task();
+    heart.set_tag(std::string());
+    heart.set_busy(false);
     task = nullptr;  // release captures before signalling idle
     MutexLock lock(mu_);
     --in_flight_;
     if (in_flight_ == 0) idle_.notify_all();
   }
+  t_pool_heartbeat = nullptr;
 }
 
 }  // namespace advtext

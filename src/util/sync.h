@@ -24,17 +24,29 @@
 //     ADVTEXT_GUARDED_BY its mutex, so the analysis proves the lock
 //     discipline of the pool itself.
 //
+//   * Heartbeat / Watchdog — per-worker liveness signals and the monitor
+//     that turns "a worker stopped beating while busy" into a typed stall
+//     report within a bound, instead of a silent hang. The daemon's job
+//     watchdog and the chaos campaign's no-hang oracle are built on these.
+//
 // Determinism note: threads make *scheduling* nondeterministic, never
 // results — consumers (ShardedTrainSupervisor) are designed so that all
 // cross-thread reductions happen at barriers in a fixed order. Nothing in
-// this file draws randomness or reads clocks besides CondVar's timed wait.
+// this file draws randomness; clocks are read only by CondVar's timed wait
+// and the Watchdog's stall timer (sync.* lives in util/, the one layer the
+// raw-clock rule allows).
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -190,6 +202,92 @@ class TaskQueue {
   bool closed_ ADVTEXT_GUARDED_BY(mu_) = false;
 };
 
+/// One worker's liveness signal. The worker beats whenever it makes
+/// observable progress (task picked up, document committed, wait loop
+/// iterated); a Watchdog reads the beat counter and the busy flag from its
+/// monitor thread. The tag names what the worker is doing ("job12") so a
+/// stall report can say *what* is stuck, not just *where*.
+class Heartbeat {
+ public:
+  /// Progress signal; call at every unit of observable progress.
+  void beat() { beats_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t beats() const {
+    return beats_.load(std::memory_order_relaxed);
+  }
+
+  /// Busy workers that stop beating are stalls; idle workers never are.
+  /// Entering busy also counts as a beat so the stall clock starts fresh.
+  void set_busy(bool busy) {
+    busy_.store(busy, std::memory_order_relaxed);
+    beat();
+  }
+  bool busy() const { return busy_.load(std::memory_order_relaxed); }
+
+  void set_tag(const std::string& tag) {
+    MutexLock lock(mu_);
+    tag_ = tag;
+  }
+  std::string tag() const {
+    MutexLock lock(mu_);
+    return tag_;
+  }
+
+ private:
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<bool> busy_{false};
+  mutable Mutex mu_;
+  std::string tag_ ADVTEXT_GUARDED_BY(mu_);
+};
+
+/// Monitors a fixed set of Heartbeats from its own thread and reports every
+/// worker that has been busy without beating for longer than the stall
+/// bound — the liveness guarantee behind "no hangs, ever": a stuck job is
+/// *detected* within stall_ms + poll_ms and converted to a typed outcome by
+/// the owner's handler, even though the stuck thread itself cannot be
+/// killed. One report fires per stall episode; a worker that resumes
+/// beating re-arms its detector.
+class Watchdog {
+ public:
+  struct Config {
+    double stall_ms = 1000.0;  ///< busy-without-beating bound
+    double poll_ms = 50.0;     ///< monitor wake cadence (detection slack)
+  };
+
+  /// Called on the monitor thread, outside any Watchdog lock. Keep it
+  /// non-blocking-ish: the monitor does not poll while a handler runs.
+  using StallHandler = std::function<void(
+      std::size_t index, const std::string& tag, double stalled_ms)>;
+
+  /// The heartbeats must outlive the Watchdog (e.g. a ThreadPool's workers'
+  /// heartbeats, with the pool destroyed after the watchdog).
+  Watchdog(std::vector<const Heartbeat*> hearts, const Config& config,
+           StallHandler on_stall);
+
+  /// Stops and joins the monitor thread.
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Stall episodes reported so far.
+  std::size_t stalls() const ADVTEXT_EXCLUDES(mu_);
+
+  /// Stops the monitor early (idempotent; the destructor calls it).
+  void stop() ADVTEXT_EXCLUDES(mu_);
+
+ private:
+  void monitor_loop() ADVTEXT_EXCLUDES(mu_);
+
+  const std::vector<const Heartbeat*> hearts_;
+  const Config config_;
+  const StallHandler on_stall_;
+  mutable Mutex mu_;
+  CondVar wake_;
+  bool stopping_ ADVTEXT_GUARDED_BY(mu_) = false;
+  std::size_t stalls_ ADVTEXT_GUARDED_BY(mu_) = 0;
+  std::thread monitor_;
+};
+
 /// Fixed-size worker pool over a bounded TaskQueue — the only place in the
 /// tree that spawns threads. Tasks must not throw (an escaped exception
 /// from a task would terminate the process); wrap fallible work and record
@@ -216,13 +314,30 @@ class ThreadPool {
 
   std::size_t threads() const { return workers_.size(); }
 
+  /// Worker `index`'s heartbeat: busy while a task runs, beaten around each
+  /// task. Long-running tasks beat it themselves through current().
+  const Heartbeat& heartbeat(std::size_t index) const {
+    return *hearts_[index];
+  }
+
+  /// Heartbeat views for a Watchdog over this pool's workers.
+  std::vector<const Heartbeat*> heartbeats() const;
+
+  /// The calling pool worker's own heartbeat (null off-pool), so task
+  /// bodies can beat per unit of progress and tag what they are doing
+  /// without threading a pointer through every capture.
+  static Heartbeat* current();
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   TaskQueue queue_;
   mutable Mutex mu_;
   CondVar idle_;
   std::size_t in_flight_ ADVTEXT_GUARDED_BY(mu_) = 0;  ///< queued + running
+  /// unique_ptr: Heartbeat is immovable (atomics + mutex) but workers_
+  /// sizing happens at run time.
+  std::vector<std::unique_ptr<Heartbeat>> hearts_;
   std::vector<std::thread> workers_;
 };
 

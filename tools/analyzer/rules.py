@@ -68,6 +68,10 @@ def project_rule(rule_id: str, synopsis: str):
 RAW_RANDOM_ALLOWED = {"src/util/rng.h", "src/util/rng.cpp"}
 SYNC_ALLOWED = {"src/util/sync.h", "src/util/sync.cpp"}
 NET_ALLOWED = {"src/service/net.h", "src/service/net.cpp"}
+# File IO is confined to the fault-injectable wrapper (io_file) so every
+# byte that touches disk passes the io.read/io.write chaos sites; net.* is
+# also allowed because it unlinks its socket file with std::remove.
+IO_ALLOWED = {"src/util/io_file.h", "src/util/io_file.cpp"} | NET_ALLOWED
 
 # ---------------------------------------------------------------------------
 # Legacy rules (ids unchanged since PR 1-5)
@@ -227,6 +231,30 @@ def check_raw_mutex(ctx: FileContext):
                           "raw std locking primitive outside src/util/"
                           "sync.*; use advtext::Mutex/MutexLock/CondVar so "
                           "the Clang thread-safety analysis sees the lock")
+
+
+_RE_RAW_IO = re.compile(
+    r"std\s*::\s*(?:[io]?fstream|rename|remove)\b"
+    r"|(?<![\w:])(?:std\s*::\s*)?(?:fopen|freopen|fwrite|fread)\s*\("
+    r"|(?<![\w:.])::\s*open\s*\("
+)
+
+
+@file_rule("raw-io",
+           "no raw file IO (fstream/fopen/rename/remove) in src/ outside "
+           "src/util/io_file.* and src/service/net.*")
+def check_raw_io(ctx: FileContext):
+    if not ctx.in_library or ctx.rel in IO_ALLOWED:
+        return
+    for idx, line in enumerate(ctx.code_lines, start=1):
+        if _RE_RAW_IO.search(line):
+            yield Finding(ctx.rel, idx, "raw-io",
+                          "raw file IO outside src/util/io_file.* and "
+                          "src/service/net.*; go through read_file/"
+                          "write_file/AtomicFileWriter so torn-write, "
+                          "ENOSPC, and short-read faults from the chaos "
+                          "harness cover every disk touch and publication "
+                          "stays atomic")
 
 
 # ---------------------------------------------------------------------------

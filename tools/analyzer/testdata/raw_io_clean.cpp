@@ -1,0 +1,17 @@
+// fixture-path: src/eval/fixture_io_clean.cpp
+// expect-clean
+#include "src/util/io_file.h"
+namespace advtext {
+// The wrapper API stays legal everywhere; member functions named open()
+// and files named *.remove() in comments must not fake findings.
+std::string fixture_read(const std::string& path) { return read_file(path); }
+void fixture_write(const std::string& path, const std::string& bytes) {
+  atomic_write_file(path, bytes);
+}
+void fixture_atomic(const std::string& path) {
+  AtomicFileWriter writer(path);
+  writer.stream() << "payload";
+  writer.commit();
+}
+void fixture_unlink(const std::string& path) { remove_file(path); }
+}  // namespace advtext

@@ -1,0 +1,11 @@
+// fixture-path: src/eval/fixture_io_firing.cpp
+// expect: raw-io@8
+// expect: raw-io@9
+// expect: raw-io@10
+// expect: raw-io@11
+#include <cstdio>
+#include <fstream>
+void fixture_stream(const char* p) { std::ofstream out(p); }
+void fixture_fopen(const char* p) { std::FILE* f = std::fopen(p, "w"); (void)f; }
+void fixture_rename(const char* a, const char* b) { std::rename(a, b); }
+void fixture_remove(const char* p) { std::remove(p); }

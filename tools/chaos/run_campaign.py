@@ -1,0 +1,753 @@
+#!/usr/bin/env python3
+"""Seeded chaos campaign for the advtext toolchain.
+
+Drives N randomized fault-schedule runs of the attack sweep, the trainer,
+and the daemon (including SIGKILL-at-a-random-point restarts), checking
+invariant oracles after every run:
+
+  * bitwise-determinism: the timing-free artifacts of a faulted / killed /
+    resumed run are byte-identical to a clean run (sweep records, trainer
+    params), or to a second run under the identical schedule when the
+    schedule itself perturbs results (compute faults);
+  * liveness: no invocation outlives its subprocess timeout (the hang
+    oracle) and the daemon keeps completing jobs under armed faults;
+  * typed failure: every exit code is one the tool documents — a signal
+    death or abort is a violation;
+  * recovery: after a final fault-free recovery pass every journaled
+    daemon job has a checksummed, loadable result artifact, and every
+    *succeeded* result is byte-identical (modulo job id) to the clean
+    reference; no partially-published artifact is ever loadable.
+
+Fault schedules are drawn from a per-run PRNG seeded as
+(campaign_seed << 20) ^ run_index, so `--seed S --runs N` reproduces the
+exact campaign. The report is JSON; the exit code is nonzero iff any run
+violated an oracle.
+
+Usage (from the repo root, after a build):
+
+  python3 tools/chaos/run_campaign.py --bin-dir build/examples \
+      --runs 200 --seed 1 --out chaos_report.json
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import struct
+import subprocess
+import sys
+import time
+import zlib
+
+# ---------------------------------------------------------------------------
+# Artifact envelope (mirrors src/util/serialize.h: payload + u32 crc32 +
+# u32 version + 8-byte footer magic). A file is a *published* artifact iff
+# the footer checks out — presence alone proves nothing, because torn
+# writes leave prefixes at the final path on purpose.
+
+FILE_MAGIC = b"ADVTEXT1"
+FOOTER_MAGIC = b"ADVTFTR1"
+ARTIFACT_VERSION = 2
+FOOTER_BYTES = 16
+
+# Daemon result payload layout (src/service/daemon.cpp
+# encode_result_artifact): magic(8) + u64 tag length(8) +
+# "advtextd-result"(15) + u64 job_id + u64 termination + ...
+RESULT_TAG = b"advtextd-result"
+RESULT_JOB_ID_OFFSET = 8 + 8 + len(RESULT_TAG)
+RESULT_TERMINATION_OFFSET = RESULT_JOB_ID_OFFSET + 8
+TERMINATION_SUCCEEDED = 0
+
+# Documented exit codes (examples/advtext_cli.cpp, advtextd.cpp,
+# advtext_loadgen.cpp). Anything outside these sets — in particular a
+# negative returncode, i.e. death by signal — is an oracle violation.
+ATTACK_EXITS = {0, 1, 3, 4, 5}
+ATTACK_FINAL_EXITS = {0, 3, 4}
+TRAIN_EXITS = {0, 1, 5}
+TRAIN_FINAL_EXITS = {0}
+DAEMON_EXITS = {0, 1, 5}
+RECOVER_FINAL_EXITS = {0}
+LOADGEN_EXITS = {0, 1}
+
+MAX_ATTEMPTS = 6  # convergence bound per chaos invocation; the last
+                  # attempt always runs fault-free so completion is
+                  # guaranteed when the tool itself is correct.
+
+
+def artifact_payload(path):
+    """The checksummed payload of a published artifact, or None.
+
+    None means the file is missing, torn, bit-flipped, or footer-less —
+    i.e. it was never atomically published with a valid envelope.
+    """
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return None
+    if len(data) < FOOTER_BYTES or data[-8:] != FOOTER_MAGIC:
+        return None
+    payload = data[:-FOOTER_BYTES]
+    crc, version = struct.unpack_from("<II", data, len(payload))
+    if version != ARTIFACT_VERSION or zlib.crc32(payload) != crc:
+        return None
+    return payload
+
+
+def normalized_result(payload):
+    """A daemon result payload with its job id zeroed, or None."""
+    if (payload is None or len(payload) < RESULT_TERMINATION_OFFSET + 8 or
+            not payload.startswith(FILE_MAGIC) or
+            payload[16:16 + len(RESULT_TAG)] != RESULT_TAG):
+        return None
+    return (payload[:RESULT_JOB_ID_OFFSET] + b"\0" * 8 +
+            payload[RESULT_JOB_ID_OFFSET + 8:])
+
+
+def result_termination(payload):
+    return struct.unpack_from("<Q", payload, RESULT_TERMINATION_OFFSET)[0]
+
+
+class Invocation:
+    """One subprocess run: command, exit code, duration, hang flag."""
+
+    def __init__(self, label, cmd, returncode, seconds, hung, tail):
+        self.label = label
+        self.cmd = cmd
+        self.returncode = returncode
+        self.seconds = seconds
+        self.hung = hung
+        self.tail = tail
+
+    def to_json(self):
+        return {
+            "label": self.label,
+            "cmd": " ".join(self.cmd),
+            "exit": self.returncode,
+            "seconds": round(self.seconds, 3),
+            "hung": self.hung,
+        }
+
+
+class Harness:
+    """Shared fixtures + subprocess plumbing for one campaign."""
+
+    def __init__(self, bin_dir, workdir, timeout_s):
+        self.bin_dir = os.path.abspath(bin_dir)
+        self.workdir = os.path.abspath(workdir)
+        self.timeout_s = timeout_s
+        self.cli = os.path.join(self.bin_dir, "advtext_cli")
+        self.daemon = os.path.join(self.bin_dir, "advtextd")
+        self.loadgen = os.path.join(self.bin_dir, "advtext_loadgen")
+        self.fixture_dir = os.path.join(self.workdir, "fixtures")
+        self.task = os.path.join(self.fixture_dir, "task.bin")
+        self.params = os.path.join(self.fixture_dir, "model.bin")
+        # wcnn is the lightest model whose train/attack runs last long
+        # enough (~0.5-1s) for SIGKILL-at-a-random-point to land mid-run;
+        # bow finishes in milliseconds and every kill would be a no-op.
+        self.model_kind = "wcnn"
+        self.train_epochs = 8
+        self.attack_docs = 30
+        self.attack_method = "ggg"
+        self.daemon_docs = 8
+        self.clean_records = None  # bytes: sweep reference payload
+        self.clean_params = None   # bytes: trainer reference payload
+        self.clean_result = None   # bytes: normalized daemon job result
+        self.trainer_resume_bitwise = False  # set during reference probe
+
+    # -- subprocess plumbing -------------------------------------------
+
+    def run(self, label, cmd, timeout=None, env=None):
+        """Run to completion under the hang oracle."""
+        start = time.monotonic()
+        hung = False
+        try:
+            proc = subprocess.run(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                timeout=timeout or self.timeout_s, env=env)
+            returncode, out = proc.returncode, proc.stdout
+        except subprocess.TimeoutExpired as err:
+            hung = True
+            returncode, out = None, err.output or b""
+        tail = out.decode("utf-8", "replace")[-2000:]
+        return Invocation(label, cmd, returncode, time.monotonic() - start,
+                          hung, tail)
+
+    def run_and_kill(self, label, cmd, delay_s):
+        """Start `cmd`, SIGKILL it after `delay_s`.
+
+        Returns the Invocation; returncode is the (negative) wait status
+        unless the process finished first, in which case the kill was a
+        no-op and the normal exit code comes back.
+        """
+        start = time.monotonic()
+        proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                stderr=subprocess.STDOUT)
+        killed = False
+        try:
+            proc.wait(timeout=delay_s)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            killed = True
+            proc.wait()
+        out = proc.stdout.read() if proc.stdout else b""
+        if proc.stdout:
+            proc.stdout.close()
+        tail = out.decode("utf-8", "replace")[-2000:]
+        inv = Invocation(label, cmd, proc.returncode,
+                         time.monotonic() - start, False, tail)
+        inv.killed = killed
+        return inv
+
+    # -- fixtures + clean references -----------------------------------
+
+    def prepare(self, report):
+        os.makedirs(self.fixture_dir, exist_ok=True)
+        steps = [
+            ("gen-task", [self.cli, "gen-task", "--dataset", "yelp",
+                          "--seed", "71", "--out", self.task]),
+            ("train-ref", [self.cli, "train", "--task", self.task,
+                           "--model", self.model_kind,
+                           "--epochs", str(self.train_epochs),
+                           "--out", self.params]),
+        ]
+        for label, cmd in steps:
+            inv = self.run(label, cmd)
+            report.setdefault("fixtures", []).append(inv.to_json())
+            if inv.hung or inv.returncode != 0:
+                raise RuntimeError(
+                    "fixture step '%s' failed (exit %s):\n%s"
+                    % (label, inv.returncode, inv.tail))
+
+        self.clean_params = artifact_payload(self.params)
+        if self.clean_params is None:
+            raise RuntimeError("clean trainer params are not a valid "
+                               "artifact: " + self.params)
+
+        # Sweep reference + a one-time clean determinism probe: two clean
+        # runs must agree bitwise before fault equality means anything.
+        dumps = []
+        for i in (0, 1):
+            records = os.path.join(self.fixture_dir,
+                                   "clean_records_%d.bin" % i)
+            inv = self.run("clean-sweep-%d" % i, [
+                self.cli, "attack", "--task", self.task,
+                "--model", self.model_kind, "--params", self.params,
+                "--docs", str(self.attack_docs), "--method", self.attack_method,
+                "--records-out", records])
+            report["fixtures"].append(inv.to_json())
+            if inv.hung or inv.returncode != 0:
+                raise RuntimeError("clean sweep failed (exit %s):\n%s"
+                                   % (inv.returncode, inv.tail))
+            dumps.append(artifact_payload(records))
+        if dumps[0] is None or dumps[0] != dumps[1]:
+            raise RuntimeError("clean sweep is not run-twice deterministic; "
+                               "chaos equality oracles would be meaningless")
+        self.clean_records = dumps[0]
+
+        # Trainer kill+resume probe: snapshot/rotation resume is only
+        # required to converge to a *valid* model; whether it is bitwise
+        # equal to an uninterrupted run depends on snapshot cadence vs
+        # kill point. Probe a clean snapshotted run to decide whether the
+        # campaign may hold resumed runs to bitwise equality.
+        snap_params = os.path.join(self.fixture_dir, "snap_model.bin")
+        inv = self.run("clean-train-snap", [
+            self.cli, "train", "--task", self.task,
+            "--model", self.model_kind,
+            "--epochs", str(self.train_epochs),
+            "--snapshot", os.path.join(self.fixture_dir, "snap.ckpt"),
+            "--snapshot-every", "1", "--out", snap_params])
+        report["fixtures"].append(inv.to_json())
+        if inv.hung or inv.returncode != 0:
+            raise RuntimeError("snapshotted train failed (exit %s):\n%s"
+                               % (inv.returncode, inv.tail))
+        self.trainer_resume_bitwise = (
+            artifact_payload(snap_params) == self.clean_params)
+
+        # Daemon reference: one clean job, normalized (job id zeroed).
+        ref_dir = os.path.join(self.fixture_dir, "daemon_ref")
+        invs = self.daemon_round(ref_dir, jobs=1, inject="",
+                                 mem_budget_mb=0, kill_after_s=None)
+        report["fixtures"].extend(inv.to_json() for inv in invs)
+        results = self.state_results(os.path.join(ref_dir, "state"))
+        if len(results) != 1:
+            raise RuntimeError("daemon reference round produced %d valid "
+                               "results, want 1" % len(results))
+        self.clean_result = normalized_result(results[0][1])
+        if self.clean_result is None:
+            raise RuntimeError("daemon reference result failed to "
+                               "normalize")
+
+    # -- daemon plumbing -----------------------------------------------
+
+    def daemon_round(self, round_dir, jobs, inject, mem_budget_mb,
+                     kill_after_s):
+        """One daemon serve round: daemon + loadgen, optional SIGKILL."""
+        state = os.path.join(round_dir, "state")
+        os.makedirs(state, exist_ok=True)
+        sock = os.path.join(round_dir, "d.sock")
+        cmd = [self.daemon, "--task", self.task, "--model", self.model_kind,
+               "--params", self.params, "--socket", sock,
+               "--state-dir", state, "--workers", "2",
+               "--max-pending", "8", "--watchdog-ms", "10000",
+               "--max-jobs", str(jobs)]
+        if inject:
+            cmd += ["--inject", inject]
+        if mem_budget_mb:
+            cmd += ["--mem-budget-mb", str(mem_budget_mb)]
+        daemon_proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                                       stderr=subprocess.STDOUT)
+        start = time.monotonic()
+        # Loadgen runs CONCURRENTLY with the kill timer: the whole point
+        # of the kill scenario is a daemon dying with jobs in flight, so
+        # the client must still be mid-stream when the SIGKILL lands.
+        load_cmd = [self.loadgen, "--socket", sock, "--clients", "1",
+                    "--jobs", str(jobs), "--docs", str(self.daemon_docs),
+                    "--model", self.model_kind,
+                    "--read-timeout-ms", "20000"]
+        load_proc = subprocess.Popen(load_cmd, stdout=subprocess.PIPE,
+                                     stderr=subprocess.STDOUT)
+        killed = False
+        if kill_after_s is not None:
+            time.sleep(kill_after_s)
+            if daemon_proc.poll() is None:
+                daemon_proc.kill()
+                killed = True
+        load_hung = False
+        load_killed = False
+        # A killed daemon leaves loadgen grinding through its connect
+        # retry schedule (~10s) before giving up; that client behavior is
+        # not what this scenario measures, so bound it with a grace kill.
+        load_timeout = 5.0 if killed else self.timeout_s
+        try:
+            load_proc.wait(timeout=load_timeout)
+        except subprocess.TimeoutExpired:
+            load_proc.kill()
+            load_proc.wait()
+            if killed:
+                load_killed = True
+            else:
+                load_hung = True
+        load_out = load_proc.stdout.read() if load_proc.stdout else b""
+        if load_proc.stdout:
+            load_proc.stdout.close()
+        load_inv = Invocation(
+            "loadgen", load_cmd, load_proc.returncode,
+            time.monotonic() - start, load_hung,
+            load_out.decode("utf-8", "replace")[-2000:])
+        load_inv.killed = load_killed
+        try:
+            daemon_proc.wait(timeout=self.timeout_s)
+            hung = False
+        except subprocess.TimeoutExpired:
+            daemon_proc.kill()
+            daemon_proc.wait()
+            hung = True
+        out = daemon_proc.stdout.read() if daemon_proc.stdout else b""
+        if daemon_proc.stdout:
+            daemon_proc.stdout.close()
+        daemon_inv = Invocation(
+            "advtextd", cmd, daemon_proc.returncode,
+            time.monotonic() - start, hung,
+            out.decode("utf-8", "replace")[-2000:])
+        daemon_inv.killed = killed
+        return [daemon_inv, load_inv]
+
+    def state_results(self, state_dir):
+        """[(job id, payload)] for every *published* result artifact."""
+        results = []
+        try:
+            names = os.listdir(state_dir)
+        except OSError:
+            return results
+        for name in sorted(names):
+            if not (name.startswith("job") and name.endswith(".result")):
+                continue
+            payload = artifact_payload(os.path.join(state_dir, name))
+            if payload is not None:
+                results.append((name[len("job"):-len(".result")], payload))
+        return results
+
+    def state_journals(self, state_dir):
+        """Job ids with a *published* (checksummed) journal entry."""
+        ids = []
+        try:
+            names = os.listdir(state_dir)
+        except OSError:
+            return ids
+        for name in sorted(names):
+            if not (name.startswith("job") and name.endswith(".job")):
+                continue
+            if artifact_payload(os.path.join(state_dir, name)) is not None:
+                ids.append(name[len("job"):-len(".job")])
+        return ids
+
+
+# ---------------------------------------------------------------------------
+# Fault-schedule generation. The injector spec grammar is
+# site[:mode]:probability with ','-separated entries; the injector itself
+# is seeded with its default, so identical specs give identical fault
+# schedules — the basis of the run-twice determinism oracle.
+
+IO_WRITE_MODES = ["torn", "enospc", "eintr", "throw"]
+IO_READ_MODES = ["short-read", "corrupt", "eintr", "throw"]
+COMPUTE_SITES = ["pipeline.doc", "attack.word", "attack.sentence"]
+
+
+def io_fault_spec(rng, sites=None):
+    """1–3 IO-level fault entries. IO faults never change computed
+    results, so runs under any such spec stay comparable to the clean
+    reference."""
+    if sites is None:
+        sites = ["io.write", "io.read", "ckpt.write", "ckpt.read"]
+    chosen = rng.sample(sites, rng.randint(1, min(3, len(sites))))
+    entries = []
+    for site in chosen:
+        modes = IO_READ_MODES if site.endswith("read") else IO_WRITE_MODES
+        entries.append("%s:%s:%.3f"
+                       % (site, rng.choice(modes), rng.uniform(0.02, 0.12)))
+    return ",".join(entries)
+
+
+def compute_fault_spec(rng):
+    """A fault entry that perturbs *which* results get computed (failed
+    docs, degraded attacks). Runs under such a spec are compared against a
+    second run under the identical spec, not against the clean run."""
+    return "%s:throw:%.3f" % (rng.choice(COMPUTE_SITES),
+                              rng.uniform(0.02, 0.10))
+
+
+# ---------------------------------------------------------------------------
+# Per-run scenarios. Each returns a list of violation strings (empty =
+# pass) and appends invocation records to `run_record`.
+
+
+def check_exit(violations, inv, allowed, what):
+    if inv.hung:
+        violations.append("%s: hang (exceeded %ss timeout)"
+                          % (what, "timeout"))
+    elif inv.returncode not in allowed:
+        violations.append("%s: exit %s not in %s\n%s"
+                          % (what, inv.returncode, sorted(allowed), inv.tail))
+
+
+def converge(harness, run_record, violations, label, cmd_base, inject,
+             final_exits, attempt_exits):
+    """Retry `cmd_base` under faults until it completes; the final attempt
+    is always fault-free. Returns True iff a final-allowed exit was
+    reached."""
+    for attempt in range(MAX_ATTEMPTS):
+        armed = inject if attempt < MAX_ATTEMPTS - 1 else ""
+        cmd = list(cmd_base)
+        if armed:
+            cmd += ["--inject", armed]
+        inv = harness.run("%s-attempt%d" % (label, attempt), cmd)
+        run_record["invocations"].append(inv.to_json())
+        if inv.hung:
+            violations.append("%s: hang on attempt %d" % (label, attempt))
+            return False
+        if inv.returncode in final_exits:
+            return True
+        if inv.returncode not in attempt_exits:
+            violations.append(
+                "%s: exit %s not in %s on attempt %d\n%s"
+                % (label, inv.returncode, sorted(attempt_exits), attempt,
+                   inv.tail))
+            return False
+    violations.append("%s: no completion within %d attempts"
+                      % (label, MAX_ATTEMPTS))
+    return False
+
+
+def sweep_run(harness, rng, run_dir, run_record):
+    violations = []
+    records = os.path.join(run_dir, "records.bin")
+    ckpt = os.path.join(run_dir, "sweep.ckpt")
+    threads = rng.choice([1, 1, 2])
+    cmd_base = [harness.cli, "attack", "--task", harness.task,
+                "--model", harness.model_kind, "--params", harness.params,
+                "--docs", str(harness.attack_docs), "--method", harness.attack_method,
+                "--checkpoint", ckpt, "--resume",
+                "--resume-fallback-fresh", "true",
+                "--checkpoint-every", "2",
+                "--records-out", records]
+
+    compute_schedule = rng.random() < 0.25
+    if compute_schedule:
+        # Compute faults change which records come out, so the oracle is
+        # run-twice determinism under the identical spec (no kills: a kill
+        # restarts the injector mid-schedule, which is a *different*
+        # schedule). Single-threaded only: the injector serializes draws
+        # from ONE shared RNG, so with several workers the global draw
+        # order — hence which site invocation a fault lands on — depends
+        # on thread scheduling, and run-twice equality is not a contract.
+        cmd_base += ["--attack-threads", "1"]
+        spec = compute_fault_spec(rng)
+        run_record["spec"] = spec
+        run_record["oracle"] = "run-twice-determinism"
+        dumps = []
+        for i in (0, 1):
+            for path in (records, ckpt):
+                if os.path.exists(path):
+                    os.remove(path)
+            inv = harness.run("sweep-twice-%d" % i,
+                              cmd_base + ["--inject", spec])
+            run_record["invocations"].append(inv.to_json())
+            check_exit(violations, inv, ATTACK_FINAL_EXITS | {1},
+                       "sweep-twice-%d" % i)
+            dumps.append(artifact_payload(records)
+                         if inv.returncode in ATTACK_FINAL_EXITS else None)
+        if not violations and dumps[0] != dumps[1]:
+            violations.append("sweep: identical compute-fault schedules "
+                              "produced different record dumps")
+        return violations
+
+    # IO faults never perturb computed results, so parallel workers are
+    # fair game here: the oracle is bitwise equality with the clean
+    # reference, which holds at any worker count.
+    cmd_base += ["--attack-threads", str(threads)]
+    spec = io_fault_spec(rng)
+    run_record["spec"] = spec
+    run_record["oracle"] = "bitwise-vs-clean"
+    if rng.random() < 0.5:
+        # SIGKILL at a random point, then converge with --resume.
+        inv = harness.run_and_kill(
+            "sweep-kill", cmd_base + ["--inject", spec],
+            rng.uniform(0.05, 0.6))
+        run_record["invocations"].append(inv.to_json())
+        run_record["restarts"] = run_record.get("restarts", 0) + 1
+        if not inv.killed and inv.returncode not in ATTACK_EXITS:
+            violations.append("sweep-kill: finished before the kill with "
+                              "exit %s\n%s" % (inv.returncode, inv.tail))
+    if violations:
+        return violations
+    if not converge(harness, run_record, violations, "sweep", cmd_base,
+                    spec, ATTACK_FINAL_EXITS, ATTACK_EXITS):
+        return violations
+    payload = artifact_payload(records)
+    if payload is None:
+        violations.append("sweep: records dump is not a published artifact")
+    elif payload != harness.clean_records:
+        violations.append("sweep: records differ bitwise from the clean "
+                          "reference")
+    return violations
+
+
+def trainer_run(harness, rng, run_dir, run_record):
+    violations = []
+    out = os.path.join(run_dir, "model.bin")
+    snap = os.path.join(run_dir, "snap.ckpt")
+    cmd_base = [harness.cli, "train", "--task", harness.task,
+                "--model", harness.model_kind,
+                "--epochs", str(harness.train_epochs),
+                "--snapshot", snap, "--snapshot-every", "1",
+                "--train-resume", "true", "--out", out]
+    spec = io_fault_spec(rng, ["io.write", "io.read",
+                               "ckpt.write", "ckpt.read"])
+    run_record["spec"] = spec
+    run_record["oracle"] = ("bitwise-vs-clean"
+                            if harness.trainer_resume_bitwise
+                            else "valid-artifact")
+    if rng.random() < 0.5:
+        inv = harness.run_and_kill(
+            "train-kill", cmd_base + ["--inject", spec],
+            rng.uniform(0.05, 0.6))
+        run_record["invocations"].append(inv.to_json())
+        run_record["restarts"] = run_record.get("restarts", 0) + 1
+        if not inv.killed and inv.returncode not in TRAIN_EXITS:
+            violations.append("train-kill: finished before the kill with "
+                              "exit %s\n%s" % (inv.returncode, inv.tail))
+    if violations:
+        return violations
+    if not converge(harness, run_record, violations, "train", cmd_base,
+                    spec, TRAIN_FINAL_EXITS, TRAIN_EXITS):
+        return violations
+    payload = artifact_payload(out)
+    if payload is None:
+        violations.append("train: params are not a published artifact")
+    elif harness.trainer_resume_bitwise and payload != harness.clean_params:
+        violations.append("train: params differ bitwise from the clean "
+                          "reference")
+    return violations
+
+
+def daemon_run(harness, rng, run_dir, run_record):
+    violations = []
+    jobs = rng.randint(2, 4)
+    spec = io_fault_spec(rng, ["io.write", "io.read", "service.write"])
+    mem_budget_mb = rng.choice([0, 0, 2])
+    kill_after_s = rng.uniform(0.05, 0.25) if rng.random() < 0.5 else None
+    run_record["spec"] = spec
+    run_record["oracle"] = "journal-complete+succeeded-bitwise"
+    run_record["mem_budget_mb"] = mem_budget_mb
+    if kill_after_s is not None:
+        run_record["restarts"] = run_record.get("restarts", 0) + 1
+
+    invs = harness.daemon_round(run_dir, jobs, spec, mem_budget_mb,
+                                kill_after_s)
+    for inv in invs:
+        run_record["invocations"].append(inv.to_json())
+    daemon_inv, load_inv = invs
+    if daemon_inv.hung:
+        violations.append("advtextd: hang past the serve timeout")
+    elif not getattr(daemon_inv, "killed", False) and \
+            daemon_inv.returncode not in DAEMON_EXITS:
+        violations.append("advtextd: exit %s not in %s\n%s"
+                          % (daemon_inv.returncode, sorted(DAEMON_EXITS),
+                             daemon_inv.tail))
+    # A killed daemon strands the client mid-stream; loadgen then reports
+    # unresponded jobs (exit 1) — that is the client seeing a crash, not a
+    # protocol violation. Exits outside {0,1} are still violations, unless
+    # the harness grace-killed loadgen itself after killing the daemon.
+    if not getattr(load_inv, "killed", False):
+        check_exit(violations, load_inv, LOADGEN_EXITS, "loadgen")
+    if violations:
+        return violations
+
+    # Final fault-free recovery: every journaled job must come out with a
+    # published result, and recovery itself must exit 0.
+    state = os.path.join(run_dir, "state")
+    recover_cmd = [harness.daemon, "--task", harness.task,
+                   "--model", harness.model_kind, "--params",
+                   harness.params, "--state-dir", state, "--recover-only",
+                   "true", "--watchdog-ms", "10000"]
+    inv = harness.run("recover-only", recover_cmd)
+    run_record["invocations"].append(inv.to_json())
+    check_exit(violations, inv, RECOVER_FINAL_EXITS, "recover-only")
+    if violations:
+        return violations
+
+    journaled = harness.state_journals(state)
+    results = dict(harness.state_results(state))
+    for job_id in journaled:
+        payload = results.get(job_id)
+        if payload is None:
+            violations.append("daemon: journaled job %s has no published "
+                              "result after fault-free recovery" % job_id)
+            continue
+        norm = normalized_result(payload)
+        if norm is None:
+            violations.append("daemon: job %s result failed to normalize"
+                              % job_id)
+        elif (result_termination(payload) == TERMINATION_SUCCEEDED and
+              norm != harness.clean_result):
+            violations.append("daemon: job %s succeeded result differs "
+                              "bitwise from the clean reference" % job_id)
+    return violations
+
+
+SCENARIOS = {
+    "sweep": sweep_run,
+    "trainer": trainer_run,
+    "daemon": daemon_run,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="seeded chaos campaign over the advtext binaries")
+    parser.add_argument("--bin-dir", default="build/examples",
+                        help="directory with advtext_cli/advtextd/"
+                             "advtext_loadgen")
+    parser.add_argument("--runs", type=int, default=30,
+                        help="number of chaos runs (round-robin over "
+                             "targets)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="campaign seed; run i draws from "
+                             "Random((seed<<20)^i)")
+    parser.add_argument("--targets", default="sweep,trainer,daemon",
+                        help="comma-separated subset of "
+                             "sweep,trainer,daemon")
+    parser.add_argument("--out", default="chaos_report.json",
+                        help="JSON campaign report path")
+    parser.add_argument("--workdir", default=None,
+                        help="scratch dir (default: a fresh dir under "
+                             "/tmp); deleted on success unless --keep")
+    parser.add_argument("--timeout-s", type=float, default=120.0,
+                        help="hang-oracle bound per subprocess")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep per-run scratch dirs for debugging")
+    args = parser.parse_args()
+
+    targets = [t for t in args.targets.split(",") if t]
+    for t in targets:
+        if t not in SCENARIOS:
+            parser.error("unknown target '%s' (want %s)"
+                         % (t, ",".join(SCENARIOS)))
+
+    workdir = args.workdir or ("/tmp/advtext-chaos-%d-%d"
+                               % (args.seed, os.getpid()))
+    os.makedirs(workdir, exist_ok=True)
+    harness = Harness(args.bin_dir, workdir, args.timeout_s)
+    for binary in (harness.cli, harness.daemon, harness.loadgen):
+        if not os.path.exists(binary):
+            sys.stderr.write("missing binary: %s (build first, or pass "
+                             "--bin-dir)\n" % binary)
+            return 2
+
+    report = {
+        "campaign": "advtext-chaos",
+        "seed": args.seed,
+        "runs_requested": args.runs,
+        "targets": targets,
+        "trainer_resume_bitwise": None,
+        "runs": [],
+    }
+    try:
+        harness.prepare(report)
+    except RuntimeError as err:
+        sys.stderr.write("fixture preparation failed: %s\n" % err)
+        return 2
+    report["trainer_resume_bitwise"] = harness.trainer_resume_bitwise
+
+    hangs = 0
+    violations_total = 0
+    start = time.monotonic()
+    for i in range(args.runs):
+        target = targets[i % len(targets)]
+        rng = random.Random((args.seed << 20) ^ i)
+        run_dir = os.path.join(harness.workdir, "run%04d" % i)
+        os.makedirs(run_dir, exist_ok=True)
+        run_record = {"run": i, "target": target, "invocations": [],
+                      "violations": []}
+        run_start = time.monotonic()
+        try:
+            run_record["violations"] = SCENARIOS[target](
+                harness, rng, run_dir, run_record)
+        except Exception as err:  # harness bug, not a tool bug — surface it
+            run_record["violations"] = ["harness error: %r" % err]
+        run_record["seconds"] = round(time.monotonic() - run_start, 3)
+        run_hangs = sum(1 for inv in run_record["invocations"]
+                        if inv.get("hung"))
+        hangs += run_hangs
+        violations_total += len(run_record["violations"])
+        report["runs"].append(run_record)
+        status = "ok" if not run_record["violations"] else "VIOLATION"
+        print("run %04d %-8s %-10s %6.2fs  %s"
+              % (i, target, status, run_record["seconds"],
+                 run_record.get("spec", "")), flush=True)
+        for v in run_record["violations"]:
+            print("    ! %s" % v.splitlines()[0], flush=True)
+        if not run_record["violations"] and not args.keep:
+            shutil.rmtree(run_dir, ignore_errors=True)
+
+    report["summary"] = {
+        "runs": args.runs,
+        "hangs": hangs,
+        "violations": violations_total,
+        "wall_seconds": round(time.monotonic() - start, 3),
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+    print("campaign: %d runs, %d hangs, %d violations -> %s"
+          % (args.runs, hangs, violations_total, args.out), flush=True)
+    if violations_total == 0 and not args.keep:
+        shutil.rmtree(harness.workdir, ignore_errors=True)
+    return 1 if violations_total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
