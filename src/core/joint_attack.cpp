@@ -153,6 +153,7 @@ JointAttackResult joint_attack(const TextClassifier& model,
     result.final_target_proba =
         model.class_probability(result.adv_doc.flatten(), target);
     ++result.queries;
+    control.charge(1);  // the verification eval draws on the shared budget
   }
   result.success = result.final_target_proba >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;

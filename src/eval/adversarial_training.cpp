@@ -76,6 +76,7 @@ AdvTrainingReport adversarial_training_experiment(
     const TokenSeq tokens = doc.flatten();
     if (tokens.empty()) continue;
     const std::size_t true_label = static_cast<std::size_t>(doc.label);
+    // ADVTEXT_ALLOW(uncharged-forward): harness probe skipping already-misclassified docs; the adversarial queries inside joint_attack are charged to its budget — this filter is not attack cost
     if (model->predict(tokens) != true_label) continue;
     const JointAttackResult attack = joint_attack(
         *model, doc, 1 - true_label, resources, config.attack.joint);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/util/det_accum.h"
+#include "src/util/sync.h"
 
 namespace advtext {
 
@@ -13,9 +14,13 @@ double accuracy_impl(const TextClassifier& model,
   std::size_t correct = 0;
   std::size_t counted = 0;
   for (const Document& doc : docs) {
+    // Accuracy sweeps over large eval sets run on watchdog-monitored
+    // workers; beat per document so a slow model is not reported stalled.
+    if (Heartbeat* heart = ThreadPool::current()) heart->beat();
     const TokenSeq tokens = doc.flatten();
     if (tokens.empty()) continue;
     ++counted;
+    // ADVTEXT_ALLOW(uncharged-forward): accuracy measurement over the eval set — reported as a metric, outside any attack session, so no QueryBudget applies
     if (model.predict(tokens) == static_cast<std::size_t>(doc.label)) {
       ++correct;
     }

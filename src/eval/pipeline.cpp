@@ -278,6 +278,7 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
       try {
         records =
             read_checkpoint(config.checkpoint_path, task.test.docs.size());
+        // ADVTEXT_ALLOW(severity-drop): nothing to fold — the fresh restart reproduces the uninterrupted result bitwise, so the verdict is unchanged; the loss is resume time, not outcome severity
       } catch (const std::runtime_error&) {
         // Unreadable checkpoint under chaos (torn write, bit flip): drop it
         // and restart the sweep from scratch — the fresh run converges to
@@ -308,6 +309,7 @@ AttackEvalResult evaluate_attack(const TextClassifier& model,
     if (!force && docs_since_checkpoint < config.checkpoint_every) return;
     try {
       write_checkpoint(config.checkpoint_path, records);
+      // ADVTEXT_ALLOW(severity-drop): a failed checkpoint costs resume granularity, never results; it is counted in checkpoint_write_failures and surfaced in the report
     } catch (const std::runtime_error&) {
       // Degrade: a failed checkpoint costs resume granularity, not results.
       ++result.checkpoint_write_failures;

@@ -27,6 +27,7 @@ std::string SnapshotRotation::generation_path(const std::string& base,
 void SnapshotRotation::write(const std::string& payload) const {
   // Shift N-1 -> N, ..., 1 -> 2 before publishing, so an interrupted or
   // failed publish leaves the previous snapshot intact one generation up.
+  // ADVTEXT_ALLOW(unpolled-loop): bounded by keep_generations (a small config constant); aborting a half-shifted rotation would corrupt the ladder
   for (std::size_t gen = generations_; gen >= 2; --gen) {
     const std::string older = generation_path(base_, gen);
     const std::string newer = generation_path(base_, gen - 1);
@@ -38,6 +39,7 @@ void SnapshotRotation::write(const std::string& payload) const {
 
 std::optional<std::string> SnapshotRotation::read_latest(
     std::vector<std::string>* warnings) const {
+  // ADVTEXT_ALLOW(unpolled-loop): bounded by keep_generations; each iteration is one artifact probe, and a partial scan could resume from a stale generation
   for (std::size_t gen = 1; gen <= generations_; ++gen) {
     const std::string path = generation_path(base_, gen);
     // Probe existence quietly: a missing generation is normal (fresh run,
@@ -125,6 +127,7 @@ void SupervisorSession::initialize() {
     // deserializing the loop state; that too must fall back.
     const std::string pristine = serialize_loop();
     bool restored = false;
+    // ADVTEXT_ALLOW(unpolled-loop): bounded by keep_generations; startup restore scan must complete or the run resumes from a worse generation than it has
     for (std::size_t gen = 1;
          gen <= config_.keep_generations && !restored; ++gen) {
       const std::string path =

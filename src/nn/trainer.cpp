@@ -12,6 +12,7 @@
 #include "src/util/robust.h"
 #include "src/util/serialize.h"
 #include "src/util/stop_token.h"
+#include "src/util/sync.h"
 
 namespace advtext {
 
@@ -108,8 +109,12 @@ double dataset_accuracy(const TextClassifier& model,
   if (docs.empty()) return 0.0;
   std::size_t correct = 0;
   for (const Document* doc : docs) {
+    // Epoch-boundary accuracy runs on a watchdog-monitored worker; beat
+    // per document so a large validation set is not reported as a stall.
+    if (Heartbeat* heart = ThreadPool::current()) heart->beat();
     const TokenSeq tokens = doc->flatten();
     if (tokens.empty()) continue;
+    // ADVTEXT_ALLOW(uncharged-forward): epoch-boundary accuracy probe on the daemon's own model during training — a training metric, not an adversarial query, so no QueryBudget exists here
     if (model.predict(tokens) == static_cast<std::size_t>(doc->label)) {
       ++correct;
     }

@@ -276,6 +276,7 @@ void AttackDaemon::handle_connection(Connection conn) {
           conn,
           encode_job_rejected({RejectReason::kMalformed, error.what()}));
     }
+    // ADVTEXT_ALLOW(severity-drop): connection-scope failure — no job exists yet, so there is no job severity to fold; the drop is counted in accept_failures and warned
   } catch (const std::runtime_error& error) {
     // Transport-level failure (vanished peer, injected service.read /
     // service.write fault): drop the connection, count it, keep serving.
@@ -314,6 +315,7 @@ void AttackDaemon::worker_loop() {
       // unexpected but must not take the worker (and the pool) down.
       MutexLock lock(mu_);
       ++stats_.jobs_errored;
+      stats_.worst_job = worse_of(stats_.worst_job, TerminationReason::kError);
       stats_.warnings.push_back(std::string("job-failed: ") + error.what());
     }
   }
@@ -462,6 +464,7 @@ void AttackDaemon::run_job(PendingJob job) {
     try {
       result = evaluate_attack(*model, task_, context_, eval);
       ran = true;
+      // ADVTEXT_ALLOW(severity-drop): first-strike retry — the second strike persists a kError JobComplete just below (!ran path), so a repeated failure does reach the severity lattice
     } catch (const std::runtime_error& error) {
       // A throwing sweep at this level means an unreadable/corrupt
       // checkpoint (per-doc failures are isolated inside the sweep). Drop
@@ -583,6 +586,9 @@ std::size_t AttackDaemon::recover() {
   std::uint64_t last_seen = 0;
   std::uint64_t miss_streak = 0;
   for (std::uint64_t id = 1; miss_streak < kRecoveryScanSlack; ++id) {
+    // A shutdown request during a long journal scan must win immediately;
+    // anything not yet scanned is still journaled and recovers next start.
+    if (StopToken::instance().stop_requested()) break;
     if (!file_exists(job_path(id, ".job"))) {
       ++miss_streak;
       continue;
@@ -694,6 +700,7 @@ TerminationReason AttackDaemon::serve() {
       std::optional<Connection> conn;
       try {
         conn = server.accept(config_.accept_timeout_ms);
+        // ADVTEXT_ALLOW(severity-drop): accept-loop failure — no job exists, so no severity to fold; counted in accept_failures and the daemon keeps listening by design
       } catch (const std::runtime_error&) {
         // Includes injected service.accept faults: count, keep listening.
         MutexLock lock(mu_);

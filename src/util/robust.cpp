@@ -143,7 +143,8 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
   has_all_ = false;
   all_ = Rule{};
   fires_ = 0;
-  rng_ = Rng(seed);
+  seed_ = seed;
+  streams_.clear();
 
   // ',' and ';' both separate entries: ';' survives unquoted in YAML env
   // blocks and shell assignments where ',' sometimes needs quoting.
@@ -213,8 +214,7 @@ const FaultInjector::Rule* FaultInjector::match(const char* site) const {
   return has_all_ ? &all_ : nullptr;
 }
 
-const FaultInjector::Rule* FaultInjector::match_in_scope(
-    const char* site) const {
+std::string FaultInjector::effective_site(const char* site) {
   const std::string& scope = FaultScope::current();
   if (!scope.empty()) {
     bool has_at = false;
@@ -227,20 +227,42 @@ const FaultInjector::Rule* FaultInjector::match_in_scope(
     if (!has_at) {
       // Compose "site@scope"; match() then falls back scoped → base → all,
       // so an unscoped rule still hits and draw counts are unchanged.
-      const std::string scoped = std::string(site) + "@" + scope;
-      return match(scoped.c_str());
+      return std::string(site) + "@" + scope;
     }
   }
-  return match(site);
+  return site;
+}
+
+namespace {
+// FNV-1a, used to derive a site's RNG stream seed from its name. The Rng
+// constructor splitmixes the result, so even near-identical site names
+// ("io.write@w1" vs "io.write@w2") get uncorrelated streams.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+Rng& FaultInjector::stream(const std::string& site) {
+  auto it = streams_.find(site);
+  if (it == streams_.end()) {
+    it = streams_.emplace(site, Rng(seed_ ^ fnv1a(site))).first;
+  }
+  return it->second;
 }
 
 void FaultInjector::fault_slow(const char* site) {
   Mode mode;
   {
+    const std::string eff = effective_site(site);
     MutexLock lock(mu_);
-    const Rule* rule = match_in_scope(site);
+    const Rule* rule = match(eff.c_str());
     if (rule == nullptr || rule->mode == Mode::kNan) return;
-    if (!rng_.bernoulli(rule->probability)) return;
+    if (!stream(eff).bernoulli(rule->probability)) return;
     ++fires_;
     mode = rule->mode;
   }  // sleep and throw outside the lock
@@ -256,10 +278,11 @@ std::optional<FaultInjector::IoFaultPlan> FaultInjector::io_fault_slow(
     const char* site) {
   IoFaultPlan plan;
   {
+    const std::string eff = effective_site(site);
     MutexLock lock(mu_);
-    const Rule* rule = match_in_scope(site);
+    const Rule* rule = match(eff.c_str());
     if (rule == nullptr || rule->mode == Mode::kNan) return std::nullopt;
-    if (!rng_.bernoulli(rule->probability)) return std::nullopt;
+    if (!stream(eff).bernoulli(rule->probability)) return std::nullopt;
     ++fires_;
     plan.mode = rule->mode;
     switch (plan.mode) {
@@ -267,9 +290,9 @@ std::optional<FaultInjector::IoFaultPlan> FaultInjector::io_fault_slow(
       case Mode::kEnospc:
       case Mode::kShortRead:
       case Mode::kCorrupt:
-        // Draw the damage parameter under the same lock so a (spec, seed)
-        // pair reproduces the exact torn prefix / flipped bit.
-        plan.fraction = rng_.uniform(0.0, 1.0);
+        // Draw the damage parameter from the same per-site stream so a
+        // (spec, seed) pair reproduces the exact torn prefix / flipped bit.
+        plan.fraction = stream(eff).uniform(0.0, 1.0);
         break;
       default:
         break;
@@ -289,10 +312,11 @@ std::optional<FaultInjector::IoFaultPlan> FaultInjector::io_fault_slow(
 double FaultInjector::poison_slow(const char* site, double value) {
   Mode mode;
   {
+    const std::string eff = effective_site(site);
     MutexLock lock(mu_);
-    const Rule* rule = match_in_scope(site);
+    const Rule* rule = match(eff.c_str());
     if (rule == nullptr) return value;
-    if (!rng_.bernoulli(rule->probability)) return value;
+    if (!stream(eff).bernoulli(rule->probability)) return value;
     ++fires_;
     mode = rule->mode;
   }

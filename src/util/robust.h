@@ -38,6 +38,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -337,15 +338,15 @@ class FaultScope {
 /// non-IO site still produces a fault rather than silently matching
 /// nothing.
 ///
-/// Faults are drawn from an advtext::Rng owned by the injector, so a fixed
-/// (spec, seed) pair reproduces the exact failure schedule — checkpoint /
-/// resume and isolation tests rely on this. Thread-safe: the disabled fast
-/// path is one atomic load, and armed draws serialize on an internal mutex
-/// so concurrent sites see a deterministic *combined* fire count (the
-/// per-thread interleaving is scheduling-dependent; scope rules with '@' or
-/// use probability 1.0 when a test needs per-site determinism under
-/// threads). Do not call configure() while other threads are inside
-/// injection points.
+/// Faults are drawn from one advtext::Rng stream *per effective site*
+/// (seeded seed ^ hash(site)), so a fixed (spec, seed) pair reproduces the
+/// exact failure schedule at every site independently of thread
+/// interleaving — the Nth draw at "io.write@w3" is the same fire/no-fire
+/// decision no matter what other sites drew in between. Checkpoint /
+/// resume, isolation tests, and the chaos harness's parallel run-twice
+/// oracle rely on this. Thread-safe: the disabled fast path is one atomic
+/// load, and armed draws serialize on an internal mutex. Do not call
+/// configure() while other threads are inside injection points.
 class FaultInjector {
  public:
   enum class Mode {
@@ -361,9 +362,9 @@ class FaultInjector {
   };
 
   /// What an armed IO mode should do, handed to util/io_file for execution.
-  /// `fraction` is a deterministic draw in [0, 1) from the injector's
-  /// seeded RNG: the prefix fraction for torn/enospc/short-read, the bit
-  /// position fraction for corrupt (unused for eintr).
+  /// `fraction` is a deterministic draw in [0, 1) from the site's own
+  /// seeded RNG stream: the prefix fraction for torn/enospc/short-read,
+  /// the bit position fraction for corrupt (unused for eintr).
   struct IoFaultPlan {
     Mode mode = Mode::kThrow;
     double fraction = 0.0;
@@ -418,15 +419,18 @@ class FaultInjector {
     double probability = 0.0;
   };
 
-  FaultInjector() : rng_(0x5eed) { configure_from_env(); }
+  FaultInjector() { configure_from_env(); }
 
   void fault_slow(const char* site) ADVTEXT_EXCLUDES(mu_);
   double poison_slow(const char* site, double value) ADVTEXT_EXCLUDES(mu_);
   std::optional<IoFaultPlan> io_fault_slow(const char* site)
       ADVTEXT_EXCLUDES(mu_);
   const Rule* match(const char* site) const ADVTEXT_REQUIRES(mu_);
-  // match() after composing the thread's FaultScope into an unsuffixed site.
-  const Rule* match_in_scope(const char* site) const ADVTEXT_REQUIRES(mu_);
+  // The thread's FaultScope composed into an unsuffixed site:
+  // "ckpt.write" inside FaultScope("w3") becomes "ckpt.write@w3".
+  static std::string effective_site(const char* site);
+  // Lazily-created independent RNG stream for one effective site.
+  Rng& stream(const std::string& site) ADVTEXT_REQUIRES(mu_);
 
   // Guards the armed state; enabled_ doubles as the lock-free fast path
   // (released by configure(), acquired by every injection point).
@@ -436,7 +440,14 @@ class FaultInjector {
   bool has_all_ ADVTEXT_GUARDED_BY(mu_) = false;
   Rule all_ ADVTEXT_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
-  Rng rng_ ADVTEXT_GUARDED_BY(mu_);
+  // One independent RNG stream per effective (scope-composed) site, lazily
+  // created and seeded seed ^ fnv1a(site). With a single shared stream the
+  // fire schedule at one site depended on how many draws *other* threads'
+  // sites had interleaved before it; per-site streams make every site's
+  // schedule a pure function of (spec, seed, site, draw index), so
+  // multi-threaded runs fire identically regardless of interleaving.
+  std::uint64_t seed_ ADVTEXT_GUARDED_BY(mu_) = 0x5eed;
+  std::unordered_map<std::string, Rng> streams_ ADVTEXT_GUARDED_BY(mu_);
   std::size_t fires_ ADVTEXT_GUARDED_BY(mu_) = 0;
 };
 

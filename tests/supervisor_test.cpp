@@ -290,7 +290,7 @@ TEST_F(SupervisorFixture, InjectedNanRollsBackAndStillConverges) {
   const TrainReport baseline =
       train_classifier(clean, task_->train, train_config());
 
-  FaultInjector::instance().configure("train.loss:nan:0.05", /*seed=*/9);
+  FaultInjector::instance().configure("train.loss:nan:0.1", /*seed=*/9);
   ResilienceConfig resilience;
   resilience.max_rollbacks = 64;
   resilience.snapshot_every = 2;  // tight rollback targets, memory-only

@@ -151,49 +151,69 @@ TEST(FaultInjectorScoping, AtSuffixMatchesExactThenBaseThenWildcard) {
   EXPECT_TRUE(std::isnan(injector.poison("train.loss@shard7", 1.0)));
 }
 
-// Two threads hammering the same armed site must observe a deterministic
-// *combined* fire count: the injector serializes its RNG, so the multiset
-// of Bernoulli draws is fixed even though their interleaving is not.
-TEST(FaultInjectorThreading, ConcurrentSitesSeeDeterministicCombinedFires) {
+// Each armed site draws from its own seeded RNG stream, so the fire
+// schedule at one site is a pure function of (spec, seed, site, draw
+// index) — two threads hammering different instances of a site must each
+// observe the exact count a serial run of their site observes, no matter
+// how the scheduler interleaves them.
+TEST(FaultInjectorThreading, PerSiteSchedulesAreInterleavingInvariant) {
   InjectorGuard guard;
   auto& injector = FaultInjector::instance();
   constexpr std::size_t kDrawsPerThread = 1000;
 
-  auto run_pair = [&injector]() -> std::size_t {
+  struct Counts {
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+  auto count_nans = [&injector](const char* site) -> std::size_t {
+    std::size_t local = 0;
+    for (std::size_t i = 0; i < kDrawsPerThread; ++i) {
+      if (std::isnan(injector.poison(site, 0.0))) ++local;
+    }
+    return local;
+  };
+  auto run_pair = [&]() -> Counts {
     injector.configure("sync.test:nan:0.5", /*seed=*/1234);
     Mutex mu;
-    std::size_t nans = 0;
+    Counts counts;
     {
       ThreadPool pool(2);
-      for (const char* site : {"sync.test@a", "sync.test@b"}) {
-        pool.submit([&injector, &mu, &nans, site] {
-          std::size_t local = 0;
-          for (std::size_t i = 0; i < kDrawsPerThread; ++i) {
-            if (std::isnan(injector.poison(site, 0.0))) ++local;
-          }
-          MutexLock lock(mu);
-          nans += local;
-        });
-      }
+      pool.submit([&] {
+        const std::size_t local = count_nans("sync.test@a");
+        MutexLock lock(mu);
+        counts.a = local;
+      });
+      pool.submit([&] {
+        const std::size_t local = count_nans("sync.test@b");
+        MutexLock lock(mu);
+        counts.b = local;
+      });
       pool.wait_idle();
     }
-    EXPECT_EQ(nans, injector.fires());
-    return nans;
+    EXPECT_EQ(counts.a + counts.b, injector.fires());
+    return counts;
   };
 
-  const std::size_t first = run_pair();
-  const std::size_t second = run_pair();
-  EXPECT_EQ(first, second);
-  EXPECT_GT(first, 0u);
-  EXPECT_LT(first, 2 * kDrawsPerThread);
+  const Counts first = run_pair();
+  const Counts second = run_pair();
+  EXPECT_EQ(first.a, second.a);
+  EXPECT_EQ(first.b, second.b);
+  EXPECT_GT(first.a + first.b, 0u);
+  EXPECT_LT(first.a + first.b, 2 * kDrawsPerThread);
 
-  // The same 2000 draws made serially land on the identical combined count.
+  // The same draws made serially land on identical *per-site* counts —
+  // the old shared-stream injector only guaranteed the combined total.
   injector.configure("sync.test:nan:0.5", /*seed=*/1234);
-  std::size_t serial = 0;
-  for (std::size_t i = 0; i < 2 * kDrawsPerThread; ++i) {
-    if (std::isnan(injector.poison("sync.test@a", 0.0))) ++serial;
-  }
-  EXPECT_EQ(serial, first);
+  Counts serial;
+  serial.a = count_nans("sync.test@a");
+  serial.b = count_nans("sync.test@b");
+  EXPECT_EQ(serial.a, first.a);
+  EXPECT_EQ(serial.b, first.b);
+
+  // Distinct instances of one base site get uncorrelated streams: with
+  // 1000 draws at p=0.5 each, identical schedules would be a hash bug.
+  EXPECT_NE(serial.a, 0u);
+  EXPECT_NE(serial.b, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+"""Call graph over the symbol index.
+
+Call *sites* are extracted from each function's masked body: an
+(optionally ``::``-qualified) identifier directly followed by ``(``.
+Two filters keep declarations and keywords out:
+
+  * control keywords and cast/operator keywords never form a site;
+  * a site whose immediately preceding token is an identifier (or ``>``,
+    ``&``, ``*``, ``]``) is a *declaration* — ``MutexLock lock(mu_)``
+    declares ``lock``, it does not call it — unless that token is a
+    statement keyword like ``return`` or ``else``.
+
+Resolution is by simple name against the repo-wide index: a call named
+``predict_proba`` resolves to *every* definition of ``predict_proba``.
+This is a deliberate overapproximation (no type inference), which keeps
+the interprocedural rules sound for their purpose: a virtual call
+resolves to all overriders, so a fact proven "on every resolution" holds
+on the dynamic callee too. The cost is spurious edges through common
+names — tolerable here because the rules key on rare, domain-specific
+names (``charge``, ``expired``, ``worse_of``, the forward family).
+
+One syntactic refinement trims the worst collisions without any type
+inference: a call spelled through an object receiver (``obj.f()`` /
+``ptr->f()``) can only invoke a *member* function, so such sites resolve
+against class methods only — a free function that happens to share the
+name is excluded. Unqualified calls keep the full resolution set, since
+an implicit-``this`` method call is spelled identically to a free call.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .symbols import Function, SymbolIndex
+
+_KEYWORD_SITES = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "throw", "new", "delete", "static_assert",
+    "alignas", "defined", "assert", "do", "else", "case", "goto",
+}
+
+#: Tokens that may directly precede a *call* (anything else identifier-like
+#: in front of ``name(`` means ``name`` is being declared, not called).
+_PRECEDING_OK = {
+    "return", "else", "do", "case", "throw", "goto", "in", "co_return",
+    "co_await", "co_yield", "not", "and", "or",
+}
+
+#: Ubiquitous method names (STL containers, iostreams) are *not* resolved:
+#: ``out.write(...)`` must not grow an edge to every function named
+#: ``write`` in the repo. The cost is missing genuine edges through these
+#: names — conservative for the rules (fewer interprocedural facts), and
+#: the primitives they could reach (file IO, locking) are matched by
+#: direct-token regexes at the call site anyway.
+NOISY_NAMES = {
+    "write", "read", "get", "set", "size", "at", "find", "count", "begin",
+    "end", "clear", "empty", "str", "data", "append", "insert", "erase",
+    "reset", "front", "back", "push_back", "pop_back", "emplace_back",
+    "push_front", "pop_front", "resize", "reserve", "swap", "substr",
+    "length", "value", "emplace", "contains", "first", "second", "good",
+}
+
+_RE_CALL = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*)([A-Za-z_]\w*)\s*\(")
+_RE_PREV_TOKEN = re.compile(r"([A-Za-z_]\w*|[^\s\w])\s*$")
+_RE_RECEIVER = re.compile(
+    r"([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*"
+    r"|\)|\])\s*(\.|->)\s*$")
+
+
+@dataclass(frozen=True)
+class CallSite:
+    name: str          #: simple callee name
+    qualifier: str     #: explicit ``A::B::`` qualifier, "" if none
+    receiver: str | None  #: object expression for ``obj.name(...)`` calls
+    idx: int           #: offset of the name in the file's masked code
+    line: int          #: 1-based line in the file
+
+
+def extract_calls(code: str, fn: Function) -> list[CallSite]:
+    """Call sites inside ``fn``'s body; ``code`` is the whole file's
+    masked code (offsets/lines are file-relative)."""
+    sites: list[CallSite] = []
+    for m in _RE_CALL.finditer(code, fn.body_start, fn.body_end):
+        name = m.group(2)
+        if name in _KEYWORD_SITES:
+            continue
+        before = code[max(0, m.start() - 160):m.start()]
+        receiver = None
+        qualifier = re.sub(r"\s+", "", m.group(1) or "")
+        if not qualifier:
+            rm = _RE_RECEIVER.search(before)
+            if rm:
+                receiver = re.sub(r"\s+", "", rm.group(1))
+            else:
+                pm = _RE_PREV_TOKEN.search(before)
+                if pm:
+                    tok = pm.group(1)
+                    ident = re.fullmatch(r"[A-Za-z_]\w*", tok)
+                    if (ident and tok not in _PRECEDING_OK) or \
+                            tok in (">", "&", "*", "]"):
+                        continue  # declaration, not a call
+        sites.append(CallSite(
+            name=name, qualifier=qualifier, receiver=receiver,
+            idx=m.start(2), line=code.count("\n", 0, m.start(2)) + 1))
+    return sites
+
+
+@dataclass
+class CallGraph:
+    index: SymbolIndex
+    #: fn -> its call sites (in body order)
+    sites: dict[int, list[CallSite]] = field(default_factory=dict)
+    #: fn -> [(site, resolved targets)]
+    edges: dict[int, list[tuple[CallSite, list[Function]]]] = \
+        field(default_factory=dict)
+
+    @classmethod
+    def build(cls, index: SymbolIndex,
+              code_of: dict[str, str]) -> "CallGraph":
+        graph = cls(index=index)
+        for fn in index.functions:
+            code = code_of.get(fn.file, "")
+            fn_sites = extract_calls(code, fn)
+            graph.sites[id(fn)] = fn_sites
+            resolved = []
+            for site in fn_sites:
+                if site.name in NOISY_NAMES:
+                    targets = []
+                else:
+                    targets = [t for t in index.by_name.get(site.name, ())
+                               if t is not fn]
+                    if site.receiver is not None:
+                        # obj.f() / ptr->f() can only hit a member function.
+                        targets = [t for t in targets if t.cls is not None]
+                resolved.append((site, targets))
+            graph.edges[id(fn)] = resolved
+        return graph
+
+    def callees(self, fn: Function) -> list[tuple[CallSite, list[Function]]]:
+        return self.edges.get(id(fn), [])
+
+    def functions_reaching(self, body_pred) -> set[int]:
+        """ids of functions from which a function whose *body* satisfies
+        ``body_pred`` is reachable (callers of matching functions, matching
+        functions themselves included). Computed by reverse propagation, so
+        recursion cycles are handled."""
+        matching = {id(fn) for fn in self.index.functions
+                    if body_pred(fn)}
+        callers: dict[int, list[int]] = {}
+        for fn in self.index.functions:
+            for _site, targets in self.callees(fn):
+                for t in targets:
+                    callers.setdefault(id(t), []).append(id(fn))
+        work = list(matching)
+        reaching = set(matching)
+        while work:
+            node = work.pop()
+            for caller in callers.get(node, ()):
+                if caller not in reaching:
+                    reaching.add(caller)
+                    work.append(caller)
+        return reaching
+
+    def calls_reaching(self, fn: Function,
+                       reaching: set[int]) -> list[CallSite]:
+        """Call sites in ``fn`` whose *any* resolution is in ``reaching``
+        (a set produced by :meth:`functions_reaching`)."""
+        out = []
+        for site, targets in self.callees(fn):
+            if any(id(t) in reaching for t in targets):
+                out.append(site)
+        return out

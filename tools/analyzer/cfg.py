@@ -1,0 +1,179 @@
+"""Per-function CFG approximation: loops, try/catch regions, lock scopes.
+
+A full basic-block CFG is more than the rules need; what they consume is
+*region structure* over the masked body text:
+
+  * loops (``for``/``while``/``do``) with their body spans — the
+    unpolled-loop rule asks "does this span contain a poll?";
+  * catch clauses with parameter and body spans — the severity-drop rule
+    asks "does this handler fold or rethrow?";
+  * lock scopes — a ``MutexLock guard(expr)`` declaration covers from the
+    declaration to the end of its enclosing block (RAII), a manual
+    ``expr.lock()`` covers to the matching ``expr.unlock()`` or block end.
+    ``try_lock`` acquisitions are *excluded*: a non-blocking acquisition
+    cannot participate in a deadlock cycle.
+
+All spans are offsets into the *file's* masked code, so line numbers map
+directly onto the raw file.
+
+Soundness caveats (documented in DESIGN.md §5.1): ``CondVar::wait``
+releases and reacquires its mutex inside the scope (the acquisition
+*order* the rule checks is still the coded order); ``goto`` and early
+``unlock()`` on one branch of an ``if`` shorten real scopes in ways the
+block approximation cannot see (it over-covers, which can only add lock
+edges, never hide one).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .symbols import Function
+
+_RE_LOOP = re.compile(r"\b(for|while|do)\b")
+_RE_CATCH = re.compile(r"\bcatch\s*\(")
+_RE_GUARD = re.compile(r"\bMutexLock\s+[A-Za-z_]\w*\s*\(")
+_RE_MANUAL_LOCK = re.compile(
+    r"([A-Za-z_]\w*(?:\s*(?:\.|->)\s*[A-Za-z_]\w*)*)\s*(?:\.|->)\s*"
+    r"(try_lock|lock)\s*\(\s*\)")
+
+
+@dataclass(frozen=True)
+class Loop:
+    kw: str
+    idx: int          #: offset of the loop keyword
+    line: int
+    body_start: int
+    body_end: int
+
+
+@dataclass(frozen=True)
+class CatchSite:
+    idx: int
+    line: int
+    param: str
+    body_start: int
+    body_end: int
+
+
+@dataclass(frozen=True)
+class LockScope:
+    mutex_expr: str   #: raw expression text, whitespace-stripped
+    idx: int          #: offset of the acquisition
+    line: int
+    start: int        #: scope span start (the acquisition)
+    end: int          #: scope span end (enclosing block / unlock)
+
+
+@dataclass
+class FunctionCFG:
+    fn: Function
+    loops: list[Loop] = field(default_factory=list)
+    catches: list[CatchSite] = field(default_factory=list)
+    locks: list[LockScope] = field(default_factory=list)
+
+
+def _match(code: str, open_idx: int, open_ch: str, close_ch: str) -> int:
+    depth = 0
+    for k in range(open_idx, len(code)):
+        c = code[k]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return k
+    return len(code)
+
+
+def _line(code: str, idx: int) -> int:
+    return code.count("\n", 0, idx) + 1
+
+
+def _enclosing_block_end(brace_pairs: list[tuple[int, int]],
+                         idx: int, default: int) -> int:
+    """End of the innermost ``{...}`` containing ``idx``."""
+    best = default
+    best_size = None
+    for op, cl in brace_pairs:
+        if op < idx < cl and (best_size is None or cl - op < best_size):
+            best, best_size = cl, cl - op
+    return best
+
+
+def build_cfg(code: str, fn: Function) -> FunctionCFG:
+    cfg = FunctionCFG(fn=fn)
+    lo, hi = fn.body_start, fn.body_end
+
+    # Brace pairs inside the body (the body's own braces included).
+    pairs: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for k in range(lo, min(hi + 1, len(code))):
+        if code[k] == "{":
+            stack.append(k)
+        elif code[k] == "}" and stack:
+            pairs.append((stack.pop(), k))
+
+    # Loops.
+    for m in _RE_LOOP.finditer(code, lo, hi):
+        kw = m.group(1)
+        k = m.end()
+        if kw in ("for", "while"):
+            while k < hi and code[k].isspace():
+                k += 1
+            if k >= hi or code[k] != "(":
+                continue  # do-while's trailing `while` lands here too
+            k = _match(code, k, "(", ")") + 1
+        while k < hi and code[k].isspace():
+            k += 1
+        if k < hi and code[k] == "{":
+            end = _match(code, k, "{", "}")
+        else:
+            end = code.find(";", k)
+            end = hi if end == -1 else end
+        cfg.loops.append(Loop(kw=kw, idx=m.start(), line=_line(code, m.start()),
+                              body_start=k, body_end=min(end, hi)))
+
+    # Catch clauses.
+    for m in _RE_CATCH.finditer(code, lo, hi):
+        op = code.index("(", m.start())
+        cp = _match(code, op, "(", ")")
+        k = cp + 1
+        while k < hi and code[k].isspace():
+            k += 1
+        if k >= hi or code[k] != "{":
+            continue
+        cfg.catches.append(CatchSite(
+            idx=m.start(), line=_line(code, m.start()),
+            param=code[op + 1:cp].strip(),
+            body_start=k, body_end=_match(code, k, "{", "}")))
+
+    # RAII lock scopes.
+    for m in _RE_GUARD.finditer(code, lo, hi):
+        op = code.index("(", m.start())
+        cp = _match(code, op, "(", ")")
+        # First constructor argument is the mutex (CondVar::wait-style
+        # helpers pass extras after a comma).
+        expr = code[op + 1:cp].split(",")[0]
+        end = _enclosing_block_end(pairs, m.start(), hi)
+        cfg.locks.append(LockScope(
+            mutex_expr=re.sub(r"\s+", "", expr),
+            idx=m.start(), line=_line(code, m.start()),
+            start=m.start(), end=end))
+
+    # Manual lock()/unlock() pairs; try_lock is non-blocking — skipped.
+    for m in _RE_MANUAL_LOCK.finditer(code, lo, hi):
+        if m.group(2) == "try_lock":
+            continue
+        expr = re.sub(r"\s+", "", m.group(1))
+        block_end = _enclosing_block_end(pairs, m.start(), hi)
+        um = re.search(re.escape(m.group(1)) + r"\s*(?:\.|->)\s*unlock\s*\(",
+                       code[m.end():block_end])
+        end = m.end() + um.start() if um else block_end
+        cfg.locks.append(LockScope(
+            mutex_expr=expr,
+            idx=m.start(), line=_line(code, m.start()),
+            start=m.start(), end=end))
+
+    return cfg

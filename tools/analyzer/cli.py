@@ -42,6 +42,26 @@ def collect_files(args: list[str]) -> list[Path]:
     return files
 
 
+def changed_files(base_ref: str) -> set[str]:
+    """Repo-relative source files changed vs ``base_ref`` plus untracked
+    ones, filtered to the linted dirs. Used by ``--changed``: findings are
+    restricted to these files while the symbol index / call graph stay
+    repo-wide (an interprocedural fact is only as good as the whole graph)."""
+    import subprocess
+
+    def git(*args: str) -> str:
+        return subprocess.run(
+            ["git", *args], cwd=REPO_ROOT, capture_output=True,
+            text=True, check=True).stdout
+
+    names = set(git("diff", "--name-only", "-z", base_ref, "--").split("\0"))
+    names |= set(git("ls-files", "--others", "--exclude-standard",
+                     "-z").split("\0"))
+    prefixes = tuple(d + "/" for d in LINT_DIRS)
+    return {n for n in names
+            if n.endswith(SOURCE_SUFFIXES) and n.startswith(prefixes)}
+
+
 def load_project(paths: list[Path]) -> Project:
     files: dict[str, str] = {}
     for path in paths:
@@ -51,6 +71,17 @@ def load_project(paths: list[Path]) -> Project:
             rel = path.as_posix()
         files[rel] = path.read_text(encoding="utf-8", errors="replace")
     return Project(files, file_exists=lambda r: (REPO_ROOT / r).is_file())
+
+
+def print_timings(result: AnalysisResult) -> None:
+    """Per-pass wall time (``--timings``). Deliberately not part of the
+    JSON payload, which stays byte-stable for the golden test."""
+    print("analyzer: pass timings")
+    for name, secs in sorted(result.timings.items(),
+                             key=lambda kv: (-kv[1], kv[0])):
+        print(f"  {name:<18} {secs * 1000:8.1f} ms")
+    total = sum(result.timings.values())
+    print(f"  {'total':<18} {total * 1000:8.1f} ms")
 
 
 def report(result: AnalysisResult, json_path: str | None) -> int:
@@ -78,6 +109,8 @@ def main(argv: list[str]) -> int:
     json_path: str | None = None
     run_self_test_only = False
     skip_self_test = False
+    changed_base: str | None = None
+    show_timings = False
     paths: list[str] = []
     it = iter(argv)
     for arg in it:
@@ -87,6 +120,18 @@ def main(argv: list[str]) -> int:
                 print("analyzer: --json needs a path (or '-')",
                       file=sys.stderr)
                 return 2
+        elif arg == "--changed":
+            changed_base = next(it, None)
+            if changed_base is None:
+                print("analyzer: --changed needs a git base ref",
+                      file=sys.stderr)
+                return 2
+        elif arg == "--timings":
+            show_timings = True
+        elif arg == "--regen-golden":
+            from .selftest import regenerate_golden
+            print(f"analyzer: rewrote {regenerate_golden()}")
+            return 0
         elif arg == "--self-test":
             run_self_test_only = True
         elif arg == "--no-self-test":
@@ -100,7 +145,8 @@ def main(argv: list[str]) -> int:
         elif arg in ("-h", "--help"):
             print(__doc__)
             print("usage: python3 tools/analyzer [paths...] [--json FILE|-]"
-                  " [--self-test] [--list-rules]")
+                  " [--changed BASE_REF] [--timings] [--self-test]"
+                  " [--list-rules] [--regen-golden]")
             return 0
         elif arg.startswith("-"):
             print(f"analyzer: unknown flag {arg}", file=sys.stderr)
@@ -125,10 +171,30 @@ def main(argv: list[str]) -> int:
                   f"{len(PROJECT_RULES)} project rules)")
             return 0
 
+    restrict: set[str] | None = None
+    if changed_base is not None:
+        if paths:
+            print("analyzer: --changed and explicit paths are exclusive",
+                  file=sys.stderr)
+            return 2
+        import subprocess
+        try:
+            restrict = changed_files(changed_base)
+        except subprocess.CalledProcessError as err:
+            print(f"analyzer: git failed resolving '{changed_base}': "
+                  f"{err.stderr.strip()}", file=sys.stderr)
+            return 2
+        if not restrict:
+            print(f"analyzer: no linted source files changed vs "
+                  f"{changed_base}")
+            return 0
+
     try:
         files = collect_files(paths)
     except FileNotFoundError as err:
         print(err, file=sys.stderr)
         return 2
-    result = load_project(files).analyze()
+    result = load_project(files).analyze(restrict=restrict)
+    if show_timings:
+        print_timings(result)
     return report(result, json_path)

@@ -43,9 +43,15 @@ class Finding:
     line: int
     rule: str
     message: str
+    #: Call-chain witness for interprocedural findings: each element is
+    #: "file:line what", entry first, sink last. Empty for lexical rules.
+    witness: tuple = ()
 
     def render(self) -> str:
-        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        text = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.witness:
+            text += "".join(f"\n    via {step}" for step in self.witness)
+        return text
 
     def to_json(self) -> dict:
         return {
@@ -53,6 +59,7 @@ class Finding:
             "line": self.line,
             "rule": self.rule,
             "message": self.message,
+            "witness": list(self.witness),
         }
 
 
@@ -88,6 +95,9 @@ class AnalysisResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[tuple[Finding, Suppression]] = field(default_factory=list)
     files_analyzed: int = 0
+    #: pass name -> wall seconds. Deliberately *not* part of to_json(): the
+    #: findings payload stays byte-stable for golden tests and trend diffs.
+    timings: dict = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -192,19 +202,42 @@ class Project:
             return self._extra_exists(rel)
         return False
 
-    def analyze(self) -> AnalysisResult:
+    def analyze(self, restrict: set[str] | None = None) -> AnalysisResult:
+        """Full analysis, or — with ``restrict`` — the ``--changed`` fast
+        path: file rules run only on the restricted files and findings are
+        filtered to them, but suppression parsing and the semantic model
+        (symbol index, call graph) still cover the whole file set, so
+        interprocedural facts stay repo-wide."""
+        import time
+
         result = AnalysisResult(files_analyzed=len(self.contexts))
         known = set(self.rules.RULES)
         all_findings: list[Finding] = []
         all_suppressions: list[Suppression] = []
+        t0 = time.monotonic()
         for ctx in self.contexts:
             sups, sup_findings = parse_suppressions(ctx.rel, ctx.lexed, known)
             all_suppressions.extend(sups)
             all_findings.extend(sup_findings)
+            if restrict is not None and ctx.rel not in restrict:
+                continue
             for rule in self.rules.FILE_RULES:
                 all_findings.extend(rule.check(ctx))
+        result.timings["file-rules"] = time.monotonic() - t0
+
+        model = None
+        if any(r.semantic for r in self.rules.PROJECT_RULES):
+            from . import dataflow  # late: dataflow imports engine types
+
+            model = dataflow.SemanticModel(self.contexts)
+            result.timings.update(model.timings)
         for rule in self.rules.PROJECT_RULES:
-            all_findings.extend(rule.check_project(self.contexts))
+            t0 = time.monotonic()
+            all_findings.extend(rule.check_project(self.contexts, model))
+            result.timings[rule.id] = time.monotonic() - t0
+
+        if restrict is not None:
+            all_findings = [f for f in all_findings if f.file in restrict]
         all_findings.sort(key=lambda f: (f.file, f.line, f.rule))
         result.findings, result.suppressed = apply_suppressions(
             all_findings, all_suppressions)

@@ -7,17 +7,22 @@ The architecture of src/ is a DAG of layers:
 (arrows point *up* the stack: higher layers may include lower ones). The
 middle group is one layer — its four directories may include each other
 freely (nn uses text's Vocab, text's skip-gram trainer runs under nn's
-supervisor) as long as no *file-level* include cycle forms. Two rules fall
-out of the graph:
+supervisor) as long as no *file-level* include cycle forms. The harness
+trees — tests/, bench/, examples/ — sit above everything as one top
+layer: they may include any src/ layer, but nothing in src/ may include
+them (shipping library code must not depend on its own test scaffolding).
+Two rules fall out of the graph:
 
   include-layering   an #include edge from a lower layer to a higher one
-                     (e.g. util including tensor) — the dependency
-                     inversion that made src/util/serialize.h drag half
-                     the tree into every util consumer.
+                     (e.g. util including tensor, or src/ including a
+                     tests/ header) — the dependency inversion that made
+                     src/util/serialize.h drag half the tree into every
+                     util consumer.
   include-cycle      a cycle in the file-level include graph anywhere in
-                     src/ (self-includes included). Reported once per
-                     cycle, attributed to the lexicographically smallest
-                     file on it so the finding is stable across runs.
+                     the analyzed tree — src/ and the harness dirs alike
+                     (self-includes included). Reported once per cycle,
+                     attributed to the lexicographically smallest file on
+                     it so the finding is stable across runs.
 """
 
 from __future__ import annotations
@@ -39,10 +44,16 @@ LAYERS = {
     "src/core/": 3,
     "src/eval/": 4,
     "src/service/": 5,
+    # The harness trees are the top layer: free to include anything,
+    # never included by src/.
+    "tests/": 6,
+    "bench/": 6,
+    "examples/": 6,
 }
 
 LAYER_NAMES = {0: "util", 1: "tensor", 2: "text/nn/optim/data",
-               3: "core", 4: "eval", 5: "service"}
+               3: "core", 4: "eval", 5: "service",
+               6: "tests/bench/examples"}
 
 
 def layer_of(rel: str) -> int | None:
@@ -79,19 +90,18 @@ def check_layering(contexts: list[FileContext]) -> list[Finding]:
                 ctx.rel, line, "include-layering",
                 f'"{inc}" is in layer {LAYER_NAMES[dst_layer]}, above this '
                 f"file's layer {LAYER_NAMES[src_layer]}; the layering DAG "
-                "util -> tensor -> text/nn/optim/data -> core -> eval only "
-                "permits downward includes"))
+                "util -> tensor -> text/nn/optim/data -> core -> eval -> "
+                "service -> tests/bench/examples only permits downward "
+                "includes"))
     return findings
 
 
 def check_cycles(contexts: list[FileContext]) -> list[Finding]:
     graph: dict[str, list[tuple[int, str]]] = {}
-    in_src = {ctx.rel for ctx in contexts if ctx.rel.startswith("src/")}
+    analyzed = {ctx.rel for ctx in contexts}
     for ctx in contexts:
-        if ctx.rel not in in_src:
-            continue
         graph[ctx.rel] = [(line, inc) for line, inc in quoted_includes(ctx)
-                          if inc in in_src]
+                          if inc in analyzed]
 
     findings = []
     seen_cycles: set[tuple[str, ...]] = set()

@@ -28,12 +28,17 @@ class Rule:
     synopsis: str
     checker: Callable
     project_level: bool = False
+    #: Semantic rules consume the SemanticModel (symbol index, call graph,
+    #: CFGs) that the engine builds once per run, instead of raw contexts.
+    semantic: bool = False
 
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         return self.checker(ctx)
 
-    def check_project(self,
-                      contexts: list[FileContext]) -> Iterable[Finding]:
+    def check_project(self, contexts: list[FileContext],
+                      model=None) -> Iterable[Finding]:
+        if self.semantic:
+            return self.checker(model)
         return self.checker(contexts)
 
 
@@ -58,6 +63,14 @@ def file_rule(rule_id: str, synopsis: str):
 def project_rule(rule_id: str, synopsis: str):
     def wrap(fn):
         _register(Rule(rule_id, synopsis, fn, project_level=True))
+        return fn
+    return wrap
+
+
+def semantic_rule(rule_id: str, synopsis: str):
+    def wrap(fn):
+        _register(Rule(rule_id, synopsis, fn, project_level=True,
+                       semantic=True))
         return fn
     return wrap
 
@@ -274,10 +287,6 @@ _RE_CATCH_ALL_PARAM = re.compile(
     r"^\s*(?:\.\.\.|(?:const\s+)?std\s*::\s*exception\s*&?\s*\w*)\s*$")
 _RE_RETHROW = re.compile(
     r"\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b")
-_RE_FORWARD_CALL = re.compile(
-    r"(?:\.|->)\s*(?:forward|predict|predict_proba)\s*\(")
-
-
 def _matching(text: str, open_idx: int, open_ch: str, close_ch: str) -> int:
     """Index of the bracket matching text[open_idx], or -1."""
     depth = 0
@@ -450,22 +459,44 @@ def check_env_access(ctx: FileContext):
                 "configuration through explicit config structs")
 
 
-@file_rule("uncharged-forward",
-           "no direct classifier forward()/predict() calls in src/core/ "
-           "attack code outside the budget-charging wrapper")
-def check_uncharged_forward(ctx: FileContext):
-    if not ctx.in_dir("src/core/"):
-        return
-    for idx, line in enumerate(ctx.code_lines, start=1):
-        if _RE_FORWARD_CALL.search(line):
-            yield Finding(
-                ctx.rel, idx, "uncharged-forward",
-                "direct classifier forward/predict call in attack code: "
-                "every model evaluation must be charged to the "
-                "QueryBudget (route it through the SwapEvaluator / scorer "
-                "wrapper and AttackControl::charge) or query accounting — "
-                "and the future query cache built on it — goes silently "
-                "dishonest")
+# ---------------------------------------------------------------------------
+# Semantic (interprocedural) rules — symbol index + call graph + CFG.
+# The checkers live in dataflow.py; registration here keeps the catalog in
+# one place. `uncharged-forward` keeps its PR 6 rule id: v2 subsumes the
+# old lexical check (same invariant, now proven across call boundaries).
+
+from . import dataflow  # noqa: E402  (needs Rule plumbing above)
+
+
+@semantic_rule("uncharged-forward",
+               "every call chain from an attack/eval/service entry point "
+               "to a classifier forward/predict/eval_* call charges the "
+               "QueryBudget somewhere on the chain")
+def check_uncharged_forward(model):
+    return dataflow.check_uncharged_forward(model)
+
+
+@semantic_rule("unpolled-loop",
+               "loops doing heavy work (model queries, IO, sleeps — "
+               "directly or via callees) on hot paths poll Deadline/"
+               "StopToken/QueryBudget/Heartbeat in the body")
+def check_unpolled_loop(model):
+    return dataflow.check_unpolled_loop(model)
+
+
+@semantic_rule("lock-order",
+               "the global Mutex acquisition-order graph (lock scopes x "
+               "call graph) is acyclic")
+def check_lock_order(model):
+    return dataflow.check_lock_order(model)
+
+
+@semantic_rule("severity-drop",
+               "catch sites in severity-carrying functions fold absorbed "
+               "failures via worse_of/kError/Outcome or rethrow, "
+               "directly or through a callee")
+def check_severity_drop(model):
+    return dataflow.check_severity_drop(model)
 
 
 # ---------------------------------------------------------------------------
@@ -473,13 +504,15 @@ def check_uncharged_forward(ctx: FileContext):
 
 @project_rule("include-layering",
               "includes respect the layer DAG util -> tensor -> "
-              "text/nn/optim/data -> core -> eval")
+              "text/nn/optim/data -> core -> eval -> service -> "
+              "tests/bench/examples (src/ never includes the harness)")
 def check_layering(contexts: list[FileContext]):
     return include_graph.check_layering(contexts)
 
 
 @project_rule("include-cycle",
-              "the file-level include graph in src/ is acyclic")
+              "the file-level include graph of the analyzed tree is "
+              "acyclic")
 def check_cycles(contexts: list[FileContext]):
     return include_graph.check_cycles(contexts)
 

@@ -25,12 +25,31 @@ from __future__ import annotations
 import re
 from pathlib import Path
 
-from .engine import Project
+from .engine import AnalysisResult, Project
 from .lexer import lex
 from .rules import RULES
 
 TESTDATA = Path(__file__).resolve().parent / "testdata"
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Fixtures analyzed together to produce the golden ``--json`` payload:
+#: a semantic finding with a multi-hop call-chain witness, a loop finding
+#: with a single-hop witness, and a reasoned suppression — every field of
+#: the JSON schema is exercised in one byte-pinned document.
+GOLDEN_FIXTURES = ("uncharged_forward_firing.cpp",
+                   "unpolled_loop_firing.cpp",
+                   "allow_with_reason.cpp")
+GOLDEN_PATH = TESTDATA / "golden_findings.json"
+
+#: Regression pin for one interprocedural witness: the exact chain the
+#: analyzer must report for the helper-wrapped uncharged forward fixture.
+#: If resolution or BFS order changes this, the change is load-bearing for
+#: everyone reading witnesses out of CI artifacts — update it consciously.
+GOLDEN_WITNESS = (
+    "src/core/fixture_forward_firing.cpp:10 fixture_entry",
+    "src/core/fixture_forward_firing.cpp:6 fixture_query_helper",
+    "src/core/fixture_forward_firing.cpp:7 predict() [uncharged]",
+)
 
 _RE_DIRECTIVE = re.compile(
     r"//\s*(fixture-path|fixture-group|expect-suppressed|expect-clean|"
@@ -153,8 +172,64 @@ def _lexer_regressions() -> list[str]:
     return failures
 
 
+def _golden_result() -> AnalysisResult:
+    files: dict[str, str] = {}
+    for name in GOLDEN_FIXTURES:
+        fixture = Fixture(TESTDATA / name)
+        files[fixture.virtual_path] = fixture.text
+    project = Project(
+        files, file_exists=lambda rel: (REPO_ROOT / rel).is_file())
+    return project.analyze()
+
+
+def regenerate_golden() -> Path:
+    """Rewrites the golden JSON from the current analyzer output (the
+    ``--regen-golden`` flag). The diff of the regenerated file *is* the
+    review artifact for an intentional schema change."""
+    GOLDEN_PATH.write_text(_golden_result().render_json(), encoding="utf-8")
+    return GOLDEN_PATH
+
+
+def _golden_regressions() -> list[str]:
+    """Byte-pins the ``--json`` schema: stable rule ids, file/line/rule/
+    message/witness fields, sorted keys. Trend tooling and CI artifact
+    consumers parse this payload, so drift must be a conscious decision."""
+    failures: list[str] = []
+    result = _golden_result()
+
+    witness = next((f.witness for f in result.findings
+                    if f.rule == "uncharged-forward"), None)
+    if witness != GOLDEN_WITNESS:
+        failures.append(
+            "self-test[golden]: pinned call-chain witness drifted:\n"
+            f"  want: {list(GOLDEN_WITNESS)}\n"
+            f"  got:  {list(witness) if witness else witness}")
+
+    if not GOLDEN_PATH.is_file():
+        failures.append(
+            "self-test[golden]: testdata/golden_findings.json is missing; "
+            "regenerate with `python3 -m tools.analyzer --regen-golden`")
+        return failures
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    got = result.render_json()
+    if got != expected:
+        want_lines = expected.splitlines()
+        got_lines = got.splitlines()
+        first = next((i for i, (a, b) in enumerate(
+            zip(want_lines, got_lines)) if a != b),
+            min(len(want_lines), len(got_lines)))
+        failures.append(
+            "self-test[golden]: --json payload drifted from "
+            f"testdata/golden_findings.json (first diff at line "
+            f"{first + 1}); if the schema change is intentional, "
+            "regenerate with `python3 -m tools.analyzer --regen-golden` "
+            "and review the diff")
+    return failures
+
+
 def run_self_test(verbose: bool = False) -> list[str]:
     failures = _lexer_regressions()
+    failures.extend(_golden_regressions())
 
     fixtures = []
     for path in sorted(TESTDATA.rglob("*")):

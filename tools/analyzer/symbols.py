@@ -1,0 +1,248 @@
+"""Repo-wide symbol index: functions, methods, classes, using-directives.
+
+Built from the *masked* token stream (``LexedFile.code``), so string and
+comment contents can neither open phantom scopes nor hide real ones. The
+scanner walks each translation unit once with an explicit scope stack and
+classifies every ``{`` from the "head" text that precedes it (everything
+since the last ``{``, ``}`` or ``;`` at the current nesting):
+
+  * ``namespace foo {`` / ``extern "C" {``  -> transparent scope
+  * ``class X {`` / ``struct X {`` / ...    -> class scope (members inside)
+  * trailing ``=``                          -> aggregate initializer (opaque)
+  * head containing a parameter list ``(``  -> function definition; the
+    body is recorded as one span and *not* scanned for nested scopes
+    (lambdas and local structs belong to their enclosing function, which
+    is exactly the attribution the interprocedural rules want)
+
+This is an approximation, not a parser. Known, accepted imprecision:
+
+  * overloads share one simple name; the call graph resolves by simple
+    name and overapproximates accordingly;
+  * function-try-blocks, K&R definitions and preprocessor tricks that
+    unbalance braces are not handled (the tree has none — the self-test
+    corpus pins the constructs the scanner must handle);
+  * a declaration like ``Foo bar(Baz);`` at namespace scope (the vexing
+    parse) never reaches the index at all because it ends in ``;`` — only
+    brace-introduced bodies are indexed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .engine import FileContext
+
+#: Keywords that can never be a function name even when followed by ``(``.
+_NON_FUNCTION_NAMES = {
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "decltype", "noexcept", "throw", "new", "delete", "static_assert",
+    "alignas", "defined", "assert", "co_await", "co_return", "co_yield",
+}
+
+_RE_NAMESPACE_HEAD = re.compile(
+    r"\bnamespace(\s+(?:[A-Za-z_]\w*)(?:\s*::\s*[A-Za-z_]\w*)*)?\s*$")
+_RE_EXTERN_HEAD = re.compile(r'\bextern\s*(?:"")?\s*$')
+_RE_CLASS_KEY = re.compile(r"\b(class|struct|union|enum)\b")
+_RE_USING_NAMESPACE = re.compile(
+    r"\busing\s+namespace\s+([A-Za-z_]\w*(?:\s*::\s*[A-Za-z_]\w*)*)")
+#: Candidate "name(" in a function head: an optionally ::-qualified
+#: identifier (destructors included) directly followed by a paren.
+_RE_FUNC_NAME = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*~?[A-Za-z_]\w*)\s*\(")
+#: ALL_CAPS macro invocation (annotation macros like ADVTEXT_CAPABILITY).
+_RE_CAPS_MACRO = re.compile(r"\b[A-Z][A-Z0-9_]{2,}\s*\([^()]*\)")
+
+
+@dataclass
+class Function:
+    """One function/method *definition* (has a body)."""
+
+    name: str          #: simple name (``run_job``)
+    qualified: str     #: scope-qualified (``advtext::AttackDaemon::run_job``)
+    cls: str | None    #: enclosing/explicit class name, if any
+    file: str          #: repo-relative path
+    line: int          #: line of the name in the head
+    head: str          #: declaration head text (masked)
+    body_start: int    #: index of the opening ``{`` in masked code
+    body_end: int      #: index of the matching ``}`` (or len(code))
+    body: str          #: masked body text, braces included
+
+    def __repr__(self) -> str:
+        return f"<fn {self.qualified} @{self.file}:{self.line}>"
+
+
+@dataclass
+class TUInfo:
+    """Per-translation-unit facts that are not functions."""
+
+    rel: str
+    classes: list[str] = field(default_factory=list)
+    using_namespaces: list[tuple[int, str]] = field(default_factory=list)
+
+
+def _match_brace(code: str, open_idx: int) -> int:
+    depth = 0
+    for k in range(open_idx, len(code)):
+        c = code[k]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return k
+    return len(code)
+
+
+def _line_of(code: str, idx: int) -> int:
+    return code.count("\n", 0, idx) + 1
+
+
+def _strip_template_heads(head: str) -> str:
+    """Removes ``template <...>`` groups so ``template <class T>`` cannot
+    be mistaken for a class head (angle depth tracked, ``>>`` closes two)."""
+    out = head
+    while True:
+        m = re.search(r"\btemplate\s*<", out)
+        if not m:
+            return out
+        depth = 0
+        end = len(out)
+        for k in range(m.end() - 1, len(out)):
+            if out[k] == "<":
+                depth += 1
+            elif out[k] == ">":
+                depth -= 1
+                if depth == 0:
+                    end = k + 1
+                    break
+        out = out[:m.start()] + " " + out[end:]
+
+
+def _class_head_name(head: str) -> str | None:
+    """Class/struct/union/enum head -> class name, else None."""
+    head = _strip_template_heads(head)
+    m = _RE_CLASS_KEY.search(head)
+    if not m:
+        return None
+    if "(" in head[:m.start()] or ")" in head[:m.start()]:
+        return None  # class-key inside a parameter list, not a class head
+    tail = head[m.end():]
+    # Annotation macros (ADVTEXT_CAPABILITY("...")) and alignas() may sit
+    # between the keyword and the name; any *other* paren means this is a
+    # function head that merely mentions class/struct.
+    tail = _RE_CAPS_MACRO.sub(" ", tail)
+    tail = re.sub(r"\balignas\s*\([^()]*\)", " ", tail)
+    if "(" in tail or ")" in tail:
+        return None
+    cut = re.split(r"(?<!:):(?!:)", tail, maxsplit=1)[0]
+    names = [n for n in re.findall(r"[A-Za-z_]\w*", cut)
+             if n not in ("final", "public", "private", "protected",
+                          "virtual", "alignas")]
+    return names[-1] if names else "<anon>"
+
+
+def _function_name(head: str) -> tuple[str, int] | None:
+    """(qualified-name, offset-of-name-in-head) for a function head."""
+    for m in _RE_FUNC_NAME.finditer(head):
+        name = re.sub(r"\s+", "", m.group(1))
+        simple = name.rsplit("::", 1)[-1].lstrip("~")
+        if simple in _NON_FUNCTION_NAMES:
+            continue
+        # An ALL_CAPS macro invocation (annotation/attribute macros) is
+        # not the function name.
+        if re.fullmatch(r"[A-Z][A-Z0-9_]{2,}", simple):
+            continue
+        return name, m.start(1)
+    return None
+
+
+@dataclass
+class SymbolIndex:
+    functions: list[Function] = field(default_factory=list)
+    by_name: dict[str, list[Function]] = field(default_factory=dict)
+    tus: dict[str, TUInfo] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, contexts: list[FileContext]) -> "SymbolIndex":
+        index = cls()
+        for ctx in contexts:
+            index._scan(ctx)
+        for fn in index.functions:
+            index.by_name.setdefault(fn.name, []).append(fn)
+        return index
+
+    def _scan(self, ctx: FileContext) -> None:
+        code = ctx.lexed.code
+        tu = TUInfo(rel=ctx.rel)
+        self.tus[ctx.rel] = tu
+        for m in _RE_USING_NAMESPACE.finditer(code):
+            tu.using_namespaces.append(
+                (_line_of(code, m.start()), re.sub(r"\s+", "", m.group(1))))
+
+        # scope stack: (kind, name) — kind in {"namespace", "class"}
+        scopes: list[tuple[str, str]] = []
+        head_start = 0
+        k = 0
+        n = len(code)
+        while k < n:
+            c = code[k]
+            if c == ";":
+                head_start = k + 1
+            elif c == "}":
+                if scopes:
+                    scopes.pop()
+                head_start = k + 1
+            elif c == "{":
+                head = code[head_start:k]
+                close = None  # set when the brace's body is opaque
+                nm = _RE_NAMESPACE_HEAD.search(head)
+                if nm or _RE_EXTERN_HEAD.search(head):
+                    name = (nm.group(1) or "").strip() if nm else ""
+                    scopes.append(("namespace", re.sub(r"\s+", "", name)))
+                elif re.search(r"=\s*$", head):
+                    close = _match_brace(code, k)  # aggregate initializer
+                else:
+                    cls_name = _class_head_name(head)
+                    if cls_name is not None:
+                        scopes.append(("class", cls_name))
+                        tu.classes.append(cls_name)
+                    else:
+                        close = _match_brace(code, k)
+                        fn = _function_name(head)
+                        if fn is not None:
+                            name, off = fn
+                            self._add_function(
+                                ctx, scopes, head, name,
+                                head_start + off, k, close)
+                if close is not None:
+                    # Consume the matching '}' silently: it closes an
+                    # opaque body, not a scope on the stack.
+                    head_start = close + 1
+                    k = close + 1
+                    continue
+                head_start = k + 1
+            k += 1
+
+    def _add_function(self, ctx: FileContext, scopes: list[tuple[str, str]],
+                      head: str, name: str, name_idx: int,
+                      body_start: int, body_end: int) -> None:
+        code = ctx.lexed.code
+        parts = name.split("::")
+        simple = parts[-1].lstrip("~")
+        explicit_cls = parts[-2] if len(parts) >= 2 else None
+        scope_cls = next((nm for kind, nm in reversed(scopes)
+                          if kind == "class"), None)
+        prefix = "::".join(nm for kind, nm in scopes if nm)
+        qualified = "::".join(x for x in (prefix, name) if x)
+        self.functions.append(Function(
+            name=simple,
+            qualified=qualified,
+            cls=explicit_cls or scope_cls,
+            file=ctx.rel,
+            line=_line_of(code, name_idx),
+            head=head.strip(),
+            body_start=body_start,
+            body_end=body_end,
+            body=code[body_start:body_end + 1],
+        ))

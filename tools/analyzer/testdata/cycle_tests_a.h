@@ -1,0 +1,5 @@
+// fixture-path: tests/fixture_cycle_tests_a.h
+// fixture-group: cycle-tests
+// expect: include-cycle@5
+#pragma once
+#include "tests/fixture_cycle_tests_b.h"

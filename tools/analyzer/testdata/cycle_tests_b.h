@@ -1,0 +1,5 @@
+// fixture-path: tests/fixture_cycle_tests_b.h
+// fixture-group: cycle-tests
+// expect-clean
+#pragma once
+#include "tests/fixture_cycle_tests_a.h"

@@ -1,0 +1,5 @@
+// fixture-path: bench/fixture_layering_harness_target.h
+// fixture-group: layering-harness
+// expect-clean
+#pragma once
+#include "src/util/rng.h"

@@ -1,0 +1,5 @@
+// fixture-path: src/core/fixture_layering_harness_bad.h
+// fixture-group: layering-harness
+// expect: include-layering@5
+#pragma once
+#include "bench/fixture_layering_harness_target.h"

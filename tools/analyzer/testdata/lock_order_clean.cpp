@@ -1,0 +1,14 @@
+// fixture-path: src/service/fixture_lock_order_clean.cpp
+// expect-clean
+struct FixtureLedger {
+  void credit() {
+    MutexLock a(mu_accounts_);
+    MutexLock b(mu_journal_);
+  }
+  void audit() {
+    MutexLock a(mu_accounts_);
+    MutexLock b(mu_journal_);
+  }
+  Mutex mu_accounts_;
+  Mutex mu_journal_;
+};

@@ -1,0 +1,17 @@
+// fixture-path: src/service/fixture_lock_order_firing.cpp
+// expect: lock-order@6
+struct FixtureLedger {
+  void credit() {
+    MutexLock a(mu_accounts_);
+    MutexLock b(mu_journal_);
+  }
+  void flush_journal() {
+    MutexLock a(mu_accounts_);
+  }
+  void audit() {
+    MutexLock b(mu_journal_);
+    flush_journal();  // acquires mu_accounts_ while mu_journal_ is held
+  }
+  Mutex mu_accounts_;
+  Mutex mu_journal_;
+};

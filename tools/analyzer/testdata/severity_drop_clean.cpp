@@ -1,0 +1,12 @@
+// fixture-path: src/eval/fixture_severity_clean.cpp
+// expect-clean
+struct FixtureReport { int termination; };
+
+void fixture_run(FixtureReport& report) {
+  report.termination = 0;
+  try {
+    fixture_step();
+  } catch (const std::runtime_error& error) {
+    report.termination = worse_of(report.termination, 2);
+  }
+}

@@ -1,0 +1,12 @@
+// fixture-path: src/eval/fixture_severity_firing.cpp
+// expect: severity-drop@9
+struct FixtureReport { int termination; };
+
+void fixture_run(FixtureReport& report) {
+  report.termination = 0;
+  try {
+    fixture_step();
+  } catch (const std::runtime_error& error) {
+    fixture_note(error);
+  }
+}

@@ -1,9 +1,15 @@
 // fixture-path: src/core/fixture_forward_clean.cpp
 // expect-clean
-struct FixtureEvaluator { double score_swap(int); };
-struct FixtureControl { void charge(int) const; };
-double fixture_attack(FixtureEvaluator* evaluator,
-                      const FixtureControl& control) {
+struct FixtureModel { double predict(int); };
+
+// The helper charges before every query, discharging the whole chain:
+// any entry point reaching the sink passes through a charging function.
+double fixture_query_helper(FixtureModel& model,
+                            const AttackControl& control) {
   control.charge(1);
-  return evaluator->score_swap(1);
+  return model.predict(1);
+}
+
+double fixture_entry(FixtureModel& model, const AttackControl& control) {
+  return fixture_query_helper(model, control);
 }

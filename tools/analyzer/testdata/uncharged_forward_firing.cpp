@@ -1,6 +1,12 @@
 // fixture-path: src/core/fixture_forward_firing.cpp
-// expect: uncharged-forward@5
-// expect: uncharged-forward@6
-struct FixtureModel { double run(int); };
-double fixture_attack_ptr(FixtureModel* model) { return model->forward(1); }
-double fixture_attack_ref(FixtureModel& model) { return model.predict(1); }
+// expect: uncharged-forward@7
+struct FixtureModel { double predict(int); };
+
+// Helper wraps the model query; nothing on the chain charges the budget.
+double fixture_query_helper(FixtureModel& model) {
+  return model.predict(1);
+}
+
+double fixture_entry(FixtureModel& model, const AttackControl& control) {
+  return fixture_query_helper(model);
+}

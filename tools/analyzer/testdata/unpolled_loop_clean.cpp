@@ -1,0 +1,14 @@
+// fixture-path: src/core/fixture_unpolled_clean.cpp
+// expect-clean
+struct FixtureModel { double predict_proba(int); };
+struct FixtureDeadline { bool expired() const; };
+
+int fixture_sweep(FixtureModel& model, const FixtureDeadline& deadline,
+                  int docs) {
+  int flipped = 0;
+  for (int i = 0; i < docs; ++i) {
+    if (deadline.expired()) break;
+    if (model.predict_proba(i) > 0.5) ++flipped;
+  }
+  return flipped;
+}

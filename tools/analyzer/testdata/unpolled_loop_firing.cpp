@@ -1,0 +1,11 @@
+// fixture-path: src/core/fixture_unpolled_firing.cpp
+// expect: unpolled-loop@7
+struct FixtureModel { double predict_proba(int); };
+
+int fixture_sweep(FixtureModel& model, int docs) {
+  int flipped = 0;
+  for (int i = 0; i < docs; ++i) {
+    if (model.predict_proba(i) > 0.5) ++flipped;
+  }
+  return flipped;
+}

@@ -480,11 +480,12 @@ def sweep_run(harness, rng, run_dir, run_record):
         # Compute faults change which records come out, so the oracle is
         # run-twice determinism under the identical spec (no kills: a kill
         # restarts the injector mid-schedule, which is a *different*
-        # schedule). Single-threaded only: the injector serializes draws
-        # from ONE shared RNG, so with several workers the global draw
-        # order — hence which site invocation a fault lands on — depends
-        # on thread scheduling, and run-twice equality is not a contract.
-        cmd_base += ["--attack-threads", "1"]
+        # schedule). Any worker count is fair game: the injector keeps one
+        # RNG stream per effective site, and the pipeline scopes every
+        # draw with FaultScope("doc<i>"), so a document's fault schedule
+        # is a pure function of (spec, seed, doc) — not of which thread
+        # ran it or what the other workers drew in between.
+        cmd_base += ["--attack-threads", str(threads)]
         spec = compute_fault_spec(rng)
         run_record["spec"] = spec
         run_record["oracle"] = "run-twice-determinism"
