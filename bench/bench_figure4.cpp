@@ -45,16 +45,19 @@ int main() {
         config.joint.enable_word = lw > 0.0;
         config.joint.word_fraction = lw;
         configure_attack_parallelism(config, "LSTM", task, *model);
+        configure_scoring(config);
         Stopwatch watch;
         const AttackEvalResult result =
             evaluate_attack(*model, task, context, config);
-        append_bench_json(
-            {"figure4",
-             task.config.name + "/LSTM/ls=" + format_percent(ls, 0) +
-                 ",lw=" + format_percent(lw, 0),
-             config.threads, 1, result.docs_evaluated,
-             watch.elapsed_seconds(), result.mean_seconds_per_doc,
-             result.success_rate});
+        BenchJsonRecord json_row{
+            "figure4",
+            task.config.name + "/LSTM/ls=" + format_percent(ls, 0) +
+                ",lw=" + format_percent(lw, 0),
+            config.threads, 1, result.docs_evaluated,
+            watch.elapsed_seconds(), result.mean_seconds_per_doc,
+            result.success_rate};
+        fill_scoring_stats(json_row, result);
+        append_bench_json(json_row);
         row.push_back(format_percent(result.success_rate, 0));
       }
       table.print_row(row);

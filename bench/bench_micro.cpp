@@ -4,6 +4,8 @@
 // and LM scoring.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/data/synthetic.h"
 #include "src/nn/lstm.h"
 #include "src/nn/wcnn.h"
@@ -101,6 +103,89 @@ void BM_LstmSwapEval(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LstmSwapEval)->Arg(25)->Arg(50)->Arg(100);
+
+// Batched candidate scoring vs the per-candidate loop it replaces: the
+// same `batch` distinct swaps of one base document, scored through
+// eval_swap_batch (one blocked gemm per layer) or through `batch` calls
+// of eval_swap. The ratio at each size is the headline win of the
+// batched scoring path.
+void BM_WCnnSwapBatch(benchmark::State& state) {
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 48;
+  WCnn model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(100);
+  auto evaluator = model.make_swap_evaluator(tokens);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<SwapCandidate> candidates;
+  for (std::size_t i = 0; i < batch; ++i) {
+    candidates.push_back(
+        {i % tokens.size(), static_cast<WordId>(5 + i / tokens.size())});
+  }
+  Matrix scores;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->eval_swap_batch(candidates, scores));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WCnnSwapBatch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_WCnnSwapLooped(benchmark::State& state) {
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 48;
+  WCnn model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(100);
+  auto evaluator = model.make_swap_evaluator(tokens);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(evaluator->eval_swap(
+          i % tokens.size(), static_cast<WordId>(5 + i / tokens.size())));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_WCnnSwapLooped)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LstmSwapBatch(benchmark::State& state) {
+  LstmConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.hidden = 24;
+  LstmClassifier model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(100);
+  auto evaluator = model.make_swap_evaluator(tokens);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  std::vector<SwapCandidate> candidates;
+  for (std::size_t i = 0; i < batch; ++i) {
+    candidates.push_back(
+        {i % tokens.size(), static_cast<WordId>(5 + i / tokens.size())});
+  }
+  Matrix scores;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator->eval_swap_batch(candidates, scores));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmSwapBatch)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LstmSwapLooped(benchmark::State& state) {
+  LstmConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.hidden = 24;
+  LstmClassifier model(config, Matrix(task().paragram));
+  const TokenSeq tokens = sample_tokens(100);
+  auto evaluator = model.make_swap_evaluator(tokens);
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      benchmark::DoNotOptimize(evaluator->eval_swap(
+          i % tokens.size(), static_cast<WordId>(5 + i / tokens.size())));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_LstmSwapLooped)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_LstmInputGradient(benchmark::State& state) {
   LstmConfig config;

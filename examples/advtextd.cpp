@@ -51,13 +51,16 @@ int usage() {
       "                [--checkpoint-every N] [--read-timeout-ms X]\n"
       "                [--max-jobs N] [--recover-only] [--inject SPEC]\n"
       "                [--watchdog-ms X] [--mem-budget-mb N]\n"
-      "                [--hidden N] [--filters N]\n"
+      "                [--query-cache-mb N] [--hidden N] [--filters N]\n"
       "--watchdog-ms: stall bound for the job watchdog (default 30000;\n"
       "               0 disables). A stuck job's client gets a typed\n"
       "               deadline-exceeded completion within the bound.\n"
       "--mem-budget-mb: process memory budget (default 0 = unlimited).\n"
       "               Exhaustion sheds jobs with typed 'resource'\n"
       "               rejections instead of aborting on OOM.\n"
+      "--query-cache-mb: per-job memoizing query cache (default 32;\n"
+      "               0 disables). Served sweeps return identical results;\n"
+      "               repeated model states skip the forward pass.\n"
       "exit codes: 0 ok, 1 error, 2 usage, 5 stopped by signal\n"
       "            (accepted jobs resume on restart with the same "
       "--state-dir)\n");
@@ -138,6 +141,9 @@ int run(const ArgParser& args) {
     MemoryBudget::instance().set_limit_bytes(mem_budget_mb * (std::size_t{1}
                                                               << 20));
   }
+  config.query_cache_bytes =
+      static_cast<std::size_t>(args.get_int("query-cache-mb", 32)) *
+      (std::size_t{1} << 20);
 
   StopToken::instance().install();
   AttackDaemon daemon(task, context,

@@ -128,6 +128,11 @@ WordAttackResult gradient_attack(const TextClassifier& model,
       model.class_probability(result.adv_tokens, target);
   ++result.queries;
   control.charge(1);
+  // Every charge here is explicit (gradient calls + the verification
+  // forward above); record them so callers can reconcile the budget.
+  if (control.budget != nullptr) {
+    result.budget_charged = result.gradient_calls + 1;
+  }
   result.success = result.final_target_proba >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);

@@ -21,16 +21,16 @@ WordAttackResult gradient_guided_greedy_attack(
       std::ceil(config.max_replace_fraction * static_cast<double>(n)));
 
   auto evaluator = model.make_swap_evaluator(result.adv_tokens);
+  // The shell charges the budget per cache miss and polls the deadline per
+  // row; gradient calls still charge their embedded forward explicitly.
+  evaluator->bind_control(&control);
   std::vector<bool> replaced(n, false);
   Vector proba;
 
-  std::size_t charged = 0;
-  const auto sync_budget = [&] {
-    control.charge(evaluator->queries() - charged);
-    charged = evaluator->queries();
-  };
   bool out_of_time = false;
   bool out_of_budget = false;
+  std::vector<TokenSeq> trial;
+  Matrix trial_scores;
 
   while (result.iterations < config.max_iterations) {
     if ((out_of_time = control.deadline.expired())) break;
@@ -91,28 +91,35 @@ WordAttackResult gradient_guided_greedy_attack(
     for (std::size_t t = 0; t < take && !out_of_time && !out_of_budget;
          ++t) {
       const std::size_t pos = scores[t].pos;
-      std::vector<Candidate> expanded;
+      // Materialize every expansion of the current pool at this position
+      // and score them through batched evaluator calls — one gemm per
+      // layer per chunk. A limit hit abandons the expansion mid-batch;
+      // already-scored pool members (and already-evaluated rows) are
+      // still eligible for the commit below (best-so-far semantics).
+      trial.clear();
       for (const Candidate& base : pool) {
         for (WordId cand : candidates.per_position[pos]) {
           if (cand == base.tokens[pos]) continue;
-          // Limits abandon the expansion; already-scored pool members are
-          // still eligible for the commit below (best-so-far semantics).
-          if (control.deadline.expired()) {
-            out_of_time = true;
-            break;
-          }
-          if (control.budget_exhausted()) {
-            out_of_budget = true;
-            break;
-          }
+          trial.push_back(base.tokens);
+          trial.back()[pos] = cand;
+        }
+      }
+      std::vector<Candidate> expanded;
+      for (std::size_t off = 0;
+           off < trial.size() && !out_of_time && !out_of_budget;
+           off += kScoreChunkRows) {
+        const std::size_t len = std::min(kScoreChunkRows, trial.size() - off);
+        const BatchStatus status =
+            evaluator->eval_tokens_batch(trial.data() + off, len,
+                                         trial_scores);
+        for (std::size_t i = 0; i < status.evaluated; ++i) {
           Candidate next;
-          next.tokens = base.tokens;
-          next.tokens[pos] = cand;
-          next.proba = evaluator->eval_tokens(next.tokens)[target];
-          sync_budget();
+          next.tokens = std::move(trial[off + i]);
+          next.proba = trial_scores(i, target);
           expanded.push_back(std::move(next));
         }
-        if (out_of_time || out_of_budget) break;
+        out_of_time = status.out_of_time;
+        out_of_budget = status.out_of_budget;
       }
       pool.insert(pool.end(), std::make_move_iterator(expanded.begin()),
                   std::make_move_iterator(expanded.end()));
@@ -149,10 +156,20 @@ WordAttackResult gradient_guided_greedy_attack(
     result.termination = TerminationReason::kBudgetExhausted;
   }
   result.queries = evaluator->queries();
-  sync_budget();
+  result.cache_hits = evaluator->cache_hits();
+  result.cache_misses = evaluator->cache_misses();
+  result.budget_charged = evaluator->budget_charged();
+  ADVTEXT_DCHECK(result.queries == result.cache_hits + result.cache_misses)
+      << "ggg: query accounting drift (" << result.queries
+      << " != " << result.cache_hits << " + " << result.cache_misses << ")";
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
   control.charge(1);
+  // Gradient calls and the final verification forward charge the budget
+  // directly (charge() no-ops without one, so mirror that here).
+  if (control.budget != nullptr) {
+    result.budget_charged += result.gradient_calls + 1;
+  }
   result.success = result.final_target_proba >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);

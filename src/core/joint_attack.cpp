@@ -23,6 +23,14 @@ JointAttackResult joint_attack(const TextClassifier& model,
     control.deadline = Deadline::after_ms(config.deadline_ms);
   }
   control.budget = &budget;
+  control.cache = resources.query_cache;
+  // Every query charge flows through `budget`; the phases report what they
+  // charged, so the shared pool must reconcile exactly at every exit.
+  const auto reconcile = [&budget](const JointAttackResult& r) {
+    ADVTEXT_DCHECK(budget.used() == r.budget_charged)
+        << "joint_attack: budget drift (" << budget.used()
+        << " used != " << r.budget_charged << " charged)";
+  };
 
   // ---- Phase 1: sentence paraphrasing (Alg. 1 steps 2-5) ----
   if (config.enable_sentence && config.sentence_fraction > 0.0) {
@@ -41,6 +49,9 @@ JointAttackResult joint_attack(const TextClassifier& model,
     result.adv_doc = sentence_result.adv_doc;
     result.sentences_changed = sentence_result.sentences_changed;
     result.queries += sentence_result.queries;
+    result.cache_hits += sentence_result.cache_hits;
+    result.cache_misses += sentence_result.cache_misses;
+    result.budget_charged += sentence_result.budget_charged;
     result.final_target_proba = sentence_result.final_target_proba;
     result.termination =
         worse_of(result.termination, sentence_result.termination);
@@ -48,6 +59,7 @@ JointAttackResult joint_attack(const TextClassifier& model,
       result.success = true;
       result.termination = TerminationReason::kSucceeded;
       result.seconds = watch.elapsed_seconds();
+      reconcile(result);
       return result;
     }
   }
@@ -130,6 +142,9 @@ JointAttackResult joint_attack(const TextClassifier& model,
       }
       result.words_changed = word_result.words_changed;
       result.queries += word_result.queries;
+      result.cache_hits += word_result.cache_hits;
+      result.cache_misses += word_result.cache_misses;
+      result.budget_charged += word_result.budget_charged;
       result.final_target_proba = word_result.final_target_proba;
       result.success = word_result.success;
       result.termination = word_result.success
@@ -137,6 +152,7 @@ JointAttackResult joint_attack(const TextClassifier& model,
                                : worse_of(result.termination,
                                           word_result.termination);
       result.seconds = watch.elapsed_seconds();
+      reconcile(result);
       return result;
     }
   }
@@ -154,10 +170,12 @@ JointAttackResult joint_attack(const TextClassifier& model,
         model.class_probability(result.adv_doc.flatten(), target);
     ++result.queries;
     control.charge(1);  // the verification eval draws on the shared budget
+    ++result.budget_charged;
   }
   result.success = result.final_target_proba >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;
   result.seconds = watch.elapsed_seconds();
+  reconcile(result);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "src/core/lazy_greedy_attack.h"
 
+#include <algorithm>
 #include <cmath>
 #include <queue>
 
@@ -31,12 +32,26 @@ WordAttackResult lazy_greedy_attack(const TextClassifier& model,
     bool operator<(const Entry& other) const { return gain < other.gain; }
   };
   std::priority_queue<Entry> heap;
-  // Initial exact gains from the clean document (round 0).
+  // Initial exact gains from the clean document (round 0): the whole
+  // candidate set is known up front, so score it through batched evaluator
+  // calls (one gemm per layer per chunk) and push in the same (pos, word)
+  // order the per-candidate loop used. The lazy per-round refreshes below
+  // stay sequential — each pop depends on the previous one's result.
+  std::vector<SwapCandidate> initial;
   for (std::size_t pos = 0; pos < n; ++pos) {
     for (WordId cand : candidates.per_position[pos]) {
       if (cand == tokens[pos]) continue;
-      const double gain = evaluator->eval_swap(pos, cand)[target] - current;
-      heap.push({gain, pos, cand, 0});
+      initial.push_back({pos, cand});
+    }
+  }
+  Matrix scores;
+  for (std::size_t off = 0; off < initial.size(); off += kScoreChunkRows) {
+    const std::size_t len = std::min(kScoreChunkRows, initial.size() - off);
+    const BatchStatus status =
+        evaluator->eval_swap_batch(initial.data() + off, len, scores);
+    for (std::size_t i = 0; i < status.evaluated; ++i) {
+      const double gain = scores(i, target) - current;
+      heap.push({gain, initial[off + i].pos, initial[off + i].word, 0});
     }
   }
 
@@ -78,6 +93,9 @@ WordAttackResult lazy_greedy_attack(const TextClassifier& model,
   }
 
   result.queries = evaluator->queries();
+  result.cache_hits = evaluator->cache_hits();
+  result.cache_misses = evaluator->cache_misses();
+  result.budget_charged = evaluator->budget_charged();
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
   result.success = result.final_target_proba >= config.success_threshold;

@@ -1,5 +1,6 @@
 #include "src/core/objective_greedy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/stopwatch.h"
@@ -21,18 +22,18 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
       std::ceil(config.max_replace_fraction * static_cast<double>(n)));
 
   auto evaluator = model.make_swap_evaluator(result.adv_tokens);
+  // The evaluator shell owns all query accounting from here on: it polls
+  // the deadline per candidate, charges the QueryBudget once per cache
+  // miss, and serves repeats from the bound cache.
+  evaluator->bind_control(&control);
   double current = model.class_probability(result.adv_tokens, target);
   control.charge(1);
   std::vector<bool> replaced(n, false);
 
-  // Tracks evaluator queries already reported to the shared budget.
-  std::size_t charged = 0;
-  const auto sync_budget = [&] {
-    control.charge(evaluator->queries() - charged);
-    charged = evaluator->queries();
-  };
   bool out_of_time = false;
   bool out_of_budget = false;
+  std::vector<SwapCandidate> round;
+  Matrix scores;
 
   while (current < config.success_threshold &&
          count_changes(tokens, result.adv_tokens) < budget) {
@@ -40,30 +41,36 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
     double best_gain = config.min_gain;
     std::size_t best_pos = n;
     WordId best_word = Vocab::kUnk;
-    for (std::size_t pos = 0; pos < n && !out_of_time && !out_of_budget;
-         ++pos) {
+    // Collect the round's full candidate set, in the same position/word
+    // order the per-candidate loop used, then score it through batched
+    // evaluator calls — one gemm per network layer per chunk.
+    round.clear();
+    for (std::size_t pos = 0; pos < n; ++pos) {
       if (replaced[pos]) continue;  // one replacement per position
       for (WordId cand : candidates.per_position[pos]) {
         if (cand == result.adv_tokens[pos]) continue;
-        // A deadline/budget hit abandons the sweep but keeps the last
-        // *committed* document — never a half-evaluated swap.
-        if (control.deadline.expired()) {
-          out_of_time = true;
-          break;
-        }
-        if (control.budget_exhausted()) {
-          out_of_budget = true;
-          break;
-        }
-        const double p = evaluator->eval_swap(pos, cand)[target];
-        sync_budget();
+        round.push_back({pos, cand});
+      }
+    }
+    for (std::size_t off = 0;
+         off < round.size() && !out_of_time && !out_of_budget;
+         off += kScoreChunkRows) {
+      const std::size_t len = std::min(kScoreChunkRows, round.size() - off);
+      const BatchStatus status =
+          evaluator->eval_swap_batch(round.data() + off, len, scores);
+      for (std::size_t i = 0; i < status.evaluated; ++i) {
+        const double p = scores(i, target);
         const double gain = p - current;
         if (gain > best_gain) {
           best_gain = gain;
-          best_pos = pos;
-          best_word = cand;
+          best_pos = round[off + i].pos;
+          best_word = round[off + i].word;
         }
       }
+      // A deadline/budget hit abandons the sweep but keeps the last
+      // *committed* document — never a half-evaluated swap.
+      out_of_time = status.out_of_time;
+      out_of_budget = status.out_of_budget;
     }
     if (out_of_time || out_of_budget || best_pos == n) break;
     result.adv_tokens[best_pos] = best_word;
@@ -73,7 +80,6 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
     current += best_gain;
     // Re-anchor against drift (and MC-dropout noise) with a fresh forward.
     current = evaluator->eval_tokens(result.adv_tokens)[target];
-    sync_budget();
   }
 
   if (out_of_time) {
@@ -82,9 +88,18 @@ WordAttackResult objective_greedy_attack(const TextClassifier& model,
     result.termination = TerminationReason::kBudgetExhausted;
   }
   result.queries = evaluator->queries();
+  result.cache_hits = evaluator->cache_hits();
+  result.cache_misses = evaluator->cache_misses();
+  result.budget_charged = evaluator->budget_charged();
+  ADVTEXT_DCHECK(result.queries == result.cache_hits + result.cache_misses)
+      << "objective_greedy: query accounting drift (" << result.queries
+      << " != " << result.cache_hits << " + " << result.cache_misses << ")";
   result.final_target_proba =
       model.class_probability(result.adv_tokens, target);
   control.charge(1);
+  // The initial anchor and final verification forwards charge the budget
+  // directly (charge() no-ops without one, so mirror that here).
+  if (control.budget != nullptr) result.budget_charged += 2;
   result.success = result.final_target_proba >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;
   result.words_changed = count_changes(tokens, result.adv_tokens);

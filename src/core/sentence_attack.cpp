@@ -1,5 +1,6 @@
 #include "src/core/sentence_attack.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,47 +26,62 @@ SentenceAttackResult greedy_sentence_attack(
       std::ceil(config.max_paraphrase_fraction * static_cast<double>(l)));
 
   auto evaluator = model.make_swap_evaluator(result.adv_doc.flatten());
+  // The evaluator shell owns query accounting from here on: deadline polls
+  // per row, budget charged once per cache miss (the anchor eval below
+  // included), repeats served from the bound cache.
+  evaluator->bind_control(&control);
   double current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
   std::vector<bool> paraphrased(l, false);
 
-  std::size_t charged = 0;
-  const auto sync_budget = [&] {
-    control.charge(evaluator->queries() - charged);
-    charged = evaluator->queries();
-  };
-  sync_budget();
   bool out_of_time = false;
   bool out_of_budget = false;
+  struct TrialRef {
+    std::size_t sentence;
+    const Sentence* candidate;
+  };
+  std::vector<TokenSeq> trials;
+  std::vector<TrialRef> refs;
+  Matrix scores;
 
   while (current < config.success_threshold &&
          result.sentences_changed < budget) {
     double best_gain = config.min_gain;
     std::size_t best_sentence = l;
     const Sentence* best_candidate = nullptr;
-    for (std::size_t j = 0; j < l && !out_of_time && !out_of_budget; ++j) {
+    // Materialize the round's full trial set (each candidate paraphrase
+    // spliced into the current document), then score it through batched
+    // evaluator calls in the same sentence/candidate order the
+    // per-candidate loop used.
+    trials.clear();
+    refs.clear();
+    for (std::size_t j = 0; j < l; ++j) {
       if (paraphrased[j]) continue;
       for (const Sentence& candidate : neighbor_sets[j]) {
-        // Abandon the sweep on a limit hit; the last committed document
-        // stands (best-so-far semantics).
-        if (control.deadline.expired()) {
-          out_of_time = true;
-          break;
-        }
-        if (control.budget_exhausted()) {
-          out_of_budget = true;
-          break;
-        }
         Document trial = result.adv_doc;
         trial.sentences[j] = candidate;
-        const double p = evaluator->eval_tokens(trial.flatten())[target];
-        sync_budget();
+        trials.push_back(trial.flatten());
+        refs.push_back({j, &candidate});
+      }
+    }
+    for (std::size_t off = 0;
+         off < trials.size() && !out_of_time && !out_of_budget;
+         off += kScoreChunkRows) {
+      const std::size_t len = std::min(kScoreChunkRows, trials.size() - off);
+      const BatchStatus status =
+          evaluator->eval_tokens_batch(trials.data() + off, len, scores);
+      for (std::size_t i = 0; i < status.evaluated; ++i) {
+        const double p = scores(i, target);
         const double gain = p - current;
         if (gain > best_gain) {
           best_gain = gain;
-          best_sentence = j;
-          best_candidate = &candidate;
+          best_sentence = refs[off + i].sentence;
+          best_candidate = refs[off + i].candidate;
         }
       }
+      // Abandon the sweep on a limit hit; the last committed document
+      // stands (best-so-far semantics).
+      out_of_time = status.out_of_time;
+      out_of_budget = status.out_of_budget;
     }
     if (out_of_time || out_of_budget || best_sentence == l) break;
     result.adv_doc.sentences[best_sentence] = *best_candidate;
@@ -73,7 +89,6 @@ SentenceAttackResult greedy_sentence_attack(
     ++result.sentences_changed;
     evaluator->rebase(result.adv_doc.flatten());
     current = evaluator->eval_tokens(result.adv_doc.flatten())[target];
-    sync_budget();
   }
 
   if (out_of_time) {
@@ -82,6 +97,12 @@ SentenceAttackResult greedy_sentence_attack(
     result.termination = TerminationReason::kBudgetExhausted;
   }
   result.queries = evaluator->queries();
+  result.cache_hits = evaluator->cache_hits();
+  result.cache_misses = evaluator->cache_misses();
+  result.budget_charged = evaluator->budget_charged();
+  ADVTEXT_DCHECK(result.queries == result.cache_hits + result.cache_misses)
+      << "sentence_attack: query accounting drift (" << result.queries
+      << " != " << result.cache_hits << " + " << result.cache_misses << ")";
   result.final_target_proba = current;
   result.success = current >= config.success_threshold;
   if (result.success) result.termination = TerminationReason::kSucceeded;

@@ -114,13 +114,15 @@ namespace {
 class BowSwapEvaluator : public SwapEvaluator {
  public:
   BowSwapEvaluator(const BowClassifier& model, const Matrix& weights,
-                   const Vector& bias, TokenSeq base)
+                   const Vector& bias, const TokenSeq& base)
       : model_(model), weights_(weights), bias_(bias) {
     rebase(base);
   }
 
-  void rebase(const TokenSeq& tokens) override {
-    base_ = tokens;
+ protected:
+  std::size_t do_num_classes() const override { return model_.num_classes(); }
+
+  void do_rebase(const TokenSeq& tokens) override {
     logits_ = bias_;
     for (WordId w : tokens) {
       for (std::size_t c = 0; c < weights_.rows(); ++c) {
@@ -129,26 +131,43 @@ class BowSwapEvaluator : public SwapEvaluator {
     }
   }
 
-  Vector eval_swap(std::size_t pos, WordId candidate) override {
-    ++queries_;
+  Vector do_eval_swap(std::size_t pos, WordId candidate) override {
     Vector logits = logits_;
     for (std::size_t c = 0; c < weights_.rows(); ++c) {
       logits[c] += weights_(c, static_cast<std::size_t>(candidate)) -
-                   weights_(c, static_cast<std::size_t>(base_.at(pos)));
+                   weights_(c, static_cast<std::size_t>(base_tokens_.at(pos)));
     }
     return softmax(logits);
   }
 
-  Vector eval_tokens(const TokenSeq& tokens) override {
-    ++queries_;
+  Vector do_eval_tokens(const TokenSeq& tokens) override {
     return model_.predict_proba(tokens);
+  }
+
+  // A count model's swap is already O(num_classes); there is no gemm to
+  // win, so the batched hook just reuses one logits scratch across rows
+  // instead of allocating a Vector per candidate.
+  void do_eval_swap_batch(const SwapCandidate* candidates,
+                          const std::size_t* rows, std::size_t count,
+                          Matrix& out) override {
+    const std::size_t classes = weights_.rows();
+    for (std::size_t m = 0; m < count; ++m) {
+      float* logits = out.row(rows[m]);
+      for (std::size_t c = 0; c < classes; ++c) {
+        logits[c] =
+            logits_[c] +
+            (weights_(c, static_cast<std::size_t>(candidates[m].word)) -
+             weights_(c, static_cast<std::size_t>(
+                             base_tokens_.at(candidates[m].pos))));
+      }
+      softmax_inplace(logits, classes);
+    }
   }
 
  private:
   const BowClassifier& model_;
   const Matrix& weights_;
   const Vector& bias_;
-  TokenSeq base_;
   Vector logits_;
 };
 

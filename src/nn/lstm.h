@@ -39,6 +39,7 @@ class LstmClassifier final : public TrainableClassifier {
   }
 
   Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix predict_proba_batch(const std::vector<TokenSeq>& docs) const override;
   Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
                         Vector* proba = nullptr) const override;
   std::unique_ptr<SwapEvaluator> make_swap_evaluator(
@@ -59,6 +60,41 @@ class LstmClassifier final : public TrainableClassifier {
 
   /// Probabilities from a final hidden state.
   Vector proba_from_hidden(const Vector& h) const;
+
+  // Batched recurrence primitives. Every output element is the same
+  // ascending-k dot the scalar step computes, so
+  //   gate_preact_x + gate_preact_h + step_from_preact == step
+  // bit-for-bit per row; the batched evaluators stack rows so each piece
+  // is one gemm per timestep instead of 8H small dots per candidate.
+
+  /// zx = X * Wx^T for m stacked embedding rows (m x D -> m x 4H).
+  void gate_preact_x(const float* x, std::size_t m, float* zx) const;
+
+  /// zh = H * Wh^T for m stacked hidden rows (m x H -> m x 4H).
+  void gate_preact_h(const float* h, std::size_t m, float* zh) const;
+
+  /// One-time pack of the gate weights for the packed overloads below.
+  /// The caller owns the buffers and must repack after any weight update;
+  /// the batched evaluators pack at rebase time, when weights are frozen.
+  void pack_gate_weights(PackedB* wx, PackedB* wh) const;
+
+  /// Bit-identical to the unpacked overloads, minus the per-call repack
+  /// of the weight tile (one recurrent gemm runs per timestep, so that
+  /// repack is the dominant per-call overhead at small batch widths).
+  void gate_preact_x(const PackedB& wx, const float* x, std::size_t m,
+                     float* zx) const;
+  void gate_preact_h(const PackedB& wh, const float* h, std::size_t m,
+                     float* zh) const;
+
+  /// One step for one row from precomputed pre-activations; updates the
+  /// raw h and c rows (length hidden) in place.
+  void step_from_preact(const float* zx, const float* zh, float* h,
+                        float* c) const;
+
+  /// Batched output head: class probabilities for m stacked hidden rows,
+  /// written row-major into proba (m x num_classes).
+  void proba_from_hidden_batch(const float* h, std::size_t m,
+                               float* proba) const;
 
   // Dropout RNG round-trip for bitwise-identical training resume.
   std::vector<std::uint64_t> stochastic_state() const override {

@@ -11,18 +11,62 @@
 // consecutive candidate evaluations differ from a base document in a single
 // position, so models can cache per-document state (conv feature maps for
 // the WCNN, hidden-state prefixes for the LSTM) instead of running a full
-// forward per candidate. A default (no caching) implementation is provided.
+// forward per candidate.
+//
+// SwapEvaluator is a non-virtual shell over protected do_* hooks. The shell
+// owns everything the attacks must agree on regardless of model family:
+//   * query counting (queries() stays the logical hit+miss count, so
+//     reported query metrics, checkpoints and resume replay are identical
+//     whether or not a cache is attached);
+//   * the memoizing QueryCache (keyed by an FNV-1a hash of the full
+//     resulting token sequence, so eval_swap and eval_tokens call sites
+//     unify) — misses are computed, hits are served from memory;
+//   * the single QueryBudget charge point: a batch of N candidates charges
+//     N on miss, hits are free, and nothing else in the attack loop touches
+//     the budget for evaluator queries;
+//   * deadline/budget truncation for batched sweeps, replicating the
+//     seed per-candidate loop semantics (deadline checked before every
+//     row, budget before every miss; a truncated batch returns the number
+//     of rows actually evaluated).
+//
+// Models implement do_eval_swap / do_eval_tokens (per-candidate) and may
+// override the do_*_batch hooks with stacked-gemm versions; the default
+// batch hooks loop the per-candidate path, so batched and sequential
+// scoring are bit-identical by construction for every model.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
 #include "src/text/corpus.h"
+#include "src/util/query_cache.h"
+#include "src/util/robust.h"
 
 namespace advtext {
+
+/// One single-position swap against the evaluator's base document.
+struct SwapCandidate {
+  std::size_t pos = 0;
+  WordId word = 0;
+};
+
+/// Outcome of a batched evaluation sweep. `evaluated` rows (a prefix of the
+/// request) were filled; at most one truncation flag is set, recording which
+/// limit fired at the first unevaluated row — the same deadline-first
+/// classification the per-candidate loops make, so attacks report identical
+/// termination reasons on the batched path.
+struct BatchStatus {
+  std::size_t evaluated = 0;
+  bool out_of_time = false;
+  bool out_of_budget = false;
+
+  bool truncated() const { return out_of_time || out_of_budget; }
+};
 
 /// Incremental evaluator for single-position word swaps against a cached
 /// base document. Obtain via TextClassifier::make_swap_evaluator.
@@ -31,22 +75,112 @@ class SwapEvaluator {
   virtual ~SwapEvaluator() = default;
 
   /// Re-caches state for a new base document (call after committing a swap).
-  virtual void rebase(const TokenSeq& tokens) = 0;
+  void rebase(const TokenSeq& tokens);
 
   /// Class-probability vector for the base document with position `pos`
   /// replaced by word `candidate`. Does not modify the base.
-  virtual Vector eval_swap(std::size_t pos, WordId candidate) = 0;
+  Vector eval_swap(std::size_t pos, WordId candidate);
 
   /// Class-probability vector for an arbitrary token sequence (used for
-  /// multi-position candidates in Alg. 3). Default: full forward.
-  virtual Vector eval_tokens(const TokenSeq& tokens) = 0;
+  /// multi-position candidates in Alg. 3).
+  Vector eval_tokens(const TokenSeq& tokens);
+
+  /// Scores candidates[0..count) in order, one `out` row per candidate.
+  /// Honors the bound AttackControl exactly like the per-candidate loops:
+  /// the deadline is polled before every row and the budget checked before
+  /// every miss; on a limit hit the sweep truncates and the status reports
+  /// how many rows were actually evaluated (rows past it are untouched)
+  /// and which limit fired. Cache hits — including duplicates within the
+  /// batch — are served without a charge.
+  BatchStatus eval_swap_batch(const SwapCandidate* candidates,
+                              std::size_t count, Matrix& out);
+  BatchStatus eval_swap_batch(const std::vector<SwapCandidate>& candidates,
+                              Matrix& out);
+
+  /// Batched eval_tokens with the same truncation/caching contract.
+  BatchStatus eval_tokens_batch(const TokenSeq* docs, std::size_t count,
+                                Matrix& out);
+  BatchStatus eval_tokens_batch(const std::vector<TokenSeq>& docs,
+                                Matrix& out);
+
+  /// Binds the shared attack controls (deadline + query budget + optional
+  /// cache). Attacks bind once right after creating the evaluator; the
+  /// control must outlive the evaluator's use. Unbound evaluators run
+  /// unlimited and uncached (the analyzer's uncharged-forward rule pins
+  /// that every attack entry point either binds or charges explicitly).
+  void bind_control(const AttackControl* control);
 
   /// Number of candidate evaluations performed (query-count metric).
+  /// Counts hits + misses: attaching a cache never changes the reported
+  /// query counts, only the work and the budget charges.
   std::size_t queries() const { return queries_; }
 
+  /// Evaluations served from the bound QueryCache.
+  std::size_t cache_hits() const { return hits_; }
+
+  /// Evaluations actually computed (the only ones charged to the budget).
+  std::size_t cache_misses() const { return misses_; }
+
+  /// Total queries charged to the bound QueryBudget (== misses made while
+  /// a budget was bound). The attacks DCHECK this against the budget's
+  /// used() tally at sweep end to pin the single-charge-point invariant.
+  std::size_t budget_charged() const { return charged_; }
+
  protected:
+  virtual std::size_t do_num_classes() const = 0;
+  virtual void do_rebase(const TokenSeq& tokens) = 0;
+  virtual Vector do_eval_swap(std::size_t pos, WordId candidate) = 0;
+  virtual Vector do_eval_tokens(const TokenSeq& tokens) = 0;
+
+  /// Batched hooks: compute candidates[m] into out.row(rows[m]) for
+  /// m in [0, count). Defaults loop the per-candidate hooks; models
+  /// override with stacked-gemm implementations. Implementations must be
+  /// bit-identical to the per-candidate path and must consume any
+  /// stochastic state (MC-dropout RNG) in row order.
+  virtual void do_eval_swap_batch(const SwapCandidate* candidates,
+                                  const std::size_t* rows, std::size_t count,
+                                  Matrix& out);
+  virtual void do_eval_tokens_batch(const TokenSeq* const* docs,
+                                    const std::size_t* rows,
+                                    std::size_t count, Matrix& out);
+
+  /// Impls whose forward is stochastic (MC dropout) clear this so the
+  /// cache is bypassed — memoizing a random draw would change results.
+  bool cacheable_ = true;
+
+  /// Current base document, kept by the shell for cache keying. Valid
+  /// inside do_* hooks (set before do_rebase runs).
+  TokenSeq base_tokens_;
+
+ private:
+  QueryCache* active_cache() const;
+  std::uint64_t swap_key(std::size_t pos, WordId candidate) const;
+  void charge_one();
+
+  const AttackControl* control_ = nullptr;
   std::size_t queries_ = 0;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t charged_ = 0;
+
+  // Reused batch scratch (hot path: one batch per greedy round).
+  std::vector<SwapCandidate> miss_cands_;
+  std::vector<const TokenSeq*> miss_docs_;
+  std::vector<std::size_t> miss_rows_;
+  std::vector<std::uint64_t> miss_keys_;
+  std::vector<std::pair<std::size_t, std::size_t>> alias_rows_;
+  std::unordered_map<std::uint64_t, std::size_t> pending_;
+  std::vector<float> row_scratch_;
 };
+
+/// Benchmark/CI hook: when true, the batch entry points score their misses
+/// through the per-candidate do_eval_* path instead of the stacked-gemm
+/// overrides. Results are bit-identical either way (that is the batched
+/// contract); the switch exists so the bench-attack-sweep job can emit
+/// seed-path timing rows from the same binary. Not thread-safe: set it
+/// before spawning attack workers.
+void set_sequential_scoring(bool sequential);
+bool sequential_scoring();
 
 /// Text classifier over token-id sequences.
 class TextClassifier {
@@ -63,6 +197,11 @@ class TextClassifier {
   /// Class-probability vector. Non-const models (MC dropout) use an
   /// internal mutable RNG, so repeated calls may differ when enabled.
   virtual Vector predict_proba(const TokenSeq& tokens) const = 0;
+
+  /// Batched predict_proba: one row per document, bit-identical to calling
+  /// predict_proba per document (stochastic models consume RNG draws in
+  /// row order). Default loops; models override with stacked gemms.
+  virtual Matrix predict_proba_batch(const std::vector<TokenSeq>& docs) const;
 
   /// Probability of a single class.
   double class_probability(const TokenSeq& tokens, std::size_t label) const {

@@ -84,11 +84,37 @@ Vector WCnn::output_logits(const Vector& pooled) const {
 }
 
 void WCnn::apply_mc_dropout(Vector& pooled) const {
+  apply_mc_dropout(pooled.data(), pooled.size());
+}
+
+void WCnn::apply_mc_dropout(float* pooled, std::size_t n) const {
   const float p = config_.mc_dropout;
   if (p <= 0.0f) return;
   const float scale = 1.0f / (1.0f - p);
-  for (float& v : pooled) {
-    v = rng_.bernoulli(p) ? 0.0f : v * scale;
+  for (std::size_t f = 0; f < n; ++f) {
+    pooled[f] = rng_.bernoulli(p) ? 0.0f : pooled[f] * scale;
+  }
+}
+
+void WCnn::window_preact_batch(const float* windows, std::size_t m,
+                               float* out) const {
+  const std::size_t span = config_.kernel * config_.embed_dim;
+  const std::size_t nf = config_.num_filters;
+  gemm_nt(windows, m, conv_w_.data(), nf, span, out);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = out + i * nf;
+    for (std::size_t f = 0; f < nf; ++f) row[f] += conv_b_[f];
+  }
+}
+
+void WCnn::proba_from_pooled_batch(const float* pooled, std::size_t m,
+                                   float* proba) const {
+  const std::size_t classes = config_.num_classes;
+  gemm_nt(pooled, m, out_w_.data(), classes, config_.num_filters, proba);
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = proba + i * classes;
+    for (std::size_t c = 0; c < classes; ++c) row[c] += out_b_[c];
+    softmax_inplace(row, classes);
   }
 }
 
@@ -98,6 +124,51 @@ Vector WCnn::predict_proba(const TokenSeq& tokens) const {
   Vector pooled = max_pool(preact);
   apply_mc_dropout(pooled);
   return softmax(output_logits(pooled));
+}
+
+Matrix WCnn::predict_proba_batch(const std::vector<TokenSeq>& docs) const {
+  const std::size_t count = docs.size();
+  Matrix out(count, config_.num_classes);
+  if (count == 0) return out;
+  const std::size_t dim = config_.embed_dim;
+  const std::size_t span = config_.kernel * dim;
+  const std::size_t nf = config_.num_filters;
+  // Stack every window of every document; one gemm convolves them all.
+  std::vector<std::size_t> win_start(count + 1);
+  std::vector<Matrix> embedded(count);
+  std::size_t total = 0;
+  for (std::size_t m = 0; m < count; ++m) {
+    embedded[m] = embedding_.lookup(padded(docs[m]));
+    win_start[m] = total;
+    total += embedded[m].rows() - config_.kernel + 1;
+  }
+  win_start[count] = total;
+  Matrix windows(total, span);
+  for (std::size_t m = 0; m < count; ++m) {
+    const std::size_t nw = win_start[m + 1] - win_start[m];
+    for (std::size_t w = 0; w < nw; ++w) {
+      const float* src = embedded[m].row(w);  // rows are contiguous
+      std::copy(src, src + span, windows.row(win_start[m] + w));
+    }
+  }
+  Matrix preact(total, nf);
+  window_preact_batch(windows.data(), total, preact.data());
+  // Pool + (in document order, for the RNG stream) MC dropout.
+  Matrix pooled(count, nf);
+  for (std::size_t m = 0; m < count; ++m) {
+    float* prow = pooled.row(m);
+    std::fill(prow, prow + nf, -std::numeric_limits<float>::infinity());
+    for (std::size_t w = win_start[m]; w < win_start[m + 1]; ++w) {
+      const float* row = preact.row(w);
+      for (std::size_t f = 0; f < nf; ++f) {
+        const float a = std::max(0.0f, row[f]);  // ReLU
+        if (a > prow[f]) prow[f] = a;
+      }
+    }
+    apply_mc_dropout(prow, nf);
+  }
+  proba_from_pooled_batch(pooled.data(), count, out.data());
+  return out;
 }
 
 Matrix WCnn::input_gradient(const TokenSeq& tokens, std::size_t target,
@@ -250,7 +321,13 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
     rebase(base);
   }
 
-  void rebase(const TokenSeq& tokens) override {
+ protected:
+  std::size_t do_num_classes() const override { return model_.num_classes(); }
+
+  void do_rebase(const TokenSeq& tokens) override {
+    // MC-dropout forwards are stochastic draws; memoizing one would change
+    // results, so the shell's cache is bypassed whenever dropout is live.
+    cacheable_ = model_.config().mc_dropout <= 0.0f;
     base_len_ = tokens.size();
     padded_ = model_.padded(tokens);
     embedded_ = model_.embedding().lookup(padded_);
@@ -278,8 +355,7 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
     }
   }
 
-  Vector eval_swap(std::size_t pos, WordId candidate) override {
-    ++queries_;
+  Vector do_eval_swap(std::size_t pos, WordId candidate) override {
     ADVTEXT_CHECK_SHAPE(pos < base_len_) << "eval_swap: position out of range";
     const auto& cfg = model_.config();
     const std::size_t nw = preact_.rows();
@@ -310,8 +386,7 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
     return softmax(model_.output_logits(pooled));
   }
 
-  Vector eval_tokens(const TokenSeq& tokens) override {
-    ++queries_;
+  Vector do_eval_tokens(const TokenSeq& tokens) override {
     // Multi-position candidate: recompute only windows covering changed
     // positions, take the column max with cached unaffected windows.
     if (tokens.size() != base_len_) return model_.predict_proba(tokens);
@@ -348,7 +423,178 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
     return softmax(model_.output_logits(pooled));
   }
 
+  // Batched candidate scoring: every affected window of every candidate
+  // (at most `kernel` each) is stacked into one matrix and re-convolved by
+  // a single gemm; pooling then reads the cached prefix/suffix maxima per
+  // row. MC-dropout draws happen per row in request order, so the RNG
+  // stream matches the sequential path exactly.
+  void do_eval_swap_batch(const SwapCandidate* candidates,
+                          const std::size_t* rows, std::size_t count,
+                          Matrix& out) override {
+    const auto& cfg = model_.config();
+    const std::size_t dim = cfg.embed_dim;
+    const std::size_t span = cfg.kernel * dim;
+    const std::size_t nf = cfg.num_filters;
+    const std::size_t nw = preact_.rows();
+    const std::size_t classes = model_.num_classes();
+    win_start_.resize(count + 1);
+    std::size_t total = 0;
+    for (std::size_t m = 0; m < count; ++m) {
+      win_start_[m] = total;
+      const std::size_t pos = candidates[m].pos;
+      const std::size_t lo =
+          pos >= cfg.kernel - 1 ? pos - (cfg.kernel - 1) : 0;
+      const std::size_t hi = std::min(pos, nw - 1);
+      total += hi - lo + 1;
+    }
+    win_start_[count] = total;
+    ensure_window_scratch(total, span, nf);
+    for (std::size_t m = 0; m < count; ++m) {
+      const std::size_t pos = candidates[m].pos;
+      const std::size_t lo =
+          pos >= cfg.kernel - 1 ? pos - (cfg.kernel - 1) : 0;
+      const std::size_t hi = std::min(pos, nw - 1);
+      const float* cand_vec = model_.embedding().vector(candidates[m].word);
+      for (std::size_t w = lo; w <= hi; ++w) {
+        float* dst = wins_.row(win_start_[m] + (w - lo));
+        const float* src = embedded_.row(w);  // rows are contiguous
+        std::copy(src, src + span, dst);
+        std::copy(cand_vec, cand_vec + dim, dst + (pos - w) * dim);
+      }
+    }
+    model_.window_preact_batch(wins_.data(), total, wpre_.data());
+    if (pooled_.rows() < count || pooled_.cols() != nf) {
+      pooled_ = Matrix(count, nf);
+    }
+    for (std::size_t m = 0; m < count; ++m) {
+      const std::size_t pos = candidates[m].pos;
+      const std::size_t lo =
+          pos >= cfg.kernel - 1 ? pos - (cfg.kernel - 1) : 0;
+      const std::size_t hi = std::min(pos, nw - 1);
+      float* pooled = pooled_.row(m);
+      for (std::size_t f = 0; f < nf; ++f) {
+        pooled[f] = std::max(prefix_(lo, f), suffix_(hi + 1, f));
+      }
+      for (std::size_t w = lo; w <= hi; ++w) {
+        const float* row = wpre_.row(win_start_[m] + (w - lo));
+        for (std::size_t f = 0; f < nf; ++f) {
+          pooled[f] = std::max(pooled[f], std::max(0.0f, row[f]));
+        }
+      }
+      model_.apply_mc_dropout(pooled, nf);
+    }
+    proba_.resize(count * classes);
+    model_.proba_from_pooled_batch(pooled_.data(), count, proba_.data());
+    for (std::size_t m = 0; m < count; ++m) {
+      const float* src = proba_.data() + m * classes;
+      std::copy(src, src + classes, out.row(rows[m]));
+    }
+  }
+
+  void do_eval_tokens_batch(const TokenSeq* const* docs,
+                            const std::size_t* rows, std::size_t count,
+                            Matrix& out) override {
+    const auto& cfg = model_.config();
+    const std::size_t dim = cfg.embed_dim;
+    const std::size_t span = cfg.kernel * dim;
+    const std::size_t nf = cfg.num_filters;
+    const std::size_t nw = preact_.rows();
+    const std::size_t classes = model_.num_classes();
+    // Pass 1 (draws no RNG): collect each row's dirty windows and stack
+    // their patched contents for one gemm. Length-mismatched rows fall
+    // back to a full forward in pass 2.
+    win_start_.resize(count + 1);
+    dirty_list_.clear();
+    is_fallback_.assign(count, 0);
+    for (std::size_t m = 0; m < count; ++m) {
+      win_start_[m] = dirty_list_.size();
+      const TokenSeq& doc = *docs[m];
+      if (doc.size() != base_len_) {
+        is_fallback_[m] = 1;
+        continue;
+      }
+      for (std::size_t w = 0; w < nw; ++w) {
+        bool dirty = false;
+        for (std::size_t o = 0; o < cfg.kernel && w + o < doc.size(); ++o) {
+          if (doc[w + o] != padded_[w + o]) {
+            dirty = true;
+            break;
+          }
+        }
+        if (dirty) dirty_list_.push_back(w);
+      }
+    }
+    win_start_[count] = dirty_list_.size();
+    const std::size_t total = dirty_list_.size();
+    ensure_window_scratch(total, span, nf);
+    for (std::size_t m = 0; m < count; ++m) {
+      const TokenSeq& doc = *docs[m];
+      for (std::size_t k = win_start_[m]; k < win_start_[m + 1]; ++k) {
+        const std::size_t w = dirty_list_[k];
+        float* dst = wins_.row(k);
+        const float* src = embedded_.row(w);
+        std::copy(src, src + span, dst);
+        for (std::size_t o = 0; o < cfg.kernel && w + o < doc.size(); ++o) {
+          if (doc[w + o] == padded_[w + o]) continue;
+          const float* xt = model_.embedding().vector(doc[w + o]);
+          std::copy(xt, xt + dim, dst + o * dim);
+        }
+      }
+    }
+    if (total > 0) {
+      model_.window_preact_batch(wins_.data(), total, wpre_.data());
+    }
+    // Pass 2, in request order so MC-dropout draws match the sequential
+    // path: fallbacks run a full forward; cached rows pool from clean
+    // preacts plus the re-convolved dirty windows.
+    if (pooled_.rows() < count || pooled_.cols() != nf) {
+      pooled_ = Matrix(count, nf);
+    }
+    brow_out_.clear();
+    std::size_t bcount = 0;
+    for (std::size_t m = 0; m < count; ++m) {
+      if (is_fallback_[m]) {
+        const Vector proba = model_.predict_proba(*docs[m]);
+        std::copy(proba.begin(), proba.end(), out.row(rows[m]));
+        continue;
+      }
+      float* pooled = pooled_.row(bcount);
+      std::fill(pooled, pooled + nf, 0.0f);
+      std::size_t k = win_start_[m];
+      for (std::size_t w = 0; w < nw; ++w) {
+        const float* row = preact_.row(w);
+        if (k < win_start_[m + 1] && dirty_list_[k] == w) {
+          row = wpre_.row(k);
+          ++k;
+        }
+        for (std::size_t f = 0; f < nf; ++f) {
+          pooled[f] = std::max(pooled[f], std::max(0.0f, row[f]));
+        }
+      }
+      model_.apply_mc_dropout(pooled, nf);
+      brow_out_.push_back(rows[m]);
+      ++bcount;
+    }
+    if (bcount == 0) return;
+    proba_.resize(bcount * classes);
+    model_.proba_from_pooled_batch(pooled_.data(), bcount, proba_.data());
+    for (std::size_t b = 0; b < bcount; ++b) {
+      const float* src = proba_.data() + b * classes;
+      std::copy(src, src + classes, out.row(brow_out_[b]));
+    }
+  }
+
  private:
+  void ensure_window_scratch(std::size_t total, std::size_t span,
+                             std::size_t nf) {
+    if (wins_.rows() < total || wins_.cols() != span) {
+      wins_ = Matrix(total, span);
+    }
+    if (wpre_.rows() < total || wpre_.cols() != nf) {
+      wpre_ = Matrix(total, nf);
+    }
+  }
+
   const WCnn& model_;
   std::size_t base_len_ = 0;
   TokenSeq padded_;
@@ -356,6 +602,16 @@ class WCnnSwapEvaluatorImpl : public SwapEvaluator {
   Matrix preact_;    // windows x filters
   Matrix prefix_;    // (windows+1) x filters running max of ReLU'd maps
   Matrix suffix_;
+
+  // Batch scratch, reused across rounds.
+  std::vector<std::size_t> win_start_;
+  std::vector<std::size_t> dirty_list_;
+  std::vector<char> is_fallback_;
+  std::vector<std::size_t> brow_out_;
+  Matrix wins_;    // stacked patched windows
+  Matrix wpre_;    // their re-convolved pre-activations
+  Matrix pooled_;
+  Vector proba_;
 };
 
 }  // namespace

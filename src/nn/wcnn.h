@@ -44,6 +44,7 @@ class WCnn final : public TrainableClassifier {
   }
 
   Vector predict_proba(const TokenSeq& tokens) const override;
+  Matrix predict_proba_batch(const std::vector<TokenSeq>& docs) const override;
   Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
                         Vector* proba = nullptr) const override;
   std::unique_ptr<SwapEvaluator> make_swap_evaluator(
@@ -92,6 +93,22 @@ class WCnn final : public TrainableClassifier {
 
   /// Applies inference MC dropout (inverted scaling) if configured.
   void apply_mc_dropout(Vector& pooled) const;
+  void apply_mc_dropout(float* pooled, std::size_t n) const;
+
+  // Batched forward pieces. Each output element is the same dot+bias the
+  // scalar helpers compute, so batched == per-candidate bit-for-bit; the
+  // batched evaluator stacks every affected window of a whole candidate
+  // set into one gemm.
+
+  /// Re-convolves m stacked windows (m x kernel*D) into pre-activations
+  /// (m x F); row i equals window_preact on window i.
+  void window_preact_batch(const float* windows, std::size_t m,
+                           float* out) const;
+
+  /// Batched output head: probabilities for m pooled rows (m x F ->
+  /// m x C); row i equals softmax(output_logits(pooled_i)).
+  void proba_from_pooled_batch(const float* pooled, std::size_t m,
+                               float* proba) const;
 
  private:
   WCnnConfig config_;

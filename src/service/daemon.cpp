@@ -414,6 +414,7 @@ void AttackDaemon::run_job(PendingJob job) {
   eval.checkpoint_every = config_.checkpoint_every;
   eval.resume = file_exists(eval.checkpoint_path);
   eval.threads = 1;  // one worker per job; jobs are the parallelism unit
+  eval.query_cache_bytes = config_.query_cache_bytes;
   eval.sweep_deadline = job.deadline;
   std::size_t sweep_cap = static_cast<std::size_t>(job.request.job_max_queries);
   if (ledger != nullptr) {
@@ -506,6 +507,9 @@ void AttackDaemon::run_job(PendingJob job) {
   summary.docs_attacked = result.docs_attacked;
   summary.docs_failed = result.docs_failed;
   summary.sweep_queries_used = result.sweep_queries_used;
+  summary.cache_hits = result.cache_hits;
+  summary.cache_misses = result.cache_misses;
+  summary.queries_saved = result.queries_saved;
   summary.success_rate = result.success_rate;
   summary.adversarial_accuracy = result.adversarial_accuracy;
 

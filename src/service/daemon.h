@@ -96,6 +96,9 @@ struct DaemonConfig {
   /// the job is shed with a typed RejectReason::kResource — overload
   /// shedding for memory instead of an OOM abort.
   std::size_t job_memory_bytes = std::size_t{1} << 20;
+  /// Per-worker memoizing query cache budget for served sweeps
+  /// (AttackEvalConfig::query_cache_bytes; `--query-cache-mb`, 0 disables).
+  std::size_t query_cache_bytes = 32u << 20;
 };
 
 /// Operational counters, readable after serve()/recover() return.

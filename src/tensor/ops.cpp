@@ -28,15 +28,6 @@ const char* activation_name(Activation a) {
   return "?";
 }
 
-float sigmoid(float x) {
-  if (x >= 0.0f) {
-    const float z = std::exp(-x);
-    return 1.0f / (1.0f + z);
-  }
-  const float z = std::exp(x);
-  return z / (1.0f + z);
-}
-
 float activate(Activation a, float x) {
   switch (a) {
     case Activation::kIdentity: return x;
@@ -83,21 +74,24 @@ void activate_inplace(Activation a, Vector& x) {
   for (float& v : x) v = activate(a, v);
 }
 
-Vector softmax(const Vector& logits) {
-  ADVTEXT_CHECK_SHAPE(!logits.empty()) << "softmax: empty input";
-  ADVTEXT_DCHECK(all_finite(logits.data(), logits.size()))
-      << "softmax: non-finite logit";
-  const float mx = *std::max_element(logits.begin(), logits.end());
-  Vector out(logits.size());
+void softmax_inplace(float* x, std::size_t n) {
+  ADVTEXT_CHECK_SHAPE(n > 0) << "softmax: empty input";
+  ADVTEXT_DCHECK(all_finite(x, n)) << "softmax: non-finite logit";
+  const float mx = *std::max_element(x, x + n);
   float total = 0.0f;
-  for (std::size_t i = 0; i < logits.size(); ++i) {
-    out[i] = std::exp(logits[i] - mx);
-    total += out[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    total += x[i];
   }
   // Max-shifted exponentials are in (0, 1] and at least one is exactly 1,
   // so the normalizer is always >= 1 for finite input.
   ADVTEXT_DCHECK(total >= 1.0f) << "softmax: degenerate normalizer " << total;
-  for (float& v : out) v /= total;
+  for (std::size_t i = 0; i < n; ++i) x[i] /= total;
+}
+
+Vector softmax(const Vector& logits) {
+  Vector out = logits;
+  softmax_inplace(out.data(), out.size());
   return out;
 }
 

@@ -6,7 +6,10 @@
 // functions for hot loops.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "src/tensor/tensor.h"
@@ -41,6 +44,11 @@ void activate_inplace(Activation a, Vector& x);
 /// Numerically stable softmax (subtracts the max).
 Vector softmax(const Vector& logits);
 
+/// In-place softmax over a raw row of length n. The exact operation
+/// sequence of softmax(); the batched evaluators use it to normalize gemm
+/// output rows without per-row allocations while staying bit-identical.
+void softmax_inplace(float* x, std::size_t n);
+
 /// Numerically stable log-softmax.
 Vector log_softmax(const Vector& logits);
 
@@ -50,7 +58,83 @@ float cross_entropy(const Vector& logits, std::size_t label);
 /// Gradient of cross_entropy w.r.t. logits: softmax(logits) - onehot(label).
 Vector cross_entropy_grad(const Vector& logits, std::size_t label);
 
-/// Numerically stable sigmoid.
-float sigmoid(float x);
+/// Fast branch-free e^x: range-reduced 2^f polynomial plus exponent-bit
+/// reconstruction, ~1e-7 relative error, no libm call. The recurrent
+/// models spend most of a batched suffix recurrence inside their gate
+/// nonlinearities (~5 transcendentals per hidden unit per timestep);
+/// libm's expf/tanhf are precise but scalar and ~4x the cost of the whole
+/// surrounding gemm at these widths. This shares one cheap, vectorizable
+/// definition between the scalar and batched paths, so batched ==
+/// per-candidate stays bit-for-bit by construction.
+inline float fast_exp(float x) {
+  // Every select below is written in the integer domain (or as a bit
+  // mask). GCC's if-converter refuses float-variable ternaries once a few
+  // stack up in one body ("control flow in loop"), which silently
+  // de-vectorizes the gate-nonlinearity passes; integer selects always
+  // flatten. An exhaustive 2^32 sweep pins this formulation bit-identical
+  // to the straightforward float-clamped one for every non-NaN input.
+  float t = x * 1.4426950408889634f;
+  // Upper clamp min(t, 126.0f) via signed-int compare of the bit pattern:
+  // positive IEEE floats order like their bits, and negative t reads as a
+  // negative int here so it never clamps. 0x42fc0000 = 126.0f.
+  std::int32_t ti;
+  std::memcpy(&ti, &t, sizeof(ti));
+  ti = ti > 0x42fc0000 ? 0x42fc0000 : ti;
+  std::memcpy(&t, &ti, sizeof(t));
+  // floor(t) via truncation: cvttps truncates toward zero, so shift down
+  // by one when truncation rounded up (negative non-integers). The
+  // pre-clamp keeps the fixup free of signed overflow when the conversion
+  // itself saturated (t below INT_MIN converts to INT_MIN).
+  std::int32_t e = static_cast<std::int32_t>(t);
+  e = e < -16777216 ? -16777216 : e;
+  e -= static_cast<float>(e) > t ? 1 : 0;
+  e = e < -126 ? -126 : e;
+  float f = t - static_cast<float>(e);  // fractional part in [0, 1)
+  // f < 0 only when the lower clamp fired; zero it via the sign-bit mask.
+  std::uint32_t fb;
+  std::memcpy(&fb, &f, sizeof(fb));
+  fb &= ~static_cast<std::uint32_t>(static_cast<std::int32_t>(fb) >> 31);
+  std::memcpy(&f, &fb, sizeof(f));
+  // Degree-5 minimax-style polynomial for 2^f on [0, 1).
+  float p = 1.3333558146428443e-3f;
+  p = p * f + 9.6180437357078602e-3f;
+  p = p * f + 5.5504108664821580e-2f;
+  p = p * f + 2.4022650695910071e-1f;
+  p = p * f + 6.9314718055994531e-1f;
+  p = p * f + 1.0f;
+  // 2^e through the exponent bits.
+  const std::uint32_t bits = static_cast<std::uint32_t>(e + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+/// Numerically stable sigmoid on fast_exp. Branchless |x| form so both
+/// halves share one exp evaluation; the final select blends bit patterns
+/// instead of using a float ternary for the same if-conversion reason as
+/// fast_exp.
+inline float sigmoid(float x) {
+  const float z = fast_exp(-std::fabs(x));
+  const float s = 1.0f / (1.0f + z);
+  const float s1 = 1.0f - s;
+  std::uint32_t sb;
+  std::uint32_t s1b;
+  std::memcpy(&sb, &s, sizeof(sb));
+  std::memcpy(&s1b, &s1, sizeof(s1b));
+  const std::uint32_t m = x >= 0.0f ? 0xffffffffu : 0u;
+  const std::uint32_t rb = (sb & m) | (s1b & ~m);
+  float r;
+  std::memcpy(&r, &rb, sizeof(r));
+  return r;
+}
+
+/// tanh on fast_exp: sign(x) * (1 - 2 / (e^{2|x|} + 1)). Shared by the
+/// scalar and batched recurrences for the same bit-parity reason as
+/// sigmoid; absolute error ~1e-7 like fast_exp.
+inline float tanh_act(float x) {
+  const float e = fast_exp(2.0f * std::fabs(x));
+  const float t = 1.0f - 2.0f / (e + 1.0f);
+  return x >= 0.0f ? t : -t;
+}
 
 }  // namespace advtext

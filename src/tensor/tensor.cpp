@@ -147,6 +147,102 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
   return c;
 }
 
+namespace {
+
+// Width of the packed gemm micro-kernel: kNr independent ascending-k
+// accumulator chains run side by side. Per lane the mul/add sequence is
+// identical to dot() (baseline x86-64 has no FMA, so the compiler cannot
+// contract one path and not the other); across lanes the chains are
+// independent, which is what lets them vectorize and hide the ~4-cycle
+// float-add latency that makes a lone dot() latency-bound.
+constexpr std::size_t kNr = 8;
+
+// C = A * Bt^T where `tiles` holds ceil(brows/kNr) k-major tiles of kNr
+// columns each, trailing lanes zero-padded (padded lanes are computed but
+// never stored, so the padding value is irrelevant to the output).
+void gemm_nt_tiled(const float* a, std::size_t arows, const float* tiles,
+                   std::size_t brows, std::size_t k, float* c) {
+  for (std::size_t j0 = 0; j0 < brows; j0 += kNr) {
+    const float* tile = tiles + (j0 / kNr) * k * kNr;
+    const std::size_t lanes = std::min(kNr, brows - j0);
+    for (std::size_t i = 0; i < arows; ++i) {
+      const float* ai = a + i * k;
+      float acc[kNr] = {0.0f};
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ai[kk];
+        const float* bt = tile + kk * kNr;
+        for (std::size_t j = 0; j < kNr; ++j) acc[j] += av * bt[j];
+      }
+      float* ci = c + i * brows + j0;
+      for (std::size_t j = 0; j < lanes; ++j) ci[j] = acc[j];
+    }
+  }
+}
+
+void pack_b_tiles(const float* b, std::size_t brows, std::size_t k,
+                  float* tiles) {
+  for (std::size_t j0 = 0; j0 < brows; j0 += kNr) {
+    float* tile = tiles + (j0 / kNr) * k * kNr;
+    const std::size_t lanes = std::min(kNr, brows - j0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t j = 0; j < lanes; ++j) {
+        tile[kk * kNr + j] = b[(j0 + j) * k + kk];
+      }
+      for (std::size_t j = lanes; j < kNr; ++j) tile[kk * kNr + j] = 0.0f;
+    }
+  }
+}
+
+std::size_t tiled_size(std::size_t brows, std::size_t k) {
+  return ((brows + kNr - 1) / kNr) * k * kNr;
+}
+
+}  // namespace
+
+void gemm_nt(const float* a, std::size_t arows, const float* b,
+             std::size_t brows, std::size_t k, float* c) {
+  // Each C(i, j) is a single ascending-k dot(): the accumulation order is
+  // exactly the scalar path's, so batching never changes a bit.
+  if (arows < 4 && brows < kNr) {
+    // Tiny problems cannot amortise the pack; the dot() loop is bit-exact
+    // with the kernel, so routing by size never changes an output.
+    for (std::size_t i = 0; i < arows; ++i) {
+      const float* ai = a + i * k;
+      float* ci = c + i * brows;
+      for (std::size_t j = 0; j < brows; ++j) {
+        ci[j] = dot(ai, b + j * k, k);
+      }
+    }
+    return;
+  }
+  static thread_local std::vector<float> scratch;
+  scratch.resize(tiled_size(brows, k));
+  pack_b_tiles(b, brows, k, scratch.data());
+  gemm_nt_tiled(a, arows, scratch.data(), brows, k, c);
+}
+
+void gemm_pack_b(const float* b, std::size_t brows, std::size_t k,
+                 PackedB& out) {
+  out.brows = brows;
+  out.k = k;
+  out.data.resize(tiled_size(brows, k));
+  pack_b_tiles(b, brows, k, out.data.data());
+}
+
+void gemm_nt_packed(const float* a, std::size_t arows, const PackedB& b,
+                    float* c) {
+  gemm_nt_tiled(a, arows, b.data.data(), b.brows, b.k, c);
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  ADVTEXT_CHECK_SHAPE(a.cols() == b.cols())
+      << "matmul_nt: A is " << a.rows() << "x" << a.cols() << ", B is "
+      << b.rows() << "x" << b.cols();
+  Matrix c(a.rows(), b.rows());
+  gemm_nt(a.data(), a.rows(), b.data(), b.rows(), a.cols(), c.data());
+  return c;
+}
+
 void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y) {
   ADVTEXT_CHECK_SHAPE(c.rows() == x.size() && c.cols() == y.size())
       << "add_outer: C is " << c.rows() << "x" << c.cols() << ", x has "

@@ -123,6 +123,40 @@ Vector matvec_transposed(const Matrix& a, const Vector& x);
 /// C = A * B. Blocked triple loop; throws on shape mismatch.
 Matrix matmul(const Matrix& a, const Matrix& b);
 
+/// C = A * B^T over raw row-major buffers: A is arows x k, B is brows x k,
+/// C is arows x brows. Each output element is one ascending-k dot(), so a
+/// batched row is bit-identical to the per-candidate scalar path — this is
+/// the primitive the batched swap evaluators build their "one gemm per
+/// layer" on. Blocked over B's rows for locality; `b` may point into a
+/// sub-range of a larger weight matrix (e.g. one GRU gate's row block).
+void gemm_nt(const float* a, std::size_t arows, const float* b,
+             std::size_t brows, std::size_t k, float* c);
+
+/// Matrix wrapper over gemm_nt: C(i, j) = dot(a.row(i), b.row(j)).
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// A B operand of gemm_nt repacked once into the kernel's k-major tile
+/// layout. gemm_nt repacks its B tile on every call; when the same weight
+/// matrix is multiplied thousands of times (one recurrent gemm per
+/// timestep of every batched suffix recurrence), packing it once per
+/// rebase and calling gemm_nt_packed removes that per-call cost. Results
+/// are bit-identical to gemm_nt / dot(): the pack only reorders storage,
+/// each output element still accumulates in ascending-k order.
+struct PackedB {
+  std::vector<float> data;
+  std::size_t brows = 0;
+  std::size_t k = 0;
+};
+
+/// Pack b (brows x k, row-major) into `out` for gemm_nt_packed.
+void gemm_pack_b(const float* b, std::size_t brows, std::size_t k,
+                 PackedB& out);
+
+/// C = A * B^T with B pre-packed by gemm_pack_b. Bit-identical to
+/// gemm_nt(a, arows, b, brows, k, c).
+void gemm_nt_packed(const float* a, std::size_t arows, const PackedB& b,
+                    float* c);
+
 /// C += alpha * x * y^T (rank-1 update; x has rows entries, y cols).
 void add_outer(Matrix& c, float alpha, const Vector& x, const Vector& y);
 

@@ -1,0 +1,74 @@
+#include "src/util/query_cache.h"
+
+namespace advtext {
+
+std::uint64_t fnv1a64_append(std::uint64_t hash, const void* data,
+                             std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  return fnv1a64_append(kFnv1a64Seed, data, len);
+}
+
+QueryCache::QueryCache(std::size_t budget_bytes) {
+  // Same degradation ladder as the candidate-set reservation in
+  // joint_attack: halve on denial, give up below the floor. A smaller
+  // cache is strictly a perf loss, never a correctness loss — charged
+  // budget semantics only depend on hit/miss, which stays deterministic
+  // for any fixed capacity.
+  std::size_t want = budget_bytes;
+  while (want >= kMinCapacityBytes) {
+    reservation_ = MemoryReservation::try_acquire(want);
+    if (reservation_.ok()) {
+      capacity_bytes_ = want;
+      return;
+    }
+    want /= 2;
+  }
+  capacity_bytes_ = 0;  // disabled: every lookup misses, nothing is stored
+}
+
+const std::vector<float>* QueryCache::lookup(std::uint64_t key) {
+  if (!enabled()) return nullptr;
+  const auto it = index_.find(key);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return &it->second->second;
+}
+
+void QueryCache::insert(std::uint64_t key, const std::vector<float>& proba) {
+  if (!enabled()) return;
+  const std::size_t cost = entry_bytes(proba);
+  if (cost > capacity_bytes_) return;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh in place (same key => same deterministic value; the bytes
+    // cannot change because the payload length is the class count).
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (bytes_used_ + cost > capacity_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_used_ -= entry_bytes(victim.second);
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, proba);
+  index_.emplace(key, lru_.begin());
+  bytes_used_ += cost;
+}
+
+void QueryCache::clear() {
+  lru_.clear();
+  index_.clear();
+  bytes_used_ = 0;
+}
+
+}  // namespace advtext

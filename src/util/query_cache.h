@@ -1,0 +1,105 @@
+// Bounded, deterministic memoizing cache for classifier query results.
+//
+// The greedy attacks re-pay for repeated model states constantly: every
+// committed swap is re-anchored with an eval_tokens of a sequence that was
+// just scored, retry passes replay whole candidate sweeps, and beam search
+// expands overlapping hypotheses. QueryCache memoizes (document hash ->
+// class-probability vector) under the SwapEvaluator shell so those repeats
+// cost a hash lookup instead of a forward pass.
+//
+// Determinism contract:
+//   * Keys are FNV-1a 64-bit hashes of the full token sequence, so the key
+//     for "base with swap at p" and for the re-anchored committed sequence
+//     unify across eval_swap / eval_tokens call sites.
+//   * Eviction is strict LRU against a byte budget — a pure function of the
+//     lookup/insert sequence, so a replayed attack evicts identically.
+//   * The cache is NOT thread-safe by design: the attack pipeline owns one
+//     instance per worker and resets it per document, which keeps
+//     budget-limited results independent of document scheduling (serial ==
+//     parallel at any thread count).
+//
+// The byte budget is charged against the process MemoryBudget with the
+// same halving ladder as the candidate-set reservation: under memory
+// pressure the cache shrinks (halving until the reservation fits) down to
+// a floor, then disables itself rather than OOMing the process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/util/robust.h"
+
+namespace advtext {
+
+/// FNV-1a 64-bit over a raw byte range.
+std::uint64_t fnv1a64(const void* data, std::size_t len);
+
+/// Continues an FNV-1a 64-bit hash with more bytes (streaming form, used
+/// to key "base sequence with one position swapped" without materializing
+/// the swapped sequence).
+std::uint64_t fnv1a64_append(std::uint64_t hash, const void* data,
+                             std::size_t len);
+
+/// Initial state for fnv1a64_append (the FNV-1a offset basis).
+constexpr std::uint64_t kFnv1a64Seed = 0xcbf29ce484222325ULL;
+
+class QueryCache {
+ public:
+  /// Smallest capacity the halving ladder degrades to before the cache
+  /// disables itself entirely.
+  static constexpr std::size_t kMinCapacityBytes = 1u << 20;  // 1 MiB
+
+  /// Reserves up to `budget_bytes` from the process MemoryBudget, halving
+  /// on denial until the reservation fits or kMinCapacityBytes is denied
+  /// too (then the cache is disabled). 0 constructs a disabled cache.
+  explicit QueryCache(std::size_t budget_bytes);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// True when a non-zero capacity was granted.
+  bool enabled() const { return capacity_bytes_ > 0; }
+
+  /// Returns the cached probability vector for `key` (and marks it most
+  /// recently used), or nullptr on a miss. The pointer stays valid until
+  /// the next insert()/clear().
+  const std::vector<float>* lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting least-recently-used entries
+  /// until the byte budget holds. An entry larger than the whole capacity
+  /// is not stored.
+  void insert(std::uint64_t key, const std::vector<float>& proba);
+
+  /// Drops every entry (capacity and cumulative eviction count are kept).
+  /// The attack pipeline calls this at each document boundary so cached
+  /// warmth never leaks across documents — the scheduling-independence
+  /// invariant behind serial == parallel parity.
+  void clear();
+
+  std::size_t entries() const { return index_.size(); }
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  using Entry = std::pair<std::uint64_t, std::vector<float>>;
+
+  static std::size_t entry_bytes(const std::vector<float>& proba) {
+    // Deterministic accounting formula: payload plus a flat per-entry
+    // overhead for the list node and index slot.
+    return proba.size() * sizeof(float) + 64;
+  }
+
+  std::size_t capacity_bytes_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  MemoryReservation reservation_;
+};
+
+}  // namespace advtext

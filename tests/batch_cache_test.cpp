@@ -1,0 +1,477 @@
+// Batched candidate scoring + query cache tests: the batched evaluator
+// entry points must be bit-identical to the per-candidate loops for every
+// model family; attaching a QueryCache must change work and charges but
+// never results; the budget is charged on cache misses only; LRU eviction
+// under a tight MemoryBudget is deterministic; and a SIGTERM-interrupted
+// sweep with the cache enabled resumes bitwise, even across the
+// cache-on/cache-off boundary (the checkpoint format carries no cache
+// state by design).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/data/synthetic.h"
+#include "src/eval/pipeline.h"
+#include "src/nn/bow_classifier.h"
+#include "src/nn/gru.h"
+#include "src/nn/lstm.h"
+#include "src/nn/trainer.h"
+#include "src/nn/wcnn.h"
+#include "src/util/query_cache.h"
+#include "src/util/robust.h"
+#include "src/util/rng.h"
+#include "src/util/stop_token.h"
+
+namespace advtext {
+namespace {
+
+const SynthTask& task() {
+  static const SynthTask t = make_yelp(41);
+  return t;
+}
+
+TokenSeq sample_tokens(std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  TokenSeq tokens;
+  const WordId vocab = task().vocab.size();
+  for (std::size_t i = 0; i < length; ++i) {
+    tokens.push_back(static_cast<WordId>(2 + rng.uniform_index(vocab - 2)));
+  }
+  return tokens;
+}
+
+std::vector<std::unique_ptr<TextClassifier>> all_models() {
+  std::vector<std::unique_ptr<TextClassifier>> models;
+  WCnnConfig wcnn;
+  wcnn.embed_dim = task().config.embedding_dim;
+  wcnn.num_filters = 24;
+  models.push_back(std::make_unique<WCnn>(wcnn, Matrix(task().paragram)));
+  LstmConfig lstm;
+  lstm.embed_dim = task().config.embedding_dim;
+  lstm.hidden = 16;
+  models.push_back(
+      std::make_unique<LstmClassifier>(lstm, Matrix(task().paragram)));
+  GruConfig gru;
+  gru.embed_dim = task().config.embedding_dim;
+  gru.hidden = 16;
+  models.push_back(
+      std::make_unique<GruClassifier>(gru, Matrix(task().paragram)));
+  BowClassifierConfig bow;
+  bow.vocab_size = static_cast<std::size_t>(task().vocab.size());
+  models.push_back(std::make_unique<BowClassifier>(bow));
+  return models;
+}
+
+// Batch sizes on both sides of the kScoreChunkRows = 64 attack chunking:
+// a single row and a sweep larger than one chunk.
+constexpr std::size_t kBatchSizes[] = {1, 80};
+
+// eval_swap_batch == per-candidate eval_swap, float-for-float, for every
+// model family and on both the batched-gemm and (via the bench switch)
+// the sequential scoring path. No control bound: unlimited and uncached.
+TEST(BatchedScoring, SwapBatchMatchesSequentialBitwise) {
+  const TokenSeq base = sample_tokens(40, 7);
+  for (const auto& model : all_models()) {
+    auto batched = model->make_swap_evaluator(base);
+    auto sequential = model->make_swap_evaluator(base);
+    for (const std::size_t batch : kBatchSizes) {
+      SCOPED_TRACE(testing::Message()
+                   << "classes=" << model->num_classes()
+                   << " batch=" << batch);
+      std::vector<SwapCandidate> candidates;
+      for (std::size_t i = 0; i < batch; ++i) {
+        candidates.push_back({i % base.size(),
+                              static_cast<WordId>(3 + i / base.size())});
+      }
+      Matrix scores;
+      const BatchStatus status =
+          batched->eval_swap_batch(candidates, scores);
+      EXPECT_EQ(status.evaluated, batch);
+      EXPECT_FALSE(status.truncated());
+
+      set_sequential_scoring(true);
+      Matrix seed_scores;
+      const BatchStatus seed_status =
+          batched->eval_swap_batch(candidates, seed_scores);
+      set_sequential_scoring(false);
+      EXPECT_EQ(seed_status.evaluated, batch);
+
+      for (std::size_t i = 0; i < batch; ++i) {
+        const Vector row =
+            sequential->eval_swap(candidates[i].pos, candidates[i].word);
+        ASSERT_EQ(row.size(), scores.cols());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          EXPECT_EQ(scores(i, c), row[c])
+              << "batched row " << i << " class " << c << " diverged";
+          EXPECT_EQ(seed_scores(i, c), row[c])
+              << "seed-path row " << i << " class " << c << " diverged";
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedScoring, TokensBatchMatchesSequentialBitwise) {
+  const TokenSeq base = sample_tokens(40, 11);
+  for (const auto& model : all_models()) {
+    auto batched = model->make_swap_evaluator(base);
+    auto sequential = model->make_swap_evaluator(base);
+    for (const std::size_t batch : kBatchSizes) {
+      SCOPED_TRACE(testing::Message()
+                   << "classes=" << model->num_classes()
+                   << " batch=" << batch);
+      std::vector<TokenSeq> docs;
+      for (std::size_t i = 0; i < batch; ++i) {
+        docs.push_back(sample_tokens(20 + i % 7, 100 + i));
+      }
+      Matrix scores;
+      const BatchStatus status = batched->eval_tokens_batch(docs, scores);
+      EXPECT_EQ(status.evaluated, batch);
+      for (std::size_t i = 0; i < batch; ++i) {
+        const Vector row = sequential->eval_tokens(docs[i]);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          EXPECT_EQ(scores(i, c), row[c])
+              << "batched row " << i << " class " << c << " diverged";
+        }
+      }
+    }
+  }
+}
+
+// The shell's charge point: misses are computed and charged, hits (repeat
+// queries, in-batch duplicates, and eval_swap/eval_tokens key unification)
+// are served free — while queries() always counts both.
+TEST(QueryCacheCharging, ChargesOnMissOnly) {
+  const TokenSeq base = sample_tokens(30, 13);
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 24;
+  const WCnn model(config, Matrix(task().paragram));
+
+  QueryBudget budget;
+  QueryCache cache(32u << 20);
+  ASSERT_TRUE(cache.enabled());
+  AttackControl control;
+  control.budget = &budget;
+  control.cache = &cache;
+
+  auto evaluator = model.make_swap_evaluator(base);
+  evaluator->bind_control(&control);
+
+  const Vector first = evaluator->eval_swap(3, 9);
+  const Vector again = evaluator->eval_swap(3, 9);
+  EXPECT_EQ(evaluator->queries(), 2u);
+  EXPECT_EQ(evaluator->cache_hits(), 1u);
+  EXPECT_EQ(evaluator->cache_misses(), 1u);
+  EXPECT_EQ(budget.used(), 1u);
+  for (std::size_t c = 0; c < first.size(); ++c) {
+    EXPECT_EQ(first[c], again[c]);
+  }
+
+  // Key unification: eval_tokens of the materialized swapped sequence hits
+  // the entry eval_swap populated.
+  TokenSeq swapped = base;
+  swapped[3] = 9;
+  (void)evaluator->eval_tokens(swapped);
+  EXPECT_EQ(evaluator->cache_hits(), 2u);
+  EXPECT_EQ(budget.used(), 1u);
+
+  // A batch with a prior hit and an in-batch duplicate: only the two
+  // distinct unseen candidates are charged.
+  const std::vector<SwapCandidate> batch = {
+      {3, 9}, {5, 7}, {5, 7}, {8, 4}};
+  Matrix scores;
+  const BatchStatus status = evaluator->eval_swap_batch(batch, scores);
+  EXPECT_EQ(status.evaluated, 4u);
+  EXPECT_EQ(evaluator->queries(), 7u);
+  EXPECT_EQ(evaluator->cache_hits(), 4u);   // repeat, dup, and the earlier 2
+  EXPECT_EQ(evaluator->cache_misses(), 3u);
+  EXPECT_EQ(budget.used(), 3u);
+  EXPECT_EQ(evaluator->budget_charged(), budget.used());
+  // Duplicate rows are byte-identical.
+  for (std::size_t c = 0; c < scores.cols(); ++c) {
+    EXPECT_EQ(scores(1, c), scores(2, c));
+  }
+  EXPECT_EQ(evaluator->queries(),
+            evaluator->cache_hits() + evaluator->cache_misses());
+}
+
+// Without a cache every query is a (charged) miss, so the reported query
+// counts are identical to the cached run — only the charges differ.
+TEST(QueryCacheCharging, UncachedCountsEveryQueryAsMiss) {
+  const TokenSeq base = sample_tokens(30, 17);
+  WCnnConfig config;
+  config.embed_dim = task().config.embedding_dim;
+  config.num_filters = 24;
+  const WCnn model(config, Matrix(task().paragram));
+
+  QueryBudget budget;
+  AttackControl control;
+  control.budget = &budget;  // no cache bound
+
+  auto evaluator = model.make_swap_evaluator(base);
+  evaluator->bind_control(&control);
+  (void)evaluator->eval_swap(3, 9);
+  (void)evaluator->eval_swap(3, 9);
+  EXPECT_EQ(evaluator->queries(), 2u);
+  EXPECT_EQ(evaluator->cache_hits(), 0u);
+  EXPECT_EQ(evaluator->cache_misses(), 2u);
+  EXPECT_EQ(budget.used(), 2u);
+}
+
+// LRU eviction is a pure function of the lookup/insert sequence — two
+// caches fed the same sequence agree entry-for-entry — and the halving
+// ladder degrades the capacity under a tight process MemoryBudget instead
+// of overrunning it.
+TEST(QueryCacheEviction, DeterministicUnderTightMemoryBudget) {
+  MemoryBudget& mem = MemoryBudget::instance();
+  const std::size_t old_limit = mem.limit_bytes();
+  // Leave room for exactly the 1 MiB floor (plus slack below one halving
+  // step), so a 32 MiB request must walk the ladder down to the floor.
+  mem.set_limit_bytes(mem.used_bytes() + QueryCache::kMinCapacityBytes +
+                      (QueryCache::kMinCapacityBytes / 2));
+
+  {
+    QueryCache a(32u << 20);
+    QueryCache b(32u << 20);
+    ASSERT_TRUE(a.enabled());
+    EXPECT_EQ(a.capacity_bytes(), QueryCache::kMinCapacityBytes);
+    EXPECT_EQ(b.capacity_bytes(), 0u);  // budget exhausted by `a`: disabled
+
+    // Fill past capacity with constant-size entries; the steady state holds
+    // exactly floor(capacity / entry_bytes) entries and evicts the rest in
+    // insertion order (pure LRU).
+    const std::vector<float> proba = {0.25f, 0.75f};
+    std::size_t inserted = 0;
+    while (a.evictions() == 0) {
+      a.insert(inserted, proba);
+      ++inserted;
+    }
+    const std::size_t steady = a.entries();
+    EXPECT_EQ(inserted, steady + 1);
+    EXPECT_EQ(a.lookup(0), nullptr);            // oldest key evicted first
+    EXPECT_NE(a.lookup(1), nullptr);            // survivor prefix intact
+
+    // Touching key 1 moved it to the front: the next insert evicts key 2,
+    // not key 1 — recency, not insertion order.
+    a.insert(inserted, proba);
+    EXPECT_NE(a.lookup(1), nullptr);
+    EXPECT_EQ(a.lookup(2), nullptr);
+
+    // Replay the same sequence into a fresh cache under the same budget:
+    // bitwise-identical occupancy and eviction count.
+    mem.set_limit_bytes(mem.used_bytes() + QueryCache::kMinCapacityBytes +
+                        (QueryCache::kMinCapacityBytes / 2));
+    QueryCache replay(32u << 20);
+    ASSERT_TRUE(replay.enabled());
+    for (std::size_t key = 0; key < inserted; ++key) {
+      replay.insert(key, proba);
+    }
+    (void)replay.lookup(1);
+    replay.insert(inserted, proba);
+    EXPECT_EQ(replay.entries(), a.entries());
+    EXPECT_EQ(replay.evictions(), a.evictions());
+    EXPECT_EQ(replay.bytes_used(), a.bytes_used());
+    EXPECT_EQ(replay.lookup(2), nullptr);
+    EXPECT_NE(replay.lookup(1), nullptr);
+
+    // clear() drops entries but keeps the reserved capacity.
+    replay.clear();
+    EXPECT_EQ(replay.entries(), 0u);
+    EXPECT_EQ(replay.bytes_used(), 0u);
+    EXPECT_EQ(replay.capacity_bytes(), QueryCache::kMinCapacityBytes);
+  }
+  mem.set_limit_bytes(old_limit);
+}
+
+// ---- attack/pipeline level -------------------------------------------------
+
+class BatchCachePipelineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SynthConfig config = make_yelp(53).config;
+    config.seed = 53;
+    config.num_train = 250;
+    config.num_test = 40;
+    config.min_sentences = 3;
+    config.max_sentences = 5;
+    config.min_words_per_sentence = 5;
+    config.max_words_per_sentence = 9;
+    task_ = new SynthTask(make_task(config));
+    context_ = new TaskAttackContext(*task_);
+    model_ = new WCnn(wcnn_config(), Matrix(task_->paragram));
+    TrainConfig train;
+    train.epochs = 6;
+    train_classifier(*model_, task_->train, train);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete context_;
+    delete task_;
+    model_ = nullptr;
+    context_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static WCnnConfig wcnn_config() {
+    WCnnConfig config;
+    config.embed_dim = task_->config.embedding_dim;
+    config.num_filters = 24;
+    return config;
+  }
+
+  static AttackEvalConfig sweep_config(std::size_t max_docs,
+                                       std::size_t cache_bytes) {
+    AttackEvalConfig config;
+    config.max_docs = max_docs;
+    config.query_cache_bytes = cache_bytes;
+    return config;
+  }
+
+  static AttackEvalResult run(const AttackEvalConfig& config) {
+    return evaluate_attack(*model_, *task_, *context_, config);
+  }
+
+  // Everything but timing must be bitwise identical between a cached and
+  // an uncached sweep: the cache changes work, never results or the
+  // reported (logical) query counts.
+  static void expect_equal_modulo_cache(const AttackEvalResult& a,
+                                        const AttackEvalResult& b) {
+    EXPECT_EQ(a.adversarial_accuracy, b.adversarial_accuracy);
+    EXPECT_EQ(a.success_rate, b.success_rate);
+    EXPECT_EQ(a.mean_queries, b.mean_queries);
+    EXPECT_EQ(a.mean_words_changed, b.mean_words_changed);
+    EXPECT_EQ(a.mean_sentences_changed, b.mean_sentences_changed);
+    EXPECT_EQ(a.docs_evaluated, b.docs_evaluated);
+    EXPECT_EQ(a.docs_attacked, b.docs_attacked);
+    EXPECT_EQ(a.sweep_queries_used, b.sweep_queries_used);
+    ASSERT_EQ(a.adv_docs.size(), b.adv_docs.size());
+    for (std::size_t i = 0; i < a.adv_docs.size(); ++i) {
+      EXPECT_EQ(a.adv_docs[i].flatten(), b.adv_docs[i].flatten())
+          << "adv doc " << i << " diverged";
+    }
+    ASSERT_EQ(a.attacks.size(), b.attacks.size());
+    for (std::size_t i = 0; i < a.attacks.size(); ++i) {
+      EXPECT_EQ(a.attacks[i].success, b.attacks[i].success);
+      EXPECT_EQ(a.attacks[i].final_target_proba,
+                b.attacks[i].final_target_proba);
+      EXPECT_EQ(a.attacks[i].queries, b.attacks[i].queries)
+          << "attack " << i << " query count diverged";
+      EXPECT_EQ(a.attacks[i].adv_doc.flatten(),
+                b.attacks[i].adv_doc.flatten());
+    }
+  }
+
+  static SynthTask* task_;
+  static TaskAttackContext* context_;
+  static WCnn* model_;
+};
+
+SynthTask* BatchCachePipelineFixture::task_ = nullptr;
+TaskAttackContext* BatchCachePipelineFixture::context_ = nullptr;
+WCnn* BatchCachePipelineFixture::model_ = nullptr;
+
+TEST_F(BatchCachePipelineFixture, CacheOnOffSweepsAreBitwiseIdentical) {
+  const AttackEvalResult uncached = run(sweep_config(10, 0));
+  EXPECT_EQ(uncached.cache_hits, 0u);
+  EXPECT_EQ(uncached.queries_saved, 0u);
+  EXPECT_GT(uncached.cache_misses, 0u);
+
+  const AttackEvalResult cached = run(sweep_config(10, 32u << 20));
+  expect_equal_modulo_cache(uncached, cached);
+  EXPECT_GT(cached.cache_hits, 0u)
+      << "re-anchor/retry queries should hit the cache";
+  EXPECT_EQ(cached.queries_saved, cached.cache_hits);
+  EXPECT_EQ(cached.cache_hits + cached.cache_misses,
+            uncached.cache_misses);
+}
+
+// Forwards every oracle bitwise but raises SIGTERM on the Nth
+// predict_proba call (the parallel_pipeline_test pattern).
+class SigtermAfterNCalls : public TextClassifier {
+ public:
+  SigtermAfterNCalls(const TextClassifier& inner, std::size_t raise_after)
+      : inner_(inner), remaining_(raise_after) {}
+
+  std::size_t num_classes() const override { return inner_.num_classes(); }
+  std::size_t embedding_dim() const override {
+    return inner_.embedding_dim();
+  }
+  const Matrix& embedding_table() const override {
+    return inner_.embedding_table();
+  }
+  Vector predict_proba(const TokenSeq& tokens) const override {
+    if (remaining_.fetch_sub(1, std::memory_order_relaxed) == 1) {
+      std::raise(SIGTERM);
+    }
+    return inner_.predict_proba(tokens);
+  }
+  Matrix input_gradient(const TokenSeq& tokens, std::size_t target,
+                        Vector* proba = nullptr) const override {
+    return inner_.input_gradient(tokens, target, proba);
+  }
+  std::unique_ptr<SwapEvaluator> make_swap_evaluator(
+      const TokenSeq& base) const override {
+    return inner_.make_swap_evaluator(base);
+  }
+
+ private:
+  const TextClassifier& inner_;
+  mutable std::atomic<std::size_t> remaining_;
+};
+
+bool file_exists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+// A SIGTERM-interrupted cached sweep leaves a checkpoint that resumes
+// bitwise — checked against an *uncached* uninterrupted reference, so the
+// test also pins that checkpoints carry no cache state and replay
+// identically across the cache-on/off boundary.
+TEST_F(BatchCachePipelineFixture, SigtermWithCacheResumesBitwise) {
+  const std::string path =
+      ::testing::TempDir() + "advtext_batch_cache_sigterm_ckpt.bin";
+  std::remove(path.c_str());
+
+  const AttackEvalResult reference = run(sweep_config(10, 0));
+
+  const std::size_t raise_after = task_->test.docs.size() + 4;
+  EXPECT_EXIT(
+      {
+        StopToken::instance().install();
+        const SigtermAfterNCalls raising(*model_, raise_after);
+        AttackEvalConfig config = sweep_config(10, 32u << 20);
+        config.checkpoint_path = path;
+        config.checkpoint_every = 1;
+        const AttackEvalResult r =
+            evaluate_attack(raising, *task_, *context_, config);
+        const bool drained =
+            r.termination == TerminationReason::kStopped &&
+            r.docs_evaluated >= 1 && r.docs_evaluated < 10 &&
+            file_exists(path);
+        std::_Exit(drained ? 5 : 1);
+      },
+      ::testing::ExitedWithCode(5), "");
+
+  ASSERT_TRUE(file_exists(path));
+  AttackEvalConfig resumed = sweep_config(10, 32u << 20);
+  resumed.checkpoint_path = path;
+  resumed.checkpoint_every = 1;
+  resumed.resume = true;
+  const AttackEvalResult completed = run(resumed);
+  expect_equal_modulo_cache(reference, completed);
+  EXPECT_EQ(completed.termination, TerminationReason::kSucceeded);
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace advtext

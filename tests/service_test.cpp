@@ -259,6 +259,9 @@ TEST(Protocol, MessagesRoundTrip) {
   complete.docs_attacked = 4;
   complete.docs_failed = 1;
   complete.sweep_queries_used = 77;
+  complete.cache_hits = 30;
+  complete.cache_misses = 47;
+  complete.queries_saved = 30;
   complete.success_rate = 0.75;
   complete.adversarial_accuracy = 0.25;
   const JobComplete complete_back =
@@ -267,6 +270,9 @@ TEST(Protocol, MessagesRoundTrip) {
   EXPECT_EQ(complete_back.termination, TerminationReason::kBudgetExhausted);
   EXPECT_EQ(complete_back.docs_evaluated, 5u);
   EXPECT_EQ(complete_back.sweep_queries_used, 77u);
+  EXPECT_EQ(complete_back.cache_hits, 30u);
+  EXPECT_EQ(complete_back.cache_misses, 47u);
+  EXPECT_EQ(complete_back.queries_saved, 30u);
   EXPECT_DOUBLE_EQ(complete_back.success_rate, 0.75);
 
   DocRecord failed;

@@ -7,9 +7,12 @@ rules:
 ``uncharged-forward`` (v2)
     Every call chain from an attack/eval/service *entry point* to a
     classifier forward-family call (``forward``/``predict``/
-    ``predict_proba``/``class_probability``/``eval_swap``/``eval_tokens``)
-    must pass through at least one function that charges the
-    ``QueryBudget`` (``charge(``/``charge_up_to(``) or checks a cache hit.
+    ``predict_proba``/``class_probability``/``eval_swap``/``eval_tokens``
+    and their batched variants) must pass through at least one function
+    that charges the ``QueryBudget`` (``charge(``/``charge_up_to(``),
+    checks a cache hit, or binds an ``AttackControl`` to the evaluator
+    shell (``bind_control(`` — the shell then charges every cache miss
+    itself, which is the one charge point of the batched scoring path).
     Domination is at *function granularity*: a function that charges
     anywhere discharges the sinks it dominates — a deliberate
     approximation (branch-level domination would need real dataflow).
@@ -58,10 +61,17 @@ from .symbols import Function, SymbolIndex
 # -- token vocabularies ------------------------------------------------------
 
 FORWARD_FAMILY = ("forward", "predict", "predict_proba",
-                  "class_probability", "eval_swap", "eval_tokens")
+                  "class_probability", "eval_swap", "eval_tokens",
+                  "eval_swap_batch", "eval_tokens_batch",
+                  "predict_proba_batch")
 _RE_FORWARD_SITE = re.compile(
     r"(?:\.|->)\s*(?:%s)\s*\(" % "|".join(FORWARD_FAMILY))
-_RE_CHARGE = re.compile(r"\bcharge(?:_up_to)?\s*\(|\bcache_hit\b")
+#: bind_control counts as a charge site: once an AttackControl is bound to
+#: the SwapEvaluator shell, the shell itself charges the budget on every
+#: cache miss (the single charge point of the batched scoring path), so
+#: the binding function discharges the queries it dominates.
+_RE_CHARGE = re.compile(
+    r"\bcharge(?:_up_to)?\s*\(|\bcache_hit\b|\bbind_control\s*\(")
 
 _RE_HEAVY_DIRECT = re.compile(
     r"(?:\.|->)\s*(?:%s)\s*\(" % "|".join(FORWARD_FAMILY)

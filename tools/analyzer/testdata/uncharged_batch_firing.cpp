@@ -1,0 +1,12 @@
+// fixture-path: src/core/fixture_batch_firing.cpp
+// expect: uncharged-forward@11
+struct FixtureEvaluator {
+  double eval_tokens_batch(int count);
+};
+
+// The batch query runs with no AttackControl bound and no charge on the
+// chain: every scored row escapes the paper's query accounting.
+double fixture_entry(FixtureEvaluator& evaluator,
+                     const AttackControl& control) {
+  return evaluator.eval_tokens_batch(8);
+}
